@@ -1,0 +1,170 @@
+(* Benchmark driver: regenerates every figure of the paper's evaluation
+   (plus the ablations DESIGN.md calls out) and runs Bechamel microbenches
+   of the substrate.
+
+   Usage:  dune exec bench/main.exe -- [--scale quick|full|paper]
+                                       [--only fig3-list,ablate-buffer,...]
+                                       [--no-micro] [--list]          *)
+
+module Runtime = Ts_sim.Runtime
+module Smr = Ts_smr.Smr
+module Workload = Ts_harness.Workload
+module Experiment = Ts_harness.Experiment
+
+let parse_args () =
+  let scale = ref Experiment.Quick in
+  let only = ref None in
+  let micro = ref true in
+  let list_only = ref false in
+  let rec go = function
+    | [] -> ()
+    | "--scale" :: s :: rest ->
+        (match Experiment.scale_of_string s with
+        | Some sc -> scale := sc
+        | None -> failwith ("unknown scale: " ^ s));
+        go rest
+    | "--only" :: names :: rest ->
+        only := Some (String.split_on_char ',' names);
+        go rest
+    | "--no-micro" :: rest ->
+        micro := false;
+        go rest
+    | "--list" :: rest ->
+        list_only := true;
+        go rest
+    | arg :: _ -> failwith ("unknown argument: " ^ arg)
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  (!scale, !only, !micro, !list_only)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks of the substrate                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Each thunk runs a small simulation end to end; Bechamel reports real
+   nanoseconds per run, i.e. the host-side cost of the simulator itself. *)
+
+let micro_sim_steps () =
+  ignore
+    (Runtime.run (fun () ->
+         for _ = 1 to 500 do
+           Runtime.advance 1
+         done))
+
+let micro_malloc_free () =
+  ignore
+    (Runtime.run (fun () ->
+         for _ = 1 to 200 do
+           let a = Runtime.malloc 8 in
+           Runtime.free a
+         done))
+
+let micro_signal_roundtrip () =
+  ignore
+    (Runtime.run (fun () ->
+         let hit = Runtime.alloc_region 1 in
+         let t =
+           Runtime.spawn (fun () ->
+               Runtime.set_signal_handler (fun () -> Runtime.write hit 1);
+               while Runtime.read hit = 0 do
+                 Runtime.yield ()
+               done)
+         in
+         Runtime.signal t;
+         Runtime.join t))
+
+let micro_list_op () =
+  ignore
+    (Runtime.run (fun () ->
+         let smr = Ts_reclaim.Leaky.create () in
+         smr.Smr.thread_init ();
+         let ds = Ts_ds.Michael_list.create ~smr () in
+         for k = 0 to 63 do
+           ignore (ds.Ts_ds.Set_intf.insert k k)
+         done;
+         for k = 0 to 63 do
+           ignore (ds.Ts_ds.Set_intf.contains k)
+         done))
+
+let micro_collect_phase () =
+  ignore
+    (Runtime.run (fun () ->
+         let ts =
+           Threadscan.create
+             ~config:{ Threadscan.Config.max_threads = 4; buffer_size = 64; help_free = false }
+             ()
+         in
+         let smr = Threadscan.smr ts in
+         smr.Smr.thread_init ();
+         for _ = 1 to 65 do
+           smr.Smr.retire (Ts_umem.Ptr.of_addr (Runtime.malloc 3))
+         done;
+         smr.Smr.thread_exit ();
+         smr.Smr.flush ()))
+
+let run_micro () =
+  let open Bechamel in
+  let test name f = Test.make ~name (Staged.stage f) in
+  let tests =
+    Test.make_grouped ~name:"substrate"
+      [
+        test "sim: 500 advance steps" micro_sim_steps;
+        test "alloc: 200 malloc/free" micro_malloc_free;
+        test "signal round-trip" micro_signal_roundtrip;
+        test "list: build+search 64 keys" micro_list_op;
+        test "threadscan: one collect phase" micro_collect_phase;
+      ]
+  in
+  let benchmark () =
+    let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:(Some 500) () in
+    let raw = Benchmark.all cfg instances tests in
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  Fmt.pr "@.== substrate microbenchmarks (host-side cost, Bechamel OLS) ==@.";
+  match benchmark () with
+  | [ results ] ->
+      Hashtbl.iter
+        (fun name ols ->
+          match Bechamel.Analyze.OLS.estimates ols with
+          | Some [ est ] -> Fmt.pr "%-45s %12.0f ns/run@." name est
+          | _ -> Fmt.pr "%-45s (no estimate)@." name)
+        results
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let scale, only, micro, list_only = parse_args () in
+  if list_only then begin
+    List.iter (fun (name, _) -> print_endline name) Experiment.names;
+    exit 0
+  end;
+  let scale_name =
+    match scale with
+    | Experiment.Quick -> "quick"
+    | Experiment.Full -> "full"
+    | Experiment.Paper -> "paper"
+  in
+  Fmt.pr "ThreadScan reproduction benchmarks — scale: %s@." scale_name;
+  let selected =
+    match only with
+    | None -> Experiment.names
+    | Some names ->
+        List.iter
+          (fun n ->
+            if not (List.mem_assoc n Experiment.names) then begin
+              Fmt.epr "unknown experiment %S; use --list to see the targets@." n;
+              exit 2
+            end)
+          names;
+        List.filter (fun (n, _) -> List.mem n names) Experiment.names
+  in
+  List.iter
+    (fun (name, f) ->
+      let t0 = Unix.gettimeofday () in
+      Experiment.run_and_print ~title:name f scale;
+      Fmt.pr "(%s took %.1fs of real time)@." name (Unix.gettimeofday () -. t0))
+    selected;
+  if micro && only = None then run_micro ()

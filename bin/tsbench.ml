@@ -1,0 +1,168 @@
+(* tsbench: command-line driver for the ThreadScan reproduction.
+
+   - `tsbench run`     one fully parameterised workload, verbose result
+   - `tsbench sweep`   one named experiment (fig3-list .. ablate-padding)
+   - `tsbench all`     every experiment at a given scale
+   - `tsbench list`    available experiment names                          *)
+
+module Workload = Ts_harness.Workload
+module Experiment = Ts_harness.Experiment
+open Cmdliner
+
+(* ------------------------------ converters ------------------------------ *)
+
+let ds_conv =
+  let parse = function
+    | "list" -> Ok Workload.List_ds
+    | "hash" -> Ok Workload.Hash_ds
+    | "skip" | "skiplist" -> Ok Workload.Skip_ds
+    | s -> Error (`Msg (Fmt.str "unknown data structure %S (list|hash|skip)" s))
+  in
+  Arg.conv (parse, fun ppf ds -> Fmt.string ppf (Workload.ds_kind_to_string ds))
+
+let scale_conv =
+  let parse s =
+    match Experiment.scale_of_string s with
+    | Some sc -> Ok sc
+    | None -> Error (`Msg (Fmt.str "unknown scale %S (quick|full|paper)" s))
+  in
+  Arg.conv
+    ( parse,
+      fun ppf s ->
+        Fmt.string ppf
+          (match s with
+          | Experiment.Quick -> "quick"
+          | Experiment.Full -> "full"
+          | Experiment.Paper -> "paper") )
+
+let scheme_conv ~buffer ~help_free ~delay =
+  let parse = function
+    | "leaky" -> Ok Workload.Leaky
+    | "threadscan" -> Ok (Workload.Threadscan { buffer_size = buffer; help_free })
+    | "hazard" -> Ok Workload.Hazard
+    | "epoch" -> Ok Workload.Epoch
+    | "slow-epoch" -> Ok (Workload.Slow_epoch { delay })
+    | "stacktrack" -> Ok Workload.Stacktrack
+    | s -> Error (`Msg (Fmt.str "unknown scheme %S" s))
+  in
+  parse
+
+(* -------------------------------- run ----------------------------------- *)
+
+let print_result (r : Workload.result) =
+  let s = r.spec in
+  Fmt.pr "workload:   %s + %s, %d threads on %s cores@."
+    (Workload.ds_kind_to_string s.ds)
+    (Workload.scheme_kind_to_string s.scheme)
+    s.threads
+    (if s.cores <= 0 then "dedicated" else string_of_int s.cores);
+  Fmt.pr "            init=%d range=%d updates=%.0f%% horizon=%d cycles seed=%d@." s.init_size
+    s.key_range (100. *. s.update_ratio) s.horizon s.seed;
+  Fmt.pr "ops:        %d (%.1f per Mcycle)@." r.ops r.throughput;
+  Fmt.pr "reclaim:    retired=%d freed=%d outstanding=%d peak-live=%d@." r.retired r.freed
+    r.outstanding r.peak_live_blocks;
+  Fmt.pr "simulator:  elapsed=%d signals=%d switches=%d faults=%d@." r.elapsed
+    r.signals_delivered r.ctx_switches r.faults;
+  if r.extras <> [] then begin
+    Fmt.pr "scheme:    ";
+    List.iter (fun (k, v) -> Fmt.pr " %s=%d" k v) r.extras;
+    Fmt.pr "@."
+  end
+
+let run_cmd =
+  let ds =
+    Arg.(value & opt ds_conv Workload.List_ds & info [ "d"; "ds" ] ~doc:"Data structure (list|hash|skip).")
+  in
+  let scheme_name =
+    Arg.(value & opt string "threadscan" & info [ "s"; "scheme" ] ~doc:"Reclamation scheme.")
+  in
+  let threads = Arg.(value & opt int 8 & info [ "t"; "threads" ] ~doc:"Worker threads.") in
+  let cores =
+    Arg.(value & opt int 0 & info [ "c"; "cores" ] ~doc:"Simulated cores (0 = one per thread).")
+  in
+  let horizon = Arg.(value & opt int 400_000 & info [ "horizon" ] ~doc:"Cycles per run.") in
+  let init = Arg.(value & opt int 128 & info [ "init" ] ~doc:"Initial structure size.") in
+  let range = Arg.(value & opt int 256 & info [ "range" ] ~doc:"Key range.") in
+  let update =
+    Arg.(value & opt float 0.2 & info [ "update" ] ~doc:"Update ratio (paper: 0.2).")
+  in
+  let buffer =
+    Arg.(value & opt int 32 & info [ "buffer" ] ~doc:"ThreadScan per-thread delete buffer.")
+  in
+  let help_free =
+    Arg.(value & flag & info [ "help-free" ] ~doc:"Enable the help-free ThreadScan variant.")
+  in
+  let delay =
+    Arg.(value & opt int 600_000 & info [ "delay" ] ~doc:"Slow-epoch errant delay (cycles).")
+  in
+  let padding = Arg.(value & opt int 0 & info [ "padding" ] ~doc:"Extra node words.") in
+  let seed = Arg.(value & opt int 0xBE5 & info [ "seed" ] ~doc:"Deterministic seed.") in
+  let action ds scheme_name threads cores horizon init range update buffer help_free delay
+      padding seed =
+    match scheme_conv ~buffer ~help_free ~delay scheme_name with
+    | Error (`Msg m) -> `Error (false, m)
+    | Ok scheme ->
+        let spec =
+          {
+            Workload.default_spec with
+            ds;
+            scheme;
+            threads;
+            cores;
+            horizon;
+            init_size = init;
+            key_range = range;
+            update_ratio = update;
+            padding;
+            seed;
+          }
+        in
+        print_result (Workload.run spec);
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one fully parameterised workload.")
+    Term.(
+      ret
+        (const action $ ds $ scheme_name $ threads $ cores $ horizon $ init $ range $ update
+       $ buffer $ help_free $ delay $ padding $ seed))
+
+(* ------------------------------- sweep ---------------------------------- *)
+
+let scale_arg =
+  Arg.(value & opt scale_conv Experiment.Quick & info [ "scale" ] ~doc:"quick|full|paper.")
+
+let sweep_cmd =
+  let exp_name =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT" ~doc:"Experiment name.")
+  in
+  let action name scale =
+    match List.assoc_opt name Experiment.names with
+    | None ->
+        `Error
+          ( false,
+            Fmt.str "unknown experiment %S; one of: %s" name
+              (String.concat ", " (List.map fst Experiment.names)) )
+    | Some f ->
+        Experiment.run_and_print ~title:name f scale;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Run one named experiment (a paper figure or an ablation).")
+    Term.(ret (const action $ exp_name $ scale_arg))
+
+let all_cmd =
+  let action scale =
+    List.iter (fun (name, f) -> Experiment.run_and_print ~title:name f scale) Experiment.names
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Run every experiment at the given scale.")
+    Term.(const action $ scale_arg)
+
+let list_cmd =
+  let action () = List.iter (fun (n, _) -> print_endline n) Experiment.names in
+  Cmd.v (Cmd.info "list" ~doc:"List experiment names.") Term.(const action $ const ())
+
+let () =
+  let doc = "ThreadScan (SPAA 2015) reproduction benchmarks" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "tsbench" ~doc) [ run_cmd; sweep_cmd; all_cmd; list_cmd ]))

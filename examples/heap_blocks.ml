@@ -1,0 +1,65 @@
+(* The §4.3 extension: private references stored on the heap.
+   Run with: dune exec examples/heap_blocks.exe
+
+   ThreadScan scans stacks and registers.  A thread that keeps private node
+   references inside a pre-allocated heap block (a cursor cache here) must
+   declare that block with TS_add_heap_block, or the scan cannot see the
+   references and will free the nodes under it. *)
+
+module Runtime = Ts_sim.Runtime
+module Ptr = Ts_umem.Ptr
+module Smr = Ts_smr.Smr
+module Set_intf = Ts_ds.Set_intf
+
+let () =
+  ignore
+    (Runtime.run (fun () ->
+         let ts =
+           Threadscan.create
+             ~config:{ Threadscan.Config.max_threads = 8; buffer_size = 16; help_free = false }
+             ()
+         in
+         let smr = Threadscan.smr ts in
+         smr.Smr.thread_init ();
+         let set = Ts_ds.Lazy_list.create ~smr () in
+         for k = 0 to 63 do
+           ignore (set.Set_intf.insert k (k * k))
+         done;
+
+         (* A "cursor cache": a heap block in which this thread remembers
+            direct pointers to three nodes it visits often.  We cheat and
+            fabricate the pointers by allocating fresh nodes — the point is
+            only where the references LIVE. *)
+         let cache = Runtime.malloc 3 in
+         Threadscan.add_heap_block ~start_addr:cache ~len:3;
+         Fmt.pr "registered heap block [%d, %d) for this thread@." cache (cache + 3);
+
+         let hot = List.init 3 (fun _ -> Ptr.of_addr (Runtime.malloc 3)) in
+         List.iteri
+           (fun i p ->
+             Runtime.write (Ptr.addr p) (1000 + i);
+             Runtime.write (cache + i) p)
+           hot;
+
+         (* the nodes get retired (say, deleted from the structure)… *)
+         List.iter smr.Smr.retire hot;
+         (* …and plenty of reclamation phases go by *)
+         for _ = 1 to 80 do
+           smr.Smr.retire (Ptr.of_addr (Runtime.malloc 3))
+         done;
+         Fmt.pr "after %d phases, cached nodes still readable:" (Threadscan.phases ts);
+         List.iteri
+           (fun i _ -> Fmt.pr " %d" (Runtime.read (Ptr.addr (Runtime.read (cache + i)))))
+           hot;
+         Fmt.pr "@.";
+
+         (* done with the cache: clear it, deregister, let ThreadScan finish *)
+         for i = 0 to 2 do
+           Runtime.write (cache + i) 0
+         done;
+         Threadscan.remove_heap_block ~start_addr:cache ~len:3;
+         smr.Smr.thread_exit ();
+         smr.Smr.flush ();
+         Fmt.pr "after deregistration + flush: outstanding nodes = %d@."
+           (Threadscan.outstanding ts);
+         Fmt.pr "the scan followed the registered block exactly as it follows a stack.@."))

@@ -1,0 +1,9 @@
+type t = { max_threads : int; buffer_size : int; help_free : bool }
+
+let default = { max_threads = 64; buffer_size = 64; help_free = false }
+
+let paper = { max_threads = 256; buffer_size = 1024; help_free = false }
+
+let validate t =
+  if t.max_threads < 1 then invalid_arg "Threadscan config: max_threads < 1";
+  if t.buffer_size < 2 then invalid_arg "Threadscan config: buffer_size < 2"

@@ -1,0 +1,24 @@
+(** ThreadScan tuning parameters. *)
+
+type t = {
+  max_threads : int;
+      (** Upper bound on simulated thread ids that may participate. *)
+  buffer_size : int;
+      (** Per-thread delete-buffer capacity.  The paper uses 1024 pointers
+          per thread (4096 in the tuned oversubscribed hash-table run); the
+          scaled-down simulation defaults to 64 so reclamation phases happen
+          within short horizons. *)
+  help_free : bool;
+      (** §7 future-work variant: scanning threads free a share of the
+          previous phase's garbage in their next TS-Scan, unloading the
+          reclaimer. *)
+}
+
+val default : t
+(** [max_threads = 64], [buffer_size = 64], [help_free = false]. *)
+
+val paper : t
+(** The paper's configuration: buffer of 1024 pointers, 256 threads. *)
+
+val validate : t -> unit
+(** @raise Invalid_argument on nonsensical values. *)

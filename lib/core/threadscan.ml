@@ -1,0 +1,324 @@
+module Config = Config
+module Delete_buffer = Delete_buffer
+module Master_buffer = Master_buffer
+module Runtime = Ts_sim.Runtime
+module Ptr = Ts_umem.Ptr
+module Smr = Ts_smr.Smr
+module Spinlock = Ts_sync.Spinlock
+module Backoff = Ts_sync.Backoff
+
+type t = {
+  cfg : Config.t;
+  buffers : Delete_buffer.t array;
+  master : Master_buffer.t;
+  lock : Spinlock.t;
+  phase_addr : int; (* current phase id, written by the reclaimer *)
+  acks_base : int; (* acks_base + tid: last phase acknowledged *)
+  registered_base : int; (* registered_base + tid: participation flag *)
+  work_idx : int; (* help-free: next unclaimed index *)
+  work_count : int; (* help-free: number of queued frees *)
+  work_base : int; (* help-free: queued pointers *)
+  mutable smr_counters : Smr.counters option;
+  mutable smr_self : Smr.t option;
+  mutable phases : int;
+  mutable signals : int;
+  mutable carried : int;
+  mutable scan_words : int;
+  mutable scan_hits : int;
+  mutable helped : int;
+  mutable full_waits : int;
+  phase_latencies : Ts_util.Vec.t; (* cycles spent inside each do_phase *)
+  mutable free_burden : int; (* nodes freed inside collect, by the reclaimer *)
+}
+
+let counters t = Option.get t.smr_counters
+
+let debug_scan = Sys.getenv_opt "TS_DEBUG_SCAN" <> None
+
+(* ------------------------------------------------------------------ *)
+(* TS-Scan: the signal-handler side (Algorithm 1, lines 18-26)         *)
+(* ------------------------------------------------------------------ *)
+
+(* Help-free variant (§7): grab a chunk of the previous phase's garbage and
+   free it on behalf of the reclaimer. *)
+let help_free t =
+  let cnt = Runtime.read t.work_count in
+  if cnt > 0 then begin
+    let chunk = max 1 (cnt / t.cfg.max_threads) in
+    let start = Runtime.faa t.work_idx chunk in
+    let stop = min (start + chunk) cnt in
+    let c = counters t in
+    for i = start to stop - 1 do
+      let p = Runtime.read (t.work_base + i) in
+      Runtime.free (Ptr.addr p);
+      c.freed <- c.freed + 1;
+      t.helped <- t.helped + 1
+    done
+  end
+
+let scan_range t (base, len) =
+  let lo, hi = Master_buffer.bounds t.master in
+  for a = base to base + len - 1 do
+    let w = Runtime.read a in
+    let m = Ptr.mask w in
+    t.scan_words <- t.scan_words + 1;
+    if m >= lo && m <= hi then begin
+      let idx = Master_buffer.find t.master m in
+      if idx >= 0 then begin
+        if debug_scan then
+          Printf.eprintf "[scan] tid=%d hit at addr=%d (range base=%d len=%d) value=%d\n%!"
+            (Runtime.self ()) a base len m;
+        Master_buffer.mark t.master idx;
+        t.scan_hits <- t.scan_hits + 1
+      end
+    end
+  done
+
+let ts_scan t =
+  if t.cfg.help_free then help_free t;
+  if Master_buffer.count t.master > 0 then begin
+    let sbase, sp = Runtime.stack_range () in
+    scan_range t (sbase, sp - sbase);
+    scan_range t (Runtime.saved_reg_range ());
+    List.iter (scan_range t) (Runtime.private_ranges ())
+  end;
+  (* Acknowledge: publish the phase we scanned for. *)
+  let phase = Runtime.read t.phase_addr in
+  Runtime.write (t.acks_base + Runtime.self ()) phase
+
+(* ------------------------------------------------------------------ *)
+(* TS-Collect: the reclaimer side (Algorithm 1, lines 1-16)            *)
+(* ------------------------------------------------------------------ *)
+
+let registered t u = Runtime.read (t.registered_base + u) <> 0
+
+let drain_work_leftovers t =
+  (* After all acks, nobody is inside a handler: the reclaimer finishes
+     whatever help-free work the scanners did not claim. *)
+  let cnt = Runtime.read t.work_count in
+  if cnt > 0 then begin
+    let c = counters t in
+    let i = ref (Runtime.faa t.work_idx cnt) in
+    while !i < cnt do
+      let p = Runtime.read (t.work_base + !i) in
+      Runtime.free (Ptr.addr p);
+      c.freed <- c.freed + 1;
+      t.free_burden <- t.free_burden + 1;
+      incr i
+    done;
+    Runtime.write t.work_count 0;
+    Runtime.write t.work_idx 0
+  end
+
+let wait_for_acks t phase signaled =
+  let b = Backoff.create () in
+  let pending = ref signaled in
+  while !pending <> [] do
+    pending :=
+      List.filter
+        (fun u -> Runtime.read (t.acks_base + u) <> phase && registered t u)
+        !pending;
+    if !pending <> [] then Backoff.once b
+  done
+
+(* One reclamation phase.  Caller holds [t.lock]. *)
+let do_phase t =
+  let phase_start = Runtime.now () in
+  let c = counters t in
+  let self = Runtime.self () in
+  (* Snapshot our register context before the aggregation loop clobbers the
+     register file with buffered pointers. *)
+  Runtime.save_regs ();
+  t.phases <- t.phases + 1;
+  c.cleanups <- c.cleanups + 1;
+  (* Aggregate every thread's delete buffer into the master buffer (on top
+     of the previous phase's carry-over).  If the master fills up, the rest
+     simply stays buffered for the next phase. *)
+  Array.iter (fun b -> Delete_buffer.drain b (Master_buffer.append t.master)) t.buffers;
+  Master_buffer.publish_sorted t.master;
+  let phase = Runtime.read t.phase_addr + 1 in
+  Runtime.write t.phase_addr phase;
+  (* Signal all other registered threads, then scan ourselves. *)
+  let signaled = ref [] in
+  for u = 0 to t.cfg.max_threads - 1 do
+    if u <> self && registered t u then begin
+      Runtime.signal u;
+      t.signals <- t.signals + 1;
+      signaled := u :: !signaled
+    end
+  done;
+  ts_scan t;
+  (* A thread that exits mid-phase is deregistered and never acks: its
+     stack is gone, so skipping it is safe. *)
+  wait_for_acks t phase !signaled;
+  if t.cfg.help_free then begin
+    drain_work_leftovers t;
+    let queued = ref 0 in
+    t.carried <-
+      Master_buffer.sweep t.master (fun p ->
+          Runtime.write (t.work_base + !queued) p;
+          incr queued);
+    Runtime.write t.work_idx 0;
+    Runtime.write t.work_count !queued
+  end
+  else
+    t.carried <-
+      Master_buffer.sweep t.master (fun p ->
+          Runtime.free (Ptr.addr p);
+          c.freed <- c.freed + 1;
+          t.free_burden <- t.free_burden + 1);
+  Ts_util.Vec.push t.phase_latencies (Runtime.now () - phase_start)
+
+(* ------------------------------------------------------------------ *)
+(* The SMR-facing hooks                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let max_phase_latency t =
+  let m = ref 0 in
+  Ts_util.Vec.iter (fun d -> if d > !m then m := d) t.phase_latencies;
+  !m
+
+let avg_phase_latency t =
+  let n = Ts_util.Vec.length t.phase_latencies in
+  if n = 0 then 0
+  else begin
+    let sum = ref 0 in
+    Ts_util.Vec.iter (fun d -> sum := !sum + d) t.phase_latencies;
+    !sum / n
+  end
+
+let retire t (c : Smr.counters) p =
+  c.retired <- c.retired + 1;
+  let tid = Runtime.self () in
+  let masked = Ptr.mask p in
+  let b = Backoff.create () in
+  while not (Delete_buffer.push t.buffers.(tid) masked) do
+    (* Full buffer: become the reclaimer, or wait for the active one — by
+       the time the lock is free our buffer has usually been drained. *)
+    if Spinlock.try_acquire t.lock then begin
+      (match do_phase t with
+      | () -> Spinlock.release t.lock
+      | exception e ->
+          Spinlock.release t.lock;
+          raise e);
+      Backoff.reset b
+    end
+    else begin
+      t.full_waits <- t.full_waits + 1;
+      Backoff.once b
+    end
+  done
+
+let thread_init t () =
+  let tid = Runtime.self () in
+  if tid >= t.cfg.max_threads then invalid_arg "Threadscan: tid exceeds max_threads";
+  Runtime.set_signal_handler (fun () -> ts_scan t);
+  Runtime.write (t.registered_base + tid) 1
+
+let thread_exit t () =
+  let tid = Runtime.self () in
+  Runtime.write (t.registered_base + tid) 0
+
+(* Quiesce after all workers exited: run phases until nothing more can be
+   freed.  Anything still pinned by the caller's own (conservatively
+   scanned) stack stays allocated. *)
+let flush t () =
+  Spinlock.acquire t.lock;
+  let continue_ = ref true in
+  while !continue_ do
+    (* Drop conservative pins left in our own register file by the previous
+       iteration's sweep (the caller holds no node references here). *)
+    Runtime.clear_regs ();
+    let before = (counters t).freed in
+    do_phase t;
+    drain_work_leftovers t;
+    let buffered = Array.exists (fun b -> Delete_buffer.size b > 0) t.buffers in
+    (* Keep going only while the last phase made progress: whatever remains
+       is pinned by the caller's own conservatively-scanned stack. *)
+    continue_ := (buffered || t.carried > 0) && (counters t).freed > before
+  done;
+  Spinlock.release t.lock
+
+let create ?(config = Config.default) () =
+  Config.validate config;
+  let master_cap = (config.max_threads * config.buffer_size) + 1024 in
+  let t =
+    {
+      cfg = config;
+      buffers =
+        Array.init config.max_threads (fun _ -> Delete_buffer.create ~capacity:config.buffer_size);
+      master = Master_buffer.create ~capacity:master_cap;
+      lock = Spinlock.create ();
+      phase_addr = Runtime.alloc_region 1;
+      acks_base = Runtime.alloc_region config.max_threads;
+      registered_base = Runtime.alloc_region config.max_threads;
+      work_idx = Runtime.alloc_region 1;
+      work_count = Runtime.alloc_region 1;
+      work_base = Runtime.alloc_region master_cap;
+      smr_counters = None;
+      smr_self = None;
+      phases = 0;
+      signals = 0;
+      carried = 0;
+      scan_words = 0;
+      scan_hits = 0;
+      helped = 0;
+      full_waits = 0;
+      phase_latencies = Ts_util.Vec.create ();
+      free_burden = 0;
+    }
+  in
+  let smr =
+    Smr.make ~name:"threadscan" ~thread_init:(thread_init t) ~thread_exit:(thread_exit t)
+      ~flush:(flush t)
+      ~extras:(fun () ->
+        [
+          ("phases", t.phases);
+          ("signals", t.signals);
+          ("carried", t.carried);
+          ("scan-words", t.scan_words);
+          ("scan-hits", t.scan_hits);
+          ("helped-frees", t.helped);
+          ("full-waits", t.full_waits);
+          ("reclaimer-frees", t.free_burden);
+          ("max-phase-latency", max_phase_latency t);
+          ("avg-phase-latency", avg_phase_latency t);
+        ])
+      ~retire:(retire t) ()
+  in
+  t.smr_counters <- Some smr.Smr.counters;
+  t.smr_self <- Some smr;
+  t
+
+let smr t = Option.get t.smr_self
+
+let config t = t.cfg
+
+let add_heap_block ~start_addr ~len = Runtime.add_private_range start_addr len
+
+let remove_heap_block ~start_addr ~len = Runtime.remove_private_range start_addr len
+
+let phases t = t.phases
+
+let signals_sent t = t.signals
+
+let carried_last t = t.carried
+
+let scan_words t = t.scan_words
+
+let scan_hits t = t.scan_hits
+
+let helped_frees t = t.helped
+
+let full_waits t = t.full_waits
+
+let outstanding t =
+  let c = counters t in
+  c.retired - c.freed
+
+let phase_latencies t =
+  let out = ref [] in
+  Ts_util.Vec.iter (fun d -> out := d :: !out) t.phase_latencies;
+  List.rev !out
+
+let reclaimer_frees t = t.free_burden

@@ -1,0 +1,89 @@
+(** ThreadScan: automatic and scalable memory reclamation (SPAA 2015).
+
+    The library implements the paper's protocol on the simulated
+    multiprocessor:
+
+    - {b retire} ({!Ts_smr.Smr.t.retire}): the caller pushes the unlinked
+      node's pointer into its private single-reader/single-writer
+      {!Delete_buffer}.  When the buffer is full, the caller becomes the
+      reclaimer (serialised by a lock) and runs a {b collect} phase.
+    - {b collect}: aggregate every thread's delete buffer (plus the marked
+      carry-over of the previous phase) into the {!Master_buffer}, sort it,
+      bump the phase id, signal every other registered thread, run TS-Scan
+      locally, wait for all acknowledgments, then free every unmarked entry
+      and carry the marked ones over.
+    - {b TS-Scan} (the signal handler): walk the thread's shadow stack, the
+      interrupted register context, and any registered heap blocks
+      word-by-word; mask the low-order tag bits of each word; binary-search
+      the master buffer; mark hits; acknowledge.
+
+    Beyond [retire], every hook is free: ThreadScan is automatic — the data
+    structure neither announces pointers (hazard pointers) nor brackets its
+    operations (epochs).
+
+    The §4.3 extension ({!add_heap_block}/{!remove_heap_block}) registers
+    per-thread heap blocks holding private references so TS-Scan covers
+    them.  The §7 future-work variant ([help_free]) makes scanning threads
+    free a chunk of the previous phase's garbage inside their handler,
+    unloading the reclaimer. *)
+
+module Config = Config
+module Delete_buffer = Delete_buffer
+module Master_buffer = Master_buffer
+
+type t
+
+val create : ?config:Config.t -> unit -> t
+(** Builds a ThreadScan instance (allocates its buffers; must run inside
+    the simulator). *)
+
+val smr : t -> Ts_smr.Smr.t
+(** The scheme-neutral interface data structures consume.  [thread_init]
+    installs the TS-Scan signal handler and registers the thread;
+    [thread_exit] deregisters it (a dead thread is never waited for). *)
+
+val config : t -> Config.t
+
+(** {1 §4.3 extension: heap blocks with private references} *)
+
+val add_heap_block : start_addr:int -> len:int -> unit
+(** Declare a heap block holding private references of the calling thread;
+    TS-Scan will include it in the scan. *)
+
+val remove_heap_block : start_addr:int -> len:int -> unit
+
+(** {1 Introspection (tests, benchmarks)} *)
+
+val phases : t -> int
+(** Completed collect phases. *)
+
+val signals_sent : t -> int
+
+val carried_last : t -> int
+(** Entries carried over (still referenced) after the last phase. *)
+
+val scan_words : t -> int
+(** Total words examined by all TS-Scans. *)
+
+val scan_hits : t -> int
+(** Scan words that matched a master-buffer entry. *)
+
+val helped_frees : t -> int
+(** Nodes freed inside scanners' handlers ([help_free] variant). *)
+
+val full_waits : t -> int
+(** Times a thread found its buffer full while another reclaimer was
+    active and had to wait (usually to discover its buffer drained). *)
+
+val outstanding : t -> int
+(** Nodes retired but not yet freed. *)
+
+val phase_latencies : t -> int list
+(** Cycles the reclaiming thread spent inside each collect phase, in phase
+    order — the §7 responsiveness concern: the reclaimer is unavailable to
+    its application for this long.  The [help_free] variant shortens these
+    by moving the free() calls into the scanners' handlers. *)
+
+val reclaimer_frees : t -> int
+(** Nodes freed by the reclaimer inside collect phases (as opposed to by
+    helping scanners). *)

@@ -1,0 +1,47 @@
+module Runtime = Ts_sim.Runtime
+module Ptr = Ts_umem.Ptr
+module Smr = Ts_smr.Smr
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+(* Fibonacci multiplicative hashing; [lsr] keeps it well-mixed and
+   non-negative even when the multiplication wraps. *)
+let bucket_of ~mask key = (key * 0x2545F4914F6CDD1D) lsr 20 land mask
+
+let create ~smr ?(padding = 0) ~buckets () =
+  if not (is_power_of_two buckets) then invalid_arg "Hash_table.create: buckets not a power of 2";
+  let mask = buckets - 1 in
+  let base = Runtime.alloc_region buckets in
+  for i = 0 to buckets - 1 do
+    Runtime.write (base + i) Ptr.null
+  done;
+  let head key = base + bucket_of ~mask key in
+  let wrap f =
+    smr.Smr.op_begin ();
+    let r = f () in
+    smr.Smr.op_end ();
+    r
+  in
+  {
+    Set_intf.name = "hash-table";
+    insert = (fun key value -> wrap (fun () -> Michael_list.insert_at ~smr ~padding ~head:(head key) key value));
+    remove = (fun key -> wrap (fun () -> Michael_list.remove_at ~smr ~head:(head key) key));
+    contains = (fun key -> wrap (fun () -> Michael_list.contains_at ~smr ~head:(head key) key));
+    to_list =
+      (fun () ->
+        let all = ref [] in
+        for i = buckets - 1 downto 0 do
+          all := Michael_list.to_list_at ~head:(base + i) @ !all
+        done;
+        List.sort compare !all);
+    check =
+      (fun () ->
+        for i = 0 to buckets - 1 do
+          Michael_list.check_at ~head:(base + i);
+          (* every key must live in its own bucket *)
+          List.iter
+            (fun (k, _) ->
+              if bucket_of ~mask k <> i then failwith "hash table: key in wrong bucket")
+            (Michael_list.to_list_at ~head:(base + i))
+        done);
+  }

@@ -1,0 +1,6 @@
+(** Lock-free hash table: a fixed array of bucket head cells, each heading a
+    {!Michael_list} — the paper's second benchmark structure (Synchrobench's
+    table with its bucket list replaced by the Michael/Harris list). *)
+
+val create : smr:Ts_smr.Smr.t -> ?padding:int -> buckets:int -> unit -> Set_intf.t
+(** [buckets] must be a power of two. *)

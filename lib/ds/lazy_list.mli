@@ -1,0 +1,11 @@
+(** Lazy list (Heller, Herlihy, Luchangco, Moir, Scherer, Shavit, OPODIS
+    2005) — the paper's introductory example (§1): a lock-based sorted list
+    whose traversals are completely unsynchronized.
+
+    Mutations lock the two adjacent nodes and validate optimistically;
+    [contains] just walks [next] pointers, which is exactly the "invisible
+    reader" pattern whose memory reclamation the paper solves.  A removed
+    node is marked under its lock, unlinked, and handed to the reclamation
+    scheme. *)
+
+val create : smr:Ts_smr.Smr.t -> ?padding:int -> unit -> Set_intf.t

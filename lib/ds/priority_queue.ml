@@ -1,0 +1,29 @@
+module Runtime = Ts_sim.Runtime
+module Ptr = Ts_umem.Ptr
+module Smr = Ts_smr.Smr
+
+type t = { smr : Smr.t; padding : int; head : int }
+
+let create ~smr ?(padding = 0) () =
+  let head = Runtime.alloc_region 1 in
+  Runtime.write head Ptr.null;
+  { smr; padding; head }
+
+let wrap t f =
+  t.smr.Smr.op_begin ();
+  let r = f () in
+  t.smr.Smr.op_end ();
+  r
+
+let insert t ~priority ~value =
+  wrap t (fun () ->
+      Michael_list.insert_at ~smr:t.smr ~padding:t.padding ~head:t.head priority value)
+
+let pop_min t = wrap t (fun () -> Michael_list.pop_min_at ~smr:t.smr ~head:t.head)
+
+let peek_min t =
+  match Michael_list.to_list_at ~head:t.head with [] -> None | kv :: _ -> Some kv
+
+let is_empty t = Michael_list.to_list_at ~head:t.head = []
+
+let size t = List.length (Michael_list.to_list_at ~head:t.head)

@@ -1,0 +1,27 @@
+(** Lock-free priority queue over the Michael list (Lotan-Shavit style,
+    list-based): [insert] places an element by priority, [pop_min] removes
+    the minimum.  One of the unsynchronized-traversal structures the
+    paper's introduction motivates — and a reclamation stress test, since
+    every [pop_min] retires a node.
+
+    Priorities must be unique (it is a key-ordered set underneath); callers
+    with duplicate priorities can disambiguate in the low bits. *)
+
+type t
+
+val create : smr:Ts_smr.Smr.t -> ?padding:int -> unit -> t
+
+val insert : t -> priority:int -> value:int -> bool
+(** [false] when the priority is already enqueued. *)
+
+val pop_min : t -> (int * int) option
+(** Removes and returns [(priority, value)] of the minimum, or [None]. *)
+
+val peek_min : t -> (int * int) option
+(** Quiescent-only inspection. *)
+
+val is_empty : t -> bool
+(** Quiescent-only. *)
+
+val size : t -> int
+(** Quiescent-only. *)

@@ -1,0 +1,10 @@
+type t = {
+  name : string;
+  insert : int -> int -> bool;
+  remove : int -> bool;
+  contains : int -> bool;
+  to_list : unit -> (int * int) list;
+  check : unit -> unit;
+}
+
+let size t = List.length (t.to_list ())

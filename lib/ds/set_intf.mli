@@ -1,0 +1,23 @@
+(** Common interface of the concurrent integer-set data structures.
+
+    All operations run inside the simulator, bracket themselves with the
+    reclamation scheme's [op_begin]/[op_end], keep their private node
+    references in shadow-stack frames, and hand unlinked nodes to the
+    scheme's [retire] — i.e. they are exactly the kind of client code the
+    paper's library serves. *)
+
+type t = {
+  name : string;
+  insert : int -> int -> bool;
+      (** [insert key value] — [false] when the key was already present. *)
+  remove : int -> bool;  (** [false] when the key was absent. *)
+  contains : int -> bool;
+  to_list : unit -> (int * int) list;
+      (** Sorted (key, value) snapshot — quiescent use only (tests). *)
+  check : unit -> unit;
+      (** Structural invariant check — quiescent use only; raises
+          [Failure] on violation. *)
+}
+
+val size : t -> int
+(** Quiescent size via [to_list]. *)

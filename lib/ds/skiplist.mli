@@ -1,0 +1,24 @@
+(** Lock-based optimistic skip list (Herlihy, Lev, Luchangco, Shavit,
+    SIROCCO 2007) — the paper's third benchmark structure.
+
+    Mutations lock the predecessors at every level and validate
+    optimistically; traversals (and [contains]) take no locks.  A removed
+    node is marked under its lock, unlinked from every level, and then
+    handed to the reclamation scheme.  Because the structure is blocking,
+    it exercises the paper's claim that ThreadScan's progress is
+    independent of the data structure's progress guarantees (Lemma 3).
+
+    Under hazard pointers the traversal protects the predecessor/successor
+    pair of every level in its own pair of slots, so create the {!
+    Ts_reclaim.Hazard} scheme with [slots >= 2 * max_height + 2]. *)
+
+val max_height_default : int
+
+val hazard_slots : max_height:int -> int
+(** Protection slots the traversal uses; pass to [Hazard.create]. *)
+
+val create :
+  smr:Ts_smr.Smr.t -> ?max_height:int -> ?padding:int -> unit -> Set_intf.t
+(** [max_height] defaults to {!max_height_default} (node heights are
+    geometric with p = 1/2, capped).  [padding] adds words per node: the
+    paper's skip-list nodes are 104 bytes unpadded. *)

@@ -1,0 +1,153 @@
+module Runtime = Ts_sim.Runtime
+module Ptr = Ts_umem.Ptr
+module Smr = Ts_smr.Smr
+
+let key_bits = 20
+
+let max_key = (1 lsl key_bits) - 1
+
+(* Bit-reverse within [key_bits] bits. *)
+let reverse x =
+  let r = ref 0 in
+  for i = 0 to key_bits - 1 do
+    if x land (1 lsl i) <> 0 then r := !r lor (1 lsl (key_bits - 1 - i))
+  done;
+  !r
+
+(* Split-order keys: regular nodes set the LSB (after the reversed bits) so
+   each falls just after its bucket's dummy in list order. *)
+let so_regular key = (reverse key lsl 1) lor 1
+
+let so_dummy bucket = reverse bucket lsl 1
+
+let key_of_so so = reverse (so lsr 1)
+
+let is_dummy_so so = so land 1 = 0
+
+(* Parent bucket: clear the most significant set bit. *)
+let parent b =
+  let rec msb i = if 1 lsl (i + 1) > b then i else msb (i + 1) in
+  if b = 0 then 0 else b land lnot (1 lsl msb 0)
+
+type t = {
+  smr : Smr.t;
+  padding : int;
+  buckets : int; (* region: max_buckets words, each a dummy node ptr or 0 *)
+  max_buckets : int;
+  size_addr : int; (* current bucket count *)
+  count_addr : int; (* element count *)
+  load_factor : int;
+  head : int; (* head cell of the underlying split-ordered list *)
+}
+
+(* The suffix of the list starting right after a dummy node behaves as a
+   list whose head cell is the dummy's next field. *)
+let head_after_dummy dummy = Ptr.addr dummy + 2 (* Michael_list.off_next *)
+
+(* Find (installing if needed) bucket [b]'s dummy node. *)
+let rec bucket_dummy t b =
+  let cell = t.buckets + b in
+  let d = Runtime.read cell in
+  if not (Ptr.is_null d) then d
+  else begin
+    let start = if b = 0 then t.head else head_after_dummy (bucket_dummy t (parent b)) in
+    let dummy, _inserted =
+      Michael_list.insert_node_at ~smr:t.smr ~padding:0 ~head:start (so_dummy b) 0
+    in
+    (* several threads may race to install; they all found/created the same
+       node because dummy keys are unique *)
+    ignore (Runtime.cas cell 0 dummy);
+    Runtime.read cell
+  end
+
+let current_size t = Runtime.read t.size_addr
+
+let bucket_of t key =
+  let b = key land (current_size t - 1) in
+  bucket_dummy t b
+
+let maybe_grow t =
+  let size = current_size t in
+  if size < t.max_buckets && Runtime.read t.count_addr > t.load_factor * size then
+    ignore (Runtime.cas t.size_addr size (2 * size))
+
+let check_key key =
+  if key < 0 || key > max_key then invalid_arg "Split_hash: key out of range"
+
+let insert t key value =
+  check_key key;
+  let dummy = bucket_of t key in
+  let ok =
+    Michael_list.insert_at ~smr:t.smr ~padding:t.padding ~head:(head_after_dummy dummy)
+      (so_regular key) value
+  in
+  if ok then begin
+    ignore (Runtime.faa t.count_addr 1);
+    maybe_grow t
+  end;
+  ok
+
+let remove t key =
+  check_key key;
+  let dummy = bucket_of t key in
+  let ok = Michael_list.remove_at ~smr:t.smr ~head:(head_after_dummy dummy) (so_regular key) in
+  if ok then ignore (Runtime.faa t.count_addr (-1));
+  ok
+
+let contains t key =
+  check_key key;
+  let dummy = bucket_of t key in
+  Michael_list.contains_at ~smr:t.smr ~head:(head_after_dummy dummy) (so_regular key)
+
+let to_list t () =
+  Michael_list.to_list_at ~head:t.head
+  |> List.filter_map (fun (so, v) -> if is_dummy_so so then None else Some (key_of_so so, v))
+  |> List.sort compare
+
+let check t () =
+  (* the underlying list must be sorted by split-order key *)
+  Michael_list.check_at ~head:t.head;
+  (* every installed bucket's dummy must still be reachable in the list *)
+  let raw = Michael_list.to_list_at ~head:t.head in
+  let size = current_size t in
+  for b = 0 to size - 1 do
+    let d = Runtime.read (t.buckets + b) in
+    if not (Ptr.is_null d) then
+      if not (List.mem_assoc (so_dummy b) raw) then
+        failwith "split hash: installed dummy missing from the list"
+  done
+
+let create ~smr ?(padding = 0) ?(max_buckets = 4096) ?(load_factor = 4) () =
+  if max_buckets < 2 || max_buckets land (max_buckets - 1) <> 0 then
+    invalid_arg "Split_hash.create: max_buckets must be a power of two";
+  let head = Runtime.alloc_region 1 in
+  Runtime.write head Ptr.null;
+  let buckets = Runtime.alloc_region max_buckets in
+  let size_addr = Runtime.alloc_region 1 in
+  let count_addr = Runtime.alloc_region 1 in
+  Runtime.write size_addr 2;
+  Runtime.write count_addr 0;
+  let t = { smr; padding; buckets; max_buckets; size_addr; count_addr; load_factor; head } in
+  (* bucket 0's dummy anchors the whole structure *)
+  ignore (bucket_dummy t 0);
+  t
+
+let bucket_count = current_size
+
+let size t = Runtime.read t.count_addr
+
+let set t =
+  let wrap f =
+    t.smr.Smr.op_begin ();
+    let r = f () in
+    t.smr.Smr.op_end ();
+    r
+  in
+  {
+    Set_intf.name = "split-hash";
+    insert = (fun key value -> wrap (fun () -> insert t key value));
+    remove = (fun key -> wrap (fun () -> remove t key));
+    contains = (fun key -> wrap (fun () -> contains t key));
+    to_list = (fun () -> to_list t ());
+    check = (fun () -> check t ());
+  }

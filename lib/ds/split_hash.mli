@@ -1,0 +1,32 @@
+(** Split-ordered lists: a lock-free *extensible* hash table
+    (Shalev & Shavit, J.ACM 2006) — cited by the paper's introduction as a
+    flagship unsynchronized-traversal structure.
+
+    All elements live in one {!Michael_list} sorted by *split-order* key
+    (the bit-reversed hash); each bucket is an immortal "dummy" node
+    spliced into that list, so doubling the table is O(1): new buckets
+    lazily insert their dummy between existing ones, and no element ever
+    moves.  Deleted elements are retired through the reclamation scheme;
+    dummy nodes are never reclaimed.
+
+    Keys must be in [\[0, 2^key_bits)] with [key_bits = 20]. *)
+
+val key_bits : int
+
+val max_key : int
+
+type t
+
+val create : smr:Ts_smr.Smr.t -> ?padding:int -> ?max_buckets:int -> ?load_factor:int -> unit -> t
+(** [max_buckets] (default 4096, power of two) bounds the bucket array;
+    [load_factor] (default 4) is the elements-per-bucket threshold that
+    triggers doubling. *)
+
+val set : t -> Set_intf.t
+(** The standard set interface (insert/remove/contains/to_list/check). *)
+
+val bucket_count : t -> int
+(** Current number of (logical) buckets — grows as elements arrive. *)
+
+val size : t -> int
+(** Current element count (maintained, O(1), may be momentarily stale). *)

@@ -1,0 +1,368 @@
+type scale = Quick | Full | Paper
+
+let scale_of_string = function
+  | "quick" -> Some Quick
+  | "full" -> Some Full
+  | "paper" -> Some Paper
+  | _ -> None
+
+type point = { threads : int; cells : (string * Workload.result) list }
+
+(* ------------------------------------------------------------------ *)
+(* Workload presets                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-structure base spec at a given scale.  The paper's sizes (list 1024
+   nodes / range 2048; hash 131072 nodes / 4096 buckets; skip list 128000
+   nodes) appear at [Paper] scale; [Quick] shrinks everything so one sweep
+   runs in seconds of real time while keeping every ratio (range = 2 x
+   size, bucket occupancy 32, 20 % updates). *)
+let base_spec scale (ds : Workload.ds_kind) =
+  let d = Workload.default_spec in
+  (* the lazy list shares the list workload; split-hash shares the hash
+     workload (its bucket count is the max_buckets bound) *)
+  let shape =
+    match ds with
+    | Workload.Lazy_ds -> Workload.List_ds
+    | Workload.Split_ds -> Workload.Hash_ds
+    | other -> other
+  in
+  let spec =
+    match (scale, shape) with
+    | Quick, Workload.List_ds ->
+        { d with ds; init_size = 96; key_range = 192; horizon = 400_000 }
+    | Quick, Workload.Hash_ds ->
+        { d with ds; init_size = 2048; key_range = 4096; buckets = 256; horizon = 150_000 }
+    | Quick, Workload.Skip_ds ->
+        { d with ds; init_size = 512; key_range = 1024; max_height = 10; horizon = 250_000 }
+    | Full, Workload.List_ds ->
+        { d with ds; init_size = 1024; key_range = 2048; horizon = 4_000_000 }
+    | Full, Workload.Hash_ds ->
+        { d with ds; init_size = 16384; key_range = 32768; buckets = 512; horizon = 400_000 }
+    | Full, Workload.Skip_ds ->
+        { d with ds; init_size = 8192; key_range = 16384; max_height = 14; horizon = 800_000 }
+    | Paper, Workload.List_ds ->
+        {
+          d with
+          ds;
+          init_size = 1024;
+          key_range = 2048;
+          horizon = 4_000_000;
+          padding = 19 (* 172-byte nodes *);
+        }
+    | Paper, Workload.Hash_ds ->
+        {
+          d with
+          ds;
+          init_size = 131_072;
+          key_range = 262_144;
+          buckets = 4096;
+          horizon = 30_000_000;
+        }
+    | Paper, Workload.Skip_ds ->
+        {
+          d with
+          ds;
+          init_size = 128_000;
+          key_range = 256_000;
+          max_height = 17;
+          horizon = 60_000_000;
+        }
+    | _, (Workload.Lazy_ds | Workload.Split_ds) -> assert false (* mapped to a shape above *)
+  in
+  (* Retire pacing (ThreadScan per-thread buffer, epoch batch), sized so
+     several reclamation rounds happen within each horizon: roughly 5 % of
+     operations retire a node, and per-operation cost differs by an order
+     of magnitude between the structures. *)
+  let reclaim_pace =
+    match (scale, shape) with
+    | Quick, Workload.List_ds -> (12, 8)
+    | Quick, Workload.Hash_ds -> (32, 12)
+    | Quick, Workload.Skip_ds -> (24, 12)
+    | Full, Workload.List_ds -> (16, 8)
+    | Full, Workload.Hash_ds -> (48, 24)
+    | Full, Workload.Skip_ds -> (32, 16)
+    | Paper, _ -> (1024, 1024)
+    | _, (Workload.Lazy_ds | Workload.Split_ds) -> assert false
+  in
+  let ts_buffer, epoch_batch = reclaim_pace in
+  ({ spec with epoch_batch }, ts_buffer)
+
+let slow_delay scale =
+  (* What produces the paper's collapse is delay >> reclamation period:
+     every other thread's cleanup lands inside the errant thread's
+     mid-operation stall and waits it out.  The paper's 40 ms vs. ~1 ms
+     between cleanups is a factor of ~40; we keep the delay comparable to
+     the horizon so the same regime holds at simulation scale. *)
+  match scale with Quick -> 600_000 | Full -> 6_000_000 | Paper -> 50_000_000
+
+let fig3_threads = function
+  | Quick -> [ 1; 2; 4; 8; 16; 24; 32 ]
+  | Full | Paper -> [ 1; 2; 4; 8; 16; 32; 48; 64; 80 ]
+
+let fig4_setup = function
+  | Quick -> (12, [ 6; 12; 18; 24; 30 ])
+  | Full | Paper -> (80, [ 40; 80; 120; 160; 200 ])
+
+(* ------------------------------------------------------------------ *)
+(* Sweep machinery                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let run_sweep ~threads_list ~series =
+  List.map
+    (fun threads ->
+      let cells =
+        List.map
+          (fun (label, spec) -> (label, Workload.run { spec with Workload.threads }))
+          series
+      in
+      { threads; cells })
+    threads_list
+
+let print_points ~title points =
+  match points with
+  | [] -> ()
+  | first :: _ ->
+      let labels = List.map fst first.cells in
+      Fmt.pr "@.== %s ==@." title;
+      Fmt.pr "%-8s" "threads";
+      List.iter (fun l -> Fmt.pr "%14s" l) labels;
+      Fmt.pr "@.";
+      List.iter
+        (fun { threads; cells } ->
+          Fmt.pr "%-8d" threads;
+          List.iter (fun (_, r) -> Fmt.pr "%14.1f" r.Workload.throughput) cells;
+          Fmt.pr "@.")
+        points;
+      Fmt.pr "(throughput: completed operations per million simulated cycles)@."
+
+let ratio_summary points ~num ~den =
+  let ratios =
+    List.filter_map
+      (fun { cells; _ } ->
+        match (List.assoc_opt num cells, List.assoc_opt den cells) with
+        | Some a, Some b when b.Workload.throughput > 0.0 ->
+            Some (a.Workload.throughput /. b.Workload.throughput)
+        | _ -> None)
+      points
+  in
+  if ratios <> [] then begin
+    let avg = List.fold_left ( +. ) 0.0 ratios /. float_of_int (List.length ratios) in
+    Fmt.pr "summary: %s / %s throughput ratio, averaged over the sweep: %.2fx@." num den avg
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Figures                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let fig3_series scale ds =
+  let spec, ts_buffer = base_spec scale ds in
+  let ts = Workload.Threadscan { buffer_size = ts_buffer; help_free = false } in
+  [
+    ("leaky", { spec with scheme = Workload.Leaky });
+    ("hazard", { spec with scheme = Workload.Hazard });
+    ("epoch", { spec with scheme = Workload.Epoch });
+    ("slow-epoch", { spec with scheme = Workload.Slow_epoch { delay = slow_delay scale } });
+    ("stacktrack", { spec with scheme = Workload.Stacktrack });
+    ("threadscan", { spec with scheme = ts });
+  ]
+
+let fig3 scale ds = run_sweep ~threads_list:(fig3_threads scale) ~series:(fig3_series scale ds)
+
+let fig4 scale ds =
+  let cores, threads_list = fig4_setup scale in
+  let spec, ts_buffer = base_spec scale ds in
+  (* Oversubscribed threads share the cores, so the wall-clock horizon must
+     grow for every thread to keep retiring (the paper simply ran 10 s). *)
+  let spec =
+    { spec with Workload.cores; quantum = 20_000; horizon = 4 * spec.Workload.horizon }
+  in
+  (* oversubscribed threads retire more slowly; keep phases coming *)
+  let ts_buffer = max 8 (ts_buffer / 2) in
+  let series =
+    [
+      ("leaky", { spec with scheme = Workload.Leaky });
+      ("epoch", { spec with scheme = Workload.Epoch });
+      ( "threadscan",
+        { spec with scheme = Workload.Threadscan { buffer_size = ts_buffer; help_free = false } }
+      );
+    ]
+    @
+    (* the paper additionally shows a large-buffer ThreadScan on the
+       oversubscribed hash table *)
+    match ds with
+    | Workload.Hash_ds ->
+        [
+          ( "ts-bigbuf",
+            {
+              spec with
+              scheme = Workload.Threadscan { buffer_size = 4 * ts_buffer; help_free = false };
+            } );
+        ]
+    | _ -> []
+  in
+  run_sweep ~threads_list ~series
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ablate_buffer scale =
+  let cores, threads_list = fig4_setup scale in
+  let spec, ts_buffer = base_spec scale Workload.Hash_ds in
+  let spec =
+    { spec with Workload.cores; quantum = 20_000; horizon = 4 * spec.Workload.horizon }
+  in
+  let series =
+    List.map
+      (fun mult ->
+        ( Fmt.str "buf=%d" (ts_buffer * mult),
+          { spec with Workload.scheme = Threadscan { buffer_size = ts_buffer * mult; help_free = false } } ))
+      [ 1; 4; 16 ]
+  in
+  run_sweep ~threads_list ~series
+
+let ablate_slow_epoch scale =
+  let spec, _ = base_spec scale Workload.List_ds in
+  let threads_list = match scale with Quick -> [ 8; 16 ] | _ -> [ 16; 40 ] in
+  let series =
+    ("epoch", { spec with Workload.scheme = Workload.Epoch })
+    :: List.map
+         (fun delay ->
+           ( Fmt.str "delay=%dk" (delay / 1000),
+             { spec with Workload.scheme = Workload.Slow_epoch { delay } } ))
+         [ slow_delay scale / 32; slow_delay scale / 8; slow_delay scale ]
+  in
+  run_sweep ~threads_list ~series
+
+let ablate_help_free scale =
+  let spec, ts_buffer = base_spec scale Workload.Hash_ds in
+  (* frequent phases, so the reclaimer-latency difference is observable *)
+  let ts_buffer = max 4 (ts_buffer / 4) in
+  let threads_list = fig3_threads scale in
+  let series =
+    [
+      ( "reclaimer-only",
+        { spec with Workload.scheme = Threadscan { buffer_size = ts_buffer; help_free = false } }
+      );
+      ( "help-free",
+        { spec with Workload.scheme = Threadscan { buffer_size = ts_buffer; help_free = true } }
+      );
+    ]
+  in
+  run_sweep ~threads_list ~series
+
+let ablate_padding scale =
+  let spec, ts_buffer = base_spec scale Workload.List_ds in
+  let ts = Workload.Threadscan { buffer_size = ts_buffer; help_free = false } in
+  let threads_list = match scale with Quick -> [ 4; 16; 32 ] | _ -> [ 8; 32; 80 ] in
+  let series =
+    [
+      ("pad=0", { spec with Workload.scheme = ts; padding = 0 });
+      ("pad=19", { spec with Workload.scheme = ts; padding = 19 });
+    ]
+  in
+  run_sweep ~threads_list ~series
+
+let ablate_structures scale =
+  (* all six structures under ThreadScan: the library-breadth overview *)
+  let threads_list = match scale with Quick -> [ 4; 16; 32 ] | _ -> [ 8; 32; 80 ] in
+  let series =
+    List.map
+      (fun ds ->
+        let spec, ts_buffer = base_spec scale ds in
+        ( Workload.ds_kind_to_string ds,
+          { spec with Workload.scheme = Threadscan { buffer_size = ts_buffer; help_free = false } }
+        ))
+      [
+        Workload.List_ds;
+        Workload.Lazy_ds;
+        Workload.Hash_ds;
+        Workload.Split_ds;
+        Workload.Skip_ds;
+      ]
+  in
+  run_sweep ~threads_list ~series
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let extras_summary points ~label ~key =
+  let total =
+    List.fold_left
+      (fun acc { cells; _ } ->
+        match List.assoc_opt label cells with
+        | Some r -> acc + (try List.assoc key r.Workload.extras with Not_found -> 0)
+        | None -> acc)
+      0 points
+  in
+  Fmt.pr "summary: series %s: total %s = %d@." label key total
+
+let memory_summary points =
+  List.iter
+    (fun { threads; cells } ->
+      Fmt.pr "summary: %d threads peak live memory:" threads;
+      List.iter
+        (fun (label, r) -> Fmt.pr " %s=%dw" label r.Workload.peak_live_words)
+        cells;
+      Fmt.pr "@.")
+    points
+
+let run_and_print ~title f scale =
+  let points = f scale in
+  print_points ~title points;
+  ratio_summary points ~num:"threadscan" ~den:"hazard";
+  ratio_summary points ~num:"threadscan" ~den:"leaky";
+  if title = "ablate-help-free" then begin
+    (* throughput barely moves; the point of the variant (§7) is reclaimer
+       responsiveness: the free burden moves off the reclaimer and phases
+       get shorter *)
+    List.iter
+      (fun label ->
+        extras_summary points ~label ~key:"helped-frees";
+        extras_summary points ~label ~key:"reclaimer-frees")
+      [ "reclaimer-only"; "help-free" ];
+    match List.rev points with
+    | last :: _ ->
+        List.iter
+          (fun (label, r) ->
+            let get k = try List.assoc k r.Workload.extras with Not_found -> 0 in
+            Fmt.pr
+              "summary: %s at %d threads: avg phase latency %d cycles, max %d cycles@."
+              label last.threads (get "avg-phase-latency") (get "max-phase-latency"))
+          last.cells
+    | [] -> ()
+  end;
+  if title = "ablate-padding" then
+    (* padding trades memory for false-sharing avoidance; the simulator
+       prices accesses uniformly, so the visible effect is the footprint *)
+    memory_summary points;
+  if String.length title >= 4 && String.sub title 0 4 = "fig4" then
+    (* §6: oversubscribed, "the reclaimer must wait for all of them" — show
+       how long collect phases actually held the reclaimer *)
+    List.iter
+      (fun { threads; cells } ->
+        match List.assoc_opt "threadscan" cells with
+        | Some r ->
+            let get k = try List.assoc k r.Workload.extras with Not_found -> 0 in
+            Fmt.pr "summary: threadscan at %d threads: %d signals, avg phase %d cycles, max %d@."
+              threads r.Workload.signals_delivered (get "avg-phase-latency")
+              (get "max-phase-latency")
+        | None -> ())
+      points
+
+let names =
+  [
+    ("fig3-list", fun s -> fig3 s Workload.List_ds);
+    ("fig3-hash", fun s -> fig3 s Workload.Hash_ds);
+    ("fig3-skip", fun s -> fig3 s Workload.Skip_ds);
+    ("fig4-list", fun s -> fig4 s Workload.List_ds);
+    ("fig4-hash", fun s -> fig4 s Workload.Hash_ds);
+    ("fig4-skip", fun s -> fig4 s Workload.Skip_ds);
+    ("ablate-buffer", ablate_buffer);
+    ("ablate-slow-epoch", ablate_slow_epoch);
+    ("ablate-help-free", ablate_help_free);
+    ("ablate-padding", ablate_padding);
+    ("ablate-structures", ablate_structures);
+  ]

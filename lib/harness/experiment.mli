@@ -1,0 +1,50 @@
+(** The paper's evaluation, experiment by experiment (see DESIGN.md §4).
+
+    Each figure runner sweeps thread counts over a set of scheme series and
+    prints a throughput table plus the headline shape checks the paper's
+    prose states (ThreadScan ≈ Leaky, ≈2× over hazard pointers, Slow Epoch
+    collapse, oversubscription overhead).
+
+    Three scales: [Quick] (seconds, shapes only), [Full] (minutes, paper
+    thread counts), [Paper] (paper structure sizes and buffer sizes as
+    well).  Scale only changes magnitudes — the series and workloads are
+    identical. *)
+
+type scale = Quick | Full | Paper
+
+val scale_of_string : string -> scale option
+
+type point = { threads : int; cells : (string * Workload.result) list }
+
+val fig3 : scale -> Workload.ds_kind -> point list
+(** Figure 3: throughput vs threads, one core per thread; series Leaky,
+    Hazard Pointers, Epoch, Slow Epoch, ThreadScan (plus StackTrack on the
+    list-based structures). *)
+
+val fig4 : scale -> Workload.ds_kind -> point list
+(** Figure 4: oversubscription — threads beyond the simulated cores;
+    series Leaky, Epoch, ThreadScan (and the tuned large-buffer ThreadScan
+    on the hash table, as in the paper). *)
+
+val ablate_buffer : scale -> point list
+(** §6 buffer tuning: oversubscribed hash table, ThreadScan delete-buffer
+    size sweep. *)
+
+val ablate_slow_epoch : scale -> point list
+(** §6 Slow Epoch sensitivity: errant-delay sweep on the list. *)
+
+val ablate_help_free : scale -> point list
+(** §7 future work: reclaimer-only frees vs scanner-helped frees. *)
+
+val ablate_padding : scale -> point list
+(** Design note: effect of the paper's 172-byte node padding on the list. *)
+
+val ablate_structures : scale -> point list
+(** Library breadth: every structure in [ts_ds] under ThreadScan. *)
+
+val print_points : title:string -> point list -> unit
+
+val run_and_print : title:string -> (scale -> point list) -> scale -> unit
+
+val names : (string * (scale -> point list)) list
+(** All experiments by bench-target name (fig3-list, …, ablate-…). *)

@@ -1,0 +1,191 @@
+module Runtime = Ts_sim.Runtime
+module Alloc = Ts_umem.Alloc
+module Mem = Ts_umem.Mem
+module Smr = Ts_smr.Smr
+module Set_intf = Ts_ds.Set_intf
+
+type ds_kind = List_ds | Hash_ds | Skip_ds | Lazy_ds | Split_ds
+
+type scheme_kind =
+  | Leaky
+  | Threadscan of { buffer_size : int; help_free : bool }
+  | Hazard
+  | Epoch
+  | Slow_epoch of { delay : int }
+  | Stacktrack
+
+let ds_kind_to_string = function
+  | List_ds -> "list"
+  | Hash_ds -> "hash"
+  | Skip_ds -> "skiplist"
+  | Lazy_ds -> "lazy-list"
+  | Split_ds -> "split-hash"
+
+let scheme_kind_to_string = function
+  | Leaky -> "leaky"
+  | Threadscan { buffer_size; help_free } ->
+      if help_free then Fmt.str "threadscan-help(%d)" buffer_size
+      else Fmt.str "threadscan(%d)" buffer_size
+  | Hazard -> "hazard"
+  | Epoch -> "epoch"
+  | Slow_epoch _ -> "slow-epoch"
+  | Stacktrack -> "stacktrack"
+
+type spec = {
+  ds : ds_kind;
+  scheme : scheme_kind;
+  threads : int;
+  cores : int;
+  quantum : int;
+  update_ratio : float;
+  init_size : int;
+  key_range : int;
+  horizon : int;
+  padding : int;
+  buckets : int;
+  max_height : int;
+  epoch_batch : int;
+  stack_depth : int;
+  seed : int;
+}
+
+let default_spec =
+  {
+    ds = List_ds;
+    scheme = Threadscan { buffer_size = 64; help_free = false };
+    threads = 4;
+    cores = 0;
+    quantum = 50_000;
+    update_ratio = 0.2;
+    init_size = 128;
+    key_range = 256;
+    horizon = 150_000;
+    padding = 0;
+    buckets = 128;
+    max_height = 10;
+    epoch_batch = 64;
+    stack_depth = 64;
+    seed = 0xBE5;
+  }
+
+type result = {
+  spec : spec;
+  ops : int;
+  throughput : float;
+  elapsed : int;
+  retired : int;
+  freed : int;
+  outstanding : int;
+  peak_live_blocks : int;
+  peak_live_words : int;
+  signals_delivered : int;
+  ctx_switches : int;
+  faults : int;
+  extras : (string * int) list;
+}
+
+let make_scheme spec =
+  let max_threads = spec.threads + 2 in
+  let hazard_slots =
+    match spec.ds with
+    | Skip_ds -> Ts_ds.Skiplist.hazard_slots ~max_height:spec.max_height
+    | List_ds | Hash_ds | Lazy_ds | Split_ds -> 3
+  in
+  match spec.scheme with
+  | Leaky -> Ts_reclaim.Leaky.create ()
+  | Threadscan { buffer_size; help_free } ->
+      Threadscan.smr
+        (Threadscan.create ~config:{ Threadscan.Config.max_threads; buffer_size; help_free } ())
+  | Hazard -> Ts_reclaim.Hazard.create ~slots:hazard_slots ~max_threads ()
+  | Epoch -> Ts_reclaim.Epoch.create ~batch:spec.epoch_batch ~max_threads ()
+  | Slow_epoch { delay } ->
+      (* thread id 1 is the first worker spawned *)
+      Ts_reclaim.Epoch.create ~batch:spec.epoch_batch ~errant:(1, delay) ~max_threads ()
+  | Stacktrack -> Ts_reclaim.Stacktrack.create ~max_threads ()
+
+let make_ds spec smr =
+  match spec.ds with
+  | List_ds -> Ts_ds.Michael_list.create ~smr ~padding:spec.padding ()
+  | Hash_ds -> Ts_ds.Hash_table.create ~smr ~padding:spec.padding ~buckets:spec.buckets ()
+  | Skip_ds -> Ts_ds.Skiplist.create ~smr ~max_height:spec.max_height ~padding:spec.padding ()
+  | Lazy_ds -> Ts_ds.Lazy_list.create ~smr ~padding:spec.padding ()
+  | Split_ds ->
+      Ts_ds.Split_hash.set
+        (Ts_ds.Split_hash.create ~smr ~padding:spec.padding ~max_buckets:spec.buckets ())
+
+let prefill spec (ds : Set_intf.t) =
+  (* deterministic prefill to exactly [init_size] distinct keys *)
+  let inserted = ref 0 in
+  while !inserted < spec.init_size do
+    let key = Runtime.rand_below spec.key_range in
+    if ds.Set_intf.insert key key then incr inserted
+  done
+
+let worker spec (smr : Smr.t) (ds : Set_intf.t) ~deadline ~count () =
+  smr.Smr.thread_init ();
+  (* Baseline call-chain frame: a real thread's used stack is far deeper
+     than the data structure's own frame, and TS-Scan walks all of it. *)
+  if spec.stack_depth > 0 then ignore (Ts_sim.Frame.push spec.stack_depth);
+  let insert_below = spec.update_ratio /. 2.0 in
+  let ops = ref 0 in
+  while Runtime.now () < deadline do
+    let key = Runtime.rand_below spec.key_range in
+    let dice = float_of_int (Runtime.rand_below 1_000_000) /. 1_000_000.0 in
+    if dice < insert_below then ignore (ds.Set_intf.insert key key)
+    else if dice < spec.update_ratio then ignore (ds.Set_intf.remove key)
+    else ignore (ds.Set_intf.contains key);
+    incr ops
+  done;
+  count := !ops;
+  smr.Smr.thread_exit ()
+
+let run spec =
+  let config =
+    {
+      Runtime.default_config with
+      cores = spec.cores;
+      quantum = spec.quantum;
+      seed = spec.seed;
+      propagate_failures = true;
+    }
+  in
+  let rt = Runtime.create config in
+  let counts = Array.init spec.threads (fun _ -> ref 0) in
+  let retired = ref 0 and freed = ref 0 and extras = ref [] in
+  ignore
+    (Runtime.add_thread rt (fun () ->
+         let smr = make_scheme spec in
+         smr.Smr.thread_init ();
+         let ds = make_ds spec smr in
+         prefill spec ds;
+         let start = Runtime.now () in
+         let deadline = start + spec.horizon in
+         let ws =
+           List.init spec.threads (fun i ->
+               Runtime.spawn (worker spec smr ds ~deadline ~count:counts.(i)))
+         in
+         List.iter Runtime.join ws;
+         smr.Smr.thread_exit ();
+         smr.Smr.flush ();
+         retired := smr.Smr.counters.retired;
+         freed := smr.Smr.counters.freed;
+         extras := smr.Smr.extras ()));
+  let res = Runtime.start rt in
+  let ops = Array.fold_left (fun acc c -> acc + !c) 0 counts in
+  let faults = Mem.total_faults (Runtime.mem rt) in
+  if faults > 0 then failwith "workload produced memory faults";
+  {
+    spec;
+    ops;
+    throughput = float_of_int ops *. 1_000_000.0 /. float_of_int spec.horizon;
+    elapsed = res.Runtime.elapsed;
+    retired = !retired;
+    freed = !freed;
+    outstanding = !retired - !freed;
+    peak_live_blocks = Alloc.peak_live_blocks (Runtime.alloc rt);
+    peak_live_words = Alloc.peak_live_words (Runtime.alloc rt);
+    signals_delivered = res.Runtime.run_stats.signals_delivered;
+    ctx_switches = res.Runtime.run_stats.ctx_switches;
+    faults;
+    extras = !extras;
+  }

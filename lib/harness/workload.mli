@@ -1,0 +1,65 @@
+(** Benchmark workload runner — the §6 methodology.
+
+    A run prefills a structure to [init_size], starts [threads] workers that
+    each execute random operations ([update_ratio] split evenly between
+    inserts and removes, the rest lookups over [key_range]) until their
+    virtual clock passes [horizon] cycles, then joins, flushes the
+    reclamation scheme, and reports totals.  Throughput is operations per
+    million virtual cycles, the simulator's analogue of the paper's
+    ops/second. *)
+
+type ds_kind = List_ds | Hash_ds | Skip_ds | Lazy_ds | Split_ds
+
+type scheme_kind =
+  | Leaky
+  | Threadscan of { buffer_size : int; help_free : bool }
+  | Hazard
+  | Epoch
+  | Slow_epoch of { delay : int }
+  | Stacktrack
+
+val ds_kind_to_string : ds_kind -> string
+
+val scheme_kind_to_string : scheme_kind -> string
+
+type spec = {
+  ds : ds_kind;
+  scheme : scheme_kind;
+  threads : int;
+  cores : int;  (** 0 = one core per thread *)
+  quantum : int;
+  update_ratio : float;
+  init_size : int;
+  key_range : int;
+  horizon : int;  (** virtual cycles each worker runs *)
+  padding : int;  (** extra node words (false-sharing padding) *)
+  buckets : int;  (** hash table only *)
+  max_height : int;  (** skip list only *)
+  epoch_batch : int;
+  stack_depth : int;
+      (** words of baseline call-chain stack each worker occupies (scanned
+          by TS-Scan on every signal, like a real thread's used stack) *)
+  seed : int;
+}
+
+val default_spec : spec
+
+type result = {
+  spec : spec;
+  ops : int;  (** completed operations, all workers *)
+  throughput : float;  (** ops per million cycles *)
+  elapsed : int;  (** virtual end time of the whole run *)
+  retired : int;
+  freed : int;
+  outstanding : int;  (** retired - freed after flush *)
+  peak_live_blocks : int;
+  peak_live_words : int;
+  signals_delivered : int;
+  ctx_switches : int;
+  faults : int;  (** memory faults (must be 0) *)
+  extras : (string * int) list;  (** scheme-specific statistics *)
+}
+
+val run : spec -> result
+(** Executes the workload in a fresh simulator.  @raise Failure if the run
+    produced memory faults or a thread died. *)

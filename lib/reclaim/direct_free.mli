@@ -1,0 +1,9 @@
+(** Deliberately unsafe "reclaim immediately" scheme — failure injection.
+
+    [retire] calls [free] on the spot, with no attempt to prove the node is
+    unreferenced.  Under any concurrent workload this produces
+    use-after-free accesses, which the unmanaged heap detects; tests use it
+    to prove the safety oracle actually fires (and therefore that the safe
+    schemes' clean runs are meaningful). *)
+
+val create : unit -> Ts_smr.Smr.t

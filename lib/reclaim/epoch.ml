@@ -1,0 +1,134 @@
+module Smr = Ts_smr.Smr
+module Runtime = Ts_sim.Runtime
+module Ptr = Ts_umem.Ptr
+module Vec = Ts_util.Vec
+module Backoff = Ts_sync.Backoff
+
+type state = {
+  max_threads : int;
+  counters_base : int; (* one shared word per thread *)
+  mirror : int array; (* thread-local copy of the own counter *)
+  limbo : Vec.t array;
+  pending : Vec.t array; (* batch waiting for the next op boundary *)
+  orphans : Vec.t;
+  batch : int;
+  errant : (int * int) option;
+  mutable waits : int;
+  mutable stall_cycles : int;
+}
+
+let counter_addr st tid = st.counters_base + tid
+
+(* Wait until every thread that was mid-operation at snapshot time has
+   passed an operation boundary. *)
+let wait_for_quiescence st self =
+  let snap = Array.make st.max_threads 0 in
+  for t = 0 to st.max_threads - 1 do
+    if t <> self then snap.(t) <- Runtime.read (counter_addr st t)
+  done;
+  for t = 0 to st.max_threads - 1 do
+    if t <> self && snap.(t) land 1 = 1 then begin
+      let b = Backoff.create () in
+      let t0 = Runtime.now () in
+      while Runtime.read (counter_addr st t) = snap.(t) do
+        st.waits <- st.waits + 1;
+        Backoff.once b
+      done;
+      st.stall_cycles <- st.stall_cycles + (Runtime.now () - t0)
+    end
+  done
+
+let cleanup st (c : Smr.counters) =
+  let self = Runtime.self () in
+  c.cleanups <- c.cleanups + 1;
+  let to_free = st.pending.(self) in
+  if not (Vec.is_empty to_free) then begin
+    wait_for_quiescence st self;
+    Vec.iter
+      (fun p ->
+        Runtime.free (Ptr.addr p);
+        c.freed <- c.freed + 1)
+      to_free;
+    Vec.clear to_free
+  end
+
+let create ?(batch = 256) ?errant ~max_threads () =
+  let counters_base = Runtime.alloc_region max_threads in
+  let st =
+    {
+      max_threads;
+      counters_base;
+      mirror = Array.make max_threads 0;
+      limbo = Array.init max_threads (fun _ -> Vec.create ());
+      pending = Array.init max_threads (fun _ -> Vec.create ());
+      orphans = Vec.create ();
+      batch;
+      errant;
+      waits = 0;
+      stall_cycles = 0;
+    }
+  in
+  let bump () =
+    let tid = Runtime.self () in
+    st.mirror.(tid) <- st.mirror.(tid) + 1;
+    Runtime.write (counter_addr st tid) st.mirror.(tid)
+  in
+  let smr = ref None in
+  let op_begin () = bump () in
+  let op_end () =
+    let tid = Runtime.self () in
+    (* If the batch filled during this operation, the errant thread (Slow
+       Epoch) stalls here, mid-operation, with its counter odd: this is the
+       application delay the paper injects. *)
+    (match st.errant with
+    | Some (etid, delay)
+      when etid = tid && Vec.length st.limbo.(tid) >= st.batch && Vec.is_empty st.pending.(tid)
+      ->
+        Runtime.advance delay
+    | _ -> ());
+    bump ();
+    (* Operation boundary: our counter is even, so concurrent cleanups never
+       wait on us while we wait on them — no mutual stall. *)
+    if Vec.length st.limbo.(tid) >= st.batch && Vec.is_empty st.pending.(tid) then begin
+      let tmp = st.pending.(tid) in
+      st.pending.(tid) <- st.limbo.(tid);
+      st.limbo.(tid) <- tmp;
+      cleanup st (Option.get !smr : Smr.t).Smr.counters
+    end
+  in
+  let retire (c : Smr.counters) p =
+    c.retired <- c.retired + 1;
+    Vec.push st.limbo.(Runtime.self ()) (Ptr.mask p)
+  in
+  let thread_exit () =
+    let tid = Runtime.self () in
+    if st.mirror.(tid) land 1 = 1 then bump ();
+    Vec.iter (Vec.push st.orphans) st.limbo.(tid);
+    Vec.clear st.limbo.(tid);
+    Vec.iter (Vec.push st.orphans) st.pending.(tid);
+    Vec.clear st.pending.(tid)
+  in
+  let flush () =
+    let c = (Option.get !smr : Smr.t).Smr.counters in
+    let self = Runtime.self () in
+    wait_for_quiescence st self;
+    let drain lst =
+      Vec.iter
+        (fun p ->
+          Runtime.free (Ptr.addr p);
+          c.freed <- c.freed + 1)
+        lst;
+      Vec.clear lst
+    in
+    Array.iter drain st.limbo;
+    Array.iter drain st.pending;
+    drain st.orphans
+  in
+  let name = match errant with None -> "epoch" | Some _ -> "slow-epoch" in
+  let t =
+    Smr.make ~name ~op_begin ~op_end ~thread_exit ~flush
+      ~extras:(fun () -> [ ("spin-waits", st.waits); ("stall-cycles", st.stall_cycles) ])
+      ~retire ()
+  in
+  smr := Some t;
+  t

@@ -1,0 +1,17 @@
+(** Quiescence/epoch-based reclamation — the paper's "Epoch" baseline, in
+    the exact formulation §6 describes: each thread keeps a counter that it
+    bumps before and after every operation (odd = inside an operation), and
+    a thread that has retired [batch] nodes waits, at its next operation
+    boundary, until it has seen every mid-operation thread's counter change;
+    the batch is then safe to free.
+
+    The "Slow Epoch" variant is obtained with [~errant:(tid, delay)]: that
+    thread busy-waits [delay] cycles *inside* an operation whenever its
+    batch fills, keeping its counter odd — every other thread's reclamation
+    then stalls behind it, which is precisely the sensitivity the paper's
+    Figure 3 demonstrates. *)
+
+val create :
+  ?batch:int -> ?errant:int * int -> max_threads:int -> unit -> Ts_smr.Smr.t
+(** [batch] (default 256) is the per-thread retire count that triggers a
+    cleanup.  Must run inside the simulator (allocates the counter array). *)

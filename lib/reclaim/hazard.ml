@@ -1,0 +1,120 @@
+module Smr = Ts_smr.Smr
+module Runtime = Ts_sim.Runtime
+module Ptr = Ts_umem.Ptr
+module Vec = Ts_util.Vec
+module Isort = Ts_util.Isort
+
+type state = {
+  slots : int;
+  max_threads : int;
+  hp_base : int; (* max_threads * slots shared words *)
+  rlists : Vec.t array;
+  orphans : Vec.t;
+  threshold : int;
+  mutable scans : int;
+}
+
+let slot_addr st tid slot = st.hp_base + (tid * st.slots) + slot
+
+(* Read every hazard slot (priced shared reads), return them sorted for
+   binary search.  The sort itself is private work, charged as cycles. *)
+let snapshot_hazards st =
+  let n = st.max_threads * st.slots in
+  let hz = Array.make n 0 in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    let v = Runtime.read (st.hp_base + i) in
+    if v <> 0 then begin
+      hz.(!count) <- v;
+      incr count
+    end
+  done;
+  Isort.sort_prefix hz !count;
+  Runtime.advance (!count * 8);
+  (hz, !count)
+
+let scan st (c : Smr.counters) =
+  c.cleanups <- c.cleanups + 1;
+  st.scans <- st.scans + 1;
+  let hz, nhz = snapshot_hazards st in
+  let sweep lst =
+    let keep = Vec.create () in
+    Vec.iter
+      (fun p ->
+        Runtime.advance 8 (* binary search over the private snapshot *);
+        if Isort.binary_search hz nhz p >= 0 then Vec.push keep p
+        else begin
+          Runtime.free (Ptr.addr p);
+          c.freed <- c.freed + 1
+        end)
+      lst;
+    keep
+  in
+  let tid = Runtime.self () in
+  st.rlists.(tid) <- sweep st.rlists.(tid)
+
+let create ?(slots = 3) ?(threshold_extra = 64) ~max_threads () =
+  let hp_base = Runtime.alloc_region (max_threads * slots) in
+  let st =
+    {
+      slots;
+      max_threads;
+      hp_base;
+      rlists = Array.init max_threads (fun _ -> Vec.create ());
+      orphans = Vec.create ();
+      threshold = (max_threads * slots) + threshold_extra;
+      scans = 0;
+    }
+  in
+  let protect ~slot p =
+    Runtime.write (slot_addr st (Runtime.self ()) slot) (Ptr.mask p);
+    Runtime.fence ();
+    p
+  in
+  let release ~slot = Runtime.write (slot_addr st (Runtime.self ()) slot) 0 in
+  let clear_all () =
+    let tid = Runtime.self () in
+    for s = 0 to slots - 1 do
+      Runtime.write (slot_addr st tid s) 0
+    done
+  in
+  let retire (c : Smr.counters) p =
+    c.retired <- c.retired + 1;
+    let tid = Runtime.self () in
+    Vec.push st.rlists.(tid) (Ptr.mask p);
+    if Vec.length st.rlists.(tid) >= st.threshold then scan st c
+  in
+  let thread_exit () =
+    clear_all ();
+    let tid = Runtime.self () in
+    Vec.iter (Vec.push st.orphans) st.rlists.(tid);
+    Vec.clear st.rlists.(tid)
+  in
+  let smr = ref None in
+  let flush () =
+    let c = (Option.get !smr : Smr.t).Smr.counters in
+    let hz, nhz = snapshot_hazards st in
+    let sweep lst =
+      let keep = Vec.create () in
+      Vec.iter
+        (fun p ->
+          if Isort.binary_search hz nhz p >= 0 then Vec.push keep p
+          else begin
+            Runtime.free (Ptr.addr p);
+            c.freed <- c.freed + 1
+          end)
+        lst;
+      keep
+    in
+    Array.iteri (fun i lst -> st.rlists.(i) <- sweep lst) st.rlists;
+    let remaining = sweep st.orphans in
+    Vec.clear st.orphans;
+    Vec.iter (Vec.push st.orphans) remaining
+  in
+  let t =
+    Smr.make ~name:"hazard-pointers" ~op_end:clear_all ~thread_exit ~protect ~release ~flush
+      ~extras:(fun () -> [ ("scans", st.scans) ])
+      ~retire ()
+  in
+  smr := Some t;
+  t

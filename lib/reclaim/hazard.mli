@@ -1,0 +1,17 @@
+(** Hazard pointers (Michael, IEEE TPDS 2004) — the paper's pointer-based
+    baseline.
+
+    Each thread owns [slots] hazard-pointer slots in shared memory.  Before
+    dereferencing a node, a traversal publishes the pointer in a slot with a
+    store followed by a full fence ({!Ts_smr.Smr.t.protect}) — the per-step
+    cost the paper's evaluation highlights — and the caller re-validates the
+    link before trusting it.  Retired nodes go to a per-thread list; once
+    the list exceeds a threshold proportional to the total number of hazard
+    slots, the thread scans all slots and frees every retired node that is
+    not announced. *)
+
+val create : ?slots:int -> ?threshold_extra:int -> max_threads:int -> unit -> Ts_smr.Smr.t
+(** [slots] hazard pointers per thread (default 3: prev/cur/next).
+    A scan triggers when a retire list exceeds
+    [max_threads * slots + threshold_extra] (default extra 64).
+    Must run inside the simulator (allocates the hazard array). *)

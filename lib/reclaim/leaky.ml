@@ -1,0 +1,4 @@
+module Smr = Ts_smr.Smr
+
+let create () =
+  Smr.make ~name:"leaky" ~retire:(fun c _p -> c.retired <- c.retired + 1) ()

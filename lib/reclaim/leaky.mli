@@ -1,0 +1,7 @@
+(** The paper's "Leaky" baseline: no reclamation at all.
+
+    Retired nodes are counted but never freed — the upper bound on
+    throughput (zero reclamation overhead) and the lower bound on memory
+    behaviour (everything leaks). *)
+
+val create : unit -> Ts_smr.Smr.t

@@ -1,0 +1,179 @@
+module Smr = Ts_smr.Smr
+module Runtime = Ts_sim.Runtime
+module Ptr = Ts_umem.Ptr
+module Vec = Ts_util.Vec
+module Isort = Ts_util.Isort
+
+(* Per-thread record in shared memory:
+   [seq][count][ring slots...] ; seq odd = operation in flight. *)
+type state = {
+  ring : int;
+  max_threads : int;
+  base : int; (* max_threads * (2 + ring) words *)
+  seq_mirror : int array;
+  count_mirror : int array;
+  rlists : Vec.t array;
+  orphans : Vec.t;
+  threshold : int;
+  mutable scans : int;
+  mutable unstable_aborts : int;
+}
+
+let stride st = 2 + st.ring
+
+let seq_addr st tid = st.base + (tid * stride st)
+
+let count_addr st tid = st.base + (tid * stride st) + 1
+
+let slot_addr st tid i = st.base + (tid * stride st) + 2 + i
+
+(* Snapshot one thread's visible set with a seqlock read; [None] when the
+   thread kept racing past our retries. *)
+let snapshot_thread st tid out =
+  let rec attempt tries =
+    if tries = 0 then false
+    else begin
+      let s1 = Runtime.read (seq_addr st tid) in
+      let n = min (Runtime.read (count_addr st tid)) st.ring in
+      let tmp = Array.make (max n 1) 0 in
+      for i = 0 to n - 1 do
+        tmp.(i) <- Runtime.read (slot_addr st tid i)
+      done;
+      let s2 = Runtime.read (seq_addr st tid) in
+      if s1 = s2 then begin
+        for i = 0 to n - 1 do
+          Vec.push out tmp.(i)
+        done;
+        true
+      end
+      else attempt (tries - 1)
+    end
+  in
+  attempt 3
+
+let scan st (c : Smr.counters) =
+  c.cleanups <- c.cleanups + 1;
+  st.scans <- st.scans + 1;
+  let visible = Vec.create () in
+  let stable = ref true in
+  for tid = 0 to st.max_threads - 1 do
+    if !stable && not (snapshot_thread st tid visible) then stable := false
+  done;
+  if not !stable then st.unstable_aborts <- st.unstable_aborts + 1
+  else begin
+    let vis = Vec.to_array visible in
+    Isort.sort_prefix vis (Array.length vis);
+    Runtime.advance (Array.length vis * 8);
+    let self = Runtime.self () in
+    let keep = Vec.create () in
+    Vec.iter
+      (fun p ->
+        Runtime.advance 8;
+        if Isort.binary_search vis (Array.length vis) p >= 0 then Vec.push keep p
+        else begin
+          Runtime.free (Ptr.addr p);
+          c.freed <- c.freed + 1
+        end)
+      st.rlists.(self);
+    st.rlists.(self) <- keep
+  end
+
+let create ?(ring = 256) ?(threshold = 128) ~max_threads () =
+  let base = Runtime.alloc_region (max_threads * (2 + ring)) in
+  let st =
+    {
+      ring;
+      max_threads;
+      base;
+      seq_mirror = Array.make max_threads 0;
+      count_mirror = Array.make max_threads 0;
+      rlists = Array.init max_threads (fun _ -> Vec.create ());
+      orphans = Vec.create ();
+      threshold;
+      scans = 0;
+      unstable_aborts = 0;
+    }
+  in
+  let op_begin () =
+    let tid = Runtime.self () in
+    st.seq_mirror.(tid) <- st.seq_mirror.(tid) + 1;
+    Runtime.write (seq_addr st tid) st.seq_mirror.(tid);
+    st.count_mirror.(tid) <- 0;
+    Runtime.write (count_addr st tid) 0
+  in
+  let op_end () =
+    let tid = Runtime.self () in
+    st.seq_mirror.(tid) <- st.seq_mirror.(tid) + 1;
+    Runtime.write (seq_addr st tid) st.seq_mirror.(tid)
+  in
+  let protect ~slot:_ p =
+    let tid = Runtime.self () in
+    let i = st.count_mirror.(tid) in
+    Runtime.write (slot_addr st tid (i mod st.ring)) (Ptr.mask p);
+    st.count_mirror.(tid) <- i + 1;
+    Runtime.write (count_addr st tid) (i + 1);
+    p
+  in
+  let retire (c : Smr.counters) p =
+    c.retired <- c.retired + 1;
+    let tid = Runtime.self () in
+    Vec.push st.rlists.(tid) (Ptr.mask p);
+    if Vec.length st.rlists.(tid) >= st.threshold then scan st c
+  in
+  let thread_exit () =
+    let tid = Runtime.self () in
+    st.count_mirror.(tid) <- 0;
+    Runtime.write (count_addr st tid) 0;
+    if st.seq_mirror.(tid) land 1 = 1 then op_end ();
+    Vec.iter (Vec.push st.orphans) st.rlists.(tid);
+    Vec.clear st.rlists.(tid)
+  in
+  let smr = ref None in
+  let flush () =
+    let c = (Option.get !smr : Smr.t).Smr.counters in
+    (* quiescent: every ring is empty, free everything *)
+    let drain lst =
+      Vec.iter
+        (fun p ->
+          Runtime.free (Ptr.addr p);
+          c.freed <- c.freed + 1)
+        lst;
+      Vec.clear lst
+    in
+    let visible = Vec.create () in
+    for tid = 0 to st.max_threads - 1 do
+      ignore (snapshot_thread st tid visible)
+    done;
+    if Vec.length visible = 0 then begin
+      Array.iter drain st.rlists;
+      drain st.orphans
+    end
+    else begin
+      (* someone still has a visible set (caller included): conservative *)
+      let vis = Vec.to_array visible in
+      Isort.sort_prefix vis (Array.length vis);
+      let sweep lst =
+        let keep = Vec.create () in
+        Vec.iter
+          (fun p ->
+            if Isort.binary_search vis (Array.length vis) p >= 0 then Vec.push keep p
+            else begin
+              Runtime.free (Ptr.addr p);
+              c.freed <- c.freed + 1
+            end)
+          lst;
+        keep
+      in
+      Array.iteri (fun i lst -> st.rlists.(i) <- sweep lst) st.rlists;
+      let rest = sweep st.orphans in
+      Vec.clear st.orphans;
+      Vec.iter (Vec.push st.orphans) rest
+    end
+  in
+  let t =
+    Smr.make ~name:"stacktrack" ~op_begin ~op_end ~protect ~thread_exit ~flush
+      ~extras:(fun () -> [ ("scans", st.scans); ("unstable-aborts", st.unstable_aborts) ])
+      ~retire ()
+  in
+  smr := Some t;
+  t

@@ -1,0 +1,23 @@
+(** StackTrack-style reclamation (Alistarh et al., EuroSys 2014) —
+    approximated without HTM (a hardware gate; see DESIGN.md).
+
+    StackTrack makes each operation's live references visible by executing
+    the operation as a sequence of transactions whose read sets the
+    reclaimer can inspect.  The fallback path publishes accessed node
+    pointers into a per-thread visible buffer framed by a sequence counter
+    (odd = operation in flight).  We reproduce that fallback: [protect]
+    appends the pointer to the calling thread's visible ring (two plain
+    stores — cheaper than a hazard pointer's store + fence, which is the
+    cost relationship the original paper demonstrates); the reclaimer
+    snapshots every thread's ring with seqlock-style double-checked reads
+    and frees retired nodes that appear in no ring.
+
+    The visible ring must be large enough that a still-held reference is
+    never overwritten before the operation ends; [ring] defaults to 256,
+    ample for the structures in this repository (see DESIGN.md for the
+    bound). *)
+
+val create :
+  ?ring:int -> ?threshold:int -> max_threads:int -> unit -> Ts_smr.Smr.t
+(** [threshold] is the retire-list length that triggers a scan
+    (default 128). *)

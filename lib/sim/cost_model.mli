@@ -1,0 +1,35 @@
+(** Cycle prices for simulated operations.
+
+    The simulator measures throughput in virtual cycles; the relative shape
+    of the paper's results (who wins and by how much) is produced by the
+    asymmetries encoded here: fences and CAS are an order of magnitude more
+    expensive than plain reads, signals cost thousands of cycles but are
+    rare, context switches are the dominant cost under oversubscription.
+    The defaults loosely follow published x86 latencies (a cycle here is one
+    CPU cycle at the paper's 2.4 GHz). *)
+
+type t = {
+  local_op : int;  (** private stack/register access or register-file step *)
+  shared_read : int;
+      (** heap word read — priced as a hit/miss mix, not an L1 hit *)
+  shared_write : int;  (** heap word write *)
+  cas : int;  (** compare-and-swap, includes full fence *)
+  faa : int;  (** fetch-and-add, includes full fence *)
+  fence : int;  (** standalone memory fence (mfence) *)
+  malloc : int;  (** lump cost of an allocator call *)
+  free : int;
+  yield : int;  (** sched_yield-style voluntary step *)
+  signal_send : int;  (** pthread_kill on the sender side *)
+  signal_dispatch : int;  (** kernel dispatch into the handler, receiver side *)
+  signal_return : int;  (** sigreturn back to interrupted code *)
+  context_switch : int;  (** descheduling one thread, scheduling another *)
+  spawn : int;  (** thread creation *)
+}
+
+val default : t
+
+val uniform : t
+(** Everything costs one cycle — for schedule-shape unit tests where virtual
+    time must be trivial to predict. *)
+
+val pp : Format.formatter -> t -> unit

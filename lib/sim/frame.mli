@@ -1,0 +1,33 @@
+(** Shadow-stack frames.
+
+    In C, a traversal's local pointers live in the stack frame and are what
+    ThreadScan's handler scans.  Simulated code gets the same property by
+    keeping every node reference it holds in a frame slot: [Frame.set]
+    stores into the thread's shadow stack in unmanaged memory, where a
+    conservative scan (and ThreadScan's TS-Scan) can see it.
+
+    Discipline for data-structure code: a pointer loaded from the heap must
+    be written to a frame slot (or be dead) within a few operations — in the
+    interim it is covered by the register file, into which the simulator
+    mirrors every load result (see {!Runtime}). *)
+
+type t
+
+val push : int -> t
+(** [push n] allocates a frame of [n] zeroed slots on the calling thread's
+    shadow stack. *)
+
+val pop : t -> unit
+(** Frames must be popped in LIFO order. *)
+
+val with_frame : int -> (t -> 'a) -> 'a
+(** [with_frame n f] pushes, runs [f], and pops even on exception. *)
+
+val get : t -> int -> int
+
+val set : t -> int -> int -> unit
+
+val size : t -> int
+
+val base : t -> int
+(** Base address of the frame in unmanaged memory (useful in tests). *)

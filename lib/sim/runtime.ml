@@ -1,0 +1,830 @@
+module Mem = Ts_umem.Mem
+module Alloc = Ts_umem.Alloc
+module Ptr = Ts_umem.Ptr
+module Splitmix = Ts_util.Splitmix
+
+type tid = int
+
+exception Deadlock of string
+exception Step_limit_exceeded
+exception Thread_failure of tid * exn
+exception Sim_error of string
+
+type config = {
+  cost : Cost_model.t;
+  cores : int;
+  quantum : int;
+  seed : int;
+  stack_words : int;
+  reg_words : int;
+  mem_capacity : int;
+  strict_mem : bool;
+  max_steps : int;
+  propagate_failures : bool;
+  trace : (Trace.entry -> unit) option;
+  random_schedule : bool;
+}
+
+let default_config =
+  {
+    cost = Cost_model.default;
+    cores = 0;
+    quantum = 50_000;
+    seed = 0x5EED;
+    stack_words = 256;
+    reg_words = 32;
+    mem_capacity = 1 lsl 26;
+    strict_mem = true;
+    max_steps = 1 lsl 32;
+    propagate_failures = true;
+    trace = None;
+    random_schedule = false;
+  }
+
+type stats = {
+  mutable steps : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable cas_ops : int;
+  mutable cas_failures : int;
+  mutable fences : int;
+  mutable mallocs : int;
+  mutable frees : int;
+  mutable yields : int;
+  mutable signals_sent : int;
+  mutable signals_delivered : int;
+  mutable ctx_switches : int;
+  mutable spawns : int;
+}
+
+let make_stats () =
+  {
+    steps = 0;
+    reads = 0;
+    writes = 0;
+    cas_ops = 0;
+    cas_failures = 0;
+    fences = 0;
+    mallocs = 0;
+    frees = 0;
+    yields = 0;
+    signals_sent = 0;
+    signals_delivered = 0;
+    ctx_switches = 0;
+    spawns = 0;
+  }
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "steps=%d reads=%d writes=%d cas=%d(-%d) fences=%d malloc=%d free=%d yields=%d sig=%d/%d \
+     switches=%d spawns=%d"
+    s.steps s.reads s.writes s.cas_ops s.cas_failures s.fences s.mallocs s.frees s.yields
+    s.signals_sent s.signals_delivered s.ctx_switches s.spawns
+
+type result = { elapsed : int; run_stats : stats; failures : (tid * exn) list }
+
+type status = Ready | Done
+
+type thread = {
+  tid : int;
+  mutable clock : int;
+  mutable status : status;
+  mutable resume : (unit -> unit) option;
+  mutable saved : (unit -> unit) list; (* fibers interrupted by signal handlers *)
+  mutable on_core : bool;
+  mutable heap_pos : int; (* index in the active heap, -1 when off-core *)
+  mutable core_since : int;
+  mutable ever_scheduled : bool;
+  mutable boosted : bool;
+  mutable wants_yield : bool;
+  stack_base : int;
+  stack_words : int;
+  mutable sp : int; (* next free stack slot (absolute address) *)
+  reg_base : int;
+  reg_words : int;
+  manual_save_base : int; (* explicit save_regs snapshot *)
+  mutable sig_saves : int list; (* per-nesting-level saved contexts, top first *)
+  mutable save_pool : int list; (* recycled save regions *)
+  mutable reg_cursor : int;
+  mutable handler : (unit -> unit) option;
+  pending : int Queue.t;
+  mutable sig_depth : int;
+  mutable failure : exn option;
+  rng : Splitmix.t;
+  mutable private_ranges : (int * int) list;
+}
+
+type t = {
+  cfg : config;
+  mem : Mem.t;
+  alloc : Alloc.t;
+  mutable threads : thread array; (* index = tid; dummy slots beyond nthreads *)
+  mutable nthreads : int;
+  mutable ready_front : thread list;
+  mutable ready_back : thread list;
+  (* Active threads as a binary min-heap on (clock, tid): the scheduler
+     steps the minimum on every iteration, so this is the hot structure. *)
+  mutable heap : thread array;
+  mutable nactive : int;
+  mutable live : int;
+  mutable now : int;
+  mutable want_preempt : bool;
+  mutable started : bool;
+  sim_stats : stats;
+  rng : Splitmix.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Effects                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type _ Effect.t +=
+  | E_read : int -> int Effect.t
+  | E_write : (int * int) -> unit Effect.t
+  | E_cas : (int * int * int) -> bool Effect.t
+  | E_faa : (int * int) -> int Effect.t
+  | E_fence : unit Effect.t
+  | E_malloc : int -> int Effect.t
+  | E_free : int -> unit Effect.t
+  | E_region : int -> int Effect.t
+  | E_yield : unit Effect.t
+  | E_advance : int -> unit Effect.t
+  | E_now : int Effect.t
+  | E_self : int Effect.t
+  | E_rand : int -> int Effect.t
+  | E_spawn : (unit -> unit) -> int Effect.t
+  | E_join : int -> unit Effect.t
+  | E_is_done : int -> bool Effect.t
+  | E_signal : int -> unit Effect.t
+  | E_set_handler : (unit -> unit) -> unit Effect.t
+  | E_sig_depth : int Effect.t
+  | E_push_frame : int -> int Effect.t
+  | E_pop_frame : int -> unit Effect.t
+  | E_stack_range : (int * int) Effect.t
+  | E_reg_range : (int * int) Effect.t
+  | E_save_regs : unit Effect.t
+  | E_saved_reg_range : (int * int) Effect.t
+  | E_clear_regs : unit Effect.t
+  | E_add_range : (int * int) -> unit Effect.t
+  | E_remove_range : (int * int) -> unit Effect.t
+  | E_ranges : (int * int) list Effect.t
+  | E_ranges_of : int -> (int * int) list Effect.t
+
+(* ------------------------------------------------------------------ *)
+(* Ready queue (FIFO with push-front for boosted threads)             *)
+(* ------------------------------------------------------------------ *)
+
+let ready_push rt th = rt.ready_back <- th :: rt.ready_back
+
+let ready_push_front rt th = rt.ready_front <- th :: rt.ready_front
+
+let rec ready_pop rt =
+  match rt.ready_front with
+  | th :: tl ->
+      rt.ready_front <- tl;
+      Some th
+  | [] -> (
+      match rt.ready_back with
+      | [] -> None
+      | l ->
+          rt.ready_front <- List.rev l;
+          rt.ready_back <- [];
+          ready_pop rt)
+
+let ready_nonempty rt = rt.ready_front <> [] || rt.ready_back <> []
+
+let ready_remove rt th =
+  let not_th x = x != th in
+  rt.ready_front <- List.filter not_th rt.ready_front;
+  rt.ready_back <- List.filter not_th rt.ready_back
+
+(* ------------------------------------------------------------------ *)
+(* Thread bookkeeping                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let charge th c = th.clock <- th.clock + c
+
+let emit rt th event =
+  match rt.cfg.trace with
+  | None -> ()
+  | Some f -> f { Trace.time = th.clock; event }
+
+let unlimited rt = rt.cfg.cores <= 0
+
+(* ---- active-set heap (min on (clock, tid)) ---- *)
+
+let th_less a b = a.clock < b.clock || (a.clock = b.clock && a.tid < b.tid)
+
+let heap_swap rt i j =
+  let a = rt.heap.(i) and b = rt.heap.(j) in
+  rt.heap.(i) <- b;
+  rt.heap.(j) <- a;
+  a.heap_pos <- j;
+  b.heap_pos <- i
+
+let rec sift_up rt i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if th_less rt.heap.(i) rt.heap.(p) then begin
+      heap_swap rt i p;
+      sift_up rt p
+    end
+  end
+
+let rec sift_down rt i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let m = ref i in
+  if l < rt.nactive && th_less rt.heap.(l) rt.heap.(!m) then m := l;
+  if r < rt.nactive && th_less rt.heap.(r) rt.heap.(!m) then m := r;
+  if !m <> i then begin
+    heap_swap rt i !m;
+    sift_down rt !m
+  end
+
+let heap_push rt th =
+  if rt.nactive = Array.length rt.heap then begin
+    let bigger = Array.make (max 8 (2 * Array.length rt.heap)) th in
+    Array.blit rt.heap 0 bigger 0 rt.nactive;
+    rt.heap <- bigger
+  end;
+  rt.heap.(rt.nactive) <- th;
+  th.heap_pos <- rt.nactive;
+  rt.nactive <- rt.nactive + 1;
+  sift_up rt (rt.nactive - 1)
+
+let heap_remove rt th =
+  let i = th.heap_pos in
+  rt.nactive <- rt.nactive - 1;
+  let last = rt.heap.(rt.nactive) in
+  if i < rt.nactive then begin
+    rt.heap.(i) <- last;
+    last.heap_pos <- i;
+    sift_down rt i;
+    sift_up rt i
+  end;
+  th.heap_pos <- -1
+
+let remove_active rt th =
+  if th.on_core then begin
+    th.on_core <- false;
+    heap_remove rt th
+  end
+
+let thread_finished rt th =
+  th.status <- Done;
+  th.saved <- [];
+  th.resume <- None;
+  rt.live <- rt.live - 1;
+  remove_active rt th;
+  emit rt th (Trace.Thread_finished { tid = th.tid })
+
+let thread_fail rt th e =
+  th.failure <- Some e;
+  thread_finished rt th
+
+let copy_regs rt ~src ~dst n =
+  for i = 0 to n - 1 do
+    Mem.raw_write rt.mem (dst + i) (Mem.raw_read rt.mem (src + i))
+  done
+
+(* Called when the currently-running fiber of [th] returns normally. *)
+let fiber_done rt th =
+  match th.saved with
+  | [] -> thread_finished rt th
+  | f :: tl ->
+      th.saved <- tl;
+      th.sig_depth <- th.sig_depth - 1;
+      charge th rt.cfg.cost.signal_return;
+      (* sigreturn: restore the interrupted register context, undoing the
+         handler's own register traffic. *)
+      (match th.sig_saves with
+      | save :: rest ->
+          copy_regs rt ~src:save ~dst:th.reg_base th.reg_words;
+          th.sig_saves <- rest;
+          th.save_pool <- save :: th.save_pool
+      | [] -> ());
+      emit rt th (Trace.Signal_returned { tid = th.tid });
+      th.resume <- Some f
+
+(* ------------------------------------------------------------------ *)
+(* Memory operations (executed at effect-perform time)                *)
+(* ------------------------------------------------------------------ *)
+
+let is_private th addr =
+  (addr >= th.stack_base && addr < th.stack_base + th.stack_words)
+  || (addr >= th.reg_base && addr < th.reg_base + th.reg_words)
+
+let mirror_into_regs rt th v =
+  th.reg_cursor <- (th.reg_cursor + 1) mod th.reg_words;
+  Mem.raw_write rt.mem (th.reg_base + th.reg_cursor) v
+
+let do_read rt th addr =
+  rt.sim_stats.reads <- rt.sim_stats.reads + 1;
+  charge th (if is_private th addr then rt.cfg.cost.local_op else rt.cfg.cost.shared_read);
+  let v = Mem.read rt.mem addr in
+  mirror_into_regs rt th v;
+  v
+
+let do_write rt th addr v =
+  rt.sim_stats.writes <- rt.sim_stats.writes + 1;
+  charge th (if is_private th addr then rt.cfg.cost.local_op else rt.cfg.cost.shared_write);
+  Mem.write rt.mem addr v
+
+let do_cas rt th addr expected desired =
+  rt.sim_stats.cas_ops <- rt.sim_stats.cas_ops + 1;
+  charge th rt.cfg.cost.cas;
+  let v = Mem.read rt.mem addr in
+  if v = expected then begin
+    Mem.write rt.mem addr desired;
+    true
+  end
+  else begin
+    rt.sim_stats.cas_failures <- rt.sim_stats.cas_failures + 1;
+    mirror_into_regs rt th v;
+    false
+  end
+
+let do_faa rt th addr delta =
+  charge th rt.cfg.cost.faa;
+  let v = Mem.read rt.mem addr in
+  Mem.write rt.mem addr (v + delta);
+  mirror_into_regs rt th v;
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Fibers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let ranges_of_thread th =
+  ((th.stack_base, th.sp - th.stack_base) :: (th.reg_base, th.reg_words) :: th.private_ranges)
+  |> List.filter (fun (_, len) -> len > 0)
+
+let get_thread rt tid =
+  if tid < 0 || tid >= rt.nthreads then raise (Sim_error "unknown thread id");
+  rt.threads.(tid)
+
+let thread_done rt tid = (get_thread rt tid).status = Done
+
+let do_signal rt sender target_tid =
+  let target = get_thread rt target_tid in
+  rt.sim_stats.signals_sent <- rt.sim_stats.signals_sent + 1;
+  charge sender rt.cfg.cost.signal_send;
+  emit rt sender (Trace.Signal_sent { sender = sender.tid; target = target_tid });
+  if target.status <> Done then begin
+    Queue.push 0 target.pending;
+    if (not target.on_core) && not target.boosted then begin
+      (* The kernel makes a freshly-signaled thread runnable promptly:
+         move it to the head of the ready queue and request a preemption. *)
+      target.boosted <- true;
+      ready_remove rt target;
+      ready_push_front rt target;
+      rt.want_preempt <- true
+    end
+  end
+
+let rec make_handler : t -> thread -> (unit, unit) Effect.Deep.handler =
+ fun rt th ->
+  let open Effect.Deep in
+  {
+    retc = (fun () -> fiber_done rt th);
+    exnc = (fun e -> thread_fail rt th e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        let resume_with (k : (a, unit) continuation) (v : a) =
+          th.resume <- Some (fun () -> continue k v)
+        in
+        let guarded (k : (a, unit) continuation) (f : unit -> a) =
+          match f () with
+          | v -> resume_with k v
+          | exception e -> th.resume <- Some (fun () -> discontinue k e)
+        in
+        match eff with
+        | E_read addr -> Some (fun k -> guarded k (fun () -> do_read rt th addr))
+        | E_write (addr, v) -> Some (fun k -> guarded k (fun () -> do_write rt th addr v))
+        | E_cas (addr, e0, d) -> Some (fun k -> guarded k (fun () -> do_cas rt th addr e0 d))
+        | E_faa (addr, d) -> Some (fun k -> guarded k (fun () -> do_faa rt th addr d))
+        | E_fence ->
+            Some
+              (fun k ->
+                rt.sim_stats.fences <- rt.sim_stats.fences + 1;
+                charge th rt.cfg.cost.fence;
+                resume_with k ())
+        | E_malloc n ->
+            Some
+              (fun k ->
+                guarded k (fun () ->
+                    rt.sim_stats.mallocs <- rt.sim_stats.mallocs + 1;
+                    charge th rt.cfg.cost.malloc;
+                    let addr = Alloc.malloc rt.alloc ~tid:th.tid n in
+                    mirror_into_regs rt th (Ptr.of_addr addr);
+                    addr))
+        | E_free addr ->
+            Some
+              (fun k ->
+                guarded k (fun () ->
+                    rt.sim_stats.frees <- rt.sim_stats.frees + 1;
+                    charge th rt.cfg.cost.free;
+                    Alloc.free rt.alloc ~tid:th.tid addr))
+        | E_region n ->
+            Some
+              (fun k ->
+                guarded k (fun () ->
+                    charge th rt.cfg.cost.malloc;
+                    Alloc.alloc_region rt.alloc n))
+        | E_yield ->
+            Some
+              (fun k ->
+                rt.sim_stats.yields <- rt.sim_stats.yields + 1;
+                charge th rt.cfg.cost.yield;
+                th.wants_yield <- true;
+                resume_with k ())
+        | E_advance n ->
+            Some
+              (fun k ->
+                charge th (max n 0);
+                resume_with k ())
+        | E_now -> Some (fun k -> resume_with k th.clock)
+        | E_self -> Some (fun k -> resume_with k th.tid)
+        | E_rand n -> Some (fun k -> guarded k (fun () -> Splitmix.below th.rng n))
+        | E_spawn f ->
+            Some
+              (fun k ->
+                guarded k (fun () ->
+                    charge th rt.cfg.cost.spawn;
+                    let child = new_thread rt f in
+                    child.clock <- th.clock;
+                    ready_push rt child;
+                    child.tid))
+        | E_join target ->
+            Some
+              (fun k ->
+                let rec attempt () =
+                  if thread_done rt target then continue k ()
+                  else begin
+                    rt.sim_stats.yields <- rt.sim_stats.yields + 1;
+                    charge th rt.cfg.cost.yield;
+                    th.wants_yield <- true;
+                    th.resume <- Some attempt
+                  end
+                in
+                th.resume <- Some attempt)
+        | E_is_done target -> Some (fun k -> resume_with k (thread_done rt target))
+        | E_signal target -> Some (fun k -> guarded k (fun () -> do_signal rt th target))
+        | E_set_handler f ->
+            Some
+              (fun k ->
+                th.handler <- Some f;
+                charge th rt.cfg.cost.local_op;
+                resume_with k ())
+        | E_sig_depth -> Some (fun k -> resume_with k th.sig_depth)
+        | E_push_frame n ->
+            Some
+              (fun k ->
+                guarded k (fun () ->
+                    if n < 0 then raise (Sim_error "push_frame: negative size");
+                    if th.sp + n > th.stack_base + th.stack_words then
+                      raise (Sim_error "shadow stack overflow");
+                    charge th rt.cfg.cost.local_op;
+                    let base = th.sp in
+                    th.sp <- th.sp + n;
+                    for i = base to th.sp - 1 do
+                      Mem.raw_write rt.mem i 0
+                    done;
+                    base))
+        | E_pop_frame base ->
+            Some
+              (fun k ->
+                guarded k (fun () ->
+                    if base < th.stack_base || base > th.sp then
+                      raise (Sim_error "pop_frame: bad frame base");
+                    charge th rt.cfg.cost.local_op;
+                    th.sp <- base))
+        | E_stack_range -> Some (fun k -> resume_with k (th.stack_base, th.sp))
+        | E_reg_range -> Some (fun k -> resume_with k (th.reg_base, th.reg_words))
+        | E_save_regs ->
+            Some
+              (fun k ->
+                charge th (th.reg_words * rt.cfg.cost.local_op);
+                copy_regs rt ~src:th.reg_base ~dst:th.manual_save_base th.reg_words;
+                resume_with k ())
+        | E_saved_reg_range ->
+            Some
+              (fun k ->
+                let base =
+                  match th.sig_saves with
+                  | save :: _ -> save
+                  | [] -> th.manual_save_base
+                in
+                resume_with k (base, th.reg_words))
+        | E_clear_regs ->
+            Some
+              (fun k ->
+                charge th (th.reg_words * rt.cfg.cost.local_op);
+                for i = 0 to th.reg_words - 1 do
+                  Mem.raw_write rt.mem (th.reg_base + i) 0
+                done;
+                resume_with k ())
+        | E_add_range (base, len) ->
+            Some
+              (fun k ->
+                th.private_ranges <- (base, len) :: th.private_ranges;
+                charge th rt.cfg.cost.local_op;
+                resume_with k ())
+        | E_remove_range (base, len) ->
+            Some
+              (fun k ->
+                let removed = ref false in
+                th.private_ranges <-
+                  List.filter
+                    (fun r ->
+                      if (not !removed) && r = (base, len) then begin
+                        removed := true;
+                        false
+                      end
+                      else true)
+                    th.private_ranges;
+                charge th rt.cfg.cost.local_op;
+                resume_with k ())
+        | E_ranges -> Some (fun k -> resume_with k th.private_ranges)
+        | E_ranges_of target ->
+            Some (fun k -> guarded k (fun () -> ranges_of_thread (get_thread rt target)))
+        | _ -> None);
+  }
+
+and new_thread : t -> (unit -> unit) -> thread =
+ fun rt body ->
+  let tid = rt.nthreads in
+  let stack_base = Alloc.alloc_region rt.alloc rt.cfg.stack_words in
+  let reg_base = Alloc.alloc_region rt.alloc rt.cfg.reg_words in
+  let manual_save_base = Alloc.alloc_region rt.alloc rt.cfg.reg_words in
+  let th =
+    {
+      tid;
+      clock = 0;
+      status = Ready;
+      resume = None;
+      saved = [];
+      on_core = false;
+      heap_pos = -1;
+      core_since = 0;
+      ever_scheduled = false;
+      boosted = false;
+      wants_yield = false;
+      stack_base;
+      stack_words = rt.cfg.stack_words;
+      sp = stack_base;
+      reg_base;
+      reg_words = rt.cfg.reg_words;
+      manual_save_base;
+      sig_saves = [];
+      save_pool = [];
+      reg_cursor = 0;
+      handler = None;
+      pending = Queue.create ();
+      sig_depth = 0;
+      failure = None;
+      rng = Splitmix.split rt.rng;
+      private_ranges = [];
+    }
+  in
+  th.resume <- Some (fun () -> Effect.Deep.match_with body () (make_handler rt th));
+  if tid >= Array.length rt.threads then begin
+    let cap = max 8 (2 * Array.length rt.threads) in
+    let bigger = Array.make cap th in
+    Array.blit rt.threads 0 bigger 0 tid;
+    rt.threads <- bigger
+  end;
+  rt.threads.(tid) <- th;
+  rt.nthreads <- rt.nthreads + 1;
+  rt.live <- rt.live + 1;
+  rt.sim_stats.spawns <- rt.sim_stats.spawns + 1;
+  th
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let deliver_signal rt th =
+  match th.handler with
+  | Some h when (not (Queue.is_empty th.pending)) && th.resume <> None ->
+      ignore (Queue.pop th.pending);
+      rt.sim_stats.signals_delivered <- rt.sim_stats.signals_delivered + 1;
+      charge th rt.cfg.cost.signal_dispatch;
+      (* The kernel saves the interrupted context; the handler scans this
+         snapshot, not the registers its own execution clobbers. *)
+      let save =
+        match th.save_pool with
+        | s :: rest ->
+            th.save_pool <- rest;
+            s
+        | [] -> Alloc.alloc_region rt.alloc th.reg_words
+      in
+      copy_regs rt ~src:th.reg_base ~dst:save th.reg_words;
+      th.sig_saves <- save :: th.sig_saves;
+      th.sig_depth <- th.sig_depth + 1;
+      emit rt th (Trace.Signal_delivered { tid = th.tid; depth = th.sig_depth });
+      let interrupted = Option.get th.resume in
+      th.saved <- interrupted :: th.saved;
+      th.resume <- Some (fun () -> Effect.Deep.match_with h () (make_handler rt th))
+  | _ -> ()
+
+let capacity rt = if unlimited rt then max_int else rt.cfg.cores
+
+let refill rt =
+  while rt.nactive < capacity rt && ready_nonempty rt do
+    match ready_pop rt with
+    | None -> ()
+    | Some th ->
+        th.on_core <- true;
+        th.boosted <- false;
+        if th.ever_scheduled then begin
+          if not (unlimited rt) then begin
+            rt.sim_stats.ctx_switches <- rt.sim_stats.ctx_switches + 1;
+            charge th rt.cfg.cost.context_switch
+          end;
+          emit rt th (Trace.Scheduled { tid = th.tid })
+        end
+        else emit rt th (Trace.Thread_started { tid = th.tid });
+        th.ever_scheduled <- true;
+        if th.clock < rt.now then th.clock <- rt.now;
+        th.core_since <- th.clock;
+        heap_push rt th
+  done
+
+let min_clock_active rt =
+  if rt.nactive = 0 then None
+  else if rt.cfg.random_schedule then
+    (* adversarial exploration: any active thread may step next.  The walk
+       is still deterministic in the seed, and execution order still
+       defines a sequentially consistent history. *)
+    Some rt.heap.(Splitmix.below rt.rng rt.nactive)
+  else Some rt.heap.(0)
+
+let deschedule rt th =
+  remove_active rt th;
+  ready_push rt th;
+  emit rt th (Trace.Descheduled { tid = th.tid })
+
+let post_step rt th =
+  if th.status <> Done && th.on_core && not (unlimited rt) then begin
+    let others_waiting = ready_nonempty rt in
+    if
+      others_waiting
+      && (th.wants_yield || rt.want_preempt || th.clock - th.core_since >= rt.cfg.quantum)
+    then begin
+      deschedule rt th;
+      rt.want_preempt <- false
+    end
+  end;
+  th.wants_yield <- false;
+  (* the stepped thread's clock advanced; restore the heap invariant *)
+  if th.on_core && th.heap_pos >= 0 then sift_down rt th.heap_pos
+
+let step rt th =
+  deliver_signal rt th;
+  if th.clock > rt.now then rt.now <- th.clock;
+  rt.sim_stats.steps <- rt.sim_stats.steps + 1;
+  if rt.sim_stats.steps > rt.cfg.max_steps then raise Step_limit_exceeded;
+  (match th.resume with
+  | None -> raise (Sim_error "scheduled a thread with nothing to run")
+  | Some f ->
+      th.resume <- None;
+      f ());
+  post_step rt th
+
+(* ------------------------------------------------------------------ *)
+(* Public API                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let create cfg =
+  let mem = Mem.create ~strict:cfg.strict_mem ~capacity_limit:cfg.mem_capacity () in
+  (* max_threads for allocator caches: grown lazily via modulo mapping is
+     wrong; instead size generously and let Alloc index by tid directly. *)
+  let alloc = Alloc.create ~max_threads:4096 mem in
+  let rng = Splitmix.create cfg.seed in
+  {
+    cfg;
+    mem;
+    alloc;
+    threads = [||];
+    nthreads = 0;
+    ready_front = [];
+    ready_back = [];
+    heap = [||];
+    nactive = 0;
+    live = 0;
+    now = 0;
+    want_preempt = false;
+    started = false;
+    sim_stats = make_stats ();
+    rng;
+  }
+
+let add_thread rt body =
+  if rt.started then invalid_arg "Runtime.add_thread: already started";
+  let th = new_thread rt body in
+  ready_push rt th;
+  th.tid
+
+let mem rt = rt.mem
+
+let alloc rt = rt.alloc
+
+let stats rt = rt.sim_stats
+
+let thread_count rt = rt.nthreads
+
+let collect_failures rt =
+  let fs = ref [] in
+  for i = rt.nthreads - 1 downto 0 do
+    match rt.threads.(i).failure with
+    | Some e -> fs := (i, e) :: !fs
+    | None -> ()
+  done;
+  !fs
+
+let start rt =
+  if rt.started then invalid_arg "Runtime.start: already started";
+  rt.started <- true;
+  let running = ref true in
+  while !running do
+    refill rt;
+    if not (ready_nonempty rt) then rt.want_preempt <- false;
+    match min_clock_active rt with
+    | Some th -> step rt th
+    | None ->
+        if rt.live = 0 then running := false
+        else raise (Deadlock (Fmt.str "%d threads alive but none runnable" rt.live))
+  done;
+  let failures = collect_failures rt in
+  (match failures with
+  | (tid, e) :: _ when rt.cfg.propagate_failures -> raise (Thread_failure (tid, e))
+  | _ -> ());
+  { elapsed = rt.now; run_stats = rt.sim_stats; failures }
+
+let run ?(config = default_config) main =
+  let rt = create config in
+  ignore (add_thread rt main);
+  start rt
+
+(* Effect-performing wrappers *)
+
+let read addr = Effect.perform (E_read addr)
+
+let write addr v = Effect.perform (E_write (addr, v))
+
+let cas addr expected desired = Effect.perform (E_cas (addr, expected, desired))
+
+let faa addr delta = Effect.perform (E_faa (addr, delta))
+
+let fence () = Effect.perform E_fence
+
+let malloc n = Effect.perform (E_malloc n)
+
+let free addr = Effect.perform (E_free addr)
+
+let alloc_region n = Effect.perform (E_region n)
+
+let yield () = Effect.perform E_yield
+
+let advance n = Effect.perform (E_advance n)
+
+let now () = Effect.perform E_now
+
+let self () = Effect.perform E_self
+
+let rand_below n = Effect.perform (E_rand n)
+
+let spawn f = Effect.perform (E_spawn f)
+
+let join tid = Effect.perform (E_join tid)
+
+let is_done tid = Effect.perform (E_is_done tid)
+
+let signal tid = Effect.perform (E_signal tid)
+
+let set_signal_handler f = Effect.perform (E_set_handler f)
+
+let signal_depth () = Effect.perform E_sig_depth
+
+let push_frame n = Effect.perform (E_push_frame n)
+
+let pop_frame base = Effect.perform (E_pop_frame base)
+
+let stack_range () = Effect.perform E_stack_range
+
+let reg_range () = Effect.perform E_reg_range
+
+let save_regs () = Effect.perform E_save_regs
+
+let saved_reg_range () = Effect.perform E_saved_reg_range
+
+let clear_regs () = Effect.perform E_clear_regs
+
+let add_private_range base len = Effect.perform (E_add_range (base, len))
+
+let remove_private_range base len = Effect.perform (E_remove_range (base, len))
+
+let private_ranges () = Effect.perform E_ranges
+
+let scan_ranges_of tid = Effect.perform (E_ranges_of tid)

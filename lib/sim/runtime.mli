@@ -1,0 +1,208 @@
+(** Deterministic simulated multiprocessor.
+
+    Threads are OCaml 5 fibers; every shared-memory operation is an effect.
+    The scheduler executes exactly one operation per step, always choosing
+    the active thread with the smallest virtual clock, which yields a
+    sequentially consistent interleaving whose timing follows the
+    {!Cost_model}.  [cores] simulated cores are multiplexed among threads
+    with a quantum and context-switch costs, reproducing oversubscription.
+
+    POSIX-style signals: {!signal} enqueues a signal for a target thread; a
+    handler fiber is pushed on top of the target's execution before its next
+    step (handlers nest, as §4.2 of the paper describes).  A descheduled
+    target is priority-boosted, modelling the kernel making a signaled
+    thread runnable promptly.
+
+    Every thread owns a shadow stack and a register file *inside the
+    unmanaged heap*; the result of every load is automatically mirrored into
+    the register file, so a value "in flight" between a load and its stack
+    store is visible to conservative scans — the reason ThreadScan scans
+    registers at all.
+
+    A run is a pure function of its configuration (including [seed]): no
+    wall clock, no global randomness. *)
+
+type tid = int
+
+exception Deadlock of string
+exception Step_limit_exceeded
+exception Thread_failure of tid * exn
+exception Sim_error of string
+
+(** {1 Configuration} *)
+
+type config = {
+  cost : Cost_model.t;
+  cores : int;  (** [<= 0] means one core per thread (never preempt) *)
+  quantum : int;  (** cycles a thread may hold a core while others wait *)
+  seed : int;
+  stack_words : int;  (** shadow-stack size per thread *)
+  reg_words : int;  (** register-file size per thread *)
+  mem_capacity : int;  (** word limit of the unmanaged heap *)
+  strict_mem : bool;  (** raise on memory faults (vs. count only) *)
+  max_steps : int;  (** hard step bound, guards against livelock *)
+  propagate_failures : bool;  (** re-raise the first thread failure after the run *)
+  trace : (Trace.entry -> unit) option;
+      (** scheduling/signal event stream (see {!Trace.recorder}) *)
+  random_schedule : bool;
+      (** step a uniformly random active thread instead of the
+          smallest-clock one: timing stops being meaningful, but the
+          seed-indexed family of runs explores far more interleavings — a
+          lightweight model-checking mode for correctness tests *)
+}
+
+val default_config : config
+
+(** {1 Statistics} *)
+
+type stats = {
+  mutable steps : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable cas_ops : int;
+  mutable cas_failures : int;
+  mutable fences : int;
+  mutable mallocs : int;
+  mutable frees : int;
+  mutable yields : int;
+  mutable signals_sent : int;
+  mutable signals_delivered : int;
+  mutable ctx_switches : int;
+  mutable spawns : int;
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+type result = {
+  elapsed : int;  (** virtual cycles at the end of the run *)
+  run_stats : stats;
+  failures : (tid * exn) list;
+}
+
+(** {1 Running} *)
+
+type t
+
+val create : config -> t
+
+val add_thread : t -> (unit -> unit) -> tid
+(** Register a thread before {!start}.  The first added thread has tid 0. *)
+
+val start : t -> result
+(** Runs until every thread has finished.  @raise Thread_failure (when
+    [propagate_failures]), @raise Deadlock, @raise Step_limit_exceeded. *)
+
+val run : ?config:config -> (unit -> unit) -> result
+(** [run main] = create + add main + start.  [main] can {!spawn} workers. *)
+
+val mem : t -> Ts_umem.Mem.t
+(** The unmanaged heap, for post-run assertions. *)
+
+val alloc : t -> Ts_umem.Alloc.t
+
+val stats : t -> stats
+
+val thread_count : t -> int
+
+(** {1 Operations (only valid inside a running thread)} *)
+
+val read : int -> int
+(** Shared-memory load of one word; the value is mirrored into the calling
+    thread's register file. *)
+
+val write : int -> int -> unit
+
+val cas : int -> int -> int -> bool
+(** [cas addr expected desired] — atomic compare-and-swap. *)
+
+val faa : int -> int -> int
+(** [faa addr delta] — atomic fetch-and-add, returns the previous value. *)
+
+val fence : unit -> unit
+
+val malloc : int -> int
+(** Allocates [n] words from the simulated allocator; returns the block's
+    base address. *)
+
+val free : int -> unit
+
+val alloc_region : int -> int
+(** Permanent region (no header, never freed): global variables, buffers. *)
+
+val yield : unit -> unit
+(** Voluntarily relinquish the core when others are waiting. *)
+
+val advance : int -> unit
+(** Burn [n] cycles of pure computation (models local work / busy-wait). *)
+
+val now : unit -> int
+(** The calling thread's virtual clock. *)
+
+val self : unit -> tid
+
+val rand_below : int -> int
+(** Deterministic per-thread random value in [\[0, n)]. *)
+
+val spawn : (unit -> unit) -> tid
+
+val join : tid -> unit
+(** Spin (with {!yield}) until the target finishes. *)
+
+val is_done : tid -> bool
+
+val signal : tid -> unit
+(** Send the (single) simulated signal to a thread; its handler runs before
+    that thread's next application step. *)
+
+val set_signal_handler : (unit -> unit) -> unit
+(** Install the calling thread's signal handler. *)
+
+val signal_depth : unit -> int
+(** How many nested signal handlers the calling thread is currently in. *)
+
+(** {1 Shadow stack, registers, private ranges} *)
+
+val push_frame : int -> int
+(** [push_frame n] reserves [n] zeroed shadow-stack slots; returns the frame
+    base address.  @raise Sim_error on shadow-stack overflow. *)
+
+val pop_frame : int -> unit
+(** [pop_frame base] releases the frame pushed at [base].  Popped slots are
+    deliberately not cleared: like a real stack, stale words linger and a
+    conservative scan may see them. *)
+
+val stack_range : unit -> int * int
+(** [(base, sp)] of the calling thread — the live extent a scan must cover. *)
+
+val reg_range : unit -> int * int
+(** [(base, len)] of the calling thread's register file. *)
+
+val save_regs : unit -> unit
+(** Snapshot the calling thread's register file into its save area — what
+    the kernel does implicitly on signal delivery.  A scanner that is about
+    to clobber its own registers (the reclaimer scanning itself) calls this
+    first. *)
+
+val saved_reg_range : unit -> int * int
+(** [(base, len)] of the register context a conservative scan must cover:
+    inside a signal handler, the interrupted context saved at delivery
+    (restored by the simulated [sigreturn] when the handler finishes);
+    otherwise the snapshot taken by the last {!save_regs}. *)
+
+val clear_regs : unit -> unit
+(** Zero the calling thread's register file — a function deliberately
+    clobbering its registers.  Used by end-of-run reclamation to drop the
+    conservative pins its own register traffic would otherwise create. *)
+
+val add_private_range : int -> int -> unit
+(** Declare [(base, len)] as holding private references of the calling
+    thread (the §4.3 heap-block extension's underlying registry). *)
+
+val remove_private_range : int -> int -> unit
+
+val private_ranges : unit -> (int * int) list
+
+val scan_ranges_of : tid -> (int * int) list
+(** All ranges a conservative scan of thread [tid] must cover: live stack,
+    register file, registered private ranges.  Usable from any thread (the
+    data is private to the runtime, not the target). *)

@@ -1,0 +1,26 @@
+type event =
+  | Thread_started of { tid : int }
+  | Thread_finished of { tid : int }
+  | Scheduled of { tid : int }
+  | Descheduled of { tid : int }
+  | Signal_sent of { sender : int; target : int }
+  | Signal_delivered of { tid : int; depth : int }
+  | Signal_returned of { tid : int }
+
+type entry = { time : int; event : event }
+
+let pp ppf { time; event } =
+  let p fmt = Fmt.pf ppf ("%10d  " ^^ fmt) time in
+  match event with
+  | Thread_started { tid } -> p "thread %d started" tid
+  | Thread_finished { tid } -> p "thread %d finished" tid
+  | Scheduled { tid } -> p "thread %d scheduled onto a core" tid
+  | Descheduled { tid } -> p "thread %d descheduled" tid
+  | Signal_sent { sender; target } -> p "thread %d signaled thread %d" sender target
+  | Signal_delivered { tid; depth } -> p "thread %d entered its handler (depth %d)" tid depth
+  | Signal_returned { tid } -> p "thread %d returned from its handler" tid
+
+let recorder () =
+  let entries = ref [] in
+  let record e = entries := e :: !entries in
+  (record, fun () -> List.rev !entries)

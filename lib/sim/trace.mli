@@ -1,0 +1,24 @@
+(** Structured execution traces.
+
+    When {!Runtime.config.trace} is set, the scheduler reports scheduling
+    decisions, signal traffic and thread lifecycle as timestamped entries —
+    enough to reconstruct a ThreadScan phase timeline (see [bin/tstrace]).
+    Traces are deterministic like everything else in the simulator. *)
+
+type event =
+  | Thread_started of { tid : int }  (** first time on a core *)
+  | Thread_finished of { tid : int }
+  | Scheduled of { tid : int }  (** placed on a core (after the first time) *)
+  | Descheduled of { tid : int }  (** preempted or yielded while others wait *)
+  | Signal_sent of { sender : int; target : int }
+  | Signal_delivered of { tid : int; depth : int }
+      (** handler pushed; [depth] counts nesting *)
+  | Signal_returned of { tid : int }  (** handler finished, context restored *)
+
+type entry = { time : int; event : event }
+
+val pp : Format.formatter -> entry -> unit
+
+val recorder : unit -> (entry -> unit) * (unit -> entry list)
+(** [recorder ()] returns a callback suitable for [config.trace] and a
+    function retrieving everything recorded so far, in order. *)

@@ -1,0 +1,40 @@
+type counters = { mutable retired : int; mutable freed : int; mutable cleanups : int }
+
+type t = {
+  name : string;
+  thread_init : unit -> unit;
+  thread_exit : unit -> unit;
+  op_begin : unit -> unit;
+  op_end : unit -> unit;
+  protect : slot:int -> int -> int;
+  release : slot:int -> unit;
+  retire : int -> unit;
+  flush : unit -> unit;
+  counters : counters;
+  extras : unit -> (string * int) list;
+}
+
+let nop () = ()
+
+let make ~name ?(thread_init = nop) ?(thread_exit = nop) ?(op_begin = nop) ?(op_end = nop)
+    ?(protect = fun ~slot:_ p -> p) ?(release = fun ~slot:_ -> ()) ?(flush = nop)
+    ?(extras = fun () -> []) ~retire () =
+  let counters = { retired = 0; freed = 0; cleanups = 0 } in
+  {
+    name;
+    thread_init;
+    thread_exit;
+    op_begin;
+    op_end;
+    protect;
+    release;
+    retire = (fun p -> retire counters p);
+    flush;
+    counters;
+    extras;
+  }
+
+let pp ppf t =
+  Fmt.pf ppf "%s: retired=%d freed=%d cleanups=%d" t.name t.counters.retired t.counters.freed
+    t.counters.cleanups;
+  List.iter (fun (k, v) -> Fmt.pf ppf " %s=%d" k v) (t.extras ())

@@ -1,0 +1,72 @@
+(** Scheme-neutral interface to safe-memory-reclamation schemes.
+
+    Every reclaimer in the repository — ThreadScan and all the baselines the
+    paper evaluates against — is packaged as a value of type {!t}.  Data
+    structures are written once against this interface; the scheme decides
+    what each hook costs:
+
+    - Leaky and ThreadScan make every hook except [retire] free — that is
+      the paper's "automatic" property: the data structure only hands nodes
+      to [retire].
+    - Hazard pointers pay a store + fence in [protect] on every traversal
+      step.
+    - Epoch-based schemes pay two counter writes per operation in
+      [op_begin]/[op_end].
+
+    All hooks implicitly act on the calling simulated thread
+    ({!Ts_sim.Runtime.self}). *)
+
+type counters = {
+  mutable retired : int;  (** nodes handed to [retire] *)
+  mutable freed : int;  (** nodes actually released to the allocator *)
+  mutable cleanups : int;  (** reclamation phases / scans executed *)
+}
+
+type t = {
+  name : string;
+  thread_init : unit -> unit;
+      (** Must be called by each participating thread before its first
+          operation (registers the thread with the scheme). *)
+  thread_exit : unit -> unit;
+      (** Must be called by each participating thread after its last
+          operation. *)
+  op_begin : unit -> unit;  (** Start of a data-structure operation. *)
+  op_end : unit -> unit;  (** End of a data-structure operation. *)
+  protect : slot:int -> int -> int;
+      (** [protect ~slot p] announces that the calling thread is about to
+          dereference pointer [p]; returns [p].  [slot] distinguishes the
+          hand-over-hand positions (prev/cur/next).  No-op for schemes with
+          invisible readers. *)
+  release : slot:int -> unit;  (** Clears a protection slot. *)
+  retire : int -> unit;
+      (** [retire p] hands an unlinked node to the scheme.  [p] is a pointer
+          value ({!Ts_umem.Ptr}); tag bits are ignored.  The scheme frees the
+          node once it can prove no thread still holds a reference. *)
+  flush : unit -> unit;
+      (** Drive reclamation to quiescence.  Called after all worker threads
+          have exited, from the coordinating thread; afterwards every
+          reclaimable retired node must have been freed. *)
+  counters : counters;
+  extras : unit -> (string * int) list;
+      (** Scheme-specific statistics (signals sent, phases, marked nodes…). *)
+}
+
+val make :
+  name:string ->
+  ?thread_init:(unit -> unit) ->
+  ?thread_exit:(unit -> unit) ->
+  ?op_begin:(unit -> unit) ->
+  ?op_end:(unit -> unit) ->
+  ?protect:(slot:int -> int -> int) ->
+  ?release:(slot:int -> unit) ->
+  ?flush:(unit -> unit) ->
+  ?extras:(unit -> (string * int) list) ->
+  retire:(counters -> int -> unit) ->
+  unit ->
+  t
+(** Builds a scheme with no-op defaults for the omitted hooks.  [retire]
+    receives the shared counters record (and must bump [retired] itself,
+    which keeps accounting decisions inside the scheme). *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary: name plus counters and extras. *)

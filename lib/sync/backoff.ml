@@ -1,0 +1,13 @@
+module Runtime = Ts_sim.Runtime
+
+type t = { min_delay : int; max_delay : int; mutable delay : int }
+
+let create ?(min_delay = 32) ?(max_delay = 4096) () =
+  { min_delay; max_delay; delay = min_delay }
+
+let once t =
+  Runtime.advance t.delay;
+  Runtime.yield ();
+  t.delay <- min t.max_delay (2 * t.delay)
+
+let reset t = t.delay <- t.min_delay

@@ -1,0 +1,12 @@
+(** Exponential backoff for contended spin loops. *)
+
+type t
+
+val create : ?min_delay:int -> ?max_delay:int -> unit -> t
+(** Delays are in virtual cycles; defaults 32 .. 4096. *)
+
+val once : t -> unit
+(** Burn the current delay (and yield the core if oversubscribed), then
+    double it up to the maximum. *)
+
+val reset : t -> unit

@@ -1,0 +1,23 @@
+module Runtime = Ts_sim.Runtime
+
+type t = { parties : int; count : int; sense : int }
+
+let create parties =
+  let base = Runtime.alloc_region 2 in
+  Runtime.write base 0 (* count *);
+  Runtime.write (base + 1) 0 (* sense *);
+  { parties; count = base; sense = base + 1 }
+
+let wait t =
+  let my_sense = 1 - Runtime.read t.sense in
+  let arrived = Runtime.faa t.count 1 + 1 in
+  if arrived = t.parties then begin
+    Runtime.write t.count 0;
+    Runtime.write t.sense my_sense
+  end
+  else begin
+    let b = Backoff.create ~max_delay:512 () in
+    while Runtime.read t.sense <> my_sense do
+      Backoff.once b
+    done
+  end

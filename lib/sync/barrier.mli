@@ -1,0 +1,7 @@
+(** Sense-reversing barrier for [n] simulated threads; reusable. *)
+
+type t
+
+val create : int -> t
+
+val wait : t -> unit

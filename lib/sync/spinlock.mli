@@ -1,0 +1,22 @@
+(** Test-and-test-and-set spinlock with exponential backoff, living in a
+    single unmanaged-memory word.  This is the fine-grained lock used by the
+    lock-based data structures and by ThreadScan's reclaimer lock. *)
+
+type t
+
+val create : unit -> t
+(** Allocates the lock word (must run inside the simulator). *)
+
+val at : int -> t
+(** A lock view over an existing word (e.g. a lock field inside a node). *)
+
+val acquire : t -> unit
+
+val try_acquire : t -> bool
+
+val release : t -> unit
+
+val is_held : t -> bool
+
+val word : t -> int
+(** Address of the lock word. *)

@@ -1,0 +1,20 @@
+module Runtime = Ts_sim.Runtime
+
+type t = { next : int; serving : int }
+
+let create () =
+  let base = Runtime.alloc_region 2 in
+  Runtime.write base 0;
+  Runtime.write (base + 1) 0;
+  { next = base; serving = base + 1 }
+
+let acquire t =
+  let ticket = Runtime.faa t.next 1 in
+  let b = Backoff.create ~max_delay:1024 () in
+  while Runtime.read t.serving <> ticket do
+    Backoff.once b
+  done
+
+let release t =
+  let s = Runtime.read t.serving in
+  Runtime.write t.serving (s + 1)

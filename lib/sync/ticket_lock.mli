@@ -1,0 +1,9 @@
+(** FIFO ticket lock: fair under contention, two unmanaged words. *)
+
+type t
+
+val create : unit -> t
+
+val acquire : t -> unit
+
+val release : t -> unit

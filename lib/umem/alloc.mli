@@ -1,0 +1,60 @@
+(** TCMalloc-like allocator over {!Mem}.
+
+    The paper's test bed used TCMalloc; this reproduces its structure at the
+    level the experiments care about: per-thread caches serve most
+    allocations without touching shared state, a central free list per size
+    class absorbs cache overflow in batches, and fresh spans are carved from
+    a bump pointer.  Every block carries a one-word header (invisible to the
+    data plane) used to validate frees; double frees and frees of interior
+    pointers are detected and reported through {!Mem.record_fault}.
+
+    The allocator itself is control-plane: the simulator charges a lump cost
+    per [malloc]/[free] rather than pricing its internal accesses. *)
+
+type t
+
+val create : ?cache_cap:int -> ?batch:int -> max_threads:int -> Mem.t -> t
+(** [create ~max_threads mem] builds an allocator with one cache per thread
+    id in [0, max_threads).  [cache_cap] (default 64) bounds a per-class
+    cache; [batch] (default 32) is the cache<->central transfer size. *)
+
+val malloc : t -> tid:int -> int -> int
+(** [malloc t ~tid n] allocates a block of at least [n >= 1] words and
+    returns its user base address.  The block is zero-filled and live. *)
+
+val free : t -> tid:int -> int -> unit
+(** [free t ~tid addr] releases a block previously returned by {!malloc}.
+    Freed words are poisoned and any later data-plane access faults until
+    the block is reallocated. *)
+
+val alloc_region : t -> int -> int
+(** [alloc_region t n] carves a permanent live region of [n] words (thread
+    stacks, register files, global arrays, delete buffers).  Regions are
+    never freed and have no header. *)
+
+val block_size : t -> int -> int
+(** Usable size (words) of a live block.  @raise Invalid_argument if [addr]
+    is not a live block base. *)
+
+val is_block : t -> int -> bool
+(** Whether [addr] is the user base of a currently live block. *)
+
+(** {1 Statistics} *)
+
+val live_blocks : t -> int
+
+val live_words : t -> int
+
+val peak_live_blocks : t -> int
+
+val peak_live_words : t -> int
+
+val total_mallocs : t -> int
+
+val total_frees : t -> int
+
+val cache_hits : t -> int
+
+val central_refills : t -> int
+
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,15 @@
+let null = 0
+
+let of_addr a = a lsl 3
+
+let mask w = w land lnot 7
+
+let addr p = (mask p) lsr 3
+
+let is_null p = mask p = 0
+
+let mark p = p lor 1
+
+let unmark p = p land lnot 1
+
+let is_marked p = p land 1 = 1

@@ -1,0 +1,30 @@
+(** Pointer-value encoding.
+
+    A node reference stored *in memory* (as opposed to a bare word address)
+    is encoded as [addr lsl 3], mimicking a byte address with 8-byte
+    alignment.  The three low bits are available for tags; bit 0 carries the
+    Harris/Michael logical-deletion mark.  ThreadScan's scanner masks the low
+    bits before comparing, exactly as §4.2 of the paper prescribes. *)
+
+val null : int
+(** The null pointer (0). *)
+
+val of_addr : int -> int
+(** [of_addr a] encodes word address [a] as a pointer value. *)
+
+val addr : int -> int
+(** [addr p] decodes the word address, ignoring tag bits. *)
+
+val is_null : int -> bool
+(** True when the pointer (tags ignored) designates no node. *)
+
+val mark : int -> int
+(** Sets the logical-deletion bit (bit 0). *)
+
+val unmark : int -> int
+
+val is_marked : int -> bool
+
+val mask : int -> int
+(** [mask w] clears the three low-order tag bits of an arbitrary word — the
+    conservative-scan normalisation. *)

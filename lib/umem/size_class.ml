@@ -1,0 +1,24 @@
+let classes =
+  [| 1; 2; 3; 4; 5; 6; 8; 10; 12; 16; 20; 24; 28; 32; 40; 48; 56; 64; 80; 96; 112; 128; 160; 192; 224; 256 |]
+
+let count = Array.length classes
+
+let max_small = classes.(count - 1)
+
+(* Precomputed request-size -> class-index table. *)
+let table =
+  let t = Array.make (max_small + 1) 0 in
+  let c = ref 0 in
+  for n = 1 to max_small do
+    if n > classes.(!c) then incr c;
+    t.(n) <- !c
+  done;
+  t
+
+let is_small n = n >= 1 && n <= max_small
+
+let of_size n =
+  if not (is_small n) then invalid_arg "Size_class.of_size";
+  table.(n)
+
+let size c = classes.(c)

@@ -1,0 +1,22 @@
+(** TCMalloc-style size classes (in words).
+
+    Small requests are rounded up to one of a fixed set of class sizes so
+    freed blocks are reusable across call sites; larger requests are served
+    as exact-size "large" spans.  The class table mirrors TCMalloc's shape:
+    dense at small sizes, geometric afterwards. *)
+
+val max_small : int
+(** Largest size (in words) served from a size class. *)
+
+val count : int
+(** Number of size classes. *)
+
+val of_size : int -> int
+(** [of_size n] is the class index for a request of [n] words.
+    Requires [1 <= n <= max_small]. *)
+
+val size : int -> int
+(** [size c] is the block size (words) of class [c]. *)
+
+val is_small : int -> bool
+(** Whether a request of [n] words is served from a class. *)

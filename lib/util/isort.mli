@@ -1,0 +1,17 @@
+(** Sorting and searching over [int array] prefixes.
+
+    The master delete buffer is a fixed array with a live prefix; these
+    helpers avoid allocating intermediate arrays on the hot path. *)
+
+val sort_prefix : int array -> int -> unit
+(** [sort_prefix a n] sorts [a.(0) .. a.(n-1)] ascending (in place). *)
+
+val binary_search : int array -> int -> int -> int
+(** [binary_search a n key] returns the index of [key] within the sorted
+    prefix [a.(0) .. a.(n-1)], or [-1] when absent. *)
+
+val is_sorted : int array -> int -> bool
+
+val dedup_sorted : int array -> int -> int
+(** [dedup_sorted a n] compacts consecutive duplicates in the sorted prefix
+    and returns the new prefix length. *)

@@ -1,0 +1,51 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+(* Truncate to OCaml's 62 non-sign bits so the result is non-negative. *)
+let next t = Int64.to_int (Int64.shift_right_logical (next64 t) 1) land max_int
+
+let split t =
+  let seed = next64 t in
+  { state = seed }
+
+let below t n =
+  assert (n > 0);
+  (* Rejection sampling keeps the distribution exactly uniform. *)
+  let limit = max_int - (max_int mod n) in
+  let rec loop () =
+    let v = next t in
+    if v < limit then v mod n else loop ()
+  in
+  loop ()
+
+let int_in t lo hi =
+  assert (lo <= hi);
+  lo + below t (hi - lo + 1)
+
+let bool t = Int64.logand (next64 t) 1L = 1L
+
+let float t = Stdlib.float_of_int (next t) /. Stdlib.float_of_int max_int /. (1. +. epsilon_float)
+
+let chance t p = float t < p
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = below t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

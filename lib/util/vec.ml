@@ -1,0 +1,61 @@
+type t = { mutable data : int array; mutable len : int }
+
+let create ?(capacity = 8) () = { data = Array.make (max capacity 1) 0; len = 0 }
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let grow t =
+  let data = Array.make (2 * Array.length t.data) 0 in
+  Array.blit t.data 0 data 0 t.len;
+  t.data <- data
+
+let push t v =
+  if t.len = Array.length t.data then grow t;
+  t.data.(t.len) <- v;
+  t.len <- t.len + 1
+
+let pop t =
+  if t.len = 0 then invalid_arg "Vec.pop: empty";
+  t.len <- t.len - 1;
+  t.data.(t.len)
+
+let check t i = if i < 0 || i >= t.len then invalid_arg "Vec: index out of bounds"
+
+let get t i =
+  check t i;
+  t.data.(i)
+
+let set t i v =
+  check t i;
+  t.data.(i) <- v
+
+let clear t = t.len <- 0
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let exists p t =
+  let rec loop i = i < t.len && (p t.data.(i) || loop (i + 1)) in
+  loop 0
+
+let to_array t = Array.sub t.data 0 t.len
+
+let of_array a = { data = (if Array.length a = 0 then Array.make 1 0 else Array.copy a); len = Array.length a }
+
+let append_array t a = Array.iter (push t) a
+
+let sort t =
+  let a = to_array t in
+  Array.sort compare a;
+  Array.blit a 0 t.data 0 t.len
+
+let swap_remove t i =
+  check t i;
+  let v = t.data.(i) in
+  t.len <- t.len - 1;
+  t.data.(i) <- t.data.(t.len);
+  v

@@ -1,0 +1,41 @@
+(** Growable vector of unboxed [int]s.
+
+    OCaml 5.1 predates [Dynarray]; this is the small subset the repository
+    needs, specialised to [int] so elements stay unboxed. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val length : t -> int
+
+val is_empty : t -> bool
+
+val push : t -> int -> unit
+
+val pop : t -> int
+(** Removes and returns the last element.  @raise Invalid_argument if empty. *)
+
+val get : t -> int -> int
+
+val set : t -> int -> int -> unit
+
+val clear : t -> unit
+(** Resets length to zero; capacity is kept. *)
+
+val iter : (int -> unit) -> t -> unit
+
+val exists : (int -> bool) -> t -> bool
+
+val to_array : t -> int array
+
+val of_array : int array -> t
+
+val append_array : t -> int array -> unit
+
+val sort : t -> unit
+(** Ascending in-place sort. *)
+
+val swap_remove : t -> int -> int
+(** [swap_remove t i] removes index [i] in O(1) by swapping in the last
+    element; returns the removed value. *)

@@ -1,0 +1,28 @@
+The CLI lists every experiment of the paper's evaluation:
+
+  $ ../../bin/tsbench.exe list
+  fig3-list
+  fig3-hash
+  fig3-skip
+  fig4-list
+  fig4-hash
+  fig4-skip
+  ablate-buffer
+  ablate-slow-epoch
+  ablate-help-free
+  ablate-padding
+  ablate-structures
+
+A single run is a pure function of its seed, so its output is exact:
+
+  $ ../../bin/tsbench.exe run -d list -s leaky -t 2 --horizon 50000 --init 16 --range 32
+  workload:   list + leaky, 2 threads on dedicated cores
+              init=16 range=32 updates=20% horizon=50000 cycles seed=3045
+  ops:        317 (6340.0 per Mcycle)
+  reclaim:    retired=14 freed=0 outstanding=14 peak-live=32
+  simulator:  elapsed=55394 signals=0 switches=0 faults=0
+
+Unknown experiment names are rejected with the list of valid ones:
+
+  $ ../../bin/tsbench.exe sweep fig9-cache 2>&1 | head -1
+  tsbench: unknown experiment "fig9-cache"; one of: fig3-list, fig3-hash, fig3-skip, fig4-list, fig4-hash, fig4-skip, ablate-buffer, ablate-slow-epoch, ablate-help-free, ablate-padding, ablate-structures

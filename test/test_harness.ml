@@ -1,0 +1,157 @@
+module Workload = Ts_harness.Workload
+module Experiment = Ts_harness.Experiment
+
+let check = Alcotest.(check int)
+
+let spec =
+  {
+    Workload.default_spec with
+    threads = 4;
+    horizon = 250_000;
+    init_size = 64;
+    key_range = 128;
+    scheme = Workload.Threadscan { buffer_size = 8; help_free = false };
+  }
+
+let test_basic_run () =
+  let r = Workload.run spec in
+  Alcotest.(check bool) "did work" true (r.Workload.ops > 0);
+  check "no faults" 0 r.Workload.faults;
+  check "no leaks" 0 r.Workload.outstanding;
+  Alcotest.(check bool) "reclamation happened" true (r.Workload.freed > 0);
+  Alcotest.(check bool) "throughput consistent" true
+    (abs_float
+       (r.Workload.throughput
+       -. (float_of_int r.Workload.ops *. 1e6 /. float_of_int spec.Workload.horizon))
+    < 1.0)
+
+let test_deterministic () =
+  let a = Workload.run spec and b = Workload.run spec in
+  check "ops equal" a.Workload.ops b.Workload.ops;
+  check "retired equal" a.Workload.retired b.Workload.retired;
+  check "elapsed equal" a.Workload.elapsed b.Workload.elapsed
+
+let test_seed_matters () =
+  let a = Workload.run spec in
+  let b = Workload.run { spec with Workload.seed = spec.Workload.seed + 1 } in
+  Alcotest.(check bool) "different schedule, different ops" true
+    (a.Workload.ops <> b.Workload.ops)
+
+let test_all_schemes_clean () =
+  List.iter
+    (fun scheme ->
+      let r = Workload.run { spec with Workload.scheme } in
+      Alcotest.(check bool)
+        (Workload.scheme_kind_to_string scheme ^ " did work")
+        true (r.Workload.ops > 0);
+      check (Workload.scheme_kind_to_string scheme ^ " no faults") 0 r.Workload.faults;
+      if scheme <> Workload.Leaky then
+        check (Workload.scheme_kind_to_string scheme ^ " no leaks") 0 r.Workload.outstanding)
+    [
+      Workload.Leaky;
+      Workload.Threadscan { buffer_size = 16; help_free = false };
+      Workload.Threadscan { buffer_size = 16; help_free = true };
+      Workload.Hazard;
+      Workload.Epoch;
+      Workload.Slow_epoch { delay = 30_000 };
+      Workload.Stacktrack;
+    ]
+
+let test_all_structures_clean () =
+  List.iter
+    (fun ds ->
+      let r = Workload.run { spec with Workload.ds } in
+      Alcotest.(check bool) (Workload.ds_kind_to_string ds ^ " did work") true (r.Workload.ops > 0);
+      check (Workload.ds_kind_to_string ds ^ " no leaks") 0 r.Workload.outstanding)
+    [ Workload.List_ds; Workload.Hash_ds; Workload.Skip_ds ]
+
+let test_leaky_leaks () =
+  let r = Workload.run { spec with Workload.scheme = Workload.Leaky } in
+  Alcotest.(check bool) "retired nodes stay live" true
+    (r.Workload.outstanding = r.Workload.retired && r.Workload.retired > 0)
+
+let test_read_only_workload_retires_nothing () =
+  let r = Workload.run { spec with Workload.update_ratio = 0.0 } in
+  check "no retires" 0 r.Workload.retired;
+  Alcotest.(check bool) "still did work" true (r.Workload.ops > 0)
+
+let test_scaling_undersubscribed () =
+  let tput threads =
+    (Workload.run { spec with Workload.threads; scheme = Workload.Leaky }).Workload.throughput
+  in
+  let t1 = tput 1 and t4 = tput 4 in
+  Alcotest.(check bool) (Fmt.str "4 threads > 2x 1 thread (%.0f vs %.0f)" t4 t1) true
+    (t4 > 2.0 *. t1)
+
+let test_oversubscription_switches () =
+  let r = Workload.run { spec with Workload.threads = 8; cores = 2; quantum = 5_000 } in
+  Alcotest.(check bool) "context switches happened" true (r.Workload.ctx_switches > 0);
+  check "still no leaks" 0 r.Workload.outstanding
+
+let test_signals_only_with_threadscan () =
+  let ts = Workload.run { spec with Workload.scheme = Workload.Threadscan { buffer_size = 4; help_free = false } } in
+  let ep = Workload.run { spec with Workload.scheme = Workload.Epoch } in
+  Alcotest.(check bool) "threadscan signals" true (ts.Workload.signals_delivered > 0);
+  check "epoch sends none" 0 ep.Workload.signals_delivered
+
+let test_stack_depth_scanned () =
+  let busy = { spec with Workload.scheme = Workload.Threadscan { buffer_size = 4; help_free = false } } in
+  let shallow = Workload.run { busy with Workload.stack_depth = 0 } in
+  let deep = Workload.run { busy with Workload.stack_depth = 180 } in
+  let words r = try List.assoc "scan-words" r.Workload.extras with Not_found -> 0 in
+  Alcotest.(check bool)
+    (Fmt.str "deeper stacks mean bigger scans (%d vs %d)" (words deep) (words shallow))
+    true
+    (words deep > words shallow)
+
+let test_names_cover_every_figure () =
+  let names = List.map fst Experiment.names in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool) (expected ^ " present") true (List.mem expected names))
+    [
+      "fig3-list"; "fig3-hash"; "fig3-skip"; "fig4-list"; "fig4-hash"; "fig4-skip";
+      "ablate-buffer"; "ablate-slow-epoch"; "ablate-help-free"; "ablate-padding";
+    ]
+
+let test_scale_parsing () =
+  Alcotest.(check bool) "quick" true (Experiment.scale_of_string "quick" = Some Experiment.Quick);
+  Alcotest.(check bool) "full" true (Experiment.scale_of_string "full" = Some Experiment.Full);
+  Alcotest.(check bool) "paper" true (Experiment.scale_of_string "paper" = Some Experiment.Paper);
+  Alcotest.(check bool) "junk" true (Experiment.scale_of_string "banana" = None)
+
+let test_kind_strings () =
+  Alcotest.(check string) "list" "list" (Workload.ds_kind_to_string Workload.List_ds);
+  Alcotest.(check string) "ts" "threadscan(8)"
+    (Workload.scheme_kind_to_string (Workload.Threadscan { buffer_size = 8; help_free = false }));
+  Alcotest.(check string) "ts-help" "threadscan-help(8)"
+    (Workload.scheme_kind_to_string (Workload.Threadscan { buffer_size = 8; help_free = true }));
+  Alcotest.(check string) "slow" "slow-epoch"
+    (Workload.scheme_kind_to_string (Workload.Slow_epoch { delay = 1 }))
+
+let () =
+  Alcotest.run "ts_harness"
+    [
+      ( "workload",
+        [
+          Alcotest.test_case "basic run" `Quick test_basic_run;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "seed matters" `Quick test_seed_matters;
+          Alcotest.test_case "all schemes clean" `Quick test_all_schemes_clean;
+          Alcotest.test_case "all structures clean" `Quick test_all_structures_clean;
+          Alcotest.test_case "leaky leaks" `Quick test_leaky_leaks;
+          Alcotest.test_case "read-only retires nothing" `Quick
+            test_read_only_workload_retires_nothing;
+          Alcotest.test_case "scaling undersubscribed" `Quick test_scaling_undersubscribed;
+          Alcotest.test_case "oversubscription switches" `Quick test_oversubscription_switches;
+          Alcotest.test_case "signals only with threadscan" `Quick
+            test_signals_only_with_threadscan;
+          Alcotest.test_case "stack depth scanned" `Quick test_stack_depth_scanned;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "every figure has a target" `Quick test_names_cover_every_figure;
+          Alcotest.test_case "scale parsing" `Quick test_scale_parsing;
+          Alcotest.test_case "kind strings" `Quick test_kind_strings;
+        ] );
+    ]

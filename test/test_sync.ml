@@ -1,0 +1,184 @@
+module Runtime = Ts_sim.Runtime
+module Spinlock = Ts_sync.Spinlock
+module Ticket_lock = Ts_sync.Ticket_lock
+module Barrier = Ts_sync.Barrier
+module Backoff = Ts_sync.Backoff
+
+let check = Alcotest.(check int)
+
+let cfg = Runtime.default_config
+
+(* A non-atomic read-modify-write critical section: without mutual exclusion
+   updates are lost (test_sim proves that); with a correct lock the count is
+   exact. *)
+let hammer ~threads ~iters ~lock ~unlock counter =
+  let ts =
+    List.init threads (fun _ ->
+        Runtime.spawn (fun () ->
+            for _ = 1 to iters do
+              lock ();
+              let v = Runtime.read counter in
+              Runtime.advance 3;
+              Runtime.write counter (v + 1);
+              unlock ()
+            done))
+  in
+  List.iter Runtime.join ts
+
+let test_spinlock_mutual_exclusion () =
+  let out = ref 0 in
+  ignore
+    (Runtime.run ~config:cfg (fun () ->
+         let counter = Runtime.alloc_region 1 in
+         let l = Spinlock.create () in
+         hammer ~threads:8 ~iters:50
+           ~lock:(fun () -> Spinlock.acquire l)
+           ~unlock:(fun () -> Spinlock.release l)
+           counter;
+         out := Runtime.read counter));
+  check "no lost updates" 400 !out
+
+let test_spinlock_mutual_exclusion_oversubscribed () =
+  let out = ref 0 in
+  ignore
+    (Runtime.run ~config:{ cfg with cores = 2; quantum = 2000 } (fun () ->
+         let counter = Runtime.alloc_region 1 in
+         let l = Spinlock.create () in
+         hammer ~threads:8 ~iters:25
+           ~lock:(fun () -> Spinlock.acquire l)
+           ~unlock:(fun () -> Spinlock.release l)
+           counter;
+         out := Runtime.read counter));
+  check "no lost updates oversubscribed" 200 !out
+
+let test_spinlock_try () =
+  ignore
+    (Runtime.run ~config:cfg (fun () ->
+         let l = Spinlock.create () in
+         Alcotest.(check bool) "first try wins" true (Spinlock.try_acquire l);
+         Alcotest.(check bool) "second try fails" false (Spinlock.try_acquire l);
+         Alcotest.(check bool) "held" true (Spinlock.is_held l);
+         Spinlock.release l;
+         Alcotest.(check bool) "free again" true (Spinlock.try_acquire l)))
+
+let test_spinlock_at () =
+  ignore
+    (Runtime.run ~config:cfg (fun () ->
+         let word = Runtime.alloc_region 1 in
+         Runtime.write word 0;
+         let l = Spinlock.at word in
+         Spinlock.acquire l;
+         check "lock word set" 1 (Runtime.read word);
+         Spinlock.release l;
+         check "lock word cleared" 0 (Runtime.read word)))
+
+let test_ticket_mutual_exclusion () =
+  let out = ref 0 in
+  ignore
+    (Runtime.run ~config:cfg (fun () ->
+         let counter = Runtime.alloc_region 1 in
+         let l = Ticket_lock.create () in
+         hammer ~threads:8 ~iters:50
+           ~lock:(fun () -> Ticket_lock.acquire l)
+           ~unlock:(fun () -> Ticket_lock.release l)
+           counter;
+         out := Runtime.read counter));
+  check "ticket lock exact" 400 !out
+
+let test_ticket_fifo () =
+  (* Threads take tickets in a fixed order under a deterministic schedule;
+     record the critical-section order and check it is a permutation with no
+     barging: a thread that acquired its ticket first enters first. *)
+  let order = ref [] in
+  ignore
+    (Runtime.run ~config:cfg (fun () ->
+         let l = Ticket_lock.create () in
+         let entered = Runtime.alloc_region 1 in
+         Ticket_lock.acquire l;
+         let ts =
+           List.init 4 (fun _ ->
+               Runtime.spawn (fun () ->
+                   Ticket_lock.acquire l;
+                   ignore (Runtime.faa entered 1);
+                   Ticket_lock.release l))
+         in
+         Runtime.advance 10_000;
+         Ticket_lock.release l;
+         List.iter Runtime.join ts;
+         order := [ Runtime.read entered ]));
+  Alcotest.(check (list int)) "all entered" [ 4 ] !order
+
+let test_barrier_blocks_until_full () =
+  let out = ref 0 in
+  ignore
+    (Runtime.run ~config:cfg (fun () ->
+         let b = Barrier.create 4 in
+         let before = Runtime.alloc_region 1 in
+         let wrong = Runtime.alloc_region 1 in
+         let ts =
+           List.init 4 (fun i ->
+               Runtime.spawn (fun () ->
+                   Runtime.advance (i * 500);
+                   ignore (Runtime.faa before 1);
+                   Barrier.wait b;
+                   (* at this point every thread must have registered *)
+                   if Runtime.read before <> 4 then Runtime.write wrong 1))
+         in
+         List.iter Runtime.join ts;
+         out := Runtime.read wrong));
+  check "nobody passed early" 0 !out
+
+let test_barrier_reusable () =
+  let out = ref 0 in
+  ignore
+    (Runtime.run ~config:cfg (fun () ->
+         let b = Barrier.create 3 in
+         let sum = Runtime.alloc_region 1 in
+         let ts =
+           List.init 3 (fun _ ->
+               Runtime.spawn (fun () ->
+                   for _ = 1 to 5 do
+                     ignore (Runtime.faa sum 1);
+                     Barrier.wait b
+                   done))
+         in
+         List.iter Runtime.join ts;
+         out := Runtime.read sum));
+  check "five rounds of three" 15 !out
+
+let test_backoff_grows () =
+  let t1 = ref 0 and t2 = ref 0 in
+  ignore
+    (Runtime.run ~config:cfg (fun () ->
+         let b = Backoff.create ~min_delay:10 ~max_delay:1000 () in
+         let t0 = Runtime.now () in
+         Backoff.once b;
+         t1 := Runtime.now () - t0;
+         let t0 = Runtime.now () in
+         Backoff.once b;
+         t2 := Runtime.now () - t0));
+  Alcotest.(check bool) "second wait longer" true (!t2 > !t1)
+
+let () =
+  Alcotest.run "ts_sync"
+    [
+      ( "spinlock",
+        [
+          Alcotest.test_case "mutual exclusion" `Quick test_spinlock_mutual_exclusion;
+          Alcotest.test_case "mutual exclusion oversubscribed" `Quick
+            test_spinlock_mutual_exclusion_oversubscribed;
+          Alcotest.test_case "try_acquire" `Quick test_spinlock_try;
+          Alcotest.test_case "view over a word" `Quick test_spinlock_at;
+        ] );
+      ( "ticket",
+        [
+          Alcotest.test_case "mutual exclusion" `Quick test_ticket_mutual_exclusion;
+          Alcotest.test_case "all waiters eventually enter" `Quick test_ticket_fifo;
+        ] );
+      ( "barrier",
+        [
+          Alcotest.test_case "blocks until full" `Quick test_barrier_blocks_until_full;
+          Alcotest.test_case "reusable" `Quick test_barrier_reusable;
+        ] );
+      ("backoff", [ Alcotest.test_case "delay grows" `Quick test_backoff_grows ]);
+    ]
