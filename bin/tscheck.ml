@@ -1,0 +1,168 @@
+(* tscheck: the systematic concurrency checker's command line.
+
+   - `tscheck sweep`   run a seed family of checked schedules per structure,
+                       shrink the first failure to a minimal replay command
+   - `tscheck replay`  re-run one fully specified scenario verbosely
+
+   Every run is a pure function of its printed spec: any failure line can be
+   reproduced by copy-pasting the replay command. *)
+
+module Scenario = Ts_check.Scenario
+module Explore = Ts_check.Explore
+module Report = Ts_check.Report
+open Cmdliner
+
+(* ------------------------------ converters ------------------------------ *)
+
+let ds_conv =
+  let parse s =
+    match Scenario.ds_of_string s with
+    | Some ds -> Ok ds
+    | None -> Error (`Msg (Fmt.str "unknown structure %S (list|hash|skip|churn)" s))
+  in
+  Arg.conv (parse, fun ppf ds -> Fmt.string ppf (Scenario.ds_to_string ds))
+
+let inject_conv =
+  let parse s =
+    match Scenario.inject_of_string s with
+    | Some i -> Ok i
+    | None -> Error (`Msg (Fmt.str "unknown injection %S (none|skip-carryover|skip-ack-wait)" s))
+  in
+  Arg.conv (parse, fun ppf i -> Fmt.string ppf (Scenario.inject_to_string i))
+
+let policy_conv =
+  let parse s =
+    match Scenario.policy_of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Fmt.str "unknown policy %S (timed|uniform|pct:<d>)" s))
+  in
+  Arg.conv (parse, fun ppf p -> Fmt.string ppf (Scenario.policy_to_string p))
+
+(* ------------------------------ shared args ----------------------------- *)
+
+let threads_arg = Arg.(value & opt int 3 & info [ "t"; "threads" ] ~doc:"Worker threads.")
+
+let ops_arg = Arg.(value & opt int 40 & info [ "ops" ] ~doc:"Operations per worker.")
+
+let range_arg = Arg.(value & opt int 32 & info [ "key-range" ] ~doc:"Key range.")
+
+let buffer_arg =
+  Arg.(value & opt int 8 & info [ "buffer" ] ~doc:"ThreadScan per-thread delete buffer.")
+
+let help_free_arg =
+  Arg.(value & flag & info [ "help-free" ] ~doc:"Check the help-free ThreadScan variant.")
+
+let inject_arg =
+  Arg.(
+    value
+    & opt inject_conv Threadscan.No_fault
+    & info [ "inject" ] ~doc:"Deliberate protocol bug (none|skip-carryover|skip-ack-wait).")
+
+(* -------------------------------- sweep --------------------------------- *)
+
+let pp_summary name (s : Explore.summary) =
+  Fmt.pr "  %-5s %4d schedules  %6d ops  %4d phases  %4d keys checked  %d violations@." name
+    s.Explore.runs s.Explore.total_events s.Explore.total_phases s.Explore.lin_keys
+    (List.length s.Explore.failures);
+  if s.Explore.skipped_segments > 0 then
+    Fmt.pr "        (%d linearizability segments skipped as too wide)@." s.Explore.skipped_segments
+
+let sweep_cmd =
+  let ds_list =
+    Arg.(
+      value
+      & opt (list ds_conv) [ Scenario.List_ds; Scenario.Hash_ds; Scenario.Skip_ds; Scenario.Churn ]
+      & info [ "ds" ] ~doc:"Structures to sweep (comma-separated: list,hash,skip,churn).")
+  in
+  let schedules =
+    Arg.(value & opt int 60 & info [ "schedules" ] ~doc:"Schedules per structure.")
+  in
+  let pct_depth =
+    Arg.(value & opt int 3 & info [ "pct-depth" ] ~doc:"PCT priority change points.")
+  in
+  let seed0 = Arg.(value & opt int 0 & info [ "seed0" ] ~doc:"First seed of the family.") in
+  let action ds_list schedules pct_depth seed0 threads ops key_range buffer_size help_free inject
+      =
+    let base =
+      { Scenario.default with Scenario.threads; ops; key_range; buffer_size; help_free; inject }
+    in
+    Fmt.pr "sweep: %d structures x %d schedules (seeds %d..%d, uniform/pct:%d alternating)@."
+      (List.length ds_list) schedules seed0
+      (seed0 + schedules - 1)
+      pct_depth;
+    if inject <> Threadscan.No_fault then
+      Fmt.pr "injected bug: %s@." (Scenario.inject_to_string inject);
+    let first_failure = ref None in
+    let total_runs = ref 0 and total_violations = ref 0 in
+    List.iter
+      (fun ds ->
+        let specs =
+          Explore.sweep_specs ~base:{ base with Scenario.ds } ~schedules ~seed0 ~pct_depth
+        in
+        let s = Explore.sweep specs in
+        total_runs := !total_runs + s.Explore.runs;
+        total_violations := !total_violations + List.length s.Explore.failures;
+        pp_summary (Scenario.ds_to_string ds) s;
+        match s.Explore.failures with
+        | o :: _ when !first_failure = None -> first_failure := Some o
+        | _ -> ())
+      ds_list;
+    Fmt.pr "total: %d schedules, %d with violations@." !total_runs !total_violations;
+    match !first_failure with
+    | None -> `Ok ()
+    | Some o ->
+        Fmt.pr "@.first failing schedule (%s, seed %d):@."
+          (Scenario.ds_to_string o.Scenario.spec.Scenario.ds)
+          o.Scenario.spec.Scenario.seed;
+        List.iter (fun v -> Fmt.pr "  %a@." Report.pp v) o.Scenario.violations;
+        let shrunk = Explore.shrink o.Scenario.spec in
+        Fmt.pr "shrunk to threads=%d ops=%d key-range=%d seed=%d@." shrunk.Scenario.threads
+          shrunk.Scenario.ops shrunk.Scenario.key_range shrunk.Scenario.seed;
+        Fmt.pr "replay: %s@." (Scenario.replay_command shrunk);
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Explore a family of checked schedules per data structure.")
+    Term.(
+      ret
+        (const action $ ds_list $ schedules $ pct_depth $ seed0 $ threads_arg $ ops_arg
+       $ range_arg $ buffer_arg $ help_free_arg $ inject_arg))
+
+(* -------------------------------- replay -------------------------------- *)
+
+let replay_cmd =
+  let ds = Arg.(value & opt ds_conv Scenario.List_ds & info [ "ds" ] ~doc:"Structure.") in
+  let policy =
+    Arg.(
+      value
+      & opt policy_conv Scenario.Uniform
+      & info [ "policy" ] ~doc:"Schedule policy (timed|uniform|pct:<d>).")
+  in
+  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Schedule seed.") in
+  let action ds policy seed threads ops key_range buffer_size help_free inject =
+    let spec =
+      { Scenario.ds; threads; ops; key_range; buffer_size; help_free; inject; policy; seed }
+    in
+    Fmt.pr "replay: ds=%s threads=%d ops=%d key-range=%d buffer=%d%s inject=%s policy=%s seed=%d@."
+      (Scenario.ds_to_string ds) threads ops key_range buffer_size
+      (if help_free then " help-free" else "")
+      (Scenario.inject_to_string inject)
+      (Scenario.policy_to_string policy)
+      seed;
+    let o = Scenario.run spec in
+    Fmt.pr "outcome: %d violations (events=%d phases=%d steps=%d keys-checked=%d)@."
+      (List.length o.Scenario.violations)
+      o.Scenario.events o.Scenario.phases o.Scenario.steps o.Scenario.lin_keys;
+    List.iter (fun v -> Fmt.pr "  %a@." Report.pp v) o.Scenario.violations;
+    if Scenario.failed o then exit 1 else `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Re-run one fully specified scenario.")
+    Term.(
+      ret
+        (const action $ ds $ policy $ seed $ threads_arg $ ops_arg $ range_arg $ buffer_arg
+       $ help_free_arg $ inject_arg))
+
+let () =
+  let doc = "systematic concurrency checker for the ThreadScan reproduction" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "tscheck" ~doc) [ sweep_cmd; replay_cmd ]))

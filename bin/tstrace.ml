@@ -4,7 +4,7 @@
    buffer and becomes the reclaimer.  The timeline below is the simulator's
    deterministic trace: signal sends, handler entries/exits, scheduling.
 
-   Usage: dune exec bin/tstrace.exe [-- --threads N] [--buffer N] [--cores N] *)
+   Usage: dune exec bin/tstrace.exe [-- --threads N] [--buffer N] [--cores N] [--seed N] *)
 
 module Runtime = Ts_sim.Runtime
 module Trace = Ts_sim.Trace
@@ -13,7 +13,10 @@ module Ptr = Ts_umem.Ptr
 module Smr = Ts_smr.Smr
 
 let parse_args () =
-  let threads = ref 3 and buffer = ref 8 and cores = ref 0 in
+  let threads = ref 3
+  and buffer = ref 8
+  and cores = ref 0
+  and seed = ref Runtime.default_config.Runtime.seed in
   let rec go = function
     | [] -> ()
     | "--threads" :: n :: rest ->
@@ -25,18 +28,22 @@ let parse_args () =
     | "--cores" :: n :: rest ->
         cores := int_of_string n;
         go rest
+    | "--seed" :: n :: rest ->
+        seed := int_of_string n;
+        go rest
     | arg :: _ -> failwith ("unknown argument: " ^ arg)
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!threads, !buffer, !cores)
+  (!threads, !buffer, !cores, !seed)
 
 let () =
-  let nthreads, buffer_size, cores = parse_args () in
+  let nthreads, buffer_size, cores, seed = parse_args () in
   let record, entries = Trace.recorder () in
   let config =
     {
       Runtime.default_config with
       cores;
+      seed;
       (* under multiplexing, a short quantum makes the scheduling visible *)
       quantum = (if cores > 0 then 2_000 else Runtime.default_config.Runtime.quantum);
       trace = Some record;
@@ -91,9 +98,12 @@ let () =
          List.iter Runtime.join ws;
          smr.Smr.thread_exit ();
          smr.Smr.flush ()));
-  Fmt.pr "One ThreadScan collect phase, traced (threads=%d, buffer=%d, cores=%s):@.@." nthreads
-    buffer_size
-    (if cores <= 0 then "dedicated" else string_of_int cores);
+  Fmt.pr "One ThreadScan collect phase, traced (threads=%d, buffer=%d, cores=%s, seed=%d):@.@."
+    nthreads buffer_size
+    (if cores <= 0 then "dedicated" else string_of_int cores)
+    seed;
+  Fmt.pr "replay: dune exec bin/tstrace.exe -- --threads %d --buffer %d --cores %d --seed %d@."
+    nthreads buffer_size cores seed;
   Fmt.pr "(entries are in global schedule order; times are per-thread local clocks)@.";
   Fmt.pr "%10s  %s@." "cycles" "event";
   List.iter (fun e -> Fmt.pr "%a@." Trace.pp e) (entries ());

@@ -1,0 +1,73 @@
+type summary = {
+  runs : int;
+  total_events : int;
+  total_phases : int;
+  lin_keys : int;
+  skipped_segments : int;
+  failures : Scenario.outcome list;
+}
+
+let sweep ?(progress = fun _ -> ()) specs =
+  let runs = ref 0
+  and ev = ref 0
+  and ph = ref 0
+  and keys = ref 0
+  and sk = ref 0
+  and failures = ref [] in
+  List.iter
+    (fun spec ->
+      let o = Scenario.run spec in
+      incr runs;
+      ev := !ev + o.Scenario.events;
+      ph := !ph + o.Scenario.phases;
+      keys := !keys + o.Scenario.lin_keys;
+      sk := !sk + o.Scenario.skipped_segments;
+      if Scenario.failed o then failures := o :: !failures;
+      progress !runs)
+    specs;
+  {
+    runs = !runs;
+    total_events = !ev;
+    total_phases = !ph;
+    lin_keys = !keys;
+    skipped_segments = !sk;
+    failures = List.rev !failures;
+  }
+
+(* The seed family a sweep walks: alternate the random-walk and PCT
+   policies so every second schedule probes ordering bugs of bounded
+   preemption depth. *)
+let sweep_specs ~base ~schedules ~seed0 ~pct_depth =
+  List.init schedules (fun i ->
+      let policy = if i mod 2 = 0 then Scenario.Uniform else Scenario.Pct pct_depth in
+      { base with Scenario.policy; seed = seed0 + i })
+
+let fails spec = Scenario.failed (Scenario.run spec)
+
+(* Greedy shrink: each reduction is kept only if the spec still fails.
+   Deterministic replay makes this sound — no flakiness to chase. *)
+let shrink spec =
+  let s = ref spec in
+  let continue_ = ref true in
+  while !continue_ && !s.Scenario.threads > 1 do
+    let c = { !s with Scenario.threads = !s.Scenario.threads - 1 } in
+    if fails c then s := c else continue_ := false
+  done;
+  continue_ := true;
+  while !continue_ && !s.Scenario.ops > 4 do
+    let c = { !s with Scenario.ops = !s.Scenario.ops / 2 } in
+    if fails c then s := c else continue_ := false
+  done;
+  continue_ := true;
+  while !continue_ && !s.Scenario.key_range > 4 do
+    let c = { !s with Scenario.key_range = !s.Scenario.key_range / 2 } in
+    if fails c then s := c else continue_ := false
+  done;
+  (* Finally prefer the smallest failing seed in a short scan. *)
+  let rec seed_scan i =
+    if i < !s.Scenario.seed && i < 64 then
+      if fails { !s with Scenario.seed = i } then s := { !s with Scenario.seed = i }
+      else seed_scan (i + 1)
+  in
+  seed_scan 0;
+  !s

@@ -1,0 +1,128 @@
+module Set_intf = Ts_ds.Set_intf
+
+(* Integer-set histories decompose by key: operations on different keys
+   commute, so the full history is linearizable iff every per-key history
+   is.  Per key the sequential state is a single bool (present?), which
+   makes the Wing & Gong search cheap: we memoise on (set of linearized
+   ops, state) and the state contributes one bit. *)
+
+type result = {
+  keys : int;
+  ops : int;
+  skipped_segments : int;
+  violation : (int * Set_intf.event list) option;
+}
+
+(* Sequential spec: (expected result, next state). *)
+let step_state (kind : Set_intf.op_kind) state =
+  match kind with
+  | Set_intf.Op_insert -> (not state, true)
+  | Set_intf.Op_remove -> (state, false)
+  | Set_intf.Op_contains -> (state, state)
+
+(* Concurrent segments are bounded by quiescent cuts, so they stay small in
+   practice; a segment wider than this is skipped (counted, not failed). *)
+let max_segment = 22
+
+exception Too_big
+
+(* All sequential end states reachable by linearizing [evs] (one segment,
+   already sorted by t0) from [start_state]; [] means non-linearizable. *)
+let segment_ends (evs : Set_intf.event array) start_state =
+  let n = Array.length evs in
+  if n > max_segment then raise Too_big;
+  let full = (1 lsl n) - 1 in
+  let ends = ref [] in
+  let seen = Hashtbl.create 64 in
+  let rec go mask state =
+    let memo = (mask * 2) + Bool.to_int state in
+    if not (Hashtbl.mem seen memo) then begin
+      Hashtbl.add seen memo ();
+      if mask = full then begin
+        if not (List.mem state !ends) then ends := state :: !ends
+      end
+      else
+        for i = 0 to n - 1 do
+          if mask land (1 lsl i) = 0 then begin
+            (* [i] may linearize next iff no other unlinearized op finished
+               before [i] was invoked (real-time order). *)
+            let minimal = ref true in
+            for j = 0 to n - 1 do
+              if j <> i && mask land (1 lsl j) = 0 && evs.(j).Set_intf.t1 < evs.(i).Set_intf.t0
+              then minimal := false
+            done;
+            if !minimal then begin
+              let expected, next = step_state evs.(i).Set_intf.kind state in
+              if evs.(i).Set_intf.result = expected then go (mask lor (1 lsl i)) next
+            end
+          end
+        done
+    end
+  in
+  go 0 start_state;
+  !ends
+
+(* Split a t0-sorted event list at quiescent cuts: a new segment starts
+   whenever every earlier op responded before the next one was invoked. *)
+let segments evs =
+  let out = ref [] and cur = ref [] and max_t1 = ref min_int in
+  List.iter
+    (fun (e : Set_intf.event) ->
+      if !cur <> [] && !max_t1 < e.t0 then begin
+        out := List.rev !cur :: !out;
+        cur := []
+      end;
+      cur := e :: !cur;
+      max_t1 := max !max_t1 e.t1)
+    evs;
+  if !cur <> [] then out := List.rev !cur :: !out;
+  List.rev !out
+
+(* One key's history: thread the set of feasible states through the
+   segments; an empty set of end states is a violation. *)
+let check_key evs =
+  let skipped = ref 0 in
+  let ok = ref true in
+  let states = ref [ false ] in
+  List.iter
+    (fun seg ->
+      if !ok then begin
+        let seg_a = Array.of_list seg in
+        match List.concat_map (fun s -> segment_ends seg_a s) !states |> List.sort_uniq compare with
+        | exception Too_big ->
+            incr skipped;
+            states := [ false; true ]
+        | [] -> ok := false
+        | ends -> states := ends
+      end)
+    (segments evs);
+  (!ok, !skipped)
+
+let check events =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Set_intf.event) ->
+      let l = try Hashtbl.find tbl e.key with Not_found -> [] in
+      Hashtbl.replace tbl e.key (e :: l))
+    events;
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare in
+  let skipped = ref 0 and violation = ref None in
+  List.iter
+    (fun key ->
+      if !violation = None then begin
+        let evs =
+          Hashtbl.find tbl key
+          |> List.sort (fun (a : Set_intf.event) (b : Set_intf.event) ->
+                 compare (a.t0, a.t1) (b.t0, b.t1))
+        in
+        let ok, sk = check_key evs in
+        skipped := !skipped + sk;
+        if not ok then violation := Some (key, evs)
+      end)
+    keys;
+  {
+    keys = List.length keys;
+    ops = List.length events;
+    skipped_segments = !skipped;
+    violation = !violation;
+  }

@@ -1,0 +1,24 @@
+module Alloc = Ts_umem.Alloc
+module Smr = Ts_smr.Smr
+
+(* Post-run SMR invariants.  All reads are control-plane (OCaml-side
+   counters and allocator metadata); the run is over, nothing races. *)
+let check ~ts ~(counters : Smr.counters) ~alloc ~baseline_live ~final_list =
+  let v = ref [] in
+  let add what detail = v := Report.Oracle { what; detail } :: !v in
+  let retired = counters.Smr.retired and freed = counters.Smr.freed in
+  if freed > retired then add "freed exceeds retired" (Fmt.str "retired=%d freed=%d" retired freed);
+  let helped = Threadscan.helped_frees ts and burden = Threadscan.reclaimer_frees ts in
+  if helped + burden <> freed then
+    add "free accounting mismatch"
+      (Fmt.str "helped=%d + reclaimer=%d <> freed=%d" helped burden freed);
+  let outstanding = Threadscan.outstanding ts in
+  if outstanding <> 0 then
+    add "retired nodes never freed" (Fmt.str "outstanding=%d after flush" outstanding);
+  if final_list <> [] then
+    add "set not empty after removing every key"
+      (Fmt.str "%d keys left" (List.length final_list));
+  let live = Alloc.live_blocks alloc in
+  if live <> baseline_live then
+    add "heap not back to baseline" (Fmt.str "live=%d baseline=%d" live baseline_live);
+  List.rev !v

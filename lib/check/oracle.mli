@@ -1,0 +1,27 @@
+(** Post-run SMR invariants (the oracle layer of the checker).
+
+    Checked once the run has quiesced (all workers joined, every key
+    removed, [flush] driven to completion):
+
+    - [freed <= retired] — nothing is freed that was never retired;
+    - [helped_frees + reclaimer_frees = freed] — every free is accounted
+      to exactly one freeing side (the §7 help-free conservation law);
+    - [outstanding = 0] — every unreachable retired node was eventually
+      freed (the set is empty, so all retired nodes are unreachable);
+    - the set really is empty;
+    - allocator [live_blocks] is back to the post-construction baseline —
+      no leak, no over-free.
+
+    "Never free a reachable node" is not checked here: it is enforced
+    {e continuously} by the strict heap + sanitizer, which turn any access
+    to a prematurely freed node into a fault the {!Sanitize} layer
+    attributes. *)
+
+val check :
+  ts:Threadscan.t ->
+  counters:Ts_smr.Smr.counters ->
+  alloc:Ts_umem.Alloc.t ->
+  baseline_live:int ->
+  final_list:(int * int) list ->
+  Report.violation list
+(** Empty list = all invariants hold. *)

@@ -1,0 +1,29 @@
+module Mem = Ts_umem.Mem
+module Set_intf = Ts_ds.Set_intf
+
+type violation =
+  | Sanitizer of { kind : Mem.fault_kind; addr : int; tid : int; phase : int }
+  | Oracle of { what : string; detail : string }
+  | Non_linearizable of { ds : string; key : int; ops : Set_intf.event list }
+  | Crash of { what : string }
+
+let op_kind_to_string = function
+  | Set_intf.Op_insert -> "insert"
+  | Set_intf.Op_remove -> "remove"
+  | Set_intf.Op_contains -> "contains"
+
+let pp_event ppf (e : Set_intf.event) =
+  Fmt.pf ppf "[%d,%d] t%d %s(%d)=%b" e.t0 e.t1 e.tid (op_kind_to_string e.kind) e.key e.result
+
+let pp ppf = function
+  | Sanitizer { kind; addr; tid; phase } ->
+      Fmt.pf ppf "sanitizer: %s at addr %d (tid %d, phase %d)" (Mem.fault_to_string kind) addr
+        tid phase
+  | Oracle { what; detail } -> Fmt.pf ppf "oracle: %s (%s)" what detail
+  | Non_linearizable { ds; key; ops } ->
+      Fmt.pf ppf "non-linearizable: %s key %d: %a" ds key
+        Fmt.(list ~sep:(any "; ") pp_event)
+        ops
+  | Crash { what } -> Fmt.pf ppf "crash: %s" what
+
+let to_string v = Fmt.str "%a" pp v

@@ -1,0 +1,22 @@
+module Runtime = Ts_sim.Runtime
+module Mem = Ts_umem.Mem
+
+type fault = { kind : Mem.fault_kind; addr : int; tid : int; phase : int }
+
+type t = { mutable first : fault option }
+
+let install rt ~phase_of =
+  let st = { first = None } in
+  Mem.set_fault_hook (Runtime.mem rt) (fun kind addr ->
+      if st.first = None then begin
+        let tid = match Runtime.running_tid rt with Some t -> t | None -> -1 in
+        st.first <- Some { kind; addr; tid; phase = phase_of () }
+      end);
+  st
+
+let first t = t.first
+
+let violation t =
+  match t.first with
+  | None -> None
+  | Some { kind; addr; tid; phase } -> Some (Report.Sanitizer { kind; addr; tid; phase })

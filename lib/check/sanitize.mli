@@ -1,0 +1,22 @@
+(** Fault-context capture for the heap sanitizer.
+
+    The sanitized allocator ({!Ts_umem.Alloc} with [sanitize]) and the
+    strict memory store already detect use-after-free, double free, wild
+    accesses and canary clobbers — but a strict-mode raise unwinds the
+    faulting fiber before anyone can ask {e who} faulted and {e when}.
+    This module installs a {!Ts_umem.Mem.set_fault_hook} that snapshots the
+    running thread id and the current reclamation phase at the instant of
+    the first fault, while the simulator state is still intact. *)
+
+type fault = { kind : Ts_umem.Mem.fault_kind; addr : int; tid : int; phase : int }
+
+type t
+
+val install : Ts_sim.Runtime.t -> phase_of:(unit -> int) -> t
+(** Install the capture hook on [rt]'s heap.  [phase_of] reports the
+    reclamation phase in progress (supply [-1] until the scheme exists). *)
+
+val first : t -> fault option
+(** The first fault of the run, if any. *)
+
+val violation : t -> Report.violation option

@@ -1,0 +1,312 @@
+module Runtime = Ts_sim.Runtime
+module Frame = Ts_sim.Frame
+module Alloc = Ts_umem.Alloc
+module Ptr = Ts_umem.Ptr
+module Smr = Ts_smr.Smr
+module Set_intf = Ts_ds.Set_intf
+
+type ds_kind = List_ds | Hash_ds | Skip_ds | Churn
+
+type policy = Timed | Uniform | Pct of int
+
+type spec = {
+  ds : ds_kind;
+  threads : int;
+  ops : int;
+  key_range : int;
+  buffer_size : int;
+  help_free : bool;
+  inject : Threadscan.inject;
+  policy : policy;
+  seed : int;
+}
+
+let default =
+  {
+    ds = List_ds;
+    threads = 3;
+    ops = 40;
+    key_range = 32;
+    buffer_size = 8;
+    help_free = false;
+    inject = Threadscan.No_fault;
+    policy = Uniform;
+    seed = 0;
+  }
+
+let ds_to_string = function
+  | List_ds -> "list"
+  | Hash_ds -> "hash"
+  | Skip_ds -> "skip"
+  | Churn -> "churn"
+
+let ds_of_string = function
+  | "list" -> Some List_ds
+  | "hash" -> Some Hash_ds
+  | "skip" | "skiplist" -> Some Skip_ds
+  | "churn" -> Some Churn
+  | _ -> None
+
+let policy_to_string = function
+  | Timed -> "timed"
+  | Uniform -> "uniform"
+  | Pct d -> Fmt.str "pct:%d" d
+
+let policy_of_string s =
+  match s with
+  | "timed" -> Some Timed
+  | "uniform" -> Some Uniform
+  | _ -> (
+      match String.index_opt s ':' with
+      | Some i when String.sub s 0 i = "pct" -> (
+          match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+          | Some d when d >= 0 -> Some (Pct d)
+          | _ -> None)
+      | _ -> None)
+
+let inject_to_string = function
+  | Threadscan.No_fault -> "none"
+  | Threadscan.Skip_carryover -> "skip-carryover"
+  | Threadscan.Skip_ack_wait -> "skip-ack-wait"
+
+let inject_of_string = function
+  | "none" -> Some Threadscan.No_fault
+  | "skip-carryover" -> Some Threadscan.Skip_carryover
+  | "skip-ack-wait" -> Some Threadscan.Skip_ack_wait
+  | _ -> None
+
+let replay_command spec =
+  Fmt.str
+    "dune exec bin/tscheck.exe -- replay --ds %s --threads %d --ops %d --key-range %d \
+     --buffer %d%s --inject %s --policy %s --seed %d"
+    (ds_to_string spec.ds) spec.threads spec.ops spec.key_range spec.buffer_size
+    (if spec.help_free then " --help-free" else "")
+    (inject_to_string spec.inject) (policy_to_string spec.policy) spec.seed
+
+type outcome = {
+  spec : spec;
+  violations : Report.violation list;
+  events : int;
+  phases : int;
+  steps : int;
+  lin_keys : int;
+  skipped_segments : int;
+}
+
+let failed o = o.violations <> []
+
+(* Rough step count of one run; only used to place PCT change points. *)
+let expected_steps spec = spec.threads * spec.ops * 250
+
+(* Set workload: concurrent inserts/removes/contains over one of the lib/ds
+   structures, every operation recorded for the linearizability check.
+   Returns (heap baseline, final snapshot). *)
+let run_sets rt spec (smr : Smr.t) ~record =
+  let ds0 =
+    match spec.ds with
+    | List_ds -> Ts_ds.Michael_list.create ~smr ()
+    | Hash_ds -> Ts_ds.Hash_table.create ~smr ~buckets:(max 4 (spec.key_range / 4)) ()
+    | Skip_ds | Churn -> Ts_ds.Skiplist.create ~smr ~max_height:6 ()
+  in
+  let baseline = Alloc.live_blocks (Runtime.alloc rt) in
+  let ds = Set_intf.instrument ~record ds0 in
+  (* Prefill every other key so removes find work from step one; the
+     prefill goes through the instrumented set, so the recorded history is
+     complete and starts from the empty set. *)
+  for k = 0 to (spec.key_range / 2) - 1 do
+    ignore (ds.Set_intf.insert (k * 2) (k * 2))
+  done;
+  let worker () =
+    smr.Smr.thread_init ();
+    ignore (Frame.push 16);
+    for _ = 1 to spec.ops do
+      let key = Runtime.rand_below spec.key_range in
+      (match Runtime.rand_below 5 with
+      | 0 | 1 -> ignore (ds.Set_intf.insert key key)
+      | 2 | 3 -> ignore (ds.Set_intf.remove key)
+      | _ -> ignore (ds.Set_intf.contains key));
+      Runtime.advance 10
+    done;
+    smr.Smr.thread_exit ()
+  in
+  let ws = List.init spec.threads (fun _ -> Runtime.spawn worker) in
+  List.iter Runtime.join ws;
+  (* Quiesce: empty the set so every retired node is unreachable. *)
+  for k = 0 to spec.key_range - 1 do
+    ignore (ds.Set_intf.remove k)
+  done;
+  ds0.Set_intf.check ();
+  (baseline, ds0.Set_intf.to_list ())
+
+(* Churn workload: each worker owns a shared slot, repeatedly grabs a random
+   slot's node, holds it in a frame across two dereferences, then replaces
+   and retires its own — the Lemma-1 access pattern.  Cross-thread holds
+   make the scan's mark/carry-over machinery load-bearing, so the protocol
+   injections ([Skip_carryover], [Skip_ack_wait]) surface as attributed
+   use-after-free faults here. *)
+let run_churn rt spec (smr : Smr.t) =
+  let nslots = spec.threads in
+  let slots = Runtime.alloc_region nslots in
+  let noise = Runtime.alloc_region 1 in
+  let baseline = Alloc.live_blocks (Runtime.alloc rt) in
+  let alloc_node () = Ptr.of_addr (Runtime.malloc 3) in
+  for i = 0 to nslots - 1 do
+    Runtime.write (slots + i) (alloc_node ())
+  done;
+  let worker i () =
+    smr.Smr.thread_init ();
+    Frame.with_frame 1 (fun fr ->
+        (* [held] mirrors frame slot 0: a long-lived cross-thread reference
+           kept across several ops.  Its owner typically replaces and
+           retires it mid-hold, so the hold spans the retire and the next
+           collect phase — every later dereference is safe only because the
+           scan marked it and the sweep carried it over. *)
+        let held = ref 0 in
+        for _ = 1 to spec.ops do
+          if Ptr.is_null !held || Runtime.rand_below 4 = 0 then begin
+            held := Runtime.read (slots + Runtime.rand_below nslots);
+            Frame.set fr 0 !held
+          end;
+          if not (Ptr.is_null !held) then ignore (Runtime.read (Ptr.addr !held));
+          Runtime.advance 15;
+          let p = alloc_node () in
+          let old = Runtime.read (slots + i) in
+          Runtime.write (slots + i) p;
+          if not (Ptr.is_null old) then smr.Smr.retire old
+        done;
+        Frame.set fr 0 0);
+    smr.Smr.thread_exit ()
+  in
+  let ws = List.init spec.threads (fun i -> Runtime.spawn (worker i)) in
+  List.iter Runtime.join ws;
+  (* Unpublish every node; all retired nodes are now unreachable. *)
+  for i = 0 to nslots - 1 do
+    let old = Runtime.read (slots + i) in
+    Runtime.write (slots + i) 0;
+    if not (Ptr.is_null old) then smr.Smr.retire old
+  done;
+  (* Wash conservative register pins before the quiescence oracle. *)
+  for _ = 1 to 64 do
+    ignore (Runtime.read noise)
+  done;
+  (baseline, [])
+
+let run spec =
+  let sched =
+    match spec.policy with
+    | Timed -> Runtime.Timed
+    | Uniform -> Runtime.Uniform
+    | Pct d -> Runtime.Pct { change_points = d; expected_steps = expected_steps spec }
+  in
+  let config =
+    {
+      Runtime.default_config with
+      seed = spec.seed;
+      cores = 0;
+      sched;
+      sanitize = true;
+      strict_mem = true;
+      propagate_failures = true;
+      (* ~30x the step count of a typical clean run: failing runs often end
+         in a spin (a dead thread never acks) and should fail fast *)
+      max_steps = 200_000 + (spec.threads * spec.ops * 2_000);
+    }
+  in
+  let rt = Runtime.create config in
+  let phase_of = ref (fun () -> -1) in
+  let san = Sanitize.install rt ~phase_of:(fun () -> !phase_of ()) in
+  let events = ref [] in
+  let record e = events := e :: !events in
+  let phases = ref 0 in
+  let oracle_violations = ref [] in
+  ignore
+    (Runtime.add_thread rt (fun () ->
+         let ts =
+           Threadscan.create
+             ~config:
+               {
+                 Threadscan.Config.max_threads = spec.threads + 2;
+                 buffer_size = spec.buffer_size;
+                 help_free = spec.help_free;
+               }
+             ()
+         in
+         Threadscan.set_inject ts spec.inject;
+         phase_of := (fun () -> Threadscan.phases ts);
+         let smr0 = Threadscan.smr ts in
+         (* ABA / double-retire oracle: in sanitizer mode every allocation
+            at a given base bumps a generation counter, so retiring the
+            same (addr, generation) twice means the structure unlinked one
+            node twice — even if the address was recycled in between. *)
+         let retired_gen = Hashtbl.create 64 in
+         let smr =
+           {
+             smr0 with
+             Smr.retire =
+               (fun p ->
+                 let addr = Ptr.addr p in
+                 let a = Runtime.alloc rt in
+                 let gen = Alloc.generation a addr in
+                 (match Hashtbl.find_opt retired_gen addr with
+                 | Some g when g = gen ->
+                     oracle_violations :=
+                       Report.Oracle
+                         {
+                           what = "double retire";
+                           detail = Fmt.str "addr %d retired twice in generation %d" addr gen;
+                         }
+                       :: !oracle_violations
+                 | _ -> ());
+                 Hashtbl.replace retired_gen addr gen;
+                 smr0.Smr.retire p);
+           }
+         in
+         smr.Smr.thread_init ();
+         let baseline, final_list =
+           match spec.ds with
+           | List_ds | Hash_ds | Skip_ds -> run_sets rt spec smr ~record
+           | Churn -> run_churn rt spec smr
+         in
+         smr.Smr.thread_exit ();
+         smr.Smr.flush ();
+         phases := Threadscan.phases ts;
+         oracle_violations :=
+           !oracle_violations
+           @ Oracle.check ~ts ~counters:smr.Smr.counters ~alloc:(Runtime.alloc rt)
+               ~baseline_live:baseline ~final_list));
+  let crash =
+    try
+      ignore (Runtime.start rt);
+      None
+    with
+    | Runtime.Thread_failure (tid, e) ->
+        Some (Fmt.str "thread %d failed: %s" tid (Printexc.to_string e))
+    | Runtime.Deadlock what -> Some ("deadlock: " ^ what)
+    | Runtime.Step_limit_exceeded -> Some "step limit exceeded"
+  in
+  let steps = (Runtime.stats rt).Runtime.steps in
+  (* Layered attribution: a sanitizer fault is the root cause (the crash it
+     triggers is downstream noise); a crash without one stands alone; only
+     a clean run is worth oracle + linearizability verdicts. *)
+  let violations, lin_keys, skipped =
+    match (Sanitize.violation san, crash) with
+    | Some v, _ -> ([ v ], 0, 0)
+    | None, Some what -> ([ Report.Crash { what } ], 0, 0)
+    | None, None ->
+        let lin = Linearize.check (List.rev !events) in
+        let lin_v =
+          match lin.Linearize.violation with
+          | Some (key, ops) -> [ Report.Non_linearizable { ds = ds_to_string spec.ds; key; ops } ]
+          | None -> []
+        in
+        (!oracle_violations @ lin_v, lin.Linearize.keys, lin.Linearize.skipped_segments)
+  in
+  {
+    spec;
+    violations;
+    events = List.length !events;
+    phases = !phases;
+    steps;
+    lin_keys;
+    skipped_segments = skipped;
+  }

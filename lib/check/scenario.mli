@@ -1,0 +1,79 @@
+(** One checked run: workload + schedule policy + detection layers.
+
+    A scenario builds a deterministic simulator run (sanitized heap, strict
+    memory, chosen scheduling policy), drives a concurrent integer-set
+    workload over ThreadScan, and folds all three detection layers into one
+    {!outcome}:
+
+    - the {!Sanitize} hook attributes any memory fault to a thread and a
+      reclamation phase;
+    - the {!Oracle} invariants run after quiescence;
+    - the {!Linearize} checker validates the recorded operation history.
+
+    Everything is a pure function of the {!spec} — any failing outcome is
+    reproducible from its spec alone, which is what {!replay_command}
+    prints. *)
+
+type ds_kind =
+  | List_ds
+  | Hash_ds
+  | Skip_ds
+  | Churn
+      (** not a set: each worker owns a published slot, grabs random slots'
+          nodes and holds them in frames across dereferences while
+          replacing and retiring its own — the paper's Lemma-1 access
+          pattern.  Cross-thread holds make mark/carry-over load-bearing,
+          so protocol injections surface as attributed UAF faults; no
+          operation history is recorded. *)
+
+type policy =
+  | Timed  (** cost-model schedule, one interleaving per seed *)
+  | Uniform  (** uniformly random walk over active threads *)
+  | Pct of int  (** PCT priority scheduling with [d] change points *)
+
+type spec = {
+  ds : ds_kind;
+  threads : int;  (** worker threads (main is extra) *)
+  ops : int;  (** operations per worker *)
+  key_range : int;
+  buffer_size : int;  (** ThreadScan per-thread delete buffer *)
+  help_free : bool;
+  inject : Threadscan.inject;  (** deliberate bug, for checker validation *)
+  policy : policy;
+  seed : int;
+}
+
+val default : spec
+(** list, 3 threads, 40 ops, keys 0..31, buffer 8, no help-free, no
+    injection, uniform policy, seed 0. *)
+
+val ds_to_string : ds_kind -> string
+
+val ds_of_string : string -> ds_kind option
+
+val policy_to_string : policy -> string
+
+val policy_of_string : string -> policy option
+(** ["timed"], ["uniform"], or ["pct:<d>"]. *)
+
+val inject_to_string : Threadscan.inject -> string
+
+val inject_of_string : string -> Threadscan.inject option
+
+val replay_command : spec -> string
+(** The exact shell command that reproduces this run. *)
+
+type outcome = {
+  spec : spec;
+  violations : Report.violation list;  (** empty = the run checked out *)
+  events : int;  (** operations recorded in the history *)
+  phases : int;  (** reclamation phases completed *)
+  steps : int;  (** scheduler steps consumed *)
+  lin_keys : int;  (** keys the linearizability checker examined *)
+  skipped_segments : int;  (** over-wide segments skipped conservatively *)
+}
+
+val failed : outcome -> bool
+
+val run : spec -> outcome
+(** Deterministic: same spec, same outcome. *)

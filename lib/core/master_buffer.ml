@@ -61,12 +61,12 @@ let is_marked t i = Runtime.read (mark_addr t i) <> 0
 
 let entry t i = Runtime.read (entry_addr t i)
 
-let sweep t f =
+let sweep ?(ignore_marks = false) t f =
   let n = count t in
   let carry = ref 0 in
   for i = 0 to n - 1 do
     let p = Runtime.read (entry_addr t i) in
-    if Runtime.read (mark_addr t i) <> 0 then begin
+    if (not ignore_marks) && Runtime.read (mark_addr t i) <> 0 then begin
       Runtime.write (entry_addr t !carry) p;
       incr carry
     end

@@ -33,11 +33,13 @@ val is_marked : t -> int -> bool
 
 val entry : t -> int -> int
 
-val sweep : t -> (int -> unit) -> int
+val sweep : ?ignore_marks:bool -> t -> (int -> unit) -> int
 (** Reclaimer side: call [f] on every unmarked entry, compact the marked
     ones to the front as the next phase's carry-over, reset the staged
     count to the carry-over size, and return the number of entries carried
-    over. *)
+    over.  [ignore_marks] (default [false]) treats every entry as unmarked
+    — the checker's {e deliberately wrong} sweep used to validate that the
+    concurrency checker catches a skipped carry-over. *)
 
 val bounds : t -> int * int
 (** [(lo, hi)] of the published prefix, for the scanner's cheap range

@@ -7,6 +7,8 @@ module Smr = Ts_smr.Smr
 module Spinlock = Ts_sync.Spinlock
 module Backoff = Ts_sync.Backoff
 
+type inject = No_fault | Skip_carryover | Skip_ack_wait
+
 type t = {
   cfg : Config.t;
   buffers : Delete_buffer.t array;
@@ -29,6 +31,7 @@ type t = {
   mutable full_waits : int;
   phase_latencies : Ts_util.Vec.t; (* cycles spent inside each do_phase *)
   mutable free_burden : int; (* nodes freed inside collect, by the reclaimer *)
+  mutable inject : inject; (* deliberate protocol bug, for checker validation *)
 }
 
 let counters t = Option.get t.smr_counters
@@ -150,12 +153,13 @@ let do_phase t =
   ts_scan t;
   (* A thread that exits mid-phase is deregistered and never acks: its
      stack is gone, so skipping it is safe. *)
-  wait_for_acks t phase !signaled;
+  if t.inject <> Skip_ack_wait then wait_for_acks t phase !signaled;
+  let ignore_marks = t.inject = Skip_carryover in
   if t.cfg.help_free then begin
     drain_work_leftovers t;
     let queued = ref 0 in
     t.carried <-
-      Master_buffer.sweep t.master (fun p ->
+      Master_buffer.sweep ~ignore_marks t.master (fun p ->
           Runtime.write (t.work_base + !queued) p;
           incr queued);
     Runtime.write t.work_idx 0;
@@ -163,7 +167,7 @@ let do_phase t =
   end
   else
     t.carried <-
-      Master_buffer.sweep t.master (fun p ->
+      Master_buffer.sweep ~ignore_marks t.master (fun p ->
           Runtime.free (Ptr.addr p);
           c.freed <- c.freed + 1;
           t.free_burden <- t.free_burden + 1);
@@ -266,6 +270,7 @@ let create ?(config = Config.default) () =
       full_waits = 0;
       phase_latencies = Ts_util.Vec.create ();
       free_burden = 0;
+      inject = No_fault;
     }
   in
   let smr =
@@ -322,3 +327,7 @@ let phase_latencies t =
   List.rev !out
 
 let reclaimer_frees t = t.free_burden
+
+let set_inject t inject = t.inject <- inject
+
+let inject t = t.inject

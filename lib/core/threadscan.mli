@@ -87,3 +87,22 @@ val phase_latencies : t -> int list
 val reclaimer_frees : t -> int
 (** Nodes freed by the reclaimer inside collect phases (as opposed to by
     helping scanners). *)
+
+(** {1 Fault injection (checker validation only)}
+
+    Deliberate protocol bugs, used to prove the concurrency checker in
+    [lib/check] actually catches violations.  Production code must leave
+    this at {!No_fault}. *)
+
+type inject =
+  | No_fault
+  | Skip_carryover
+      (** The sweep frees {e every} master-buffer entry, marked or not —
+          still-referenced nodes are reclaimed, a use-after-free. *)
+  | Skip_ack_wait
+      (** The reclaimer sweeps without waiting for scanner acks — nodes a
+          scanner was about to mark get freed under it. *)
+
+val set_inject : t -> inject -> unit
+
+val inject : t -> inject

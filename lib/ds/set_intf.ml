@@ -8,3 +8,35 @@ type t = {
 }
 
 let size t = List.length (t.to_list ())
+
+(* ------------------------------------------------------------------ *)
+(* Operation recording, for the linearizability oracle                  *)
+(* ------------------------------------------------------------------ *)
+
+type op_kind = Op_insert | Op_remove | Op_contains
+
+type event = {
+  tid : int;
+  kind : op_kind;
+  key : int;
+  result : bool;
+  t0 : int; (* scheduler step at invocation *)
+  t1 : int; (* scheduler step at response *)
+}
+
+let instrument ~record t =
+  let module Runtime = Ts_sim.Runtime in
+  let timed kind key f =
+    let tid = Runtime.self () in
+    let t0 = Runtime.steps_now () in
+    let result = f () in
+    let t1 = Runtime.steps_now () in
+    record { tid; kind; key; result; t0; t1 };
+    result
+  in
+  {
+    t with
+    insert = (fun key value -> timed Op_insert key (fun () -> t.insert key value));
+    remove = (fun key -> timed Op_remove key (fun () -> t.remove key));
+    contains = (fun key -> timed Op_contains key (fun () -> t.contains key));
+  }

@@ -21,3 +21,23 @@ type t = {
 
 val size : t -> int
 (** Quiescent size via [to_list]. *)
+
+(** {1 Operation recording (linearizability oracle)} *)
+
+type op_kind = Op_insert | Op_remove | Op_contains
+
+type event = {
+  tid : int;
+  kind : op_kind;
+  key : int;
+  result : bool;
+  t0 : int;  (** scheduler step at invocation *)
+  t1 : int;  (** scheduler step at response *)
+}
+(** One completed operation.  [t0]/[t1] are global scheduler step counts
+    ({!Ts_sim.Runtime.steps_now}); op A happens-before op B iff
+    [A.t1 < B.t0]. *)
+
+val instrument : record:(event -> unit) -> t -> t
+(** Wrap a set so every operation reports an {!event} to [record] (called
+    outside the timed window, from the operating fiber). *)

@@ -10,6 +10,11 @@ exception Step_limit_exceeded
 exception Thread_failure of tid * exn
 exception Sim_error of string
 
+type sched =
+  | Timed
+  | Uniform
+  | Pct of { change_points : int; expected_steps : int }
+
 type config = {
   cost : Cost_model.t;
   cores : int;
@@ -19,10 +24,11 @@ type config = {
   reg_words : int;
   mem_capacity : int;
   strict_mem : bool;
+  sanitize : bool;
   max_steps : int;
   propagate_failures : bool;
   trace : (Trace.entry -> unit) option;
-  random_schedule : bool;
+  sched : sched;
 }
 
 let default_config =
@@ -35,10 +41,11 @@ let default_config =
     reg_words = 32;
     mem_capacity = 1 lsl 26;
     strict_mem = true;
+    sanitize = false;
     max_steps = 1 lsl 32;
     propagate_failures = true;
     trace = None;
-    random_schedule = false;
+    sched = Timed;
   }
 
 type stats = {
@@ -112,6 +119,7 @@ type thread = {
   mutable failure : exn option;
   rng : Splitmix.t;
   mutable private_ranges : (int * int) list;
+  mutable prio : int; (* PCT priority; higher steps first *)
 }
 
 type t = {
@@ -132,6 +140,10 @@ type t = {
   mutable started : bool;
   sim_stats : stats;
   rng : Splitmix.t;
+  mutable pct_points : int list; (* remaining change points, ascending *)
+  mutable floor_prio : int; (* every demotion goes strictly below this *)
+  mutable sched_steps : int; (* steps counted for PCT change points *)
+  mutable current : int; (* tid being stepped, -1 outside [step] *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -169,6 +181,7 @@ type _ Effect.t +=
   | E_remove_range : (int * int) -> unit Effect.t
   | E_ranges : (int * int) list Effect.t
   | E_ranges_of : int -> (int * int) list Effect.t
+  | E_steps : int Effect.t
 
 (* ------------------------------------------------------------------ *)
 (* Ready queue (FIFO with push-front for boosted threads)             *)
@@ -548,6 +561,7 @@ let rec make_handler : t -> thread -> (unit, unit) Effect.Deep.handler =
         | E_ranges -> Some (fun k -> resume_with k th.private_ranges)
         | E_ranges_of target ->
             Some (fun k -> guarded k (fun () -> ranges_of_thread (get_thread rt target)))
+        | E_steps -> Some (fun k -> resume_with k rt.sim_stats.steps)
         | _ -> None);
   }
 
@@ -585,6 +599,10 @@ and new_thread : t -> (unit -> unit) -> thread =
       failure = None;
       rng = Splitmix.split rt.rng;
       private_ranges = [];
+      prio =
+        (match rt.cfg.sched with
+        | Pct _ -> 1 + Splitmix.below rt.rng 1_000_000_000
+        | Timed | Uniform -> 0);
     }
   in
   th.resume <- Some (fun () -> Effect.Deep.match_with body () (make_handler rt th));
@@ -651,14 +669,38 @@ let refill rt =
         heap_push rt th
   done
 
-let min_clock_active rt =
+(* PCT: strictly lower than every priority seen so far, so a demoted thread
+   only runs once everyone above it is blocked or done. *)
+let demote rt th =
+  rt.floor_prio <- rt.floor_prio - 1;
+  th.prio <- rt.floor_prio
+
+let pick_next rt =
   if rt.nactive = 0 then None
-  else if rt.cfg.random_schedule then
-    (* adversarial exploration: any active thread may step next.  The walk
-       is still deterministic in the seed, and execution order still
-       defines a sequentially consistent history. *)
-    Some rt.heap.(Splitmix.below rt.rng rt.nactive)
-  else Some rt.heap.(0)
+  else
+    match rt.cfg.sched with
+    | Timed -> Some rt.heap.(0)
+    | Uniform ->
+        (* adversarial exploration: any active thread may step next.  The
+           walk is still deterministic in the seed, and execution order
+           still defines a sequentially consistent history. *)
+        Some rt.heap.(Splitmix.below rt.rng rt.nactive)
+    | Pct _ ->
+        (* highest priority steps; at each change point the running thread
+           drops below everyone, handing the schedule over *)
+        let best = ref rt.heap.(0) in
+        for i = 1 to rt.nactive - 1 do
+          let th = rt.heap.(i) in
+          if th.prio > !best.prio || (th.prio = !best.prio && th.tid < !best.tid) then best := th
+        done;
+        rt.sched_steps <- rt.sched_steps + 1;
+        (match rt.pct_points with
+        | cp :: rest when rt.sched_steps >= cp ->
+            rt.pct_points <- rest;
+            demote rt !best;
+            emit rt !best (Trace.Priority_changed { tid = !best.tid; prio = !best.prio })
+        | _ -> ());
+        Some !best
 
 let deschedule rt th =
   remove_active rt th;
@@ -676,11 +718,18 @@ let post_step rt th =
       rt.want_preempt <- false
     end
   end;
+  (* Under PCT a yield demotes: spin-wait loops (locks, ack waits, joins)
+     always hand the schedule to whoever they are waiting for, so blocking
+     protocols keep making progress under priority scheduling. *)
+  (match rt.cfg.sched with
+  | Pct _ when th.wants_yield && th.status <> Done -> demote rt th
+  | _ -> ());
   th.wants_yield <- false;
   (* the stepped thread's clock advanced; restore the heap invariant *)
   if th.on_core && th.heap_pos >= 0 then sift_down rt th.heap_pos
 
 let step rt th =
+  rt.current <- th.tid;
   deliver_signal rt th;
   if th.clock > rt.now then rt.now <- th.clock;
   rt.sim_stats.steps <- rt.sim_stats.steps + 1;
@@ -700,8 +749,15 @@ let create cfg =
   let mem = Mem.create ~strict:cfg.strict_mem ~capacity_limit:cfg.mem_capacity () in
   (* max_threads for allocator caches: grown lazily via modulo mapping is
      wrong; instead size generously and let Alloc index by tid directly. *)
-  let alloc = Alloc.create ~max_threads:4096 mem in
+  let alloc = Alloc.create ~sanitize:cfg.sanitize ~max_threads:4096 mem in
   let rng = Splitmix.create cfg.seed in
+  let pct_points =
+    match cfg.sched with
+    | Pct { change_points; expected_steps } ->
+        List.init change_points (fun _ -> 1 + Splitmix.below rng (max 1 expected_steps))
+        |> List.sort_uniq compare
+    | Timed | Uniform -> []
+  in
   {
     cfg;
     mem;
@@ -718,6 +774,10 @@ let create cfg =
     started = false;
     sim_stats = make_stats ();
     rng;
+    pct_points;
+    floor_prio = 0;
+    sched_steps = 0;
+    current = -1;
   }
 
 let add_thread rt body =
@@ -731,6 +791,8 @@ let mem rt = rt.mem
 let alloc rt = rt.alloc
 
 let stats rt = rt.sim_stats
+
+let running_tid rt = if rt.current >= 0 then Some rt.current else None
 
 let thread_count rt = rt.nthreads
 
@@ -750,7 +812,7 @@ let start rt =
   while !running do
     refill rt;
     if not (ready_nonempty rt) then rt.want_preempt <- false;
-    match min_clock_active rt with
+    match pick_next rt with
     | Some th -> step rt th
     | None ->
         if rt.live = 0 then running := false
@@ -828,3 +890,5 @@ let remove_private_range base len = Effect.perform (E_remove_range (base, len))
 let private_ranges () = Effect.perform E_ranges
 
 let scan_ranges_of tid = Effect.perform (E_ranges_of tid)
+
+let steps_now () = Effect.perform E_steps

@@ -31,6 +31,26 @@ exception Sim_error of string
 
 (** {1 Configuration} *)
 
+type sched =
+  | Timed
+      (** step the active thread with the smallest virtual clock — the
+          default, cost-model-faithful interleaving *)
+  | Uniform
+      (** step a uniformly random active thread: timing stops being
+          meaningful, but the seed-indexed family of runs explores far more
+          interleavings — a lightweight model-checking mode *)
+  | Pct of { change_points : int; expected_steps : int }
+      (** PCT-style priority scheduling (Burckhardt et al., ASPLOS 2010):
+          every thread gets a random priority at spawn and the
+          highest-priority active thread always steps; at [change_points]
+          step indices sampled uniformly in [\[1, expected_steps\]] the
+          running thread's priority drops below everyone else's, which
+          hits bugs of preemption depth [change_points + 1] with known
+          probability.  A {!yield} also demotes the yielding thread, so
+          spin-wait loops always hand the schedule to the thread they wait
+          for — blocking protocols stay live under priority scheduling.
+          Intended for [cores <= 0]. *)
+
 type config = {
   cost : Cost_model.t;
   cores : int;  (** [<= 0] means one core per thread (never preempt) *)
@@ -40,15 +60,15 @@ type config = {
   reg_words : int;  (** register-file size per thread *)
   mem_capacity : int;  (** word limit of the unmanaged heap *)
   strict_mem : bool;  (** raise on memory faults (vs. count only) *)
+  sanitize : bool;
+      (** heap-sanitizer mode: the allocator adds canary words and
+          allocation-generation counters (see {!Ts_umem.Alloc}); changes
+          block layout, so off by default *)
   max_steps : int;  (** hard step bound, guards against livelock *)
   propagate_failures : bool;  (** re-raise the first thread failure after the run *)
   trace : (Trace.entry -> unit) option;
       (** scheduling/signal event stream (see {!Trace.recorder}) *)
-  random_schedule : bool;
-      (** step a uniformly random active thread instead of the
-          smallest-clock one: timing stops being meaningful, but the
-          seed-indexed family of runs explores far more interleavings — a
-          lightweight model-checking mode for correctness tests *)
+  sched : sched;  (** scheduling policy (default {!Timed}) *)
 }
 
 val default_config : config
@@ -104,6 +124,10 @@ val stats : t -> stats
 
 val thread_count : t -> int
 
+val running_tid : t -> int option
+(** The thread currently being stepped; [None] outside a step.  Lets
+    fault hooks installed on {!mem} attribute a fault to a thread. *)
+
 (** {1 Operations (only valid inside a running thread)} *)
 
 val read : int -> int
@@ -142,6 +166,12 @@ val self : unit -> tid
 
 val rand_below : int -> int
 (** Deterministic per-thread random value in [\[0, n)]. *)
+
+val steps_now : unit -> int
+(** The global scheduler step count at this instant.  Every shared-memory
+    operation is one step and execution is sequentially consistent in step
+    order, so two step stamps totally order any two operations — the
+    timestamps history recorders and linearizability checkers need. *)
 
 val spawn : (unit -> unit) -> tid
 

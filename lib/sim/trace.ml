@@ -6,6 +6,7 @@ type event =
   | Signal_sent of { sender : int; target : int }
   | Signal_delivered of { tid : int; depth : int }
   | Signal_returned of { tid : int }
+  | Priority_changed of { tid : int; prio : int }
 
 type entry = { time : int; event : event }
 
@@ -19,6 +20,7 @@ let pp ppf { time; event } =
   | Signal_sent { sender; target } -> p "thread %d signaled thread %d" sender target
   | Signal_delivered { tid; depth } -> p "thread %d entered its handler (depth %d)" tid depth
   | Signal_returned { tid } -> p "thread %d returned from its handler" tid
+  | Priority_changed { tid; prio } -> p "thread %d demoted to priority %d" tid prio
 
 let recorder () =
   let entries = ref [] in

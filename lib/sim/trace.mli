@@ -14,6 +14,8 @@ type event =
   | Signal_delivered of { tid : int; depth : int }
       (** handler pushed; [depth] counts nesting *)
   | Signal_returned of { tid : int }  (** handler finished, context restored *)
+  | Priority_changed of { tid : int; prio : int }
+      (** a PCT change point fired and demoted the running thread *)
 
 type entry = { time : int; event : event }
 

@@ -8,6 +8,10 @@ let freed_magic = 0x0F9EE lsl 32
 let magic_mask = lnot ((1 lsl 32) - 1)
 let size_mask = (1 lsl 32) - 1
 
+(* Sanitizer trailing canary: xor'd with the block base so a canary copied
+   from another block is still detected. *)
+let canary_magic = 0x5AFEC0DE lsl 24
+
 type t = {
   mem : Mem.t;
   central : Vec.t array; (* per size class, user base addresses *)
@@ -15,6 +19,8 @@ type t = {
   large_free : (int, Vec.t) Hashtbl.t; (* exact size -> free list *)
   cache_cap : int;
   batch : int;
+  sanitize : bool;
+  generations : (int, int) Hashtbl.t; (* user base -> allocation generation *)
   mutable mallocs : int;
   mutable frees : int;
   mutable live : int;
@@ -25,7 +31,7 @@ type t = {
   mutable refills : int;
 }
 
-let create ?(cache_cap = 64) ?(batch = 32) ~max_threads mem =
+let create ?(cache_cap = 64) ?(batch = 32) ?(sanitize = false) ~max_threads mem =
   {
     mem;
     central = Array.init Size_class.count (fun _ -> Vec.create ());
@@ -33,6 +39,8 @@ let create ?(cache_cap = 64) ?(batch = 32) ~max_threads mem =
     large_free = Hashtbl.create 16;
     cache_cap;
     batch;
+    sanitize;
+    generations = Hashtbl.create 64;
     mallocs = 0;
     frees = 0;
     live = 0;
@@ -44,8 +52,11 @@ let create ?(cache_cap = 64) ?(batch = 32) ~max_threads mem =
   }
 
 let carve t block_w =
-  (* One fresh block, header included. *)
-  let base = Mem.reserve t.mem (block_w + 1) in
+  (* One fresh block, header included; sanitized blocks get one more word
+     for the trailing canary.  The extra words stay in the "unallocated"
+     shadow state, so any data-plane access to them faults. *)
+  let extra = if t.sanitize then 2 else 1 in
+  let base = Mem.reserve t.mem (block_w + extra) in
   base + 1
 
 let refill_central t cls =
@@ -58,7 +69,12 @@ let refill_central t cls =
 
 let activate t addr block_w =
   Mem.raw_write t.mem (addr - 1) (live_magic lor block_w);
-  Mem.mark_live t.mem addr block_w
+  Mem.mark_live t.mem addr block_w;
+  if t.sanitize then begin
+    Mem.raw_write t.mem (addr + block_w) (canary_magic lxor addr);
+    let gen = match Hashtbl.find_opt t.generations addr with Some g -> g | None -> 0 in
+    Hashtbl.replace t.generations addr (gen + 1)
+  end
 
 let cache_row t tid =
   match t.caches.(tid) with
@@ -125,6 +141,8 @@ let free t ~tid addr =
   let hdr = header t addr in
   if hdr land magic_mask = live_magic then begin
     let block_w = hdr land size_mask in
+    if t.sanitize && Mem.raw_read t.mem (addr + block_w) <> canary_magic lxor addr then
+      Mem.record_fault t.mem Mem.Canary_overwrite addr;
     Mem.raw_write t.mem (addr - 1) (freed_magic lor block_w);
     Mem.mark_freed t.mem addr block_w;
     t.frees <- t.frees + 1;
@@ -162,6 +180,11 @@ let alloc_region t n =
   let base = Mem.reserve t.mem n in
   Mem.mark_live t.mem base n;
   base
+
+let sanitized t = t.sanitize
+
+let generation t addr =
+  match Hashtbl.find_opt t.generations addr with Some g -> g | None -> 0
 
 let live_blocks t = t.live
 

@@ -13,10 +13,18 @@
 
 type t
 
-val create : ?cache_cap:int -> ?batch:int -> max_threads:int -> Mem.t -> t
+val create : ?cache_cap:int -> ?batch:int -> ?sanitize:bool -> max_threads:int -> Mem.t -> t
 (** [create ~max_threads mem] builds an allocator with one cache per thread
     id in [0, max_threads).  [cache_cap] (default 64) bounds a per-class
-    cache; [batch] (default 32) is the cache<->central transfer size. *)
+    cache; [batch] (default 32) is the cache<->central transfer size.
+
+    [sanitize] (default [false]) enables heap-sanitizer mode: every block
+    carries a trailing canary word (checked on [free], clobbering reports
+    {!Mem.Canary_overwrite}) and a per-base allocation generation counter
+    ({!generation}) that lets checkers detect ABA reuse — a block freed and
+    reallocated at the same address while a stale reference survives.
+    Sanitized blocks occupy one extra word, so addresses differ from
+    unsanitized runs; keep it off for benchmarks. *)
 
 val malloc : t -> tid:int -> int -> int
 (** [malloc t ~tid n] allocates a block of at least [n >= 1] words and
@@ -38,6 +46,12 @@ val block_size : t -> int -> int
 
 val is_block : t -> int -> bool
 (** Whether [addr] is the user base of a currently live block. *)
+
+val sanitized : t -> bool
+
+val generation : t -> int -> int
+(** [generation t addr] — how many times a block has been handed out at
+    user base [addr] (0 if never).  Only tracked in sanitizer mode. *)
 
 (** {1 Statistics} *)
 

@@ -6,6 +6,7 @@ type fault_kind =
   | Double_free
   | Bad_free
   | Out_of_memory
+  | Canary_overwrite
 
 exception Fault of fault_kind * int
 
@@ -17,6 +18,7 @@ let fault_to_string = function
   | Double_free -> "double free"
   | Bad_free -> "bad free"
   | Out_of_memory -> "out of memory"
+  | Canary_overwrite -> "canary overwrite"
 
 let poison = 0x5D5D5D5D5D
 
@@ -32,6 +34,7 @@ type t = {
   capacity_limit : int;
   strict : bool;
   faults : int array; (* indexed by fault kind *)
+  mutable on_fault : fault_kind -> int -> unit; (* runs before any raise *)
 }
 
 let fault_index = function
@@ -42,9 +45,19 @@ let fault_index = function
   | Double_free -> 4
   | Bad_free -> 5
   | Out_of_memory -> 6
+  | Canary_overwrite -> 7
 
 let all_faults =
-  [ Uaf_read; Uaf_write; Wild_read; Wild_write; Double_free; Bad_free; Out_of_memory ]
+  [
+    Uaf_read;
+    Uaf_write;
+    Wild_read;
+    Wild_write;
+    Double_free;
+    Bad_free;
+    Out_of_memory;
+    Canary_overwrite;
+  ]
 
 let create ?(strict = true) ?(capacity_limit = 1 lsl 26) () =
   let cap = 1 lsl 12 in
@@ -54,15 +67,19 @@ let create ?(strict = true) ?(capacity_limit = 1 lsl 26) () =
     hwm = 1 (* address 0 is the null address *);
     capacity_limit;
     strict;
-    faults = Array.make 7 0;
+    faults = Array.make 8 0;
+    on_fault = (fun _ _ -> ());
   }
 
 let strict t = t.strict
 
 let size t = t.hwm
 
+let set_fault_hook t f = t.on_fault <- f
+
 let record_fault t kind addr =
   t.faults.(fault_index kind) <- t.faults.(fault_index kind) + 1;
+  t.on_fault kind addr;
   if t.strict then raise (Fault (kind, addr))
 
 let grow_to t needed =

@@ -21,6 +21,8 @@ type fault_kind =
   | Double_free   (** free of a block that is not live *)
   | Bad_free      (** free of an address that is not a block base *)
   | Out_of_memory (** capacity limit exceeded *)
+  | Canary_overwrite
+      (** a sanitizer canary word was clobbered (control-plane overflow) *)
 
 exception Fault of fault_kind * int
 (** Raised on a memory error when the store is strict; the [int] is the
@@ -83,5 +85,10 @@ val total_faults : t -> int
 val record_fault : t -> fault_kind -> int -> unit
 (** Count (and in strict mode raise) a fault detected by a client, e.g. the
     allocator's double-free check. *)
+
+val set_fault_hook : t -> (fault_kind -> int -> unit) -> unit
+(** Install a callback invoked on every fault {e before} the strict-mode
+    raise — the heap sanitizer uses it to capture the offending thread and
+    reclamation phase while the simulator state is still intact. *)
 
 val pp_faults : Format.formatter -> t -> unit

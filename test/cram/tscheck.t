@@ -1,0 +1,45 @@
+The checker CLI, driven the way a user would drive it.
+
+A small clean sweep across every structure: uniform and PCT schedules
+alternate through the seed family, every operation is linearizability-
+checked, and the oracles stay quiet.
+
+  $ ../../bin/tscheck.exe sweep --schedules 4 --ops 20 --key-range 16
+  sweep: 4 structures x 4 schedules (seeds 0..3, uniform/pct:3 alternating)
+    list     4 schedules     336 ops     6 phases    64 keys checked  0 violations
+    hash     4 schedules     336 ops     6 phases    64 keys checked  0 violations
+    skip     4 schedules     336 ops     6 phases    64 keys checked  0 violations
+    churn    4 schedules       0 ops    16 phases     0 keys checked  0 violations
+  total: 16 schedules, 0 with violations
+
+A deliberately seeded protocol bug — the sweep skipping carry-over of
+marked (still referenced) nodes — is caught, attributed by the sanitizer
+to a thread and a phase, shrunk to a minimal spec, and printed as a
+copy-pasteable replay command:
+
+  $ ../../bin/tscheck.exe sweep --ds churn --schedules 2 --inject skip-carryover
+  sweep: 1 structures x 2 schedules (seeds 0..1, uniform/pct:3 alternating)
+  injected bug: skip-carryover
+    churn    2 schedules       0 ops     0 phases     0 keys checked  2 violations
+  total: 2 schedules, 2 with violations
+  
+  first failing schedule (churn, seed 0):
+    sanitizer: use-after-free read at addr 3583 (tid 1, phase 2)
+  shrunk to threads=1 ops=20 key-range=4 seed=0
+  replay: dune exec bin/tscheck.exe -- replay --ds churn --threads 1 --ops 20 --key-range 4 --buffer 8 --inject skip-carryover --policy uniform --seed 0
+  [1]
+
+
+The replay command reproduces the same violation on its own:
+
+  $ ../../bin/tscheck.exe replay --ds churn --threads 1 --ops 20 --key-range 4 --buffer 8 --inject skip-carryover --policy uniform --seed 0
+  replay: ds=churn threads=1 ops=20 key-range=4 buffer=8 inject=skip-carryover policy=uniform seed=0
+  outcome: 1 violations (events=0 phases=0 steps=240001 keys-checked=0)
+    sanitizer: use-after-free read at addr 3524 (tid 1, phase 2)
+  [1]
+
+A clean replay of the same spec without the injection exits zero:
+
+  $ ../../bin/tscheck.exe replay --ds churn --threads 1 --ops 20 --key-range 4 --buffer 8 --policy uniform --seed 0
+  replay: ds=churn threads=1 ops=20 key-range=4 buffer=8 inject=none policy=uniform seed=0
+  outcome: 0 violations (events=0 phases=3 steps=1683 keys-checked=0)

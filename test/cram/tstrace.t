@@ -1,8 +1,9 @@
 The trace tool renders one deterministic collect phase (Figure 2):
 
   $ ../../bin/tstrace.exe
-  One ThreadScan collect phase, traced (threads=3, buffer=8, cores=dedicated):
+  One ThreadScan collect phase, traced (threads=3, buffer=8, cores=dedicated, seed=24301):
   
+  replay: dune exec bin/tstrace.exe -- --threads 3 --buffer 8 --cores 0 --seed 24301
   (entries are in global schedule order; times are per-thread local clocks)
       cycles  event
            0  thread 0 started

@@ -1,0 +1,590 @@
+(* The systematic concurrency checker (lib/check), checked.
+
+   Layers under test:
+   - the delete-buffer capacity boundary and the exact retire counts at
+     which collect phases trigger (full/empty wrap of the SRSW ring);
+   - the §4.3 heap-block extension (registered blocks pin, deregistered
+     blocks release);
+   - the §7 help-free conservation law across a seed family;
+   - the PCT priority scheduler (determinism, both orders reachable,
+     liveness of yielding spin loops, change-point trace events);
+   - the linearizability checker on hand-crafted histories;
+   - the heap sanitizer (canaries, allocation generations, fault context);
+   - the explorer end-to-end: clean sweeps stay clean, seeded protocol
+     bugs are caught and shrink to a replayable spec. *)
+
+module Runtime = Ts_sim.Runtime
+module Trace = Ts_sim.Trace
+module Frame = Ts_sim.Frame
+module Ptr = Ts_umem.Ptr
+module Mem = Ts_umem.Mem
+module Alloc = Ts_umem.Alloc
+module Smr = Ts_smr.Smr
+module Backoff = Ts_sync.Backoff
+module Config = Threadscan.Config
+module Delete_buffer = Threadscan.Delete_buffer
+module Set_intf = Ts_ds.Set_intf
+module Scenario = Ts_check.Scenario
+module Explore = Ts_check.Explore
+module Linearize = Ts_check.Linearize
+module Sanitize = Ts_check.Sanitize
+module Report = Ts_check.Report
+
+let check = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let cfg = Runtime.default_config
+
+let small_ts ?(help_free = false) ?(buffer_size = 8) ?(max_threads = 16) () =
+  Threadscan.create ~config:{ Config.max_threads; buffer_size; help_free } ()
+
+let alloc_node () = Ptr.of_addr (Runtime.malloc 3)
+
+(* --------------------- delete-buffer capacity boundary ------------------- *)
+
+let test_db_exact_capacity_wrap () =
+  (* Exactly [capacity] pushes succeed, the next fails without storing, and
+     the pattern survives several full/empty wraps of the monotone
+     head/tail counters. *)
+  ignore
+    (Runtime.run ~config:cfg (fun () ->
+         let cap = 4 in
+         let b = Delete_buffer.create ~capacity:cap in
+         for round = 0 to 2 do
+           for i = 0 to cap - 1 do
+             check_bool "push below capacity" true (Delete_buffer.push b ((10 * round) + i))
+           done;
+           check "exactly full" cap (Delete_buffer.size b);
+           check_bool "push at capacity fails" false (Delete_buffer.push b 999);
+           check "failed push stored nothing" cap (Delete_buffer.size b);
+           let got = ref [] in
+           Delete_buffer.drain b (fun p ->
+               got := p :: !got;
+               true);
+           Alcotest.(check (list int))
+             "fifo across the wrap"
+             (List.init cap (fun i -> (10 * round) + i))
+             (List.rev !got);
+           check "empty again" 0 (Delete_buffer.size b)
+         done))
+
+let test_phase_trigger_points () =
+  (* With buffer capacity [cap], the phase triggers on retire number
+     [cap*i + 1]: the failing push runs a collect that drains everything,
+     then retries and stays buffered.  For cap = 8: retires 9, 17, 25. *)
+  ignore
+    (Runtime.run ~config:cfg (fun () ->
+         let ts = small_ts ~buffer_size:8 ~max_threads:4 () in
+         let smr = Threadscan.smr ts in
+         smr.Smr.thread_init ();
+         let expected = function n when n <= 8 -> 0 | n when n <= 16 -> 1 | n when n <= 24 -> 2 | _ -> 3 in
+         for n = 1 to 25 do
+           smr.Smr.retire (alloc_node ());
+           check (Fmt.str "phases after retire %d" n) (expected n) (Threadscan.phases ts)
+         done;
+         smr.Smr.thread_exit ();
+         smr.Smr.flush ()))
+
+(* ------------------------ §4.3 heap-block extension ----------------------- *)
+
+let wash_regs noise =
+  for _ = 1 to 64 do
+    ignore (Runtime.read noise)
+  done
+
+let test_heap_block_pins_and_releases () =
+  (* A pointer whose only reference lives in a registered heap block
+     survives the phase; after deregistering the block it is reclaimed by
+     the next phase. *)
+  ignore
+    (Runtime.run ~config:cfg (fun () ->
+         let ts = small_ts ~buffer_size:8 ~max_threads:4 () in
+         let smr = Threadscan.smr ts in
+         smr.Smr.thread_init ();
+         let noise = Runtime.alloc_region 1 in
+         let blk = Runtime.malloc 4 in
+         Threadscan.add_heap_block ~start_addr:blk ~len:4;
+         let p = alloc_node () in
+         Runtime.write blk p;
+         smr.Smr.retire p;
+         for _ = 1 to 7 do
+           smr.Smr.retire (alloc_node ())
+         done;
+         wash_regs noise;
+         smr.Smr.retire (alloc_node ());
+         (* phase 1: the 7 fillers freed, [p] marked via the block *)
+         check "phase ran" 1 (Threadscan.phases ts);
+         check "fillers freed, p survived" 7 smr.Smr.counters.freed;
+         check "p carried over" 1 (Threadscan.carried_last ts);
+         (* deregister: the stashed reference no longer pins *)
+         Threadscan.remove_heap_block ~start_addr:blk ~len:4;
+         Runtime.write blk 0;
+         for _ = 1 to 7 do
+           smr.Smr.retire (alloc_node ())
+         done;
+         wash_regs noise;
+         smr.Smr.retire (alloc_node ());
+         check "second phase ran" 2 (Threadscan.phases ts);
+         (* 7 + (carry p + 8 drained) = 16 *)
+         check "p reclaimed after removal" 16 smr.Smr.counters.freed;
+         check "nothing carried" 0 (Threadscan.carried_last ts);
+         Runtime.free blk;
+         smr.Smr.thread_exit ();
+         smr.Smr.flush ()))
+
+let test_heap_block_cross_thread () =
+  (* The §4.3 scan happens inside the *owning* thread's signal handler: a
+     worker stashes the only reference in its registered block; the main
+     thread (reclaimer) retires the node and must not free it until the
+     worker deregisters the block. *)
+  ignore
+    (Runtime.run ~config:cfg (fun () ->
+         let ts = small_ts ~buffer_size:8 ~max_threads:8 () in
+         let smr = Threadscan.smr ts in
+         smr.Smr.thread_init ();
+         let noise = Runtime.alloc_region 1 in
+         let cell = Runtime.alloc_region 1 in
+         let stage = Runtime.alloc_region 1 in
+         let w =
+           Runtime.spawn (fun () ->
+               smr.Smr.thread_init ();
+               let blk = Runtime.malloc 4 in
+               Threadscan.add_heap_block ~start_addr:blk ~len:4;
+               let p = alloc_node () in
+               Runtime.write blk p;
+               Runtime.write cell p;
+               wash_regs noise;
+               while Runtime.read stage = 0 do
+                 Runtime.advance 10
+               done;
+               Threadscan.remove_heap_block ~start_addr:blk ~len:4;
+               Runtime.write blk 0;
+               wash_regs noise;
+               Runtime.write stage 2;
+               while Runtime.read stage = 2 do
+                 Runtime.advance 10
+               done;
+               Runtime.free blk;
+               smr.Smr.thread_exit ())
+         in
+         while Runtime.read cell = 0 do
+           Runtime.advance 10
+         done;
+         smr.Smr.retire (Runtime.read cell);
+         Runtime.write cell 0;
+         for _ = 1 to 7 do
+           smr.Smr.retire (alloc_node ())
+         done;
+         wash_regs noise;
+         smr.Smr.retire (alloc_node ());
+         check "phase ran" 1 (Threadscan.phases ts);
+         check "p pinned by the worker's block" 7 smr.Smr.counters.freed;
+         check "p carried over" 1 (Threadscan.carried_last ts);
+         Runtime.write stage 1;
+         while Runtime.read stage <> 2 do
+           Runtime.advance 10
+         done;
+         for _ = 1 to 7 do
+           smr.Smr.retire (alloc_node ())
+         done;
+         wash_regs noise;
+         smr.Smr.retire (alloc_node ());
+         check "second phase ran" 2 (Threadscan.phases ts);
+         check "p reclaimed once deregistered" 16 smr.Smr.counters.freed;
+         Runtime.write stage 3;
+         Runtime.join w;
+         smr.Smr.thread_exit ();
+         smr.Smr.flush ()))
+
+(* ----------------------- help-free conservation (§7) ---------------------- *)
+
+let churn_helpfree seed =
+  (* Lemma-1 churn under the help-free variant; returns the accounting
+     quadruple after flush.  Strict memory + propagated failures mean any
+     double free or UAF aborts the test. *)
+  let out = ref (0, 0, 0, 0) in
+  ignore
+    (Runtime.run
+       ~config:{ cfg with seed; sched = Runtime.Uniform }
+       (fun () ->
+         let ts = small_ts ~help_free:true ~buffer_size:8 ~max_threads:8 () in
+         let smr = Threadscan.smr ts in
+         smr.Smr.thread_init ();
+         let slots = Runtime.alloc_region 3 in
+         let noise = Runtime.alloc_region 1 in
+         let worker i () =
+           smr.Smr.thread_init ();
+           Frame.with_frame 1 (fun fr ->
+               for _ = 1 to 30 do
+                 let q = Runtime.read (slots + Runtime.rand_below 3) in
+                 Frame.set fr 0 q;
+                 if not (Ptr.is_null q) then ignore (Runtime.read (Ptr.addr q));
+                 Frame.set fr 0 0;
+                 let p = alloc_node () in
+                 let old = Runtime.read (slots + i) in
+                 Runtime.write (slots + i) p;
+                 if not (Ptr.is_null old) then smr.Smr.retire old
+               done);
+           smr.Smr.thread_exit ()
+         in
+         let ws = List.init 3 (fun i -> Runtime.spawn (worker i)) in
+         List.iter Runtime.join ws;
+         for i = 0 to 2 do
+           let old = Runtime.read (slots + i) in
+           Runtime.write (slots + i) 0;
+           if not (Ptr.is_null old) then smr.Smr.retire old
+         done;
+         wash_regs noise;
+         smr.Smr.thread_exit ();
+         smr.Smr.flush ();
+         out :=
+           ( smr.Smr.counters.retired,
+             smr.Smr.counters.freed,
+             Threadscan.helped_frees ts,
+             Threadscan.reclaimer_frees ts )));
+  !out
+
+let test_helpfree_conservation () =
+  (* Across 64 seeds: every retired node is freed exactly once, and every
+     free is accounted to either a helping scanner or the reclaimer. *)
+  let total_helped = ref 0 in
+  for seed = 0 to 63 do
+    let retired, freed, helped, burden = churn_helpfree seed in
+    check (Fmt.str "seed %d: all retired freed" seed) retired freed;
+    check (Fmt.str "seed %d: helped + reclaimer = freed" seed) freed (helped + burden);
+    total_helped := !total_helped + helped
+  done;
+  check_bool "scanners actually helped somewhere" true (!total_helped > 0)
+
+(* ------------------------------ PCT scheduler ----------------------------- *)
+
+let race_winner ~sched seed =
+  let cell = ref 0 in
+  ignore
+    (Runtime.run ~config:{ cfg with seed; sched } (fun () ->
+         let c = Runtime.alloc_region 1 in
+         let a = Runtime.spawn (fun () -> Runtime.write c 1) in
+         let b = Runtime.spawn (fun () -> Runtime.write c 2) in
+         Runtime.join a;
+         Runtime.join b;
+         cell := Runtime.read c));
+  !cell
+
+let test_pct_reaches_both_orders () =
+  let seen = Hashtbl.create 4 in
+  for seed = 0 to 19 do
+    Hashtbl.replace seen (race_winner ~sched:(Runtime.Pct { change_points = 1; expected_steps = 20 }) seed) ()
+  done;
+  check "both write orders reached" 2 (Hashtbl.length seen)
+
+let test_pct_deterministic () =
+  let spec = { Scenario.default with Scenario.ds = Scenario.Churn; policy = Scenario.Pct 3; seed = 11 } in
+  let a = Scenario.run spec and b = Scenario.run spec in
+  check "same steps" a.Scenario.steps b.Scenario.steps;
+  check "same phases" a.Scenario.phases b.Scenario.phases;
+  check "same events" a.Scenario.events b.Scenario.events;
+  check "same violations" (List.length a.Scenario.violations) (List.length b.Scenario.violations)
+
+let test_pct_spin_liveness () =
+  (* A top-priority thread spinning through Backoff yields, which demotes
+     it below the thread it waits for — the run terminates even with zero
+     change points left. *)
+  ignore
+    (Runtime.run
+       ~config:
+         {
+           cfg with
+           seed = 5;
+           max_steps = 100_000;
+           sched = Runtime.Pct { change_points = 0; expected_steps = 100 };
+         }
+       (fun () ->
+         let flag = Runtime.alloc_region 1 in
+         let waiter =
+           Runtime.spawn (fun () ->
+               let b = Backoff.create () in
+               while Runtime.read flag = 0 do
+                 Backoff.once b
+               done)
+         in
+         let writer = Runtime.spawn (fun () -> Runtime.write flag 1) in
+         Runtime.join waiter;
+         Runtime.join writer))
+
+let test_pct_change_points_traced () =
+  let record, entries = Trace.recorder () in
+  ignore
+    (Runtime.run
+       ~config:
+         {
+           cfg with
+           seed = 3;
+           trace = Some record;
+           sched = Runtime.Pct { change_points = 3; expected_steps = 100 };
+         }
+       (fun () ->
+         let c = Runtime.alloc_region 1 in
+         let ws =
+           List.init 2 (fun _ ->
+               Runtime.spawn (fun () ->
+                   for _ = 1 to 200 do
+                     ignore (Runtime.read c)
+                   done))
+         in
+         List.iter Runtime.join ws));
+  let demotions =
+    List.length
+      (List.filter
+         (fun (e : Trace.entry) ->
+           match e.Trace.event with Trace.Priority_changed _ -> true | _ -> false)
+         (entries ()))
+  in
+  check "all change points fired" 3 demotions
+
+(* ------------------------- linearizability checker ------------------------ *)
+
+let ev ?(tid = 0) kind key result t0 t1 = { Set_intf.tid; kind; key; result; t0; t1 }
+
+let test_lin_valid_overlap () =
+  (* Two racing inserts: one wins, one loses — linearizable either way. *)
+  let r =
+    Linearize.check
+      [ ev Set_intf.Op_insert 7 true 0 10; ev ~tid:1 Set_intf.Op_insert 7 false 5 15 ]
+  in
+  check_bool "valid" true (r.Linearize.violation = None);
+  check "one key" 1 r.Linearize.keys
+
+let test_lin_stale_read () =
+  (* contains(k) = false strictly after insert(k) = true completed, with no
+     remove in between: no linearization explains it. *)
+  let r =
+    Linearize.check [ ev Set_intf.Op_insert 7 true 0 5; ev ~tid:1 Set_intf.Op_contains 7 false 10 12 ]
+  in
+  check_bool "violation found" true (r.Linearize.violation <> None)
+
+let test_lin_double_insert () =
+  let r =
+    Linearize.check [ ev Set_intf.Op_insert 3 true 0 5; ev ~tid:1 Set_intf.Op_insert 3 true 10 15 ]
+  in
+  check_bool "two winning inserts impossible" true (r.Linearize.violation <> None)
+
+let test_lin_mixed_valid () =
+  let r =
+    Linearize.check
+      [
+        ev Set_intf.Op_insert 1 true 0 4;
+        ev ~tid:1 Set_intf.Op_remove 1 true 2 8;
+        ev ~tid:2 Set_intf.Op_contains 1 false 6 12;
+        ev Set_intf.Op_insert 1 true 14 16;
+        ev ~tid:1 Set_intf.Op_contains 1 true 18 20;
+      ]
+  in
+  check_bool "valid mixed history" true (r.Linearize.violation = None)
+
+let test_lin_keys_independent () =
+  (* A violation on one key is found even among clean traffic on others. *)
+  let r =
+    Linearize.check
+      [
+        ev Set_intf.Op_insert 1 true 0 4;
+        ev Set_intf.Op_contains 1 true 6 8;
+        ev ~tid:1 Set_intf.Op_insert 2 true 0 5;
+        ev ~tid:1 Set_intf.Op_contains 2 false 10 12;
+      ]
+  in
+  (match r.Linearize.violation with
+  | Some (key, _) -> check "offending key" 2 key
+  | None -> Alcotest.fail "expected a violation");
+  check "both keys examined" 2 r.Linearize.keys
+
+let test_lin_segmentation () =
+  let segs =
+    Linearize.segments
+      [ ev Set_intf.Op_insert 1 true 0 5; ev Set_intf.Op_remove 1 true 10 15; ev ~tid:1 Set_intf.Op_contains 1 false 12 20 ]
+  in
+  Alcotest.(check (list int)) "quiescent cut after the first op" [ 1; 2 ] (List.map List.length segs)
+
+let test_lin_wide_segment_skipped () =
+  (* 25 mutually overlapping reads exceed the search bound: skipped, not
+     failed. *)
+  let events = List.init 25 (fun i -> ev ~tid:i Set_intf.Op_contains 4 false 0 100) in
+  let r = Linearize.check events in
+  check_bool "no violation" true (r.Linearize.violation = None);
+  check "segment skipped" 1 r.Linearize.skipped_segments
+
+(* ------------------------------ heap sanitizer ---------------------------- *)
+
+let test_sanitizer_canary () =
+  (* Clobbering the word just past a block's payload is caught on free. *)
+  let rt = Runtime.create { cfg with sanitize = true; strict_mem = false } in
+  ignore
+    (Runtime.add_thread rt (fun () ->
+         let a = Runtime.malloc 2 in
+         ignore (Runtime.malloc 1);
+         Runtime.free a));
+  ignore (Runtime.start rt);
+  check "clean frees leave canaries alone" 0 (Mem.fault_count (Runtime.mem rt) Mem.Canary_overwrite);
+  let rt = Runtime.create { cfg with sanitize = true; strict_mem = false } in
+  let victim = ref 0 in
+  ignore
+    (Runtime.add_thread rt (fun () ->
+         let a = Runtime.malloc 2 in
+         victim := a;
+         Runtime.free a));
+  (* run far enough to learn the address, then rerun with the overwrite *)
+  ignore (Runtime.start rt);
+  let addr = !victim in
+  let rt = Runtime.create { cfg with sanitize = true; strict_mem = false } in
+  ignore
+    (Runtime.add_thread rt (fun () ->
+         let a = Runtime.malloc 2 in
+         let size = Alloc.block_size (Runtime.alloc rt) a in
+         Mem.raw_write (Runtime.mem rt) (a + size) 0xDEAD;
+         Runtime.free a));
+  ignore (Runtime.start rt);
+  check "same deterministic address" addr !victim;
+  check "canary overwrite detected" 1 (Mem.fault_count (Runtime.mem rt) Mem.Canary_overwrite)
+
+let test_sanitizer_generations () =
+  (* The per-base generation counter distinguishes reuse of an address —
+     the ABA signature — from a plain double retire. *)
+  let rt = Runtime.create { cfg with sanitize = true } in
+  let g1 = ref 0 and g2 = ref 0 and same = ref false in
+  ignore
+    (Runtime.add_thread rt (fun () ->
+         let a = Runtime.malloc 3 in
+         g1 := Alloc.generation (Runtime.alloc rt) a;
+         Runtime.free a;
+         let b = Runtime.malloc 3 in
+         same := a = b;
+         g2 := Alloc.generation (Runtime.alloc rt) b;
+         Runtime.free b));
+  ignore (Runtime.start rt);
+  check_bool "thread cache reuses the address" true !same;
+  check "first generation" 1 !g1;
+  check "bumped on reuse" 2 !g2
+
+let test_sanitizer_fault_context () =
+  (* The fault hook captures the offending thread while it is being
+     stepped — before the strict-mode raise unwinds it. *)
+  let rt = Runtime.create { cfg with sanitize = true; propagate_failures = false } in
+  let san = Sanitize.install rt ~phase_of:(fun () -> 42) in
+  let victim_tid = ref (-1) in
+  ignore
+    (Runtime.add_thread rt (fun () ->
+         let a = Runtime.malloc 2 in
+         Runtime.free a;
+         let w =
+           Runtime.spawn (fun () ->
+               victim_tid := Runtime.self ();
+               ignore (Runtime.read a))
+         in
+         Runtime.join w));
+  ignore (Runtime.start rt);
+  match Sanitize.first san with
+  | None -> Alcotest.fail "expected a captured fault"
+  | Some f ->
+      check_bool "kind is UAF read" true (f.Sanitize.kind = Mem.Uaf_read);
+      check "attributed to the faulting thread" !victim_tid f.Sanitize.tid;
+      check "phase context threaded through" 42 f.Sanitize.phase
+
+(* ------------------------- explorer, end to end --------------------------- *)
+
+let test_sweep_clean () =
+  List.iter
+    (fun ds ->
+      let specs =
+        Explore.sweep_specs ~base:{ Scenario.default with Scenario.ds } ~schedules:6 ~seed0:0
+          ~pct_depth:3
+      in
+      let s = Explore.sweep specs in
+      check (Fmt.str "%s: no violations" (Scenario.ds_to_string ds)) 0
+        (List.length s.Explore.failures);
+      check (Fmt.str "%s: all schedules ran" (Scenario.ds_to_string ds)) 6 s.Explore.runs)
+    [ Scenario.List_ds; Scenario.Hash_ds; Scenario.Skip_ds; Scenario.Churn ]
+
+let test_explorer_catches_seeded_bug () =
+  (* The acceptance gate: a deliberately broken sweep (carry-over of marked
+     entries skipped) must be detected and shrink to a failing spec whose
+     replay command reproduces it. *)
+  let base =
+    { Scenario.default with Scenario.ds = Scenario.Churn; inject = Threadscan.Skip_carryover }
+  in
+  let s = Explore.sweep (Explore.sweep_specs ~base ~schedules:4 ~seed0:0 ~pct_depth:3) in
+  check_bool "seeded bug caught" true (s.Explore.failures <> []);
+  let first = (List.hd s.Explore.failures).Scenario.spec in
+  let shrunk = Explore.shrink first in
+  check_bool "shrunk spec still fails" true (Scenario.failed (Scenario.run shrunk));
+  check_bool "shrink did not grow the spec" true
+    (shrunk.Scenario.threads <= first.Scenario.threads && shrunk.Scenario.ops <= first.Scenario.ops);
+  let cmd = Scenario.replay_command shrunk in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "replay command names the injection" true (contains cmd "skip-carryover")
+
+let test_scenario_attributes_uaf () =
+  (* The violation a seeded bug produces is a *sanitizer* finding with
+     thread and phase attribution, not a bare crash. *)
+  let spec =
+    { Scenario.default with Scenario.ds = Scenario.Churn; inject = Threadscan.Skip_carryover; seed = 0 }
+  in
+  let o = Scenario.run spec in
+  match o.Scenario.violations with
+  | [ Report.Sanitizer { kind = Mem.Uaf_read; tid; phase; _ } ] ->
+      check_bool "attributed to a worker" true (tid >= 0);
+      check_bool "phase recorded" true (phase >= 1)
+  | vs ->
+      Alcotest.fail
+        (Fmt.str "expected one attributed UAF, got: %a" Fmt.(list ~sep:(any "; ") Report.pp) vs)
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "delete-buffer boundary",
+        [
+          Alcotest.test_case "exact capacity across wraps" `Quick test_db_exact_capacity_wrap;
+          Alcotest.test_case "phase triggers at cap*i + 1" `Quick test_phase_trigger_points;
+        ] );
+      ( "heap-block extension (4.3)",
+        [
+          Alcotest.test_case "registered block pins, removal releases" `Quick
+            test_heap_block_pins_and_releases;
+          Alcotest.test_case "cross-thread block scan" `Quick test_heap_block_cross_thread;
+        ] );
+      ( "help-free conservation (7)",
+        [ Alcotest.test_case "helped + reclaimer = freed, 64 seeds" `Quick test_helpfree_conservation ]
+      );
+      ( "pct scheduler",
+        [
+          Alcotest.test_case "reaches both orders" `Quick test_pct_reaches_both_orders;
+          Alcotest.test_case "deterministic" `Quick test_pct_deterministic;
+          Alcotest.test_case "yielding spin loops stay live" `Quick test_pct_spin_liveness;
+          Alcotest.test_case "change points traced" `Quick test_pct_change_points_traced;
+        ] );
+      ( "linearizability",
+        [
+          Alcotest.test_case "racing inserts ok" `Quick test_lin_valid_overlap;
+          Alcotest.test_case "stale read caught" `Quick test_lin_stale_read;
+          Alcotest.test_case "double winning insert caught" `Quick test_lin_double_insert;
+          Alcotest.test_case "mixed valid history" `Quick test_lin_mixed_valid;
+          Alcotest.test_case "keys are independent" `Quick test_lin_keys_independent;
+          Alcotest.test_case "quiescent-cut segmentation" `Quick test_lin_segmentation;
+          Alcotest.test_case "wide segment skipped" `Quick test_lin_wide_segment_skipped;
+        ] );
+      ( "heap sanitizer",
+        [
+          Alcotest.test_case "canary overwrite" `Quick test_sanitizer_canary;
+          Alcotest.test_case "allocation generations" `Quick test_sanitizer_generations;
+          Alcotest.test_case "fault context capture" `Quick test_sanitizer_fault_context;
+        ] );
+      ( "explorer",
+        [
+          Alcotest.test_case "clean sweeps stay clean" `Quick test_sweep_clean;
+          Alcotest.test_case "seeded bug caught and shrunk" `Quick test_explorer_catches_seeded_bug;
+          Alcotest.test_case "UAF attributed, not just crashed" `Quick test_scenario_attributes_uaf;
+        ] );
+    ]

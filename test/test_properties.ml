@@ -72,7 +72,7 @@ let lemma1 =
 let lemma1_random_walks =
   QCheck.Test.make ~name:"Lemma 1 under random-walk schedules" ~count:40 QCheck.small_nat
     (fun seed ->
-      let r = Runtime.create { cfg with seed; random_schedule = true } in
+      let r = Runtime.create { cfg with seed; sched = Runtime.Uniform } in
       ignore
         (Runtime.add_thread r (fun () ->
              let smr = ts_smr ~buffer_size:4 ~max_threads:8 () in
