@@ -91,7 +91,7 @@ let micro_collect_phase () =
     (Runtime.run (fun () ->
          let ts =
            Threadscan.create
-             ~config:{ Threadscan.Config.max_threads = 4; buffer_size = 64; help_free = false }
+             ~config:{ Threadscan.Config.default with max_threads = 4; buffer_size = 64 }
              ()
          in
          let smr = Threadscan.smr ts in

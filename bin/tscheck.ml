@@ -26,9 +26,26 @@ let inject_conv =
   let parse s =
     match Scenario.inject_of_string s with
     | Some i -> Ok i
-    | None -> Error (`Msg (Fmt.str "unknown injection %S (none|skip-carryover|skip-ack-wait)" s))
+    | None ->
+        Error
+          (`Msg
+             (Fmt.str
+                "unknown injection %S \
+                 (none|skip-carryover|skip-ack-wait|skip-proxy-scan|crash-mid-phase)"
+                s))
   in
   Arg.conv (parse, fun ppf i -> Fmt.string ppf (Scenario.inject_to_string i))
+
+let fault_conv =
+  let parse s =
+    match Scenario.fault_of_string s with
+    | Some f -> Ok f
+    | None ->
+        Error
+          (`Msg
+             (Fmt.str "unknown fault %S (none|crash:<victims>@<after>|stall:<victims>@<after>:<cycles>)" s))
+  in
+  Arg.conv (parse, fun ppf f -> Fmt.string ppf (Scenario.fault_to_string f))
 
 let policy_conv =
   let parse s =
@@ -56,7 +73,19 @@ let inject_arg =
   Arg.(
     value
     & opt inject_conv Threadscan.No_fault
-    & info [ "inject" ] ~doc:"Deliberate protocol bug (none|skip-carryover|skip-ack-wait).")
+    & info [ "inject" ]
+        ~doc:
+          "Deliberate protocol bug \
+           (none|skip-carryover|skip-ack-wait|skip-proxy-scan|crash-mid-phase).")
+
+let fault_arg =
+  Arg.(
+    value
+    & opt fault_conv Scenario.Fault_none
+    & info [ "fault" ]
+        ~doc:
+          "Environment fault the protocol must survive \
+           (none|crash:<victims>@<after>|stall:<victims>@<after>:<cycles>).")
 
 (* -------------------------------- sweep --------------------------------- *)
 
@@ -82,9 +111,18 @@ let sweep_cmd =
   in
   let seed0 = Arg.(value & opt int 0 & info [ "seed0" ] ~doc:"First seed of the family.") in
   let action ds_list schedules pct_depth seed0 threads ops key_range buffer_size help_free inject
-      =
+      fault =
     let base =
-      { Scenario.default with Scenario.threads; ops; key_range; buffer_size; help_free; inject }
+      {
+        Scenario.default with
+        Scenario.threads;
+        ops;
+        key_range;
+        buffer_size;
+        help_free;
+        inject;
+        fault;
+      }
     in
     Fmt.pr "sweep: %d structures x %d schedules (seeds %d..%d, uniform/pct:%d alternating)@."
       (List.length ds_list) schedules seed0
@@ -92,6 +130,8 @@ let sweep_cmd =
       pct_depth;
     if inject <> Threadscan.No_fault then
       Fmt.pr "injected bug: %s@." (Scenario.inject_to_string inject);
+    if fault <> Scenario.Fault_none then
+      Fmt.pr "injected fault: %s@." (Scenario.fault_to_string fault);
     let first_failure = ref None in
     let total_runs = ref 0 and total_violations = ref 0 in
     List.iter
@@ -126,7 +166,7 @@ let sweep_cmd =
     Term.(
       ret
         (const action $ ds_list $ schedules $ pct_depth $ seed0 $ threads_arg $ ops_arg
-       $ range_arg $ buffer_arg $ help_free_arg $ inject_arg))
+       $ range_arg $ buffer_arg $ help_free_arg $ inject_arg $ fault_arg))
 
 (* -------------------------------- replay -------------------------------- *)
 
@@ -139,14 +179,28 @@ let replay_cmd =
       & info [ "policy" ] ~doc:"Schedule policy (timed|uniform|pct:<d>).")
   in
   let seed = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Schedule seed.") in
-  let action ds policy seed threads ops key_range buffer_size help_free inject =
+  let action ds policy seed threads ops key_range buffer_size help_free inject fault =
     let spec =
-      { Scenario.ds; threads; ops; key_range; buffer_size; help_free; inject; policy; seed }
+      {
+        Scenario.ds;
+        threads;
+        ops;
+        key_range;
+        buffer_size;
+        help_free;
+        inject;
+        fault;
+        policy;
+        seed;
+      }
     in
-    Fmt.pr "replay: ds=%s threads=%d ops=%d key-range=%d buffer=%d%s inject=%s policy=%s seed=%d@."
+    Fmt.pr
+      "replay: ds=%s threads=%d ops=%d key-range=%d buffer=%d%s inject=%s fault=%s policy=%s \
+       seed=%d@."
       (Scenario.ds_to_string ds) threads ops key_range buffer_size
       (if help_free then " help-free" else "")
       (Scenario.inject_to_string inject)
+      (Scenario.fault_to_string fault)
       (Scenario.policy_to_string policy)
       seed;
     let o = Scenario.run spec in
@@ -161,7 +215,7 @@ let replay_cmd =
     Term.(
       ret
         (const action $ ds $ policy $ seed $ threads_arg $ ops_arg $ range_arg $ buffer_arg
-       $ help_free_arg $ inject_arg))
+       $ help_free_arg $ inject_arg $ fault_arg))
 
 let () =
   let doc = "systematic concurrency checker for the ThreadScan reproduction" in

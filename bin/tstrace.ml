@@ -4,7 +4,14 @@
    buffer and becomes the reclaimer.  The timeline below is the simulator's
    deterministic trace: signal sends, handler entries/exits, scheduling.
 
-   Usage: dune exec bin/tstrace.exe [-- --threads N] [--buffer N] [--cores N] [--seed N] *)
+   With --fault crash|stall, the first worker is killed (or descheduled)
+   right before the collect phase, so the timeline additionally shows the
+   degradation ladder: the crashed worker is reaped mid-phase, the stalled
+   one goes suspect, is proxy-scanned while frozen, and recovers on wake.
+
+   Usage: dune exec bin/tstrace.exe
+            [-- --threads N] [--buffer N] [--cores N] [--seed N]
+            [--fault none|crash|stall] *)
 
 module Runtime = Ts_sim.Runtime
 module Trace = Ts_sim.Trace
@@ -16,6 +23,7 @@ let parse_args () =
   let threads = ref 3
   and buffer = ref 8
   and cores = ref 0
+  and fault = ref "none"
   and seed = ref Runtime.default_config.Runtime.seed in
   let rec go = function
     | [] -> ()
@@ -28,16 +36,21 @@ let parse_args () =
     | "--cores" :: n :: rest ->
         cores := int_of_string n;
         go rest
+    | "--fault" :: f :: rest ->
+        if not (List.mem f [ "none"; "crash"; "stall" ]) then
+          failwith ("unknown fault: " ^ f ^ " (none|crash|stall)");
+        fault := f;
+        go rest
     | "--seed" :: n :: rest ->
         seed := int_of_string n;
         go rest
     | arg :: _ -> failwith ("unknown argument: " ^ arg)
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!threads, !buffer, !cores, !seed)
+  (!threads, !buffer, !cores, !fault, !seed)
 
 let () =
-  let nthreads, buffer_size, cores, seed = parse_args () in
+  let nthreads, buffer_size, cores, fault, seed = parse_args () in
   let record, entries = Trace.recorder () in
   let config =
     {
@@ -52,12 +65,17 @@ let () =
   let phases = ref 0 and signals = ref 0 and carried = ref 0 in
   ignore
     (Runtime.run ~config (fun () ->
-         let ts =
-           Threadscan.create
-             ~config:
-               { Threadscan.Config.max_threads = nthreads + 2; buffer_size; help_free = false }
-             ()
+         let ts_config =
+           let base =
+             { Threadscan.Config.default with max_threads = nthreads + 2; buffer_size }
+           in
+           if fault = "none" then base
+           else
+             (* budgets small enough that the ladder fires inside this tiny
+                run: the ack wait gives up quickly and suspects are visible *)
+             { base with ack_budget = 2_000; suspect_phases = 2 }
          in
+         let ts = Threadscan.create ~config:ts_config () in
          let smr = Threadscan.smr ts in
          smr.Smr.thread_init ();
          let cells = Runtime.alloc_region nthreads in
@@ -79,6 +97,15 @@ let () =
                    smr.Smr.thread_exit ()))
          in
          Runtime.advance 500;
+         (* Fault demo: take out the first worker (tid 1) right before the
+            collect phase, while it still holds its published node.  A crash
+            drops its pin for good (the node is freed, not carried); a stall
+            leaves it frozen mid-hold, so the reclaimer must suspect it and
+            proxy-scan its stack to keep the node alive until it wakes. *)
+         (match fault with
+         | "crash" -> Runtime.crash 1
+         | "stall" -> Runtime.stall ~cycles:30_000 1
+         | _ -> ());
          (* the main thread retires nodes until its buffer overflows: it
             becomes the reclaimer of Figure 2 *)
          for i = 0 to nthreads - 1 do
@@ -98,12 +125,15 @@ let () =
          List.iter Runtime.join ws;
          smr.Smr.thread_exit ();
          smr.Smr.flush ()));
-  Fmt.pr "One ThreadScan collect phase, traced (threads=%d, buffer=%d, cores=%s, seed=%d):@.@."
+  Fmt.pr
+    "One ThreadScan collect phase, traced (threads=%d, buffer=%d, cores=%s, fault=%s, seed=%d):@.@."
     nthreads buffer_size
     (if cores <= 0 then "dedicated" else string_of_int cores)
-    seed;
-  Fmt.pr "replay: dune exec bin/tstrace.exe -- --threads %d --buffer %d --cores %d --seed %d@."
-    nthreads buffer_size cores seed;
+    fault seed;
+  Fmt.pr
+    "replay: dune exec bin/tstrace.exe -- --threads %d --buffer %d --cores %d --fault %s --seed \
+     %d@."
+    nthreads buffer_size cores fault seed;
   Fmt.pr "(entries are in global schedule order; times are per-thread local clocks)@.";
   Fmt.pr "%10s  %s@." "cycles" "event";
   List.iter (fun e -> Fmt.pr "%a@." Trace.pp e) (entries ());

@@ -70,7 +70,7 @@ let () =
     (Runtime.run (fun () ->
          let ts =
            Threadscan.create
-             ~config:{ Threadscan.Config.max_threads = 16; buffer_size = 16; help_free = false }
+             ~config:{ Threadscan.Config.default with max_threads = 16; buffer_size = 16 }
              ()
          in
          let smr = Threadscan.smr ts in

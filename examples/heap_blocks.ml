@@ -16,7 +16,7 @@ let () =
     (Runtime.run (fun () ->
          let ts =
            Threadscan.create
-             ~config:{ Threadscan.Config.max_threads = 8; buffer_size = 16; help_free = false }
+             ~config:{ Threadscan.Config.default with max_threads = 8; buffer_size = 16 }
              ()
          in
          let smr = Threadscan.smr ts in

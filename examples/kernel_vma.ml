@@ -22,7 +22,7 @@ let () =
     (Runtime.run ~config:{ Runtime.default_config with cores = 4; seed = 7 } (fun () ->
          let ts =
            Threadscan.create
-             ~config:{ Threadscan.Config.max_threads = 16; buffer_size = 16; help_free = false }
+             ~config:{ Threadscan.Config.default with max_threads = 16; buffer_size = 16 }
              ()
          in
          let smr = Threadscan.smr ts in

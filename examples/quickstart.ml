@@ -18,7 +18,7 @@ let () =
             pointers, up to 16 participating threads. *)
          let ts =
            Threadscan.create
-             ~config:{ Threadscan.Config.max_threads = 16; buffer_size = 32; help_free = false }
+             ~config:{ Threadscan.Config.default with max_threads = 16; buffer_size = 32 }
              ()
          in
          let smr = Threadscan.smr ts in

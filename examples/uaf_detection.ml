@@ -77,7 +77,7 @@ let () =
   run_policy "threadscan (scan before free)" (fun () ->
       Threadscan.smr
         (Threadscan.create
-           ~config:{ Threadscan.Config.max_threads = 8; buffer_size = 8; help_free = false }
+           ~config:{ Threadscan.Config.default with max_threads = 8; buffer_size = 8 }
            ()));
   Fmt.pr
     "@.threadscan freed everything it could while T2's reference kept B alive exactly as long \

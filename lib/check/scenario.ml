@@ -9,6 +9,11 @@ type ds_kind = List_ds | Hash_ds | Skip_ds | Churn
 
 type policy = Timed | Uniform | Pct of int
 
+type fault =
+  | Fault_none
+  | Fault_crash of { victims : int; after : int }
+  | Fault_stall of { victims : int; after : int; cycles : int }
+
 type spec = {
   ds : ds_kind;
   threads : int;
@@ -17,6 +22,7 @@ type spec = {
   buffer_size : int;
   help_free : bool;
   inject : Threadscan.inject;
+  fault : fault;
   policy : policy;
   seed : int;
 }
@@ -30,6 +36,7 @@ let default =
     buffer_size = 8;
     help_free = false;
     inject = Threadscan.No_fault;
+    fault = Fault_none;
     policy = Uniform;
     seed = 0;
   }
@@ -68,20 +75,54 @@ let inject_to_string = function
   | Threadscan.No_fault -> "none"
   | Threadscan.Skip_carryover -> "skip-carryover"
   | Threadscan.Skip_ack_wait -> "skip-ack-wait"
+  | Threadscan.Skip_proxy_scan -> "skip-proxy-scan"
+  | Threadscan.Crash_mid_phase -> "crash-mid-phase"
 
 let inject_of_string = function
   | "none" -> Some Threadscan.No_fault
   | "skip-carryover" -> Some Threadscan.Skip_carryover
   | "skip-ack-wait" -> Some Threadscan.Skip_ack_wait
+  | "skip-proxy-scan" -> Some Threadscan.Skip_proxy_scan
+  | "crash-mid-phase" -> Some Threadscan.Crash_mid_phase
   | _ -> None
+
+let fault_to_string = function
+  | Fault_none -> "none"
+  | Fault_crash { victims; after } -> Fmt.str "crash:%d@%d" victims after
+  | Fault_stall { victims; after; cycles } -> Fmt.str "stall:%d@%d:%d" victims after cycles
+
+let fault_of_string s =
+  let split_on c s = String.split_on_char c s in
+  match s with
+  | "none" -> Some Fault_none
+  | _ -> (
+      match split_on ':' s with
+      | [ "crash"; rest ] -> (
+          match split_on '@' rest with
+          | [ v; a ] -> (
+              match (int_of_string_opt v, int_of_string_opt a) with
+              | Some victims, Some after when victims > 0 && after >= 0 ->
+                  Some (Fault_crash { victims; after })
+              | _ -> None)
+          | _ -> None)
+      | [ "stall"; rest; c ] -> (
+          match (split_on '@' rest, int_of_string_opt c) with
+          | [ v; a ], Some cycles -> (
+              match (int_of_string_opt v, int_of_string_opt a) with
+              | Some victims, Some after when victims > 0 && after >= 0 && cycles > 0 ->
+                  Some (Fault_stall { victims; after; cycles })
+              | _ -> None)
+          | _ -> None)
+      | _ -> None)
 
 let replay_command spec =
   Fmt.str
     "dune exec bin/tscheck.exe -- replay --ds %s --threads %d --ops %d --key-range %d \
-     --buffer %d%s --inject %s --policy %s --seed %d"
+     --buffer %d%s --inject %s --fault %s --policy %s --seed %d"
     (ds_to_string spec.ds) spec.threads spec.ops spec.key_range spec.buffer_size
     (if spec.help_free then " --help-free" else "")
-    (inject_to_string spec.inject) (policy_to_string spec.policy) spec.seed
+    (inject_to_string spec.inject) (fault_to_string spec.fault) (policy_to_string spec.policy)
+    spec.seed
 
 type outcome = {
   spec : spec;
@@ -97,6 +138,21 @@ let failed o = o.violations <> []
 
 (* Rough step count of one run; only used to place PCT change points. *)
 let expected_steps spec = spec.threads * spec.ops * 250
+
+(* Self-injection point, called by worker [i] before its [n]-th operation
+   (1-based).  The victim set is the [victims] lowest-indexed workers, and
+   the injection lands deterministically after [after] completed operations
+   — so a failing spec replays exactly, fault included.  A crash never
+   returns (the fiber is killed); a stalled worker resumes here and finishes
+   its remaining operations, exercising suspect → recovery (or reap →
+   re-admission) on the reclaimer side. *)
+let fault_hook spec i n =
+  match spec.fault with
+  | Fault_crash { victims; after } when i < victims && n = after + 1 ->
+      Runtime.crash (Runtime.self ())
+  | Fault_stall { victims; after; cycles } when i < victims && n = after + 1 ->
+      Runtime.stall ~cycles (Runtime.self ())
+  | _ -> ()
 
 (* Set workload: concurrent inserts/removes/contains over one of the lib/ds
    structures, every operation recorded for the linearizability check.
@@ -116,10 +172,11 @@ let run_sets rt spec (smr : Smr.t) ~record =
   for k = 0 to (spec.key_range / 2) - 1 do
     ignore (ds.Set_intf.insert (k * 2) (k * 2))
   done;
-  let worker () =
+  let worker i () =
     smr.Smr.thread_init ();
     ignore (Frame.push 16);
-    for _ = 1 to spec.ops do
+    for n = 1 to spec.ops do
+      fault_hook spec i n;
       let key = Runtime.rand_below spec.key_range in
       (match Runtime.rand_below 5 with
       | 0 | 1 -> ignore (ds.Set_intf.insert key key)
@@ -129,7 +186,7 @@ let run_sets rt spec (smr : Smr.t) ~record =
     done;
     smr.Smr.thread_exit ()
   in
-  let ws = List.init spec.threads (fun _ -> Runtime.spawn worker) in
+  let ws = List.init spec.threads (fun i -> Runtime.spawn (worker i)) in
   List.iter Runtime.join ws;
   (* Quiesce: empty the set so every retired node is unreachable. *)
   for k = 0 to spec.key_range - 1 do
@@ -162,7 +219,12 @@ let run_churn rt spec (smr : Smr.t) =
            collect phase — every later dereference is safe only because the
            scan marked it and the sweep carried it over. *)
         let held = ref 0 in
-        for _ = 1 to spec.ops do
+        for n = 1 to spec.ops do
+          (* The injection lands mid-hold: the victim's frame still pins a
+             possibly cross-thread node, so a collect phase during the
+             outage must proxy-scan this stack (stall) or drop the pin for
+             good (crash) to stay sound. *)
+          fault_hook spec i n;
           if Ptr.is_null !held || Runtime.rand_below 4 = 0 then begin
             held := Runtime.read (slots + Runtime.rand_below nslots);
             Frame.set fr 0 !held
@@ -208,9 +270,21 @@ let run spec =
       strict_mem = true;
       propagate_failures = true;
       (* ~30x the step count of a typical clean run: failing runs often end
-         in a spin (a dead thread never acks) and should fail fast *)
-      max_steps = 200_000 + (spec.threads * spec.ops * 2_000);
+         in a spin (a dead thread never acks) and should fail fast.  Fault
+         runs get headroom — blind phases and overflow churn retry work. *)
+      max_steps =
+        (200_000 + (spec.threads * spec.ops * 2_000))
+        * (match spec.fault with Fault_none -> 1 | _ -> 4);
     }
+  in
+  (* TSCHECK_TRACE=1 streams the scheduler/protocol trace of every run to
+     stderr — the fastest way from a failing replay command to a timeline
+     (the degradation-ladder notes land here too). *)
+  let config =
+    match Sys.getenv_opt "TSCHECK_TRACE" with
+    | Some _ ->
+        { config with Runtime.trace = Some (fun e -> Fmt.epr "%a@." Ts_sim.Trace.pp e) }
+    | None -> config
   in
   let rt = Runtime.create config in
   let phase_of = ref (fun () -> -1) in
@@ -221,16 +295,34 @@ let run spec =
   let oracle_violations = ref [] in
   ignore
     (Runtime.add_thread rt (fun () ->
-         let ts =
-           Threadscan.create
-             ~config:
+         let ts_config =
+           let base =
+             {
+               Threadscan.Config.default with
+               max_threads = spec.threads + 2;
+               buffer_size = spec.buffer_size;
+               help_free = spec.help_free;
+             }
+           in
+           match (spec.fault, spec.inject) with
+           | Fault_none, (Threadscan.No_fault | Skip_carryover | Skip_ack_wait | Skip_proxy_scan)
+             ->
+               base
+           | _, _ ->
+               (* Budgets small enough that a checker-sized run actually
+                  climbs the degradation ladder: the ack wait times out well
+                  inside a stall, two silent phases reap, a dead reclaimer's
+                  lock is taken over, and full buffers overflow instead of
+                  spinning out the step limit. *)
                {
-                 Threadscan.Config.max_threads = spec.threads + 2;
-                 buffer_size = spec.buffer_size;
-                 help_free = spec.help_free;
+                 base with
+                 ack_budget = 20_000;
+                 suspect_phases = 2;
+                 takeover_steps = 30_000;
+                 overflow_after = 16;
                }
-             ()
          in
+         let ts = Threadscan.create ~config:ts_config () in
          Threadscan.set_inject ts spec.inject;
          phase_of := (fun () -> Threadscan.phases ts);
          let smr0 = Threadscan.smr ts in
@@ -270,10 +362,15 @@ let run spec =
          smr.Smr.thread_exit ();
          smr.Smr.flush ();
          phases := Threadscan.phases ts;
+         let max_leak =
+           (* one in-flight pointer per thread that can die mid-retire *)
+           (match spec.fault with Fault_crash { victims; _ } -> victims | _ -> 0)
+           + (match spec.inject with Threadscan.Crash_mid_phase -> 1 | _ -> 0)
+         in
          oracle_violations :=
            !oracle_violations
-           @ Oracle.check ~ts ~counters:smr.Smr.counters ~alloc:(Runtime.alloc rt)
-               ~baseline_live:baseline ~final_list));
+           @ Oracle.check ~max_leak ~ts ~counters:smr.Smr.counters ~alloc:(Runtime.alloc rt)
+               ~baseline_live:baseline ~final_list ()));
   let crash =
     try
       ignore (Runtime.start rt);

@@ -31,6 +31,21 @@ type policy =
   | Uniform  (** uniformly random walk over active threads *)
   | Pct of int  (** PCT priority scheduling with [d] change points *)
 
+(** Environment fault plan: the [victims] lowest-indexed workers self-inject
+    after [after] completed operations.  Unlike {!Threadscan.inject} (a
+    deliberate {e protocol} bug that must produce a violation), a fault is a
+    legal execution — crashes and stalls are things the paper's signal-based
+    protocol must survive, so a faulted run is held to the same oracles as a
+    clean one. *)
+type fault =
+  | Fault_none
+  | Fault_crash of { victims : int; after : int }
+      (** victims die mid-workload ([SIGKILL]-style, no cleanup, still
+          registered with the SMR). *)
+  | Fault_stall of { victims : int; after : int; cycles : int }
+      (** victims are descheduled for [cycles] virtual cycles, then resume
+          and finish their operations. *)
+
 type spec = {
   ds : ds_kind;
   threads : int;  (** worker threads (main is extra) *)
@@ -39,6 +54,7 @@ type spec = {
   buffer_size : int;  (** ThreadScan per-thread delete buffer *)
   help_free : bool;
   inject : Threadscan.inject;  (** deliberate bug, for checker validation *)
+  fault : fault;  (** injected environment fault the protocol must survive *)
   policy : policy;
   seed : int;
 }
@@ -59,6 +75,12 @@ val policy_of_string : string -> policy option
 val inject_to_string : Threadscan.inject -> string
 
 val inject_of_string : string -> Threadscan.inject option
+
+val fault_to_string : fault -> string
+
+val fault_of_string : string -> fault option
+(** ["none"], ["crash:<victims>\@<after>"], or
+    ["stall:<victims>\@<after>:<cycles>"]. *)
 
 val replay_command : spec -> string
 (** The exact shell command that reproduces this run. *)

@@ -12,10 +12,33 @@ type t = {
       (** §7 future-work variant: scanning threads free a share of the
           previous phase's garbage in their next TS-Scan, unloading the
           reclaimer. *)
+  ack_budget : int;
+      (** Virtual cycles the reclaimer waits for scanner acknowledgments
+          before declaring the phase blind and marking non-ackers suspect
+          (see [docs/FAULTS.md]).  [<= 0] waits forever (the paper's
+          original, wedge-prone behaviour). *)
+  suspect_phases : int;
+      (** Consecutive silent phases after which a suspect is reaped:
+          force-deregistered, its delete buffer adopted, its last-known
+          stack and registers proxy-scanned by the reclaimer from then on. *)
+  takeover_steps : int;
+      (** Scheduler steps a waiter tolerates the phase lock being held with
+          no heartbeat movement before it declares the reclaimer dead and
+          takes the phase over (the watchdog model: the stale holder is
+          killed first, stale state is fenced by the phase generation).
+          [<= 0] disables takeover. *)
+  overflow_after : int;
+      (** Full-buffer wait rounds (exponential backoff each) a retiring
+          thread endures before parking the pointer on the shared overflow
+          list — the hard backpressure bound while reclamation is degraded.
+          [<= 0] waits forever. *)
 }
 
 val default : t
-(** [max_threads = 64], [buffer_size = 64], [help_free = false]. *)
+(** [max_threads = 64], [buffer_size = 64], [help_free = false], and
+    robustness defaults generous enough that healthy runs never trigger
+    them: [ack_budget = 5_000_000] cycles, [suspect_phases = 3],
+    [takeover_steps = 1_000_000], [overflow_after = 64]. *)
 
 val paper : t
 (** The paper's configuration: buffer of 1024 pointers, 256 threads. *)

@@ -64,17 +64,25 @@ let entry t i = Runtime.read (entry_addr t i)
 let sweep ?(ignore_marks = false) t f =
   let n = count t in
   let carry = ref 0 in
+  let to_free = ref [] in
+  (* Pass 1: compact the marked (carried) prefix and collect the frees.
+     Nothing is freed until the buffer is consistent again, so a reclaimer
+     that dies mid-sweep leaves at worst duplicate entries (deduplicated by
+     the next publish) or a bounded leak of this phase's unmarked entries —
+     never a double free, never a resurrected entry. *)
   for i = 0 to n - 1 do
     let p = Runtime.read (entry_addr t i) in
     if (not ignore_marks) && Runtime.read (mark_addr t i) <> 0 then begin
       Runtime.write (entry_addr t !carry) p;
       incr carry
     end
-    else f p
+    else to_free := p :: !to_free
   done;
   t.staged <- !carry;
   (* The carried prefix is stale until the next publish; hide it. *)
   Runtime.write (count_addr t) 0;
+  (* Pass 2: the actual frees, in entry order. *)
+  List.iter f (List.rev !to_free);
   !carry
 
 let bounds t =

@@ -37,9 +37,12 @@ val sweep : ?ignore_marks:bool -> t -> (int -> unit) -> int
 (** Reclaimer side: call [f] on every unmarked entry, compact the marked
     ones to the front as the next phase's carry-over, reset the staged
     count to the carry-over size, and return the number of entries carried
-    over.  [ignore_marks] (default [false]) treats every entry as unmarked
-    — the checker's {e deliberately wrong} sweep used to validate that the
-    concurrency checker catches a skipped carry-over. *)
+    over.  Crash-safe ordering: the buffer is made consistent (compacted,
+    count hidden) {e before} the first [f] call, so a reclaimer that dies
+    mid-sweep can leak a bounded number of entries but never double-free
+    or resurrect one.  [ignore_marks] (default [false]) treats every entry
+    as unmarked — the checker's {e deliberately wrong} sweep used to
+    validate that the concurrency checker catches a skipped carry-over. *)
 
 val bounds : t -> int * int
 (** [(lo, hi)] of the published prefix, for the scanner's cheap range

@@ -4,22 +4,29 @@ module Master_buffer = Master_buffer
 module Runtime = Ts_sim.Runtime
 module Ptr = Ts_umem.Ptr
 module Smr = Ts_smr.Smr
-module Spinlock = Ts_sync.Spinlock
 module Backoff = Ts_sync.Backoff
 
-type inject = No_fault | Skip_carryover | Skip_ack_wait
+type inject = No_fault | Skip_carryover | Skip_ack_wait | Skip_proxy_scan | Crash_mid_phase
 
 type t = {
   cfg : Config.t;
   buffers : Delete_buffer.t array;
   master : Master_buffer.t;
-  lock : Spinlock.t;
+  owner_addr : int; (* phase lock: 0 free, else holder tid + 1 *)
+  beat_addr : int; (* heartbeat: step stamp of the holder's last progress *)
+  gen_addr : int; (* phase generation: bumped on commit and on takeover *)
   phase_addr : int; (* current phase id, written by the reclaimer *)
   acks_base : int; (* acks_base + tid: last phase acknowledged *)
   registered_base : int; (* registered_base + tid: participation flag *)
   work_idx : int; (* help-free: next unclaimed index *)
   work_count : int; (* help-free: number of queued frees *)
   work_base : int; (* help-free: queued pointers *)
+  (* Degradation-ladder state, owned by whoever holds the phase lock. *)
+  suspect_since : int array; (* phase at which tid went suspect; -1 clear *)
+  suspect_ack : int array; (* ack value at suspicion, to detect recovery *)
+  suspect_silent : int array; (* consecutive silent phases while suspect *)
+  reaped : bool array;
+  mutable overflow : int list; (* backpressure: parked retirements *)
   mutable smr_counters : Smr.counters option;
   mutable smr_self : Smr.t option;
   mutable phases : int;
@@ -31,6 +38,16 @@ type t = {
   mutable full_waits : int;
   phase_latencies : Ts_util.Vec.t; (* cycles spent inside each do_phase *)
   mutable free_burden : int; (* nodes freed inside collect, by the reclaimer *)
+  mutable ack_timeouts : int; (* phases whose ack wait exhausted the budget *)
+  mutable carried_blind : int; (* entries carried because a phase was blind *)
+  mutable suspected_total : int;
+  mutable recoveries : int; (* suspects that acked again and were cleared *)
+  mutable reaps : int;
+  mutable adopted : int; (* buffered retirements adopted from reaped threads *)
+  mutable proxy_scans : int; (* stacks scanned by the reclaimer on behalf *)
+  mutable takeovers : int; (* phase locks wrested from stale reclaimers *)
+  mutable gen_aborts : int; (* sweeps aborted by the generation fence *)
+  mutable overflow_pushes : int; (* retirements parked by backpressure *)
   mutable inject : inject; (* deliberate protocol bug, for checker validation *)
 }
 
@@ -39,11 +56,70 @@ let counters t = Option.get t.smr_counters
 let debug_scan = Sys.getenv_opt "TS_DEBUG_SCAN" <> None
 
 (* ------------------------------------------------------------------ *)
+(* Phase lock: a raw owner word so waiters can identify (and, past the
+   heartbeat budget, replace) a dead holder — a Spinlock's anonymous 0/1
+   word cannot support takeover.                                       *)
+(* ------------------------------------------------------------------ *)
+
+let try_acquire t =
+  Runtime.read t.owner_addr = 0 && Runtime.cas t.owner_addr 0 (Runtime.self () + 1)
+
+let release t = Runtime.write t.owner_addr 0
+
+let heartbeat t = Runtime.write t.beat_addr (Runtime.steps_now ())
+
+(* Watchdog: a waiter that has watched the same holder make zero heartbeat
+   progress for [takeover_steps] scheduler steps declares it dead, kills it
+   (it must never wake up mid-sweep believing it still owns the phase) and
+   adopts the lock.  The generation bump fences any state the orphaned
+   phase left behind.  The [owner_seen]/[beat_seen]/[seen_at] refs persist
+   across the caller's wait rounds: staleness is measured from the first
+   observation of an unchanged (owner, beat) pair, so a freshly acquired
+   lock is never mistaken for a stale one. *)
+let check_takeover t owner_seen beat_seen seen_at =
+  t.cfg.takeover_steps > 0
+  &&
+  let o = Runtime.read t.owner_addr in
+  if o = 0 then begin
+    owner_seen := 0;
+    false
+  end
+  else begin
+    let bt = Runtime.read t.beat_addr in
+    let s = Runtime.steps_now () in
+    if o <> !owner_seen || bt <> !beat_seen then begin
+      owner_seen := o;
+      beat_seen := bt;
+      seen_at := s;
+      false
+    end
+    else if s - !seen_at <= t.cfg.takeover_steps then false
+    else begin
+      let victim = o - 1 in
+      Runtime.crash victim;
+      if Runtime.cas t.owner_addr o (Runtime.self () + 1) then begin
+        t.takeovers <- t.takeovers + 1;
+        ignore (Runtime.faa t.gen_addr 1);
+        Runtime.note (Fmt.str "took over the phase lock from stale reclaimer t%d" victim);
+        true
+      end
+      else begin
+        (* another waiter won the takeover race *)
+        owner_seen := 0;
+        false
+      end
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
 (* TS-Scan: the signal-handler side (Algorithm 1, lines 18-26)         *)
 (* ------------------------------------------------------------------ *)
 
 (* Help-free variant (§7): grab a chunk of the previous phase's garbage and
-   free it on behalf of the reclaimer. *)
+   free it on behalf of the reclaimer.  Every free is preceded by a CAS
+   claiming the queue slot: a helper that stalled mid-chunk and wakes after
+   the queue was recycled finds its claims failing instead of double-freeing,
+   and the reclaimer can likewise sweep up a dead helper's unclaimed slots. *)
 let help_free t =
   let cnt = Runtime.read t.work_count in
   if cnt > 0 then begin
@@ -53,9 +129,11 @@ let help_free t =
     let c = counters t in
     for i = start to stop - 1 do
       let p = Runtime.read (t.work_base + i) in
-      Runtime.free (Ptr.addr p);
-      c.freed <- c.freed + 1;
-      t.helped <- t.helped + 1
+      if p <> 0 && Runtime.cas (t.work_base + i) p 0 then begin
+        Runtime.free (Ptr.addr p);
+        c.freed <- c.freed + 1;
+        t.helped <- t.helped + 1
+      end
     done
   end
 
@@ -79,6 +157,10 @@ let scan_range t (base, len) =
 
 let ts_scan t =
   if t.cfg.help_free then help_free t;
+  (* Read the phase *before* scanning: if the reclaimer gave up waiting and
+     published a new phase while we scan, we must not claim to have covered
+     a master buffer we may never have seen. *)
+  let phase = Runtime.read t.phase_addr in
   if Master_buffer.count t.master > 0 then begin
     let sbase, sp = Runtime.stack_range () in
     scan_range t (sbase, sp - sbase);
@@ -86,7 +168,6 @@ let ts_scan t =
     List.iter (scan_range t) (Runtime.private_ranges ())
   end;
   (* Acknowledge: publish the phase we scanned for. *)
-  let phase = Runtime.read t.phase_addr in
   Runtime.write (t.acks_base + Runtime.self ()) phase
 
 (* ------------------------------------------------------------------ *)
@@ -96,44 +177,100 @@ let ts_scan t =
 let registered t u = Runtime.read (t.registered_base + u) <> 0
 
 let drain_work_leftovers t =
-  (* After all acks, nobody is inside a handler: the reclaimer finishes
-     whatever help-free work the scanners did not claim. *)
+  (* Claim-and-free every slot not already claimed by a helper; slots a live
+     helper claimed are already 0, slots a dead helper never reached are
+     swept up here.  Must run before the queue is recycled. *)
   let cnt = Runtime.read t.work_count in
   if cnt > 0 then begin
     let c = counters t in
-    let i = ref (Runtime.faa t.work_idx cnt) in
-    while !i < cnt do
-      let p = Runtime.read (t.work_base + !i) in
-      Runtime.free (Ptr.addr p);
-      c.freed <- c.freed + 1;
-      t.free_burden <- t.free_burden + 1;
-      incr i
+    for i = 0 to cnt - 1 do
+      let p = Runtime.read (t.work_base + i) in
+      if p <> 0 && Runtime.cas (t.work_base + i) p 0 then begin
+        Runtime.free (Ptr.addr p);
+        c.freed <- c.freed + 1;
+        t.free_burden <- t.free_burden + 1
+      end
     done;
     Runtime.write t.work_count 0;
     Runtime.write t.work_idx 0
   end
 
+(* Bounded ack wait.  Returns [(timed_out, departed)]: [timed_out] are
+   still-registered threads that made no ack within the budget (the phase
+   must go blind); [departed] are threads observed dead while registered —
+   they crashed without deregistering and can never ack, so waiting on them
+   is pointless and they are reaped immediately. *)
 let wait_for_acks t phase signaled =
+  Runtime.set_wait_note (Some (Fmt.str "ack wait: phase %d" phase));
+  let budget = t.cfg.ack_budget in
+  let t0 = Runtime.now () in
   let b = Backoff.create () in
   let pending = ref signaled in
+  let departed = ref [] in
+  let timed_out = ref [] in
   while !pending <> [] do
     pending :=
       List.filter
-        (fun u -> Runtime.read (t.acks_base + u) <> phase && registered t u)
+        (fun u ->
+          if Runtime.read (t.acks_base + u) = phase || not (registered t u) then false
+          else if Runtime.is_done u then begin
+            departed := u :: !departed;
+            false
+          end
+          else true)
         !pending;
-    if !pending <> [] then Backoff.once b
-  done
+    if !pending <> [] then begin
+      heartbeat t;
+      if budget > 0 && Runtime.now () - t0 > budget then begin
+        timed_out := !pending;
+        pending := []
+      end
+      else Backoff.once b
+    end
+  done;
+  Runtime.set_wait_note None;
+  (!timed_out, !departed)
 
-(* One reclamation phase.  Caller holds [t.lock]. *)
+let mark_suspect t phase u =
+  if t.suspect_since.(u) < 0 then begin
+    t.suspect_since.(u) <- phase;
+    t.suspect_ack.(u) <- Runtime.read (t.acks_base + u);
+    t.suspect_silent.(u) <- 0;
+    t.suspected_total <- t.suspected_total + 1;
+    Runtime.note (Fmt.str "phase %d: t%d is suspect (no ack within budget)" phase u)
+  end
+
+let reap t phase u reason =
+  t.reaped.(u) <- true;
+  t.suspect_since.(u) <- -1;
+  Runtime.write (t.registered_base + u) 0;
+  (* Its buffered retirements are adopted by the normal aggregation path of
+     the next phase; count them now, while the buffer is still its own. *)
+  t.adopted <- t.adopted + Delete_buffer.size t.buffers.(u);
+  t.reaps <- t.reaps + 1;
+  Runtime.note (Fmt.str "phase %d: reaped t%d (%s)" phase u reason)
+
+(* One reclamation phase.  Caller holds the phase lock. *)
 let do_phase t =
   let phase_start = Runtime.now () in
   let c = counters t in
   let self = Runtime.self () in
+  heartbeat t;
   (* Snapshot our register context before the aggregation loop clobbers the
      register file with buffered pointers. *)
   Runtime.save_regs ();
   t.phases <- t.phases + 1;
   c.cleanups <- c.cleanups + 1;
+  let my_gen = Runtime.read t.gen_addr in
+  (* Adopt retirements parked on the overflow list by backpressured
+     threads.  The snapshot swap is atomic (no effect between the read and
+     the reset); whatever does not fit goes back on the list. *)
+  let parked = t.overflow in
+  t.overflow <- [];
+  let rejected =
+    List.filter (fun p -> not (Master_buffer.append t.master p)) parked
+  in
+  if rejected <> [] then t.overflow <- rejected @ t.overflow;
   (* Aggregate every thread's delete buffer into the master buffer (on top
      of the previous phase's carry-over).  If the master fills up, the rest
      simply stays buffered for the next phase. *)
@@ -141,40 +278,157 @@ let do_phase t =
   Master_buffer.publish_sorted t.master;
   let phase = Runtime.read t.phase_addr + 1 in
   Runtime.write t.phase_addr phase;
-  (* Signal all other registered threads, then scan ourselves. *)
+  heartbeat t;
+  (* Signal all other registered, non-suspect threads, then scan ourselves.
+     Suspects are not signaled (their handlers are not draining the queue;
+     more signals only pile up) — the proxy scan below covers them, and the
+     signal they already missed delivers on wake-up, whose ack is how we
+     detect recovery. *)
   let signaled = ref [] in
   for u = 0 to t.cfg.max_threads - 1 do
-    if u <> self && registered t u then begin
+    if u <> self && registered t u && t.suspect_since.(u) < 0 then begin
       Runtime.signal u;
       t.signals <- t.signals + 1;
       signaled := u :: !signaled
     end
   done;
   ts_scan t;
-  (* A thread that exits mid-phase is deregistered and never acks: its
-     stack is gone, so skipping it is safe. *)
-  if t.inject <> Skip_ack_wait then wait_for_acks t phase !signaled;
-  let ignore_marks = t.inject = Skip_carryover in
-  if t.cfg.help_free then begin
-    drain_work_leftovers t;
-    let queued = ref 0 in
-    t.carried <-
-      Master_buffer.sweep ~ignore_marks t.master (fun p ->
-          Runtime.write (t.work_base + !queued) p;
-          incr queued);
-    Runtime.write t.work_idx 0;
-    Runtime.write t.work_count !queued
+  if t.inject = Crash_mid_phase then begin
+    t.inject <- No_fault;
+    Runtime.note "injected reclaimer crash mid-phase";
+    Runtime.crash self
+  end;
+  let timed_out, departed =
+    if t.inject = Skip_ack_wait then ([], []) else wait_for_acks t phase !signaled
+  in
+  heartbeat t;
+  (* Degradation ladder (docs/FAULTS.md).  Rung 3: a thread observed dead
+     while still registered can never ack or deregister — reap immediately. *)
+  List.iter (fun u -> reap t phase u "crashed while registered") departed;
+  (* Rung 1→2: non-ackers become suspects; the phase goes blind below. *)
+  List.iter (mark_suspect t phase) timed_out;
+  (* Suspect bookkeeping: recovery (its ack moved: the missed signal finally
+     delivered) or reaping after [suspect_phases] silent phases. *)
+  let stale_recovery = ref false in
+  for u = 0 to t.cfg.max_threads - 1 do
+    if t.suspect_since.(u) >= 0 then begin
+      if Runtime.is_done u then begin
+        if Runtime.is_crashed u then reap t phase u "crashed while suspect"
+        else t.suspect_since.(u) <- -1 (* exited normally; deregistered itself *)
+      end
+      else if Runtime.read (t.acks_base + u) <> t.suspect_ack.(u) then begin
+        t.suspect_since.(u) <- -1;
+        t.recoveries <- t.recoveries + 1;
+        (* The ack that moved may be for an *older* phase: the signal it
+           missed while frozen delivers on wake, and its handler scans
+           whatever master was published when it read the phase word —
+           possibly the previous one.  Only an ack tagged with the current
+           phase proves its scan covered this master; a recovered thread
+           whose references were never marked here means the sweep below
+           would free nodes it still holds, so the phase goes blind. *)
+        if Runtime.read (t.acks_base + u) <> phase then begin
+          stale_recovery := true;
+          Runtime.note
+            (Fmt.str "phase %d: t%d recovered on a stale ack; phase goes blind" phase u)
+        end
+        else Runtime.note (Fmt.str "phase %d: t%d recovered (acked again)" phase u)
+      end
+      else begin
+        t.suspect_silent.(u) <- t.suspect_silent.(u) + 1;
+        if t.suspect_silent.(u) >= t.cfg.suspect_phases then
+          reap t phase u (Fmt.str "silent for %d phases" t.suspect_silent.(u))
+      end
+    end
+  done;
+  if timed_out <> [] then t.ack_timeouts <- t.ack_timeouts + 1;
+  (* Proxy scan: walk each suspect's (and each reaped-but-alive thread's)
+     last-known stack, register contexts and private ranges on its behalf,
+     marking what it still holds.  Its stack cannot grow new references to
+     retired nodes (retire happens after unlink), so this conservative scan
+     is as sound as the thread's own handler scan — but only while the
+     subject is frozen.  A suspect observed *running* (or waking mid-scan,
+     caught by its clock advancing) could move a pointer between two words
+     we already passed, so the phase goes blind instead.  A reaped thread
+     found running again is re-admitted to the protocol: it is alive after
+     all, and being signaled and acking like everyone else beats blinding
+     every phase on its account.  Once a thread is actually dead its pins
+     are dropped (nothing can ever read them again). *)
+  let blind = ref (timed_out <> [] || !stale_recovery) in
+  if t.inject <> Skip_proxy_scan then
+    for u = 0 to t.cfg.max_threads - 1 do
+      if (t.suspect_since.(u) >= 0 || t.reaped.(u)) && not (Runtime.is_done u) then
+        if Runtime.is_stalled u then begin
+          let c0 = Runtime.clock_of u in
+          List.iter (scan_range t) (Runtime.scan_ranges_of u);
+          t.proxy_scans <- t.proxy_scans + 1;
+          Runtime.note (Fmt.str "phase %d: proxy-scanned frozen t%d on its behalf" phase u);
+          if Runtime.clock_of u <> c0 then begin
+            blind := true;
+            Runtime.note (Fmt.str "phase %d: t%d woke mid-proxy-scan; phase goes blind" phase u)
+          end
+        end
+        else begin
+          blind := true;
+          Runtime.note
+            (Fmt.str "phase %d: t%d is a running suspect (unscannable); phase goes blind" phase u);
+          if t.reaped.(u) then begin
+            t.reaped.(u) <- false;
+            t.suspect_silent.(u) <- 0;
+            Runtime.write (t.registered_base + u) 1;
+            t.recoveries <- t.recoveries + 1;
+            Runtime.note (Fmt.str "phase %d: t%d woke after reap; re-admitted" phase u)
+          end
+        end
+    done;
+  if !blind then begin
+    (* Rung 1: the phase is blind — some signaled thread never confirmed its
+       scan (or a suspect could not be safely proxy-scanned), so no entry is
+       provably unreferenced.  Free nothing; carry the entire master buffer
+       over.  This single rule closes every late-scanner race a bounded wait
+       opens. *)
+    t.carried <- Master_buffer.count t.master;
+    t.carried_blind <- t.carried_blind + t.carried;
+    Runtime.note (Fmt.str "phase %d: blind; carrying all %d entries" phase t.carried)
   end
-  else
-    t.carried <-
-      Master_buffer.sweep ~ignore_marks t.master (fun p ->
-          Runtime.free (Ptr.addr p);
-          c.freed <- c.freed + 1;
-          t.free_burden <- t.free_burden + 1);
+  else if not (Runtime.cas t.gen_addr my_gen (my_gen + 1)) then begin
+    (* Generation fence: the phase was taken over under us (we were presumed
+       dead but are somehow still here).  Our view is stale — abort without
+       freeing anything. *)
+    t.gen_aborts <- t.gen_aborts + 1;
+    t.carried <- Master_buffer.count t.master;
+    Runtime.note (Fmt.str "phase %d: generation fence failed; sweep aborted" phase)
+  end
+  else begin
+    let ignore_marks = t.inject = Skip_carryover in
+    if t.cfg.help_free then begin
+      drain_work_leftovers t;
+      let queued = ref 0 in
+      t.carried <-
+        Master_buffer.sweep ~ignore_marks t.master (fun p ->
+            Runtime.write (t.work_base + !queued) p;
+            incr queued);
+      Runtime.write t.work_idx 0;
+      Runtime.write t.work_count !queued
+    end
+    else
+      t.carried <-
+        Master_buffer.sweep ~ignore_marks t.master (fun p ->
+            Runtime.free (Ptr.addr p);
+            c.freed <- c.freed + 1;
+            t.free_burden <- t.free_burden + 1)
+  end;
+  heartbeat t;
   Ts_util.Vec.push t.phase_latencies (Runtime.now () - phase_start)
 
+let run_phase_locked t =
+  match do_phase t with
+  | () -> release t
+  | exception e ->
+      release t;
+      raise e
+
 (* ------------------------------------------------------------------ *)
-(* The SMR-facing hooks                                                 *)
+(* The SMR-facing hooks                                                *)
 (* ------------------------------------------------------------------ *)
 
 let max_phase_latency t =
@@ -196,38 +450,71 @@ let retire t (c : Smr.counters) p =
   let tid = Runtime.self () in
   let masked = Ptr.mask p in
   let b = Backoff.create () in
-  while not (Delete_buffer.push t.buffers.(tid) masked) do
-    (* Full buffer: become the reclaimer, or wait for the active one — by
-       the time the lock is free our buffer has usually been drained. *)
-    if Spinlock.try_acquire t.lock then begin
-      (match do_phase t with
-      | () -> Spinlock.release t.lock
-      | exception e ->
-          Spinlock.release t.lock;
-          raise e);
-      Backoff.reset b
+  let rounds = ref 0 in
+  let owner_seen = ref 0 and beat_seen = ref 0 and seen_at = ref 0 in
+  let done_ = ref false in
+  while not !done_ do
+    if Delete_buffer.push t.buffers.(tid) masked then done_ := true
+    else if try_acquire t then begin
+      (* Full buffer: become the reclaimer. *)
+      run_phase_locked t;
+      Backoff.reset b;
+      rounds := 0
+    end
+    else if check_takeover t owner_seen beat_seen seen_at then begin
+      (* The active reclaimer is dead; we adopted the phase lock. *)
+      run_phase_locked t;
+      Backoff.reset b;
+      rounds := 0
+    end
+    else if t.cfg.overflow_after > 0 && !rounds >= t.cfg.overflow_after then begin
+      (* Hard backpressure bound: park the pointer on the shared overflow
+         list (adopted by the next phase) instead of blocking forever on a
+         degraded reclaimer. *)
+      t.overflow <- masked :: t.overflow;
+      t.overflow_pushes <- t.overflow_pushes + 1;
+      done_ := true
     end
     else begin
+      (* Wait for the active reclaimer — by the time the lock is free our
+         buffer has usually been drained. *)
       t.full_waits <- t.full_waits + 1;
-      Backoff.once b
+      Backoff.once b;
+      incr rounds
     end
   done
 
 let thread_init t () =
   let tid = Runtime.self () in
   if tid >= t.cfg.max_threads then invalid_arg "Threadscan: tid exceeds max_threads";
+  (* A reused tid starts with a clean fault record. *)
+  t.suspect_since.(tid) <- -1;
+  t.suspect_silent.(tid) <- 0;
+  t.reaped.(tid) <- false;
   Runtime.set_signal_handler (fun () -> ts_scan t);
   Runtime.write (t.registered_base + tid) 1
 
 let thread_exit t () =
   let tid = Runtime.self () in
+  t.suspect_since.(tid) <- -1;
   Runtime.write (t.registered_base + tid) 0
 
 (* Quiesce after all workers exited: run phases until nothing more can be
    freed.  Anything still pinned by the caller's own (conservatively
-   scanned) stack stays allocated. *)
+   scanned) stack — or by the proxy-scanned stack of a thread stalled
+   forever — stays allocated. *)
 let flush t () =
-  Spinlock.acquire t.lock;
+  if not (try_acquire t) then begin
+    Runtime.set_wait_note (Some "waiting for the phase lock");
+    let b = Backoff.create () in
+    let owner_seen = ref 0 and beat_seen = ref 0 and seen_at = ref 0 in
+    while
+      (not (try_acquire t)) && not (check_takeover t owner_seen beat_seen seen_at)
+    do
+      Backoff.once b
+    done;
+    Runtime.set_wait_note None
+  end;
   let continue_ = ref true in
   while !continue_ do
     (* Drop conservative pins left in our own register file by the previous
@@ -238,10 +525,11 @@ let flush t () =
     drain_work_leftovers t;
     let buffered = Array.exists (fun b -> Delete_buffer.size b > 0) t.buffers in
     (* Keep going only while the last phase made progress: whatever remains
-       is pinned by the caller's own conservatively-scanned stack. *)
-    continue_ := (buffered || t.carried > 0) && (counters t).freed > before
+       is pinned by a conservatively-scanned stack. *)
+    continue_ :=
+      (buffered || t.carried > 0 || t.overflow <> []) && (counters t).freed > before
   done;
-  Spinlock.release t.lock
+  release t
 
 let create ?(config = Config.default) () =
   Config.validate config;
@@ -252,13 +540,20 @@ let create ?(config = Config.default) () =
       buffers =
         Array.init config.max_threads (fun _ -> Delete_buffer.create ~capacity:config.buffer_size);
       master = Master_buffer.create ~capacity:master_cap;
-      lock = Spinlock.create ();
+      owner_addr = Runtime.alloc_region 1;
+      beat_addr = Runtime.alloc_region 1;
+      gen_addr = Runtime.alloc_region 1;
       phase_addr = Runtime.alloc_region 1;
       acks_base = Runtime.alloc_region config.max_threads;
       registered_base = Runtime.alloc_region config.max_threads;
       work_idx = Runtime.alloc_region 1;
       work_count = Runtime.alloc_region 1;
       work_base = Runtime.alloc_region master_cap;
+      suspect_since = Array.make config.max_threads (-1);
+      suspect_ack = Array.make config.max_threads 0;
+      suspect_silent = Array.make config.max_threads 0;
+      reaped = Array.make config.max_threads false;
+      overflow = [];
       smr_counters = None;
       smr_self = None;
       phases = 0;
@@ -270,6 +565,16 @@ let create ?(config = Config.default) () =
       full_waits = 0;
       phase_latencies = Ts_util.Vec.create ();
       free_burden = 0;
+      ack_timeouts = 0;
+      carried_blind = 0;
+      suspected_total = 0;
+      recoveries = 0;
+      reaps = 0;
+      adopted = 0;
+      proxy_scans = 0;
+      takeovers = 0;
+      gen_aborts = 0;
+      overflow_pushes = 0;
       inject = No_fault;
     }
   in
@@ -288,6 +593,16 @@ let create ?(config = Config.default) () =
           ("reclaimer-frees", t.free_burden);
           ("max-phase-latency", max_phase_latency t);
           ("avg-phase-latency", avg_phase_latency t);
+          ("ack-timeouts", t.ack_timeouts);
+          ("carried-blind", t.carried_blind);
+          ("suspects", t.suspected_total);
+          ("recoveries", t.recoveries);
+          ("reaps", t.reaps);
+          ("adopted", t.adopted);
+          ("proxy-scans", t.proxy_scans);
+          ("takeovers", t.takeovers);
+          ("gen-aborts", t.gen_aborts);
+          ("overflow-pushes", t.overflow_pushes);
         ])
       ~retire:(retire t) ()
   in
@@ -327,6 +642,29 @@ let phase_latencies t =
   List.rev !out
 
 let reclaimer_frees t = t.free_burden
+
+let ack_timeouts t = t.ack_timeouts
+
+let carried_blind t = t.carried_blind
+
+let suspected_total t = t.suspected_total
+
+let recoveries t = t.recoveries
+
+let reaps t = t.reaps
+
+let adopted t = t.adopted
+
+let proxy_scans t = t.proxy_scans
+
+let takeovers t = t.takeovers
+
+let gen_aborts t = t.gen_aborts
+
+let overflow_pushes t = t.overflow_pushes
+
+let suspects_now t =
+  Array.fold_left (fun acc s -> if s >= 0 then acc + 1 else acc) 0 t.suspect_since
 
 let set_inject t inject = t.inject <- inject
 

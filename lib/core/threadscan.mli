@@ -88,6 +88,50 @@ val reclaimer_frees : t -> int
 (** Nodes freed by the reclaimer inside collect phases (as opposed to by
     helping scanners). *)
 
+(** {1 Degradation metrics (fault tolerance, see [docs/FAULTS.md])}
+
+    The protocol degrades gracefully when threads crash or stall mid-phase:
+    a bounded ack wait turns a wedged phase into a {e blind} one (carry
+    everything, free nothing), non-ackers become {e suspects} whose stacks
+    the reclaimer proxy-scans, persistent suspects are {e reaped}
+    (force-deregistered, buffers adopted), a dead reclaimer's phase lock is
+    taken over behind a generation fence, and retiring threads fall back to
+    a shared overflow list instead of blocking forever. *)
+
+val ack_timeouts : t -> int
+(** Phases whose ack wait exhausted [ack_budget] and went blind. *)
+
+val carried_blind : t -> int
+(** Master-buffer entries carried over because their phase was blind. *)
+
+val suspected_total : t -> int
+(** Threads ever marked suspect (cumulative). *)
+
+val suspects_now : t -> int
+(** Threads currently suspect. *)
+
+val recoveries : t -> int
+(** Suspects cleared because they acked again. *)
+
+val reaps : t -> int
+(** Suspects force-deregistered (crashed, or silent for
+    [suspect_phases] phases). *)
+
+val adopted : t -> int
+(** Buffered retirements adopted from reaped threads. *)
+
+val proxy_scans : t -> int
+(** Stacks/registers scanned by the reclaimer on a suspect's behalf. *)
+
+val takeovers : t -> int
+(** Phase locks wrested from a reclaimer whose heartbeat went stale. *)
+
+val gen_aborts : t -> int
+(** Sweeps aborted by the phase-generation fence (stale reclaimer). *)
+
+val overflow_pushes : t -> int
+(** Retirements parked on the overflow list by backpressure. *)
+
 (** {1 Fault injection (checker validation only)}
 
     Deliberate protocol bugs, used to prove the concurrency checker in
@@ -102,6 +146,14 @@ type inject =
   | Skip_ack_wait
       (** The reclaimer sweeps without waiting for scanner acks — nodes a
           scanner was about to mark get freed under it. *)
+  | Skip_proxy_scan
+      (** Suspects are suspected and reaped but never proxy-scanned — a
+          stalled thread's held node is freed under it, proving the proxy
+          scan is load-bearing for the degradation ladder. *)
+  | Crash_mid_phase
+      (** The next reclaimer kills itself right after signaling (once):
+        the phase lock is orphaned mid-phase, exercising heartbeat
+        takeover and the generation fence. *)
 
 val set_inject : t -> inject -> unit
 

@@ -264,6 +264,34 @@ let ablate_padding scale =
   in
   run_sweep ~threads_list ~series
 
+(* Fault tolerance: kill one worker mid-operation at 25 % of the base
+   horizon, then let the rest run 1x / 2x / 4x of it.  The x-axis is the
+   horizon multiplier ([point.threads] is reused to carry it): ThreadScan
+   reaps the corpse and keeps reclaiming, so its outstanding count stays
+   flat as the run stretches, while (patient) epoch — whose quiescence
+   condition the dead thread's odd counter blocks forever — accumulates
+   every node retired after the crash.  Plain epoch is not even runnable
+   here: its unbounded quiescence wait would simply hang. *)
+let ablate_crash scale =
+  let spec, ts_buffer = base_spec scale Workload.List_ds in
+  let threads = match scale with Quick -> 8 | _ -> 16 in
+  let base_horizon = spec.Workload.horizon in
+  let fault = Workload.Fault_crash { victims = 1; at = base_horizon / 4 } in
+  let patience = max 20_000 (base_horizon / 10) in
+  let series mult =
+    let spec = { spec with Workload.threads; fault; horizon = mult * base_horizon } in
+    [
+      ( "threadscan",
+        { spec with Workload.scheme = Threadscan { buffer_size = ts_buffer; help_free = false } }
+      );
+      ("patient-epoch", { spec with Workload.scheme = Patient_epoch { patience } });
+    ]
+  in
+  List.map
+    (fun mult ->
+      { threads = mult; cells = List.map (fun (l, s) -> (l, Workload.run s)) (series mult) })
+    [ 1; 2; 4 ]
+
 let ablate_structures scale =
   (* all six structures under ThreadScan: the library-breadth overview *)
   let threads_list = match scale with Quick -> [ 4; 16; 32 ] | _ -> [ 8; 32; 80 ] in
@@ -309,9 +337,47 @@ let memory_summary points =
       Fmt.pr "@.")
     points
 
+let degradation_summary points =
+  Fmt.pr "@.== ablate-crash == (1 worker crashes mid-operation at 25%% of the base horizon)@.";
+  Fmt.pr "%-9s %-14s %12s %12s %10s  %s@." "horizon" "scheme" "retired" "outstanding"
+    "throughput" "degradation";
+  List.iter
+    (fun { threads = mult; cells } ->
+      List.iter
+        (fun (label, r) ->
+          let get k = try List.assoc k r.Workload.extras with Not_found -> 0 in
+          let detail =
+            if label = "threadscan" then
+              Fmt.str "reaps=%d blind-phases=%d proxy-scans=%d adopted=%d" (get "reaps")
+                (get "ack-timeouts") (get "proxy-scans") (get "adopted")
+            else
+              Fmt.str "quiescence-gaveups=%d unreclaimed-peak=%d" (get "quiescence-gaveups")
+                (get "unreclaimed-peak")
+          in
+          Fmt.pr "%-9s %-14s %12d %12d %10.1f  %s@." (Fmt.str "%dx" mult) label r.Workload.retired
+            r.Workload.outstanding r.Workload.throughput detail)
+        cells)
+    points;
+  (* The wedge, stated as a number: how outstanding scales from the shortest
+     to the longest run of each scheme. *)
+  (match (points, List.rev points) with
+  | first :: _, last :: _ ->
+      List.iter
+        (fun (label, r1) ->
+          match List.assoc_opt label last.cells with
+          | Some r4 ->
+              Fmt.pr "summary: %s outstanding after flush: %d at 1x -> %d at %dx@." label
+                r1.Workload.outstanding r4.Workload.outstanding last.threads
+          | None -> ())
+        first.cells
+  | _ -> ());
+  Fmt.pr
+    "(outstanding = retired - freed after flush; epoch cannot reclaim anything retired after \
+     the crash, threadscan reaps the corpse and keeps the count bounded)@."
+
 let run_and_print ~title f scale =
   let points = f scale in
-  print_points ~title points;
+  if title = "ablate-crash" then degradation_summary points else print_points ~title points;
   ratio_summary points ~num:"threadscan" ~den:"hazard";
   ratio_summary points ~num:"threadscan" ~den:"leaky";
   if title = "ablate-help-free" then begin
@@ -365,4 +431,5 @@ let names =
     ("ablate-help-free", ablate_help_free);
     ("ablate-padding", ablate_padding);
     ("ablate-structures", ablate_structures);
+    ("ablate-crash", ablate_crash);
   ]

@@ -12,7 +12,13 @@ type scheme_kind =
   | Hazard
   | Epoch
   | Slow_epoch of { delay : int }
+  | Patient_epoch of { patience : int }
   | Stacktrack
+
+type fault =
+  | Fault_none
+  | Fault_crash of { victims : int; at : int }
+  | Fault_stall of { victims : int; at : int; cycles : int }
 
 let ds_kind_to_string = function
   | List_ds -> "list"
@@ -29,7 +35,13 @@ let scheme_kind_to_string = function
   | Hazard -> "hazard"
   | Epoch -> "epoch"
   | Slow_epoch _ -> "slow-epoch"
+  | Patient_epoch _ -> "patient-epoch"
   | Stacktrack -> "stacktrack"
+
+let fault_to_string = function
+  | Fault_none -> "none"
+  | Fault_crash { victims; at } -> Fmt.str "crash:%d@%d" victims at
+  | Fault_stall { victims; at; cycles } -> Fmt.str "stall:%d@%d:%d" victims at cycles
 
 type spec = {
   ds : ds_kind;
@@ -46,6 +58,7 @@ type spec = {
   max_height : int;
   epoch_batch : int;
   stack_depth : int;
+  fault : fault;
   seed : int;
 }
 
@@ -65,6 +78,7 @@ let default_spec =
     max_height = 10;
     epoch_batch = 64;
     stack_depth = 64;
+    fault = Fault_none;
     seed = 0xBE5;
   }
 
@@ -94,13 +108,30 @@ let make_scheme spec =
   match spec.scheme with
   | Leaky -> Ts_reclaim.Leaky.create ()
   | Threadscan { buffer_size; help_free } ->
-      Threadscan.smr
-        (Threadscan.create ~config:{ Threadscan.Config.max_threads; buffer_size; help_free } ())
+      let base = { Threadscan.Config.default with max_threads; buffer_size; help_free } in
+      let config =
+        match spec.fault with
+        | Fault_none -> base
+        | Fault_crash _ | Fault_stall _ ->
+            (* Under injected faults the degradation ladder must fire within
+               the horizon, so the budgets scale with it instead of using
+               the (deliberately generous) defaults. *)
+            {
+              base with
+              ack_budget = max 10_000 (spec.horizon / 20);
+              suspect_phases = 2;
+              takeover_steps = max 20_000 (spec.horizon / 10);
+              overflow_after = 32;
+            }
+      in
+      Threadscan.smr (Threadscan.create ~config ())
   | Hazard -> Ts_reclaim.Hazard.create ~slots:hazard_slots ~max_threads ()
   | Epoch -> Ts_reclaim.Epoch.create ~batch:spec.epoch_batch ~max_threads ()
   | Slow_epoch { delay } ->
       (* thread id 1 is the first worker spawned *)
       Ts_reclaim.Epoch.create ~batch:spec.epoch_batch ~errant:(1, delay) ~max_threads ()
+  | Patient_epoch { patience } ->
+      Ts_reclaim.Epoch.create ~batch:spec.epoch_batch ~patience ~max_threads ()
   | Stacktrack -> Ts_reclaim.Stacktrack.create ~max_threads ()
 
 let make_ds spec smr =
@@ -121,14 +152,37 @@ let prefill spec (ds : Set_intf.t) =
     if ds.Set_intf.insert key key then incr inserted
   done
 
-let worker spec (smr : Smr.t) (ds : Set_intf.t) ~deadline ~count () =
+(* Fault self-injection, between two data-structure operations.  The fault
+   lands {e inside} a bracketed operation ([op_begin] with no matching
+   [op_end] for a crash): for epoch-style schemes that is the worst case —
+   the victim's counter is parked odd and no quiescence wait involving it
+   ever succeeds — while ThreadScan's free [op_begin] leaves the victim
+   simply crashed/stalled with its buffer and stack for the reclaimer's
+   degradation ladder to deal with. *)
+let maybe_inject spec (smr : Smr.t) ~i ~start ~armed =
+  if !armed then
+    match spec.fault with
+    | Fault_crash { victims; at } when i < victims && Runtime.now () - start >= at ->
+        armed := false;
+        smr.Smr.op_begin ();
+        Runtime.crash (Runtime.self ())
+    | Fault_stall { victims; at; cycles } when i < victims && Runtime.now () - start >= at ->
+        armed := false;
+        smr.Smr.op_begin ();
+        Runtime.stall ~cycles (Runtime.self ());
+        smr.Smr.op_end ()
+    | _ -> ()
+
+let worker spec (smr : Smr.t) (ds : Set_intf.t) ~i ~start ~deadline ~count () =
   smr.Smr.thread_init ();
   (* Baseline call-chain frame: a real thread's used stack is far deeper
      than the data structure's own frame, and TS-Scan walks all of it. *)
   if spec.stack_depth > 0 then ignore (Ts_sim.Frame.push spec.stack_depth);
   let insert_below = spec.update_ratio /. 2.0 in
   let ops = ref 0 in
+  let armed = ref (spec.fault <> Fault_none) in
   while Runtime.now () < deadline do
+    maybe_inject spec smr ~i ~start ~armed;
     let key = Runtime.rand_below spec.key_range in
     let dice = float_of_int (Runtime.rand_below 1_000_000) /. 1_000_000.0 in
     if dice < insert_below then ignore (ds.Set_intf.insert key key)
@@ -140,6 +194,12 @@ let worker spec (smr : Smr.t) (ds : Set_intf.t) ~deadline ~count () =
   smr.Smr.thread_exit ()
 
 let run spec =
+  (match (spec.fault, spec.scheme) with
+  | Fault_crash _, (Epoch | Slow_epoch _) ->
+      invalid_arg
+        "Workload.run: plain epoch cannot survive a crash (its quiescence wait never returns); \
+         use Patient_epoch"
+  | _ -> ());
   let config =
     {
       Runtime.default_config with
@@ -162,7 +222,7 @@ let run spec =
          let deadline = start + spec.horizon in
          let ws =
            List.init spec.threads (fun i ->
-               Runtime.spawn (worker spec smr ds ~deadline ~count:counts.(i)))
+               Runtime.spawn (worker spec smr ds ~i ~start ~deadline ~count:counts.(i)))
          in
          List.iter Runtime.join ws;
          smr.Smr.thread_exit ();

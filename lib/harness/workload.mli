@@ -16,11 +16,28 @@ type scheme_kind =
   | Hazard
   | Epoch
   | Slow_epoch of { delay : int }
+  | Patient_epoch of { patience : int }
+      (** epoch with a bounded quiescence wait: it never hangs behind a dead
+          thread, but everything retired after the death stays unreclaimed
+          (see {!Ts_reclaim.Epoch.create}). *)
   | Stacktrack
+
+(** Environment fault: the [victims] lowest-indexed workers self-inject once
+    their clock passes [at] cycles after the measured interval starts.  The
+    injection lands {e inside} a bracketed operation (an [op_begin] that,
+    for a crash, never reaches its [op_end]) — the worst case for
+    epoch-style schemes, whose quiescence condition the victim then never
+    satisfies. *)
+type fault =
+  | Fault_none
+  | Fault_crash of { victims : int; at : int }
+  | Fault_stall of { victims : int; at : int; cycles : int }
 
 val ds_kind_to_string : ds_kind -> string
 
 val scheme_kind_to_string : scheme_kind -> string
+
+val fault_to_string : fault -> string
 
 type spec = {
   ds : ds_kind;
@@ -39,6 +56,9 @@ type spec = {
   stack_depth : int;
       (** words of baseline call-chain stack each worker occupies (scanned
           by TS-Scan on every signal, like a real thread's used stack) *)
+  fault : fault;
+      (** injected crash/stall plan; under a fault, ThreadScan runs with
+          horizon-scaled degradation budgets so the ladder can fire *)
   seed : int;
 }
 
@@ -62,4 +82,7 @@ type result = {
 
 val run : spec -> result
 (** Executes the workload in a fresh simulator.  @raise Failure if the run
-    produced memory faults or a thread died. *)
+    produced memory faults or a thread died (an injected {!fault} is not a
+    death in this sense — crashed victims are expected).
+    @raise Invalid_argument when combining {!Fault_crash} with plain
+    [Epoch]/[Slow_epoch], whose quiescence wait would never return. *)

@@ -13,46 +13,60 @@ type state = {
   orphans : Vec.t;
   batch : int;
   errant : (int * int) option;
+  patience : int option; (* bounded quiescence wait; None = wait forever *)
   mutable waits : int;
   mutable stall_cycles : int;
+  mutable gaveups : int; (* cleanups abandoned because patience ran out *)
+  mutable unreclaimed_peak : int; (* max limbo+pending ever seen at a boundary *)
 }
 
 let counter_addr st tid = st.counters_base + tid
 
 (* Wait until every thread that was mid-operation at snapshot time has
-   passed an operation boundary. *)
+   passed an operation boundary.  With [patience] set, give up after that
+   many cycles and return [false]: the batch is NOT safe to free — epoch
+   has no per-pointer information, so a thread that never quiesces (crashed
+   or stalled mid-operation) wedges reclamation; all we can bound is the
+   wait, not the limbo growth. *)
 let wait_for_quiescence st self =
+  let ok = ref true in
   let snap = Array.make st.max_threads 0 in
   for t = 0 to st.max_threads - 1 do
     if t <> self then snap.(t) <- Runtime.read (counter_addr st t)
   done;
   for t = 0 to st.max_threads - 1 do
-    if t <> self && snap.(t) land 1 = 1 then begin
+    if t <> self && !ok && snap.(t) land 1 = 1 then begin
+      Runtime.set_wait_note (Some (Fmt.str "epoch quiescence wait on t%d" t));
       let b = Backoff.create () in
       let t0 = Runtime.now () in
-      while Runtime.read (counter_addr st t) = snap.(t) do
+      while !ok && Runtime.read (counter_addr st t) = snap.(t) do
         st.waits <- st.waits + 1;
-        Backoff.once b
+        match st.patience with
+        | Some p when Runtime.now () - t0 > p -> ok := false
+        | _ -> Backoff.once b
       done;
+      Runtime.set_wait_note None;
       st.stall_cycles <- st.stall_cycles + (Runtime.now () - t0)
     end
-  done
+  done;
+  if not !ok then st.gaveups <- st.gaveups + 1;
+  !ok
 
 let cleanup st (c : Smr.counters) =
   let self = Runtime.self () in
   c.cleanups <- c.cleanups + 1;
   let to_free = st.pending.(self) in
-  if not (Vec.is_empty to_free) then begin
-    wait_for_quiescence st self;
-    Vec.iter
-      (fun p ->
-        Runtime.free (Ptr.addr p);
-        c.freed <- c.freed + 1)
-      to_free;
-    Vec.clear to_free
-  end
+  if not (Vec.is_empty to_free) then
+    if wait_for_quiescence st self then begin
+      Vec.iter
+        (fun p ->
+          Runtime.free (Ptr.addr p);
+          c.freed <- c.freed + 1)
+        to_free;
+      Vec.clear to_free
+    end
 
-let create ?(batch = 256) ?errant ~max_threads () =
+let create ?(batch = 256) ?errant ?patience ~max_threads () =
   let counters_base = Runtime.alloc_region max_threads in
   let st =
     {
@@ -64,8 +78,11 @@ let create ?(batch = 256) ?errant ~max_threads () =
       orphans = Vec.create ();
       batch;
       errant;
+      patience;
       waits = 0;
       stall_cycles = 0;
+      gaveups = 0;
+      unreclaimed_peak = 0;
     }
   in
   let bump () =
@@ -87,6 +104,8 @@ let create ?(batch = 256) ?errant ~max_threads () =
         Runtime.advance delay
     | _ -> ());
     bump ();
+    let backlog = Vec.length st.limbo.(tid) + Vec.length st.pending.(tid) in
+    if backlog > st.unreclaimed_peak then st.unreclaimed_peak <- backlog;
     (* Operation boundary: our counter is even, so concurrent cleanups never
        wait on us while we wait on them — no mutual stall. *)
     if Vec.length st.limbo.(tid) >= st.batch && Vec.is_empty st.pending.(tid) then begin
@@ -95,6 +114,11 @@ let create ?(batch = 256) ?errant ~max_threads () =
       st.limbo.(tid) <- tmp;
       cleanup st (Option.get !smr : Smr.t).Smr.counters
     end
+    else if Vec.length st.limbo.(tid) >= st.batch then
+      (* An earlier cleanup gave up (bounded patience): keep retrying at
+         every boundary — the batch swap stays blocked, limbo keeps growing
+         until quiescence returns.  This is epoch's fundamental wedge. *)
+      cleanup st (Option.get !smr : Smr.t).Smr.counters
   in
   let retire (c : Smr.counters) p =
     c.retired <- c.retired + 1;
@@ -111,23 +135,34 @@ let create ?(batch = 256) ?errant ~max_threads () =
   let flush () =
     let c = (Option.get !smr : Smr.t).Smr.counters in
     let self = Runtime.self () in
-    wait_for_quiescence st self;
-    let drain lst =
-      Vec.iter
-        (fun p ->
-          Runtime.free (Ptr.addr p);
-          c.freed <- c.freed + 1)
-        lst;
-      Vec.clear lst
-    in
-    Array.iter drain st.limbo;
-    Array.iter drain st.pending;
-    drain st.orphans
+    if wait_for_quiescence st self then begin
+      let drain lst =
+        Vec.iter
+          (fun p ->
+            Runtime.free (Ptr.addr p);
+            c.freed <- c.freed + 1)
+          lst;
+        Vec.clear lst
+      in
+      Array.iter drain st.limbo;
+      Array.iter drain st.pending;
+      drain st.orphans
+    end
+    (* else: a thread died or stalled mid-operation and never quiesced.
+       Without per-pointer information nothing in limbo is provably safe,
+       so everything stays unreclaimed — the wedge the ablate-crash
+       experiment measures. *)
   in
   let name = match errant with None -> "epoch" | Some _ -> "slow-epoch" in
   let t =
     Smr.make ~name ~op_begin ~op_end ~thread_exit ~flush
-      ~extras:(fun () -> [ ("spin-waits", st.waits); ("stall-cycles", st.stall_cycles) ])
+      ~extras:(fun () ->
+        [
+          ("spin-waits", st.waits);
+          ("stall-cycles", st.stall_cycles);
+          ("quiescence-gaveups", st.gaveups);
+          ("unreclaimed-peak", st.unreclaimed_peak);
+        ])
       ~retire ()
   in
   smr := Some t;

@@ -12,6 +12,21 @@
     Figure 3 demonstrates. *)
 
 val create :
-  ?batch:int -> ?errant:int * int -> max_threads:int -> unit -> Ts_smr.Smr.t
+  ?batch:int ->
+  ?errant:int * int ->
+  ?patience:int ->
+  max_threads:int ->
+  unit ->
+  Ts_smr.Smr.t
 (** [batch] (default 256) is the per-thread retire count that triggers a
-    cleanup.  Must run inside the simulator (allocates the counter array). *)
+    cleanup.  Must run inside the simulator (allocates the counter array).
+
+    [patience] bounds every quiescence wait to that many virtual cycles:
+    on timeout the cleanup (or flush) is abandoned and nothing is freed —
+    the thread keeps running instead of spinning forever behind a crashed
+    or stalled peer, but its limbo list grows without bound (tracked by
+    the ["quiescence-gaveups"] and ["unreclaimed-peak"] extras).  This is
+    deliberate: epoch has no per-pointer information, so a thread that
+    never quiesces makes every retired node unreclaimable — the contrast
+    the [ablate-crash] experiment measures against ThreadScan's
+    suspect/reap ladder (see docs/FAULTS.md). *)

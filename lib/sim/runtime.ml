@@ -62,6 +62,9 @@ type stats = {
   mutable signals_delivered : int;
   mutable ctx_switches : int;
   mutable spawns : int;
+  mutable crashes : int;
+  mutable stalls : int;
+  mutable signals_dropped : int;
 }
 
 let make_stats () =
@@ -79,6 +82,9 @@ let make_stats () =
     signals_delivered = 0;
     ctx_switches = 0;
     spawns = 0;
+    crashes = 0;
+    stalls = 0;
+    signals_dropped = 0;
   }
 
 let pp_stats ppf s =
@@ -86,9 +92,16 @@ let pp_stats ppf s =
     "steps=%d reads=%d writes=%d cas=%d(-%d) fences=%d malloc=%d free=%d yields=%d sig=%d/%d \
      switches=%d spawns=%d"
     s.steps s.reads s.writes s.cas_ops s.cas_failures s.fences s.mallocs s.frees s.yields
-    s.signals_sent s.signals_delivered s.ctx_switches s.spawns
+    s.signals_sent s.signals_delivered s.ctx_switches s.spawns;
+  if s.crashes + s.stalls + s.signals_dropped > 0 then
+    Fmt.pf ppf " crashes=%d stalls=%d sigdrops=%d" s.crashes s.stalls s.signals_dropped
 
-type result = { elapsed : int; run_stats : stats; failures : (tid * exn) list }
+type result = {
+  elapsed : int;
+  run_stats : stats;
+  failures : (tid * exn) list;
+  abandoned : tid list;
+}
 
 type status = Ready | Done
 
@@ -120,6 +133,11 @@ type thread = {
   rng : Splitmix.t;
   mutable private_ranges : (int * int) list;
   mutable prio : int; (* PCT priority; higher steps first *)
+  mutable stalled_until : int; (* -1 not stalled; max_int forever *)
+  mutable crashed : bool;
+  mutable drop_sigs : int; (* fault injection: drop the next n signals *)
+  mutable sig_delay : int; (* fault injection: delay delivery by n cycles *)
+  mutable wait_note : string option; (* what the thread is blocked on *)
 }
 
 type t = {
@@ -144,6 +162,7 @@ type t = {
   mutable floor_prio : int; (* every demotion goes strictly below this *)
   mutable sched_steps : int; (* steps counted for PCT change points *)
   mutable current : int; (* tid being stepped, -1 outside [step] *)
+  mutable stalled : thread list; (* descheduled by fault injection *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -182,6 +201,15 @@ type _ Effect.t +=
   | E_ranges : (int * int) list Effect.t
   | E_ranges_of : int -> (int * int) list Effect.t
   | E_steps : int Effect.t
+  | E_crash : int -> unit Effect.t
+  | E_stall : (int * int option) -> unit Effect.t
+  | E_drop_signals : (int * int) -> unit Effect.t
+  | E_delay_signals : (int * int) -> unit Effect.t
+  | E_wait_note : string option -> unit Effect.t
+  | E_note : string -> unit Effect.t
+  | E_is_crashed : int -> bool Effect.t
+  | E_is_stalled : int -> bool Effect.t
+  | E_clock_of : int -> int Effect.t
 
 (* ------------------------------------------------------------------ *)
 (* Ready queue (FIFO with push-front for boosted threads)             *)
@@ -369,7 +397,15 @@ let do_faa rt th addr delta =
 (* ------------------------------------------------------------------ *)
 
 let ranges_of_thread th =
-  ((th.stack_base, th.sp - th.stack_base) :: (th.reg_base, th.reg_words) :: th.private_ranges)
+  (* stack, live registers, the manual snapshot, every signal-time saved
+     context, and registered private ranges: everything a value the thread
+     held at its last instant could live in.  Conservative supersets are
+     safe; a proxy scan of a stalled/crashed thread must not miss a pointer
+     parked in a saved context. *)
+  (th.stack_base, th.sp - th.stack_base)
+  :: (th.reg_base, th.reg_words)
+  :: (th.manual_save_base, th.reg_words)
+  :: (List.map (fun s -> (s, th.reg_words)) th.sig_saves @ th.private_ranges)
   |> List.filter (fun (_, len) -> len > 0)
 
 let get_thread rt tid =
@@ -378,22 +414,113 @@ let get_thread rt tid =
 
 let thread_done rt tid = (get_thread rt tid).status = Done
 
+let is_stalled th = th.stalled_until >= 0
+
 let do_signal rt sender target_tid =
   let target = get_thread rt target_tid in
   rt.sim_stats.signals_sent <- rt.sim_stats.signals_sent + 1;
   charge sender rt.cfg.cost.signal_send;
   emit rt sender (Trace.Signal_sent { sender = sender.tid; target = target_tid });
   if target.status <> Done then begin
-    Queue.push 0 target.pending;
-    if (not target.on_core) && not target.boosted then begin
-      (* The kernel makes a freshly-signaled thread runnable promptly:
-         move it to the head of the ready queue and request a preemption. *)
-      target.boosted <- true;
-      ready_remove rt target;
-      ready_push_front rt target;
-      rt.want_preempt <- true
+    if target.drop_sigs > 0 then begin
+      target.drop_sigs <- target.drop_sigs - 1;
+      rt.sim_stats.signals_dropped <- rt.sim_stats.signals_dropped + 1;
+      emit rt sender (Trace.Signal_dropped { sender = sender.tid; target = target_tid })
+    end
+    else begin
+      (* queue entries hold the earliest virtual time delivery may happen;
+         0 = immediately (the normal, undelayed case) *)
+      let deliver_at =
+        if target.sig_delay > 0 then max sender.clock target.clock + target.sig_delay else 0
+      in
+      Queue.push deliver_at target.pending;
+      if (not target.on_core) && (not target.boosted) && not (is_stalled target) then begin
+        (* The kernel makes a freshly-signaled thread runnable promptly:
+           move it to the head of the ready queue and request a preemption.
+           A stalled thread stays descheduled; the signal pends until it
+           wakes. *)
+        target.boosted <- true;
+        ready_remove rt target;
+        ready_push_front rt target;
+        rt.want_preempt <- true
+      end
     end
   end
+
+(* ---- fault injection ---- *)
+
+let do_crash rt reporter target_tid =
+  let target = get_thread rt target_tid in
+  if target.status <> Done then begin
+    rt.sim_stats.crashes <- rt.sim_stats.crashes + 1;
+    target.crashed <- true;
+    Queue.clear target.pending;
+    ready_remove rt target;
+    rt.stalled <- List.filter (fun th -> th != target) rt.stalled;
+    target.stalled_until <- -1;
+    (* The fiber is abandoned, not unwound: a crashed thread's shadow stack
+       and register file keep their last contents, exactly like a real
+       thread that died at an arbitrary instruction. *)
+    target.status <- Done;
+    target.saved <- [];
+    target.resume <- None;
+    rt.live <- rt.live - 1;
+    remove_active rt target;
+    emit rt reporter (Trace.Crashed { tid = target_tid })
+  end
+
+let do_stall rt reporter target_tid cycles =
+  let target = get_thread rt target_tid in
+  if target.status <> Done && not (is_stalled target) then begin
+    rt.sim_stats.stalls <- rt.sim_stats.stalls + 1;
+    let until =
+      match cycles with None -> max_int | Some c -> max rt.now target.clock + max c 0
+    in
+    target.stalled_until <- until;
+    target.boosted <- false;
+    ready_remove rt target;
+    remove_active rt target;
+    rt.stalled <- target :: rt.stalled;
+    emit rt reporter
+      (Trace.Stalled
+         { tid = target_tid; until = (if until = max_int then None else Some until) })
+  end
+
+let wake_stalled rt =
+  if rt.stalled <> [] then begin
+    let woken, still = List.partition (fun th -> th.stalled_until <= rt.now) rt.stalled in
+    rt.stalled <- still;
+    List.iter
+      (fun th ->
+        th.stalled_until <- -1;
+        if th.clock < rt.now then th.clock <- rt.now;
+        emit rt th (Trace.Recovered { tid = th.tid });
+        if Queue.is_empty th.pending then ready_push rt th else ready_push_front rt th)
+      woken
+  end
+
+let describe_thread th =
+  let state =
+    if th.stalled_until = max_int then "stalled forever"
+    else if th.stalled_until >= 0 then Fmt.str "stalled until t=%d" th.stalled_until
+    else if th.on_core then "on core"
+    else "ready"
+  in
+  let note = match th.wait_note with None -> "" | Some n -> Fmt.str " (%s)" n in
+  let sigs =
+    if Queue.is_empty th.pending then ""
+    else Fmt.str " [%d pending signal%s]" (Queue.length th.pending)
+      (if Queue.length th.pending = 1 then "" else "s")
+  in
+  Fmt.str "t%d %s%s%s" th.tid state note sigs
+
+let blocked_summary rt =
+  let blocked = ref [] in
+  for i = rt.nthreads - 1 downto 0 do
+    let th = rt.threads.(i) in
+    if th.status <> Done then blocked := describe_thread th :: !blocked
+  done;
+  Fmt.str "%d threads alive but none runnable: %s" rt.live (String.concat "; " !blocked)
 
 let rec make_handler : t -> thread -> (unit, unit) Effect.Deep.handler =
  fun rt th ->
@@ -472,8 +599,12 @@ let rec make_handler : t -> thread -> (unit, unit) Effect.Deep.handler =
             Some
               (fun k ->
                 let rec attempt () =
-                  if thread_done rt target then continue k ()
+                  if thread_done rt target then begin
+                    th.wait_note <- None;
+                    continue k ()
+                  end
                   else begin
+                    th.wait_note <- Some (Fmt.str "joining thread %d" target);
                     rt.sim_stats.yields <- rt.sim_stats.yields + 1;
                     charge th rt.cfg.cost.yield;
                     th.wants_yield <- true;
@@ -562,6 +693,48 @@ let rec make_handler : t -> thread -> (unit, unit) Effect.Deep.handler =
         | E_ranges_of target ->
             Some (fun k -> guarded k (fun () -> ranges_of_thread (get_thread rt target)))
         | E_steps -> Some (fun k -> resume_with k rt.sim_stats.steps)
+        | E_crash target ->
+            Some
+              (fun k ->
+                charge th rt.cfg.cost.local_op;
+                if target = th.tid then begin
+                  (* self-crash: the continuation is abandoned, never resumed *)
+                  ignore k;
+                  do_crash rt th target
+                end
+                else guarded k (fun () -> do_crash rt th target))
+        | E_stall (target, cycles) ->
+            Some
+              (fun k ->
+                charge th rt.cfg.cost.local_op;
+                (* set the continuation first: a self-stalling thread resumes
+                   here when its deadline passes *)
+                resume_with k ();
+                do_stall rt th target cycles)
+        | E_drop_signals (target, n) ->
+            Some
+              (fun k ->
+                guarded k (fun () -> (get_thread rt target).drop_sigs <- max 0 n))
+        | E_delay_signals (target, cycles) ->
+            Some
+              (fun k ->
+                guarded k (fun () -> (get_thread rt target).sig_delay <- max 0 cycles))
+        | E_wait_note n ->
+            Some
+              (fun k ->
+                th.wait_note <- n;
+                resume_with k ())
+        | E_note msg ->
+            Some
+              (fun k ->
+                emit rt th (Trace.Note { tid = th.tid; msg });
+                resume_with k ())
+        | E_is_crashed target ->
+            Some (fun k -> guarded k (fun () -> (get_thread rt target).crashed))
+        | E_is_stalled target ->
+            Some (fun k -> guarded k (fun () -> is_stalled (get_thread rt target)))
+        | E_clock_of target ->
+            Some (fun k -> guarded k (fun () -> (get_thread rt target).clock))
         | _ -> None);
   }
 
@@ -599,6 +772,11 @@ and new_thread : t -> (unit -> unit) -> thread =
       failure = None;
       rng = Splitmix.split rt.rng;
       private_ranges = [];
+      stalled_until = -1;
+      crashed = false;
+      drop_sigs = 0;
+      sig_delay = 0;
+      wait_note = None;
       prio =
         (match rt.cfg.sched with
         | Pct _ -> 1 + Splitmix.below rt.rng 1_000_000_000
@@ -624,7 +802,10 @@ and new_thread : t -> (unit -> unit) -> thread =
 
 let deliver_signal rt th =
   match th.handler with
-  | Some h when (not (Queue.is_empty th.pending)) && th.resume <> None ->
+  | Some h
+    when (not (Queue.is_empty th.pending))
+         && Queue.peek th.pending <= th.clock
+         && th.resume <> None ->
       ignore (Queue.pop th.pending);
       rt.sim_stats.signals_delivered <- rt.sim_stats.signals_delivered + 1;
       charge th rt.cfg.cost.signal_dispatch;
@@ -778,6 +959,7 @@ let create cfg =
     floor_prio = 0;
     sched_steps = 0;
     current = -1;
+    stalled = [];
   }
 
 let add_thread rt body =
@@ -810,19 +992,38 @@ let start rt =
   rt.started <- true;
   let running = ref true in
   while !running do
+    wake_stalled rt;
     refill rt;
     if not (ready_nonempty rt) then rt.want_preempt <- false;
     match pick_next rt with
     | Some th -> step rt th
     | None ->
         if rt.live = 0 then running := false
-        else raise (Deadlock (Fmt.str "%d threads alive but none runnable" rt.live))
+        else begin
+          (* Nothing runnable.  If a stalled thread has a finite deadline,
+             jump virtual time forward to the earliest wake-up.  If every
+             remaining live thread is stalled forever, the run is over and
+             they are reported as abandoned.  Anything else is a genuine
+             deadlock: report who is blocked and on what. *)
+          let next_wake =
+            List.fold_left
+              (fun acc th -> if th.stalled_until < acc then th.stalled_until else acc)
+              max_int rt.stalled
+          in
+          if next_wake < max_int then rt.now <- max rt.now next_wake
+          else if rt.stalled <> [] && List.length rt.stalled = rt.live then running := false
+          else raise (Deadlock (blocked_summary rt))
+        end
   done;
+  let abandoned =
+    List.filter_map (fun th -> if th.status <> Done then Some th.tid else None) rt.stalled
+    |> List.sort compare
+  in
   let failures = collect_failures rt in
   (match failures with
   | (tid, e) :: _ when rt.cfg.propagate_failures -> raise (Thread_failure (tid, e))
   | _ -> ());
-  { elapsed = rt.now; run_stats = rt.sim_stats; failures }
+  { elapsed = rt.now; run_stats = rt.sim_stats; failures; abandoned }
 
 let run ?(config = default_config) main =
   let rt = create config in
@@ -892,3 +1093,23 @@ let private_ranges () = Effect.perform E_ranges
 let scan_ranges_of tid = Effect.perform (E_ranges_of tid)
 
 let steps_now () = Effect.perform E_steps
+
+(* Fault injection *)
+
+let crash tid = Effect.perform (E_crash tid)
+
+let stall ?cycles tid = Effect.perform (E_stall (tid, cycles))
+
+let drop_signals tid n = Effect.perform (E_drop_signals (tid, n))
+
+let delay_signals tid cycles = Effect.perform (E_delay_signals (tid, cycles))
+
+let is_crashed tid = Effect.perform (E_is_crashed tid)
+
+let is_stalled tid = Effect.perform (E_is_stalled tid)
+
+let clock_of tid = Effect.perform (E_clock_of tid)
+
+let set_wait_note n = Effect.perform (E_wait_note n)
+
+let note msg = Effect.perform (E_note msg)

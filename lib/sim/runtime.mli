@@ -89,6 +89,9 @@ type stats = {
   mutable signals_delivered : int;
   mutable ctx_switches : int;
   mutable spawns : int;
+  mutable crashes : int;  (** fault injection: fibers killed via {!crash} *)
+  mutable stalls : int;  (** fault injection: threads descheduled via {!stall} *)
+  mutable signals_dropped : int;  (** fault injection: signals lost via {!drop_signals} *)
 }
 
 val pp_stats : Format.formatter -> stats -> unit
@@ -97,6 +100,10 @@ type result = {
   elapsed : int;  (** virtual cycles at the end of the run *)
   run_stats : stats;
   failures : (tid * exn) list;
+  abandoned : tid list;
+      (** threads stalled forever when every other thread had finished: the
+          run ends (they can never step again) and they are reported here
+          instead of raising {!Deadlock} *)
 }
 
 (** {1 Running} *)
@@ -110,7 +117,14 @@ val add_thread : t -> (unit -> unit) -> tid
 
 val start : t -> result
 (** Runs until every thread has finished.  @raise Thread_failure (when
-    [propagate_failures]), @raise Deadlock, @raise Step_limit_exceeded. *)
+    [propagate_failures]), @raise Deadlock, @raise Step_limit_exceeded.
+    The [Deadlock] payload lists every blocked thread and what it is
+    blocked on (stall state, pending signals, and the {!set_wait_note}
+    annotation protocols attach while spinning). *)
+
+val blocked_summary : t -> string
+(** The per-thread blocked-state report used as the {!Deadlock} payload;
+    also useful for post-mortem diagnostics in tests. *)
 
 val run : ?config:config -> (unit -> unit) -> result
 (** [run main] = create + add main + start.  [main] can {!spawn} workers. *)
@@ -234,5 +248,60 @@ val private_ranges : unit -> (int * int) list
 
 val scan_ranges_of : tid -> (int * int) list
 (** All ranges a conservative scan of thread [tid] must cover: live stack,
-    register file, registered private ranges.  Usable from any thread (the
-    data is private to the runtime, not the target). *)
+    register file, saved register contexts (manual snapshot and any
+    signal-time saves), registered private ranges.  Usable from any thread
+    (the data is private to the runtime, not the target) — this is what a
+    reclaimer proxy-scanning a crashed or stalled thread reads. *)
+
+(** {1 Fault injection}
+
+    Deterministic, seedable fault primitives for robustness testing.  All
+    of them are ordinary effects performed by a running thread (a fault
+    "injector" is just another thread), so every fault lands at a precise,
+    reproducible point in the interleaving. *)
+
+val crash : tid -> unit
+(** Kill a thread's fiber at this instant: it never runs again, its stack
+    and registers are left exactly as they were (no unwinding, no cleanup —
+    like [SIGKILL] mid-instruction).  Pending signals are discarded.  The
+    thread counts as finished for {!join}/{!is_done}.  Crashing yourself
+    never returns.  Idempotent on already-finished threads. *)
+
+val stall : ?cycles:int -> tid -> unit
+(** Deschedule a thread: it takes no steps until [cycles] virtual cycles
+    have passed (omitted = stalled forever).  Signals sent to a stalled
+    thread pend and deliver on wake-up.  If every remaining thread is
+    stalled forever the run ends and reports them in [result.abandoned].
+    Stalling yourself resumes after the deadline.  No-op on finished or
+    already-stalled threads. *)
+
+val drop_signals : tid -> int -> unit
+(** The next [n] signals sent to the thread are silently lost (emitting
+    {!Trace.event.Signal_dropped}). *)
+
+val delay_signals : tid -> int -> unit
+(** Subsequent signals sent to the thread deliver only once its clock
+    reaches send-time + [cycles] ([0] restores prompt delivery). *)
+
+val is_crashed : tid -> bool
+(** Whether the thread was killed by {!crash} (distinguishes a crash from
+    a normal exit, both of which satisfy {!is_done}). *)
+
+val is_stalled : tid -> bool
+(** Whether the thread is currently descheduled by {!stall}.  A stalled
+    thread is frozen: until it wakes it takes no steps, so another thread
+    may read its stack and registers without racing it. *)
+
+val clock_of : tid -> int
+(** The thread's virtual clock.  Every step it takes advances it, so an
+    unchanged clock across two reads proves the thread ran nothing in
+    between — how a proxy scanner checks its subject stayed frozen. *)
+
+val set_wait_note : string option -> unit
+(** Annotate the calling thread with what it is currently blocked on
+    ("ack wait: phase 3", "spinning on lock\@1024"); shown by {!Deadlock}
+    diagnostics and {!blocked_summary}.  Clear with [None] when done. *)
+
+val note : string -> unit
+(** Emit a free-form {!Trace.event.Note} entry on the trace stream — used
+    by protocols to mark suspect/reap/takeover decisions on the timeline. *)

@@ -7,6 +7,11 @@ type event =
   | Signal_delivered of { tid : int; depth : int }
   | Signal_returned of { tid : int }
   | Priority_changed of { tid : int; prio : int }
+  | Crashed of { tid : int }
+  | Stalled of { tid : int; until : int option }
+  | Recovered of { tid : int }
+  | Signal_dropped of { sender : int; target : int }
+  | Note of { tid : int; msg : string }
 
 type entry = { time : int; event : event }
 
@@ -21,6 +26,12 @@ let pp ppf { time; event } =
   | Signal_delivered { tid; depth } -> p "thread %d entered its handler (depth %d)" tid depth
   | Signal_returned { tid } -> p "thread %d returned from its handler" tid
   | Priority_changed { tid; prio } -> p "thread %d demoted to priority %d" tid prio
+  | Crashed { tid } -> p "thread %d crashed (fiber killed, never runs again)" tid
+  | Stalled { tid; until = Some t } -> p "thread %d stalled until t=%d" tid t
+  | Stalled { tid; until = None } -> p "thread %d stalled forever" tid
+  | Recovered { tid } -> p "thread %d recovered from its stall" tid
+  | Signal_dropped { sender; target } -> p "signal from thread %d to thread %d dropped" sender target
+  | Note { tid; msg } -> p "thread %d: %s" tid msg
 
 let recorder () =
   let entries = ref [] in

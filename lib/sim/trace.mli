@@ -16,6 +16,16 @@ type event =
   | Signal_returned of { tid : int }  (** handler finished, context restored *)
   | Priority_changed of { tid : int; prio : int }
       (** a PCT change point fired and demoted the running thread *)
+  | Crashed of { tid : int }
+      (** fault injection: the fiber was killed and never runs again *)
+  | Stalled of { tid : int; until : int option }
+      (** fault injection: descheduled until virtual time [until]
+          ([None] = forever) *)
+  | Recovered of { tid : int }  (** a stalled thread's deadline passed *)
+  | Signal_dropped of { sender : int; target : int }
+      (** fault injection: a signal was lost in delivery *)
+  | Note of { tid : int; msg : string }
+      (** free-form protocol annotation (suspects, reaps, takeovers) *)
 
 type entry = { time : int; event : event }
 

@@ -12,10 +12,14 @@ let at addr = { addr }
 let try_acquire t = Runtime.read t.addr = 0 && Runtime.cas t.addr 0 1
 
 let acquire t =
-  let b = Backoff.create () in
-  while not (try_acquire t) do
-    Backoff.once b
-  done
+  if not (try_acquire t) then begin
+    Runtime.set_wait_note (Some (Fmt.str "spinning on lock@%d" t.addr));
+    let b = Backoff.create () in
+    while not (try_acquire t) do
+      Backoff.once b
+    done;
+    Runtime.set_wait_note None
+  end
 
 let release t = Runtime.write t.addr 0
 

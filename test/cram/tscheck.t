@@ -7,8 +7,8 @@ checked, and the oracles stay quiet.
   $ ../../bin/tscheck.exe sweep --schedules 4 --ops 20 --key-range 16
   sweep: 4 structures x 4 schedules (seeds 0..3, uniform/pct:3 alternating)
     list     4 schedules     336 ops     6 phases    64 keys checked  0 violations
-    hash     4 schedules     336 ops     6 phases    64 keys checked  0 violations
-    skip     4 schedules     336 ops     6 phases    64 keys checked  0 violations
+    hash     4 schedules     336 ops     7 phases    64 keys checked  0 violations
+    skip     4 schedules     336 ops     5 phases    64 keys checked  0 violations
     churn    4 schedules       0 ops    16 phases     0 keys checked  0 violations
   total: 16 schedules, 0 with violations
 
@@ -20,26 +20,53 @@ copy-pasteable replay command:
   $ ../../bin/tscheck.exe sweep --ds churn --schedules 2 --inject skip-carryover
   sweep: 1 structures x 2 schedules (seeds 0..1, uniform/pct:3 alternating)
   injected bug: skip-carryover
-    churn    2 schedules       0 ops     0 phases     0 keys checked  2 violations
+    churn    2 schedules       0 ops    12 phases     0 keys checked  2 violations
   total: 2 schedules, 2 with violations
   
   first failing schedule (churn, seed 0):
-    sanitizer: use-after-free read at addr 3583 (tid 1, phase 2)
-  shrunk to threads=1 ops=20 key-range=4 seed=0
-  replay: dune exec bin/tscheck.exe -- replay --ds churn --threads 1 --ops 20 --key-range 4 --buffer 8 --inject skip-carryover --policy uniform --seed 0
+    sanitizer: use-after-free read at addr 4885 (tid 1, phase 3)
+  shrunk to threads=1 ops=10 key-range=4 seed=0
+  replay: dune exec bin/tscheck.exe -- replay --ds churn --threads 1 --ops 10 --key-range 4 --buffer 8 --inject skip-carryover --fault none --policy uniform --seed 0
   [1]
 
 
 The replay command reproduces the same violation on its own:
 
   $ ../../bin/tscheck.exe replay --ds churn --threads 1 --ops 20 --key-range 4 --buffer 8 --inject skip-carryover --policy uniform --seed 0
-  replay: ds=churn threads=1 ops=20 key-range=4 buffer=8 inject=skip-carryover policy=uniform seed=0
-  outcome: 1 violations (events=0 phases=0 steps=240001 keys-checked=0)
-    sanitizer: use-after-free read at addr 3524 (tid 1, phase 2)
+  replay: ds=churn threads=1 ops=20 key-range=4 buffer=8 inject=skip-carryover fault=none policy=uniform seed=0
+  outcome: 1 violations (events=0 phases=2 steps=860 keys-checked=0)
+    sanitizer: use-after-free read at addr 3526 (tid 1, phase 1)
   [1]
 
 A clean replay of the same spec without the injection exits zero:
 
   $ ../../bin/tscheck.exe replay --ds churn --threads 1 --ops 20 --key-range 4 --buffer 8 --policy uniform --seed 0
-  replay: ds=churn threads=1 ops=20 key-range=4 buffer=8 inject=none policy=uniform seed=0
-  outcome: 0 violations (events=0 phases=3 steps=1683 keys-checked=0)
+  replay: ds=churn threads=1 ops=20 key-range=4 buffer=8 inject=none fault=none policy=uniform seed=0
+  outcome: 0 violations (events=0 phases=3 steps=1732 keys-checked=0)
+
+Environment faults are legal executions the protocol must survive: a
+sweep that crashes a worker mid-workload stays clean — the degradation
+ladder reaps the dead thread and reclamation continues:
+
+  $ ../../bin/tscheck.exe sweep --ds churn --schedules 4 --ops 20 --key-range 8 --fault crash:1@10
+  sweep: 1 structures x 4 schedules (seeds 0..3, uniform/pct:3 alternating)
+  injected fault: crash:1@10
+    churn    4 schedules       0 ops    15 phases     0 keys checked  0 violations
+  total: 4 schedules, 0 with violations
+
+The shrunk counterexample from the fault-injection sweep: disabling the
+frozen-suspect proxy scan under a stall frees a held node under the
+sleeping thread, and the sanitizer attributes the use-after-free.  This
+is the replay command the explorer printed, preserved verbatim:
+
+  $ ../../bin/tscheck.exe replay --ds churn --threads 2 --ops 40 --key-range 4 --buffer 8 --inject skip-proxy-scan --fault stall:1@10:60000 --policy pct:3 --seed 1
+  replay: ds=churn threads=2 ops=40 key-range=4 buffer=8 inject=skip-proxy-scan fault=stall:1@10:60000 policy=pct:3 seed=1
+  outcome: 1 violations (events=0 phases=5 steps=3685 keys-checked=0)
+    sanitizer: use-after-free read at addr 4423 (tid 1, phase 4)
+  [1]
+
+The identical schedule with the proxy scan back on rides out the stall:
+
+  $ ../../bin/tscheck.exe replay --ds churn --threads 2 --ops 40 --key-range 4 --buffer 8 --fault stall:1@10:60000 --policy pct:3 --seed 1
+  replay: ds=churn threads=2 ops=40 key-range=4 buffer=8 inject=none fault=stall:1@10:60000 policy=pct:3 seed=1
+  outcome: 0 violations (events=0 phases=8 steps=5498 keys-checked=0)

@@ -1,27 +1,27 @@
 The trace tool renders one deterministic collect phase (Figure 2):
 
   $ ../../bin/tstrace.exe
-  One ThreadScan collect phase, traced (threads=3, buffer=8, cores=dedicated, seed=24301):
+  One ThreadScan collect phase, traced (threads=3, buffer=8, cores=dedicated, fault=none, seed=24301):
   
-  replay: dune exec bin/tstrace.exe -- --threads 3 --buffer 8 --cores 0 --seed 24301
+  replay: dune exec bin/tstrace.exe -- --threads 3 --buffer 8 --cores 0 --fault none --seed 24301
   (entries are in global schedule order; times are per-thread local clocks)
       cycles  event
            0  thread 0 started
-        2921  thread 1 started
-        4921  thread 2 started
-        6921  thread 3 started
-        9347  thread 0 signaled thread 1
-        9854  thread 1 entered its handler (depth 1)
-        9757  thread 0 signaled thread 2
-       10264  thread 2 entered its handler (depth 1)
-       10167  thread 0 signaled thread 3
-       10674  thread 3 entered its handler (depth 1)
-       10605  thread 1 returned from its handler
-       11025  thread 2 returned from its handler
-       11445  thread 3 returned from its handler
-       11697  thread 1 finished
-       11697  thread 2 finished
-       11697  thread 3 finished
-       13741  thread 0 finished
+        3031  thread 1 started
+        5031  thread 2 started
+        7031  thread 3 started
+        9487  thread 0 signaled thread 1
+        9994  thread 1 entered its handler (depth 1)
+        9897  thread 0 signaled thread 2
+       10404  thread 2 entered its handler (depth 1)
+       10307  thread 0 signaled thread 3
+       10814  thread 3 entered its handler (depth 1)
+       10745  thread 1 returned from its handler
+       11165  thread 2 returned from its handler
+       11585  thread 3 returned from its handler
+       11897  thread 1 finished
+       11897  thread 2 finished
+       11897  thread 3 finished
+       14041  thread 0 finished
   
   phases completed: 1;  signals sent: 3;  nodes carried (still referenced): 8

@@ -37,7 +37,7 @@ let check_bool = Alcotest.(check bool)
 let cfg = Runtime.default_config
 
 let small_ts ?(help_free = false) ?(buffer_size = 8) ?(max_threads = 16) () =
-  Threadscan.create ~config:{ Config.max_threads; buffer_size; help_free } ()
+  Threadscan.create ~config:{ Config.default with max_threads; buffer_size; help_free } ()
 
 let alloc_node () = Ptr.of_addr (Runtime.malloc 3)
 
@@ -541,6 +541,120 @@ let test_scenario_attributes_uaf () =
       Alcotest.fail
         (Fmt.str "expected one attributed UAF, got: %a" Fmt.(list ~sep:(any "; ") Report.pp) vs)
 
+(* ------------------------- fault plans (crash/stall) ---------------------- *)
+
+let test_fault_string_roundtrip () =
+  List.iter
+    (fun f ->
+      let s = Scenario.fault_to_string f in
+      match Scenario.fault_of_string s with
+      | Some f' -> check_bool (Fmt.str "roundtrip %s" s) true (f = f')
+      | None -> Alcotest.fail (Fmt.str "unparseable: %s" s))
+    [
+      Scenario.Fault_none;
+      Scenario.Fault_crash { victims = 1; after = 10 };
+      Scenario.Fault_crash { victims = 3; after = 0 };
+      Scenario.Fault_stall { victims = 2; after = 7; cycles = 60_000 };
+    ];
+  check_bool "garbage rejected" true (Scenario.fault_of_string "crash@oops" = None)
+
+let test_crash_sweep_stays_clean () =
+  (* Killing a worker mid-operation is a legal execution: the degradation
+     ladder reaps it and the run must satisfy the same oracles (UAF-free,
+     leak within the crash budget). *)
+  List.iter
+    (fun ds ->
+      let base =
+        {
+          Scenario.default with
+          Scenario.ds;
+          fault = Scenario.Fault_crash { victims = 1; after = 10 };
+        }
+      in
+      let s = Explore.sweep (Explore.sweep_specs ~base ~schedules:6 ~seed0:0 ~pct_depth:3) in
+      check (Fmt.str "%s under crash: no violations" (Scenario.ds_to_string ds)) 0
+        (List.length s.Explore.failures))
+    [ Scenario.List_ds; Scenario.Churn ]
+
+let test_stall_sweep_stays_clean () =
+  let base =
+    {
+      Scenario.default with
+      Scenario.ds = Scenario.Churn;
+      fault = Scenario.Fault_stall { victims = 1; after = 10; cycles = 60_000 };
+    }
+  in
+  let s = Explore.sweep (Explore.sweep_specs ~base ~schedules:6 ~seed0:0 ~pct_depth:3) in
+  check "churn under stall: no violations" 0 (List.length s.Explore.failures)
+
+let test_proxy_scan_load_bearing_under_stall () =
+  (* The shrunk counterexample from the crash-safety sweep: with the proxy
+     scan disabled, a frozen suspect's held node is freed under it and the
+     sanitizer attributes a UAF.  This pins that the proxy scan is what
+     makes stalled-thread reaping sound. *)
+  let spec =
+    {
+      Scenario.default with
+      Scenario.ds = Scenario.Churn;
+      threads = 2;
+      ops = 40;
+      key_range = 4;
+      inject = Threadscan.Skip_proxy_scan;
+      fault = Scenario.Fault_stall { victims = 1; after = 10; cycles = 60_000 };
+      policy = Scenario.Pct 3;
+      seed = 1;
+    }
+  in
+  let o = Scenario.run spec in
+  check_bool "violation detected" true (Scenario.failed o);
+  check_bool "attributed as a sanitizer UAF" true
+    (List.exists
+       (function Report.Sanitizer { kind = Mem.Uaf_read; _ } -> true | _ -> false)
+       o.Scenario.violations);
+  (* the same schedule with the proxy scan back on is clean *)
+  let fixed = Scenario.run { spec with Scenario.inject = Threadscan.No_fault } in
+  check_bool "clean with the proxy scan enabled" true (not (Scenario.failed fixed))
+
+let test_stale_recovery_blinds_phase () =
+  (* Regression: the schedule that caught the stale-recovery unsoundness.
+     A suspect's missed signal delivers on wake and its handler scans the
+     *previous* master (it read the phase word before the new publish); the
+     reclaimer saw the ack move, declared it recovered, and swept — freeing
+     a node only the recovered thread's frame still referenced.  The fix
+     blinds any phase whose recovery ack is not tagged with the current
+     phase; this spec must stay clean forever. *)
+  let spec =
+    {
+      Scenario.default with
+      Scenario.ds = Scenario.Churn;
+      threads = 3;
+      ops = 40;
+      key_range = 4;
+      fault = Scenario.Fault_stall { victims = 1; after = 10; cycles = 60_000 };
+      policy = Scenario.Uniform;
+      seed = 50;
+    }
+  in
+  let o = Scenario.run spec in
+  List.iter (fun v -> Fmt.epr "%a@." Report.pp v) o.Scenario.violations;
+  check "no violations" 0 (List.length o.Scenario.violations)
+
+let test_crash_leak_budget_enforced () =
+  (* The oracle's crash-leak allowance is exactly [victims] nodes: a crashed
+     thread may take its in-flight retirement with it, nothing more.  A
+     clean run under a crash plan must not trip the outstanding check. *)
+  let spec =
+    {
+      Scenario.default with
+      Scenario.ds = Scenario.Churn;
+      fault = Scenario.Fault_crash { victims = 2; after = 5 };
+      seed = 3;
+    }
+  in
+  let o = Scenario.run spec in
+  check "no violations within the budget" 0 (List.length o.Scenario.violations);
+  check_bool "phases still completed" true (o.Scenario.phases >= 1)
+
 let () =
   Alcotest.run "check"
     [
@@ -586,5 +700,16 @@ let () =
           Alcotest.test_case "clean sweeps stay clean" `Quick test_sweep_clean;
           Alcotest.test_case "seeded bug caught and shrunk" `Quick test_explorer_catches_seeded_bug;
           Alcotest.test_case "UAF attributed, not just crashed" `Quick test_scenario_attributes_uaf;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "fault spec round-trips" `Quick test_fault_string_roundtrip;
+          Alcotest.test_case "crash plans stay clean" `Quick test_crash_sweep_stays_clean;
+          Alcotest.test_case "stall plans stay clean" `Quick test_stall_sweep_stays_clean;
+          Alcotest.test_case "proxy scan is load-bearing under stall" `Quick
+            test_proxy_scan_load_bearing_under_stall;
+          Alcotest.test_case "crash-leak budget enforced" `Quick test_crash_leak_budget_enforced;
+          Alcotest.test_case "stale recovery blinds the phase (regression)" `Quick
+            test_stale_recovery_blinds_phase;
         ] );
     ]

@@ -25,7 +25,7 @@ let scheme_of ~slots ~max_threads = function
   | "threadscan" ->
       Threadscan.smr
         (Threadscan.create
-           ~config:{ Threadscan.Config.max_threads; buffer_size = 16; help_free = false }
+           ~config:{ Threadscan.Config.default with max_threads; buffer_size = 16 }
            ())
   | "hazard" -> Hazard.create ~slots ~threshold_extra:16 ~max_threads ()
   | "epoch" -> Epoch.create ~batch:32 ~max_threads ()
@@ -326,7 +326,7 @@ let test_split_hash_dummies_immortal () =
          let smr =
            Threadscan.smr
              (Threadscan.create
-                ~config:{ Threadscan.Config.max_threads = 4; buffer_size = 8; help_free = false }
+                ~config:{ Threadscan.Config.default with max_threads = 4; buffer_size = 8 }
                 ())
          in
          smr.Smr.thread_init ();

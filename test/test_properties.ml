@@ -25,7 +25,7 @@ let check = Alcotest.(check int)
 let cfg = Runtime.default_config
 
 let ts_smr ?(buffer_size = 8) ~max_threads () =
-  Threadscan.smr (Threadscan.create ~config:{ Config.max_threads; buffer_size; help_free = false } ())
+  Threadscan.smr (Threadscan.create ~config:{ Config.default with max_threads; buffer_size } ())
 
 let alloc_node () = Ptr.of_addr (Runtime.malloc 3)
 

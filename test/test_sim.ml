@@ -736,6 +736,240 @@ let test_oversubscription_slower () =
     true
     (packed.Runtime.elapsed > free_run.Runtime.elapsed)
 
+(* --------------------------- fault injection ---------------------------- *)
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  ln = 0 || go 0
+
+let test_crash_kills_thread () =
+  let progress = ref (-1) and crashed_seen = ref false and done_seen = ref false in
+  let r =
+    run (fun () ->
+        let a = Runtime.alloc_region 1 in
+        let w =
+          Runtime.spawn (fun () ->
+              while true do
+                Runtime.write a (Runtime.read a + 1)
+              done)
+        in
+        for _ = 1 to 50 do
+          Runtime.yield ()
+        done;
+        Runtime.crash w;
+        crashed_seen := Runtime.is_crashed w;
+        done_seen := Runtime.is_done w;
+        let v = Runtime.read a in
+        for _ = 1 to 50 do
+          Runtime.yield ()
+        done;
+        progress := Runtime.read a - v;
+        Runtime.join w (* joining a crashed thread must not hang *))
+  in
+  Alcotest.(check bool) "is_crashed" true !crashed_seen;
+  Alcotest.(check bool) "is_done" true !done_seen;
+  check "no further progress" 0 !progress;
+  check "one crash counted" 1 r.Runtime.run_stats.crashes
+
+let test_crash_self_never_returns () =
+  let before = ref false and after = ref false in
+  ignore
+    (run (fun () ->
+         let w =
+           Runtime.spawn (fun () ->
+               before := true;
+               Runtime.crash (Runtime.self ());
+               after := true)
+         in
+         Runtime.join w));
+  Alcotest.(check bool) "ran up to the crash" true !before;
+  Alcotest.(check bool) "nothing after the crash" false !after
+
+let test_crash_preserves_memory () =
+  (* A crashed thread's heap writes stay visible: it died, its memory did
+     not — this is what the reclaimer's proxy machinery relies on. *)
+  let out = ref 0 in
+  ignore
+    (run (fun () ->
+         let a = Runtime.alloc_region 1 in
+         let ready = Runtime.alloc_region 1 in
+         let w =
+           Runtime.spawn (fun () ->
+               Runtime.write a 77;
+               Runtime.write ready 1;
+               while true do
+                 Runtime.advance 10
+               done)
+         in
+         while Runtime.read ready = 0 do
+           Runtime.yield ()
+         done;
+         Runtime.crash w;
+         out := Runtime.read a));
+  check "write survives its writer" 77 !out
+
+let test_stall_freezes_then_recovers () =
+  let finished = ref false and observed = ref false and frozen = ref false in
+  let r =
+    run (fun () ->
+        let w =
+          Runtime.spawn (fun () ->
+              for _ = 1 to 20 do
+                Runtime.advance 10
+              done;
+              finished := true)
+        in
+        Runtime.stall ~cycles:5_000 w;
+        observed := Runtime.is_stalled w;
+        (* a frozen thread's clock cannot move while we watch *)
+        let c0 = Runtime.clock_of w in
+        Runtime.advance 100;
+        frozen := Runtime.clock_of w = c0 && Runtime.is_stalled w;
+        Runtime.join w)
+  in
+  Alcotest.(check bool) "stalled when observed" true !observed;
+  Alcotest.(check bool) "clock frozen while stalled" true !frozen;
+  Alcotest.(check bool) "finished after waking" true !finished;
+  check "one stall counted" 1 r.Runtime.run_stats.stalls
+
+let test_stall_wakes_by_time_jump () =
+  (* When everything else is done, virtual time jumps to the stalled
+     thread's wake-up instead of deadlocking. *)
+  let r =
+    run (fun () ->
+        let stop = Runtime.alloc_region 1 in
+        let w =
+          Runtime.spawn (fun () ->
+              while Runtime.read stop = 0 do
+                Runtime.advance 10
+              done)
+        in
+        Runtime.advance 10;
+        Runtime.stall ~cycles:50_000 w;
+        Runtime.write stop 1;
+        Runtime.join w)
+  in
+  Alcotest.(check bool) "run waited for the wake-up" true (r.Runtime.elapsed >= 50_000)
+
+let test_stall_forever_abandoned () =
+  let r =
+    run (fun () ->
+        let w =
+          Runtime.spawn (fun () ->
+              while true do
+                Runtime.advance 10
+              done)
+        in
+        Runtime.advance 50;
+        Runtime.stall w)
+  in
+  Alcotest.(check (list int)) "worker reported abandoned" [ 1 ] r.Runtime.abandoned;
+  check "stall counted" 1 r.Runtime.run_stats.stalls
+
+let test_blocked_summary_diagnostics () =
+  (* Post-mortem: the blocked-state report names the thread, its stall
+     state, its wait note, and any signal still pending on it. *)
+  let rt = Runtime.create cfg in
+  ignore
+    (Runtime.add_thread rt (fun () ->
+         let w =
+           Runtime.spawn (fun () ->
+               Runtime.set_wait_note (Some "waiting for godot");
+               while true do
+                 Runtime.advance 10
+               done)
+         in
+         Runtime.advance 50;
+         Runtime.stall w;
+         Runtime.signal w));
+  let r = Runtime.start rt in
+  Alcotest.(check (list int)) "abandoned" [ 1 ] r.Runtime.abandoned;
+  let s = Runtime.blocked_summary rt in
+  let has needle = contains s needle in
+  Alcotest.(check bool) "names the thread" true (has "t1");
+  Alcotest.(check bool) "reports the stall" true (has "stalled forever");
+  Alcotest.(check bool) "shows the wait note" true (has "waiting for godot");
+  Alcotest.(check bool) "shows the pending signal" true (has "1 pending signal")
+
+let test_signal_pends_through_stall () =
+  let hits = ref 0 and during = ref (-1) in
+  ignore
+    (run (fun () ->
+         let ready = Runtime.alloc_region 1 and stop = Runtime.alloc_region 1 in
+         let w =
+           Runtime.spawn (fun () ->
+               Runtime.set_signal_handler (fun () -> incr hits);
+               Runtime.write ready 1;
+               while Runtime.read stop = 0 do
+                 Runtime.advance 10
+               done)
+         in
+         while Runtime.read ready = 0 do
+           Runtime.yield ()
+         done;
+         Runtime.stall ~cycles:2_000 w;
+         Runtime.signal w;
+         during := !hits;
+         Runtime.write stop 1;
+         Runtime.join w));
+  check "not delivered while frozen" 0 !during;
+  check "delivered on wake" 1 !hits
+
+let test_delay_signals () =
+  let at_send = ref 0 and at_delivery = ref 0 in
+  ignore
+    (run (fun () ->
+         let ready = Runtime.alloc_region 1 and hit = Runtime.alloc_region 1 in
+         let w =
+           Runtime.spawn (fun () ->
+               Runtime.set_signal_handler (fun () ->
+                   at_delivery := Runtime.now ();
+                   Runtime.write hit 1);
+               Runtime.write ready 1;
+               while Runtime.read hit = 0 do
+                 Runtime.advance 10
+               done)
+         in
+         while Runtime.read ready = 0 do
+           Runtime.yield ()
+         done;
+         Runtime.delay_signals w 2_000;
+         at_send := Runtime.now ();
+         Runtime.signal w;
+         Runtime.join w));
+  Alcotest.(check bool) "delivered, but 2000+ cycles late" true
+    (!at_delivery >= !at_send + 2_000)
+
+let test_drop_signals () =
+  let hits = ref 0 in
+  let r =
+    run (fun () ->
+        let ready = Runtime.alloc_region 1 and stop = Runtime.alloc_region 1 in
+        let w =
+          Runtime.spawn (fun () ->
+              Runtime.set_signal_handler (fun () -> incr hits);
+              Runtime.write ready 1;
+              while Runtime.read stop = 0 do
+                Runtime.advance 10
+              done)
+        in
+        while Runtime.read ready = 0 do
+          Runtime.yield ()
+        done;
+        Runtime.drop_signals w 1;
+        Runtime.signal w (* eaten *);
+        Runtime.signal w (* delivered *);
+        while !hits = 0 do
+          Runtime.advance 10
+        done;
+        Runtime.write stop 1;
+        Runtime.join w)
+  in
+  check "exactly one delivery" 1 !hits;
+  check "drop counted" 1 r.Runtime.run_stats.signals_dropped;
+  check "both sends counted" 2 r.Runtime.run_stats.signals_sent
+
 let () =
   Alcotest.run "ts_sim"
     [
@@ -794,6 +1028,21 @@ let () =
           Alcotest.test_case "sigreturn restores registers" `Quick
             test_sigreturn_restores_registers;
           Alcotest.test_case "signal to finished thread" `Quick test_signal_finished_thread;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "crash kills a thread" `Quick test_crash_kills_thread;
+          Alcotest.test_case "self-crash never returns" `Quick test_crash_self_never_returns;
+          Alcotest.test_case "crash preserves memory" `Quick test_crash_preserves_memory;
+          Alcotest.test_case "stall freezes then recovers" `Quick
+            test_stall_freezes_then_recovers;
+          Alcotest.test_case "stall wakes by time jump" `Quick test_stall_wakes_by_time_jump;
+          Alcotest.test_case "stall forever is abandoned" `Quick test_stall_forever_abandoned;
+          Alcotest.test_case "blocked summary diagnostics" `Quick
+            test_blocked_summary_diagnostics;
+          Alcotest.test_case "signal pends through stall" `Quick test_signal_pends_through_stall;
+          Alcotest.test_case "delayed signal delivery" `Quick test_delay_signals;
+          Alcotest.test_case "dropped signals" `Quick test_drop_signals;
         ] );
       ( "trace",
         [

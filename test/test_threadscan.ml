@@ -13,7 +13,7 @@ let check = Alcotest.(check int)
 let cfg = Runtime.default_config
 
 let small_ts ?(help_free = false) ?(buffer_size = 8) ?(max_threads = 16) () =
-  Threadscan.create ~config:{ Config.max_threads; buffer_size; help_free } ()
+  Threadscan.create ~config:{ Config.default with max_threads; buffer_size; help_free } ()
 
 (* ---------------------------- delete buffer ----------------------------- *)
 
@@ -622,10 +622,15 @@ let test_generational_churn_one_core () =
                  Frame.set fr 0 q;
                  if not (Ptr.is_null q) then ignore (Runtime.read (Ptr.addr q));
                  Frame.set fr 0 0;
+                 (* exclusive unlink via CAS: exactly one thread retires any
+                    given node (the paper's retire-after-unlink contract; a
+                    plain read+write pair can double-retire under races) *)
                  let p = alloc_node () in
                  let old = Runtime.read cell in
-                 Runtime.write cell p;
-                 if not (Ptr.is_null old) then smr.Smr.retire old
+                 if Runtime.cas cell old p then begin
+                   if not (Ptr.is_null old) then smr.Smr.retire old
+                 end
+                 else Runtime.free (Ptr.addr p)
                done);
            smr.Smr.thread_exit ()
          in
@@ -702,10 +707,290 @@ let test_tagged_pointer_still_matches () =
 let test_config_validation () =
   Alcotest.check_raises "bad buffer"
     (Invalid_argument "Threadscan config: buffer_size < 2")
-    (fun () -> Config.validate { Config.max_threads = 4; buffer_size = 1; help_free = false });
+    (fun () -> Config.validate { Config.default with max_threads = 4; buffer_size = 1 });
   Alcotest.check_raises "bad threads"
     (Invalid_argument "Threadscan config: max_threads < 1")
-    (fun () -> Config.validate { Config.max_threads = 0; buffer_size = 8; help_free = false })
+    (fun () -> Config.validate { Config.default with max_threads = 0; buffer_size = 8 })
+
+(* --------------------------- degradation ladder ------------------------- *)
+
+(* Small budgets so the ladder fires inside a unit test.  Takeover and
+   backpressure are disabled unless the test is about them, keeping each
+   rung observable in isolation. *)
+let ladder_ts ?(ack_budget = 2_000) ?(suspect_phases = 2) ?(takeover_steps = 0)
+    ?(overflow_after = 0) ?(buffer_size = 8) () =
+  Threadscan.create
+    ~config:
+      {
+        Config.default with
+        max_threads = 16;
+        buffer_size;
+        ack_budget;
+        suspect_phases;
+        takeover_steps;
+        overflow_after;
+      }
+    ()
+
+let test_stalled_thread_blinds_phase () =
+  (* Rung 1: a frozen registered thread cannot ack, so the phase exhausts
+     its ack budget, goes blind and frees nothing — including the node the
+     frozen thread still holds.  On wake-up everything reclaims. *)
+  ignore
+    (Runtime.run ~config:cfg (fun () ->
+         let ts = ladder_ts () in
+         let smr = Threadscan.smr ts in
+         let stop = Runtime.alloc_region 1 and grabbed = Runtime.alloc_region 1 in
+         smr.Smr.thread_init ();
+         let p = alloc_node () in
+         Runtime.write (Ptr.addr p) 999;
+         let w =
+           Runtime.spawn (fun () ->
+               smr.Smr.thread_init ();
+               Frame.with_frame 1 (fun fr ->
+                   Frame.set fr 0 p;
+                   Runtime.write grabbed 1;
+                   while Runtime.read stop = 0 do
+                     Runtime.advance 10
+                   done;
+                   Frame.set fr 0 0);
+               smr.Smr.thread_exit ())
+         in
+         while Runtime.read grabbed = 0 do
+           Runtime.yield ()
+         done;
+         Runtime.stall ~cycles:100_000 w;
+         smr.Smr.retire p;
+         for _ = 1 to 12 do
+           smr.Smr.retire (alloc_node ())
+         done;
+         Alcotest.(check bool) "phase ran" true (Threadscan.phases ts >= 1);
+         Alcotest.(check bool) "ack wait timed out" true (Threadscan.ack_timeouts ts >= 1);
+         Alcotest.(check bool) "blind phase carried everything it aggregated" true
+           (Threadscan.carried_blind ts >= 8);
+         check "nothing freed blind" 0 smr.Smr.counters.freed;
+         check "held node untouched" 999 (Runtime.read (Ptr.addr p));
+         (* wake it up: the pending signal delivers, it acks, and exits *)
+         Runtime.advance 120_000;
+         Runtime.write stop 1;
+         Runtime.join w;
+         smr.Smr.thread_exit ();
+         smr.Smr.flush ();
+         check "all reclaimed after recovery" 0 (Threadscan.outstanding ts)))
+
+let test_suspect_proxy_scanned_then_recovers () =
+  (* Rung 2: after a blind phase the non-acker is a suspect; later phases
+     skip signaling it and proxy-scan its frozen stack instead, so garbage
+     is freed while its held node is carried.  When it wakes and acks, it
+     is cleared as a recovery. *)
+  ignore
+    (Runtime.run ~config:cfg (fun () ->
+         let ts = ladder_ts ~suspect_phases:50 () in
+         let smr = Threadscan.smr ts in
+         let stop = Runtime.alloc_region 1 and grabbed = Runtime.alloc_region 1 in
+         let noise = Runtime.alloc_region 1 in
+         smr.Smr.thread_init ();
+         let p = alloc_node () in
+         Runtime.write (Ptr.addr p) 424;
+         let w =
+           Runtime.spawn (fun () ->
+               smr.Smr.thread_init ();
+               Frame.with_frame 1 (fun fr ->
+                   Frame.set fr 0 p;
+                   Runtime.write grabbed 1;
+                   while Runtime.read stop = 0 do
+                     Runtime.advance 10
+                   done;
+                   Frame.set fr 0 0);
+               smr.Smr.thread_exit ())
+         in
+         while Runtime.read grabbed = 0 do
+           Runtime.yield ()
+         done;
+         Runtime.stall ~cycles:400_000 w;
+         (* phase 1: blind, w becomes suspect *)
+         smr.Smr.retire p;
+         for _ = 1 to 12 do
+           smr.Smr.retire (alloc_node ())
+         done;
+         Alcotest.(check bool) "suspected" true (Threadscan.suspected_total ts >= 1);
+         (* phase 2: w is a frozen suspect — proxy-scanned, phase not blind *)
+         for _ = 1 to 12 do
+           smr.Smr.retire (alloc_node ());
+           for _ = 1 to 40 do
+             ignore (Runtime.read noise)
+           done
+         done;
+         Alcotest.(check bool) "proxy scans ran" true (Threadscan.proxy_scans ts >= 1);
+         Alcotest.(check bool) "garbage freed despite the suspect" true
+           (smr.Smr.counters.freed > 0);
+         check "proxied stack still pins the node" 424 (Runtime.read (Ptr.addr p));
+         (* wake: the pending signal delivers and w acks again *)
+         Runtime.advance 500_000;
+         for _ = 1 to 12 do
+           smr.Smr.retire (alloc_node ());
+           for _ = 1 to 40 do
+             ignore (Runtime.read noise)
+           done
+         done;
+         Alcotest.(check bool) "recovery observed" true (Threadscan.recoveries ts >= 1);
+         Runtime.write stop 1;
+         Runtime.join w;
+         smr.Smr.thread_exit ();
+         smr.Smr.flush ();
+         check "all reclaimed in the end" 0 (Threadscan.outstanding ts)))
+
+let test_crashed_thread_reaped_buffer_freed () =
+  (* Rung 3: a thread that crashes while registered can never ack or
+     deregister.  The next phase observes it dead, reaps it, adopts its
+     buffered retirements through the normal aggregation path, and frees
+     them — a crashed thread's pins are dropped. *)
+  let leftover = ref (-1) and reaps = ref 0 and retired = ref 0 and freed = ref 0 in
+  let r = Runtime.create cfg in
+  ignore
+    (Runtime.add_thread r (fun () ->
+         let ts = ladder_ts () in
+         let smr = Threadscan.smr ts in
+         let parked = Runtime.alloc_region 1 in
+         smr.Smr.thread_init ();
+         let noise = Runtime.alloc_region 1 in
+         let w =
+           Runtime.spawn (fun () ->
+               smr.Smr.thread_init ();
+               (* three retirements that stay in its SRSW buffer *)
+               for _ = 1 to 3 do
+                 smr.Smr.retire (alloc_node ())
+               done;
+               Runtime.write parked 1;
+               while true do
+                 Runtime.advance 10
+               done)
+         in
+         while Runtime.read parked = 0 do
+           Runtime.yield ()
+         done;
+         Runtime.crash w;
+         for _ = 1 to 12 do
+           smr.Smr.retire (alloc_node ());
+           for _ = 1 to 40 do
+             ignore (Runtime.read noise)
+           done
+         done;
+         reaps := Threadscan.reaps ts;
+         Runtime.join w;
+         smr.Smr.thread_exit ();
+         smr.Smr.flush ();
+         retired := smr.Smr.counters.retired;
+         freed := smr.Smr.counters.freed;
+         leftover := Threadscan.outstanding ts));
+  ignore (Runtime.start r);
+  check "reaped exactly once" 1 !reaps;
+  check "all 15 retirements accounted" 15 !retired;
+  check "all freed, including the dead thread's buffer" 15 !freed;
+  check "nothing outstanding" 0 !leftover;
+  check "allocator empty" 0 (Alloc.live_blocks (Runtime.alloc r))
+
+let test_takeover_after_reclaimer_crash () =
+  (* Rung 4: the reclaimer crashes inside a phase, holding the phase lock.
+     A retiring thread watches the heartbeat go silent, wrests the lock,
+     bumps the generation and completes reclamation. *)
+  ignore
+    (Runtime.run ~config:cfg (fun () ->
+         let ts = ladder_ts ~takeover_steps:500 () in
+         let smr = Threadscan.smr ts in
+         smr.Smr.thread_init ();
+         let w =
+           Runtime.spawn (fun () ->
+               smr.Smr.thread_init ();
+               Threadscan.set_inject ts Threadscan.Crash_mid_phase;
+               (* the ninth retire starts a phase; the injection kills the
+                  reclaimer mid-phase with the lock held *)
+               for _ = 1 to 9 do
+                 smr.Smr.retire (alloc_node ())
+               done)
+         in
+         Runtime.join w;
+         Alcotest.(check bool) "reclaimer died mid-phase" true (Runtime.is_crashed w);
+         (* our own retires run into the dead holder and must take over *)
+         for _ = 1 to 12 do
+           smr.Smr.retire (alloc_node ())
+         done;
+         Alcotest.(check bool) "lock wrested from the corpse" true (Threadscan.takeovers ts >= 1);
+         smr.Smr.thread_exit ();
+         smr.Smr.flush ();
+         (* the reclaimer died inside [retire], before its in-flight ninth
+            pointer was pushed anywhere: a bounded 1-node leak (never a
+            UAF) — the same budget the checker's oracle allows per crash *)
+         check "only the in-flight retirement leaks" 1 (Threadscan.outstanding ts)))
+
+let test_overflow_backpressure_bounded () =
+  (* Rung 5: with the reclaimer dead and the lock held, a full-buffered
+     retirer does not block forever: past [overflow_after] wait rounds it
+     parks the pointer on the shared overflow list, which the next live
+     phase (here: the flush takeover) adopts and frees. *)
+  ignore
+    (Runtime.run ~config:cfg (fun () ->
+         let ts = ladder_ts ~takeover_steps:2_000 ~overflow_after:4 () in
+         let smr = Threadscan.smr ts in
+         smr.Smr.thread_init ();
+         let w =
+           Runtime.spawn (fun () ->
+               smr.Smr.thread_init ();
+               Threadscan.set_inject ts Threadscan.Crash_mid_phase;
+               for _ = 1 to 9 do
+                 smr.Smr.retire (alloc_node ())
+               done)
+         in
+         Runtime.join w;
+         (* fill our buffer, then keep retiring against the dead holder:
+            backpressure must park instead of spinning forever *)
+         let before = Threadscan.overflow_pushes ts in
+         for _ = 1 to 12 do
+           smr.Smr.retire (alloc_node ())
+         done;
+         Alcotest.(check bool) "retirements parked under backpressure" true
+           (Threadscan.overflow_pushes ts > before);
+         smr.Smr.thread_exit ();
+         smr.Smr.flush ();
+         (* 1 = the crashed reclaimer's in-flight retirement, as above *)
+         check "parked retirements adopted and freed" 1 (Threadscan.outstanding ts)))
+
+let test_thread_exit_races_inflight_collect () =
+  (* A registered thread deregisters while a collect phase is mid-flight
+     and its signal is still undelivered (delayed in the signal queue).
+     The ack wait must release via the registration check — not the
+     timeout — and the phase completes normally. *)
+  ignore
+    (Runtime.run ~config:cfg (fun () ->
+         let ts = small_ts ~buffer_size:8 () in
+         let smr = Threadscan.smr ts in
+         let ready = Runtime.alloc_region 1 in
+         smr.Smr.thread_init ();
+         let w =
+           Runtime.spawn (fun () ->
+               smr.Smr.thread_init ();
+               Runtime.write ready 1;
+               (* leave the instant a collect is in flight *)
+               while Threadscan.phases ts = 0 do
+                 Runtime.advance 5
+               done;
+               smr.Smr.thread_exit ())
+         in
+         while Runtime.read ready = 0 do
+           Runtime.yield ()
+         done;
+         (* its signal will hang in the air long past its exit *)
+         Runtime.delay_signals w 100_000;
+         for _ = 1 to 9 do
+           smr.Smr.retire (alloc_node ())
+         done;
+         Runtime.join w;
+         check "phase completed" 1 (Threadscan.phases ts);
+         check "released by deregistration, not the budget" 0 (Threadscan.ack_timeouts ts);
+         check "phase was not blind" 0 (Threadscan.carried_blind ts);
+         smr.Smr.thread_exit ();
+         smr.Smr.flush ();
+         check "clean" 0 (Threadscan.outstanding ts)))
 
 (* ------------------------------ adversarial ----------------------------- *)
 
@@ -821,6 +1106,21 @@ let () =
           Alcotest.test_case "tagged pointer still matches" `Quick
             test_tagged_pointer_still_matches;
           Alcotest.test_case "config validation" `Quick test_config_validation;
+        ] );
+      ( "degradation",
+        [
+          Alcotest.test_case "stalled thread blinds the phase" `Quick
+            test_stalled_thread_blinds_phase;
+          Alcotest.test_case "suspect proxy-scanned, then recovers" `Quick
+            test_suspect_proxy_scanned_then_recovers;
+          Alcotest.test_case "crashed thread reaped, buffer freed" `Quick
+            test_crashed_thread_reaped_buffer_freed;
+          Alcotest.test_case "takeover after reclaimer crash" `Quick
+            test_takeover_after_reclaimer_crash;
+          Alcotest.test_case "overflow backpressure is bounded" `Quick
+            test_overflow_backpressure_bounded;
+          Alcotest.test_case "thread_exit races in-flight collect" `Quick
+            test_thread_exit_races_inflight_collect;
         ] );
       ("adversarial", [ qt prop_random_hold_release_safe ]);
     ]
