@@ -3,8 +3,9 @@
    of the substrate.
 
    Usage:  dune exec bench/main.exe -- [--scale quick|full|paper]
+                                       [--backend sim|native] [--pool N]
                                        [--only fig3-list,ablate-buffer,...]
-                                       [--no-micro] [--list]          *)
+                                       [--json] [--no-micro] [--list]     *)
 
 module Runtime = Ts_sim.Runtime
 module Smr = Ts_smr.Smr
@@ -16,12 +17,27 @@ let parse_args () =
   let only = ref None in
   let micro = ref true in
   let list_only = ref false in
+  let backend = ref `Sim in
+  let pool = ref 0 in
+  let json = ref false in
   let rec go = function
     | [] -> ()
     | "--scale" :: s :: rest ->
         (match Experiment.scale_of_string s with
         | Some sc -> scale := sc
         | None -> failwith ("unknown scale: " ^ s));
+        go rest
+    | "--backend" :: s :: rest ->
+        (match s with
+        | "sim" -> backend := `Sim
+        | "native" -> backend := `Native
+        | _ -> failwith ("unknown backend: " ^ s));
+        go rest
+    | "--pool" :: n :: rest ->
+        pool := int_of_string n;
+        go rest
+    | "--json" :: rest ->
+        json := true;
         go rest
     | "--only" :: names :: rest ->
         only := Some (String.split_on_char ',' names);
@@ -35,7 +51,12 @@ let parse_args () =
     | arg :: _ -> failwith ("unknown argument: " ^ arg)
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!scale, !only, !micro, !list_only)
+  let backend =
+    match !backend with
+    | `Sim -> Workload.Backend_sim
+    | `Native -> Workload.Backend_native { pool = !pool }
+  in
+  (!scale, !only, !micro, !list_only, backend, !json)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the substrate                            *)
@@ -136,7 +157,7 @@ let run_micro () =
 (* ------------------------------------------------------------------ *)
 
 let () =
-  let scale, only, micro, list_only = parse_args () in
+  let scale, only, micro, list_only, backend, json = parse_args () in
   if list_only then begin
     List.iter (fun (name, _) -> print_endline name) Experiment.names;
     exit 0
@@ -147,7 +168,8 @@ let () =
     | Experiment.Full -> "full"
     | Experiment.Paper -> "paper"
   in
-  Fmt.pr "ThreadScan reproduction benchmarks — scale: %s@." scale_name;
+  Fmt.pr "ThreadScan reproduction benchmarks — scale: %s, backend: %s@." scale_name
+    (Workload.backend_to_string backend);
   let selected =
     match only with
     | None -> Experiment.names
@@ -164,7 +186,7 @@ let () =
   List.iter
     (fun (name, f) ->
       let t0 = Unix.gettimeofday () in
-      Experiment.run_and_print ~title:name f scale;
+      Experiment.run_and_print ~title:name ~backend ~json f scale;
       Fmt.pr "(%s took %.1fs of real time)@." name (Unix.gettimeofday () -. t0))
     selected;
   if micro && only = None then run_micro ()

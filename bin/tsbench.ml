@@ -35,6 +35,30 @@ let scale_conv =
           | Experiment.Full -> "full"
           | Experiment.Paper -> "paper") )
 
+let backend_conv =
+  let parse = function
+    | "sim" -> Ok `Sim
+    | "native" -> Ok `Native
+    | s -> Error (`Msg (Fmt.str "unknown backend %S (sim|native)" s))
+  in
+  Arg.conv (parse, fun ppf b -> Fmt.string ppf (match b with `Sim -> "sim" | `Native -> "native"))
+
+let backend_arg =
+  Arg.(
+    value & opt backend_conv `Sim
+    & info [ "b"; "backend" ]
+        ~doc:"Execution backend: $(b,sim) (deterministic simulator) or $(b,native) (OCaml 5 domains).")
+
+let pool_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "pool" ]
+        ~doc:"Native backend only: domain pool size (0 = one domain per thread, capped at the \
+              recommended domain count).")
+
+let make_backend backend pool =
+  match backend with `Sim -> Workload.Backend_sim | `Native -> Workload.Backend_native { pool }
+
 let scheme_conv ~buffer ~help_free ~delay =
   let parse = function
     | "leaky" -> Ok Workload.Leaky
@@ -61,8 +85,13 @@ let print_result (r : Workload.result) =
   Fmt.pr "ops:        %d (%.1f per Mcycle)@." r.ops r.throughput;
   Fmt.pr "reclaim:    retired=%d freed=%d outstanding=%d peak-live=%d@." r.retired r.freed
     r.outstanding r.peak_live_blocks;
-  Fmt.pr "simulator:  elapsed=%d signals=%d switches=%d faults=%d@." r.elapsed
-    r.signals_delivered r.ctx_switches r.faults;
+  Fmt.pr "%-11s elapsed=%d signals=%d switches=%d faults=%d@."
+    (match r.spec.backend with Workload.Backend_sim -> "simulator:" | _ -> "native:")
+    r.elapsed r.signals_delivered r.ctx_switches r.faults;
+  if r.wall_ns > 0 then
+    Fmt.pr "wall:       %.1f ms, %.1f kops/s@."
+      (float_of_int r.wall_ns /. 1e6)
+      (r.wall_throughput /. 1e3);
   if r.extras <> [] then begin
     Fmt.pr "scheme:    ";
     List.iter (fun (k, v) -> Fmt.pr " %s=%d" k v) r.extras;
@@ -98,7 +127,7 @@ let run_cmd =
   let padding = Arg.(value & opt int 0 & info [ "padding" ] ~doc:"Extra node words.") in
   let seed = Arg.(value & opt int 0xBE5 & info [ "seed" ] ~doc:"Deterministic seed.") in
   let action ds scheme_name threads cores horizon init range update buffer help_free delay
-      padding seed =
+      padding seed backend pool =
     match scheme_conv ~buffer ~help_free ~delay scheme_name with
     | Error (`Msg m) -> `Error (false, m)
     | Ok scheme ->
@@ -115,6 +144,7 @@ let run_cmd =
             update_ratio = update;
             padding;
             seed;
+            backend = make_backend backend pool;
           }
         in
         print_result (Workload.run spec);
@@ -125,18 +155,23 @@ let run_cmd =
     Term.(
       ret
         (const action $ ds $ scheme_name $ threads $ cores $ horizon $ init $ range $ update
-       $ buffer $ help_free $ delay $ padding $ seed))
+       $ buffer $ help_free $ delay $ padding $ seed $ backend_arg $ pool_arg))
 
 (* ------------------------------- sweep ---------------------------------- *)
 
 let scale_arg =
   Arg.(value & opt scale_conv Experiment.Quick & info [ "scale" ] ~doc:"quick|full|paper.")
 
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Also write the sweep as $(b,BENCH_<experiment>.json).")
+
 let sweep_cmd =
   let exp_name =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT" ~doc:"Experiment name.")
   in
-  let action name scale =
+  let action name scale backend pool json =
     match List.assoc_opt name Experiment.names with
     | None ->
         `Error
@@ -144,20 +179,23 @@ let sweep_cmd =
             Fmt.str "unknown experiment %S; one of: %s" name
               (String.concat ", " (List.map fst Experiment.names)) )
     | Some f ->
-        Experiment.run_and_print ~title:name f scale;
+        Experiment.run_and_print ~title:name ~backend:(make_backend backend pool) ~json f scale;
         `Ok ()
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Run one named experiment (a paper figure or an ablation).")
-    Term.(ret (const action $ exp_name $ scale_arg))
+    Term.(ret (const action $ exp_name $ scale_arg $ backend_arg $ pool_arg $ json_arg))
 
 let all_cmd =
-  let action scale =
-    List.iter (fun (name, f) -> Experiment.run_and_print ~title:name f scale) Experiment.names
+  let action scale backend pool json =
+    let backend = make_backend backend pool in
+    List.iter
+      (fun (name, f) -> Experiment.run_and_print ~title:name ~backend ~json f scale)
+      Experiment.names
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Run every experiment at the given scale.")
-    Term.(const action $ scale_arg)
+    Term.(const action $ scale_arg $ backend_arg $ pool_arg $ json_arg)
 
 let list_cmd =
   let action () = List.iter (fun (n, _) -> print_endline n) Experiment.names in

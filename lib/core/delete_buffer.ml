@@ -1,4 +1,4 @@
-module Runtime = Ts_sim.Runtime
+module Runtime = Ts_rt
 
 (* Layout: [head][tail][slot 0 .. slot cap-1].  head/tail are monotone. *)
 type t = { base : int; cap : int }

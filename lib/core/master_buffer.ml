@@ -1,4 +1,4 @@
-module Runtime = Ts_sim.Runtime
+module Runtime = Ts_rt
 module Isort = Ts_util.Isort
 
 (* Layout: [count][entries: cap][marks: cap].  [staged] is the reclaimer's

@@ -1,7 +1,7 @@
 module Config = Config
 module Delete_buffer = Delete_buffer
 module Master_buffer = Master_buffer
-module Runtime = Ts_sim.Runtime
+module Runtime = Ts_rt
 module Ptr = Ts_umem.Ptr
 module Smr = Ts_smr.Smr
 module Backoff = Ts_sync.Backoff
@@ -131,7 +131,7 @@ let help_free t =
       let p = Runtime.read (t.work_base + i) in
       if p <> 0 && Runtime.cas (t.work_base + i) p 0 then begin
         Runtime.free (Ptr.addr p);
-        c.freed <- c.freed + 1;
+        Smr.add_freed c 1;
         t.helped <- t.helped + 1
       end
     done
@@ -187,7 +187,7 @@ let drain_work_leftovers t =
       let p = Runtime.read (t.work_base + i) in
       if p <> 0 && Runtime.cas (t.work_base + i) p 0 then begin
         Runtime.free (Ptr.addr p);
-        c.freed <- c.freed + 1;
+        Smr.add_freed c 1;
         t.free_burden <- t.free_burden + 1
       end
     done;
@@ -260,17 +260,21 @@ let do_phase t =
      register file with buffered pointers. *)
   Runtime.save_regs ();
   t.phases <- t.phases + 1;
-  c.cleanups <- c.cleanups + 1;
+  Smr.add_cleanups c 1;
   let my_gen = Runtime.read t.gen_addr in
   (* Adopt retirements parked on the overflow list by backpressured
      threads.  The snapshot swap is atomic (no effect between the read and
      the reset); whatever does not fit goes back on the list. *)
-  let parked = t.overflow in
-  t.overflow <- [];
+  let parked =
+    Runtime.critical (fun () ->
+        let parked = t.overflow in
+        t.overflow <- [];
+        parked)
+  in
   let rejected =
     List.filter (fun p -> not (Master_buffer.append t.master p)) parked
   in
-  if rejected <> [] then t.overflow <- rejected @ t.overflow;
+  if rejected <> [] then Runtime.critical (fun () -> t.overflow <- rejected @ t.overflow);
   (* Aggregate every thread's delete buffer into the master buffer (on top
      of the previous phase's carry-over).  If the master fills up, the rest
      simply stays buffered for the next phase. *)
@@ -414,7 +418,7 @@ let do_phase t =
       t.carried <-
         Master_buffer.sweep ~ignore_marks t.master (fun p ->
             Runtime.free (Ptr.addr p);
-            c.freed <- c.freed + 1;
+            Smr.add_freed c 1;
             t.free_burden <- t.free_burden + 1)
   end;
   heartbeat t;
@@ -446,7 +450,7 @@ let avg_phase_latency t =
   end
 
 let retire t (c : Smr.counters) p =
-  c.retired <- c.retired + 1;
+  Smr.add_retired c 1;
   let tid = Runtime.self () in
   let masked = Ptr.mask p in
   let b = Backoff.create () in
@@ -471,7 +475,7 @@ let retire t (c : Smr.counters) p =
       (* Hard backpressure bound: park the pointer on the shared overflow
          list (adopted by the next phase) instead of blocking forever on a
          degraded reclaimer. *)
-      t.overflow <- masked :: t.overflow;
+      Runtime.critical (fun () -> t.overflow <- masked :: t.overflow);
       t.overflow_pushes <- t.overflow_pushes + 1;
       done_ := true
     end

@@ -1,4 +1,4 @@
-module Runtime = Ts_sim.Runtime
+module Runtime = Ts_rt
 module Ptr = Ts_umem.Ptr
 module Smr = Ts_smr.Smr
 

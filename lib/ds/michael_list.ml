@@ -1,5 +1,5 @@
-module Runtime = Ts_sim.Runtime
-module Frame = Ts_sim.Frame
+module Runtime = Ts_rt
+module Frame = Ts_rt.Frame
 module Ptr = Ts_umem.Ptr
 module Smr = Ts_smr.Smr
 

@@ -25,7 +25,7 @@ type event = {
 }
 
 let instrument ~record t =
-  let module Runtime = Ts_sim.Runtime in
+  let module Runtime = Ts_rt in
   let timed kind key f =
     let tid = Runtime.self () in
     let t0 = Runtime.steps_now () in

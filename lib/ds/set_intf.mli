@@ -35,7 +35,7 @@ type event = {
   t1 : int;  (** scheduler step at response *)
 }
 (** One completed operation.  [t0]/[t1] are global scheduler step counts
-    ({!Ts_sim.Runtime.steps_now}); op A happens-before op B iff
+    ({!Ts_rt.steps_now}); op A happens-before op B iff
     [A.t1 < B.t0]. *)
 
 val instrument : record:(event -> unit) -> t -> t

@@ -108,16 +108,21 @@ let fig4_setup = function
 (* Sweep machinery                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let run_sweep ~threads_list ~series =
+let run_sweep ~backend ~threads_list ~series =
   List.map
     (fun threads ->
       let cells =
         List.map
-          (fun (label, spec) -> (label, Workload.run { spec with Workload.threads }))
+          (fun (label, spec) -> (label, Workload.run { spec with Workload.threads; backend }))
           series
       in
       { threads; cells })
     threads_list
+
+let has_wall points =
+  List.exists
+    (fun { cells; _ } -> List.exists (fun (_, r) -> r.Workload.wall_ns > 0) cells)
+    points
 
 let print_points ~title points =
   match points with
@@ -134,7 +139,23 @@ let print_points ~title points =
           List.iter (fun (_, r) -> Fmt.pr "%14.1f" r.Workload.throughput) cells;
           Fmt.pr "@.")
         points;
-      Fmt.pr "(throughput: completed operations per million simulated cycles)@."
+      Fmt.pr "(throughput: completed operations per million simulated cycles)@.";
+      if has_wall points then begin
+        (* native backend: the virtual-cycle table above keeps runs
+           comparable with the simulator; this one is the real machine *)
+        Fmt.pr "@.-- %s: wall clock (kops per real second) --@." title;
+        Fmt.pr "%-8s" "threads";
+        List.iter (fun l -> Fmt.pr "%14s" l) labels;
+        Fmt.pr "@.";
+        List.iter
+          (fun { threads; cells } ->
+            Fmt.pr "%-8d" threads;
+            List.iter
+              (fun (_, r) -> Fmt.pr "%14.1f" (r.Workload.wall_throughput /. 1e3))
+              cells;
+            Fmt.pr "@.")
+          points
+      end
 
 let ratio_summary points ~num ~den =
   let ratios =
@@ -167,9 +188,10 @@ let fig3_series scale ds =
     ("threadscan", { spec with scheme = ts });
   ]
 
-let fig3 scale ds = run_sweep ~threads_list:(fig3_threads scale) ~series:(fig3_series scale ds)
+let fig3 ~backend scale ds =
+  run_sweep ~backend ~threads_list:(fig3_threads scale) ~series:(fig3_series scale ds)
 
-let fig4 scale ds =
+let fig4 ~backend scale ds =
   let cores, threads_list = fig4_setup scale in
   let spec, ts_buffer = base_spec scale ds in
   (* Oversubscribed threads share the cores, so the wall-clock horizon must
@@ -201,13 +223,13 @@ let fig4 scale ds =
         ]
     | _ -> []
   in
-  run_sweep ~threads_list ~series
+  run_sweep ~backend ~threads_list ~series
 
 (* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let ablate_buffer scale =
+let ablate_buffer ~backend scale =
   let cores, threads_list = fig4_setup scale in
   let spec, ts_buffer = base_spec scale Workload.Hash_ds in
   let spec =
@@ -220,9 +242,9 @@ let ablate_buffer scale =
           { spec with Workload.scheme = Threadscan { buffer_size = ts_buffer * mult; help_free = false } } ))
       [ 1; 4; 16 ]
   in
-  run_sweep ~threads_list ~series
+  run_sweep ~backend ~threads_list ~series
 
-let ablate_slow_epoch scale =
+let ablate_slow_epoch ~backend scale =
   let spec, _ = base_spec scale Workload.List_ds in
   let threads_list = match scale with Quick -> [ 8; 16 ] | _ -> [ 16; 40 ] in
   let series =
@@ -233,9 +255,9 @@ let ablate_slow_epoch scale =
              { spec with Workload.scheme = Workload.Slow_epoch { delay } } ))
          [ slow_delay scale / 32; slow_delay scale / 8; slow_delay scale ]
   in
-  run_sweep ~threads_list ~series
+  run_sweep ~backend ~threads_list ~series
 
-let ablate_help_free scale =
+let ablate_help_free ~backend scale =
   let spec, ts_buffer = base_spec scale Workload.Hash_ds in
   (* frequent phases, so the reclaimer-latency difference is observable *)
   let ts_buffer = max 4 (ts_buffer / 4) in
@@ -250,9 +272,9 @@ let ablate_help_free scale =
       );
     ]
   in
-  run_sweep ~threads_list ~series
+  run_sweep ~backend ~threads_list ~series
 
-let ablate_padding scale =
+let ablate_padding ~backend scale =
   let spec, ts_buffer = base_spec scale Workload.List_ds in
   let ts = Workload.Threadscan { buffer_size = ts_buffer; help_free = false } in
   let threads_list = match scale with Quick -> [ 4; 16; 32 ] | _ -> [ 8; 32; 80 ] in
@@ -262,7 +284,7 @@ let ablate_padding scale =
       ("pad=19", { spec with Workload.scheme = ts; padding = 19 });
     ]
   in
-  run_sweep ~threads_list ~series
+  run_sweep ~backend ~threads_list ~series
 
 (* Fault tolerance: kill one worker mid-operation at 25 % of the base
    horizon, then let the rest run 1x / 2x / 4x of it.  The x-axis is the
@@ -272,7 +294,7 @@ let ablate_padding scale =
    condition the dead thread's odd counter blocks forever — accumulates
    every node retired after the crash.  Plain epoch is not even runnable
    here: its unbounded quiescence wait would simply hang. *)
-let ablate_crash scale =
+let ablate_crash ~backend scale =
   let spec, ts_buffer = base_spec scale Workload.List_ds in
   let threads = match scale with Quick -> 8 | _ -> 16 in
   let base_horizon = spec.Workload.horizon in
@@ -289,10 +311,10 @@ let ablate_crash scale =
   in
   List.map
     (fun mult ->
-      { threads = mult; cells = List.map (fun (l, s) -> (l, Workload.run s)) (series mult) })
+      { threads = mult; cells = List.map (fun (l, s) -> (l, Workload.run { s with Workload.backend })) (series mult) })
     [ 1; 2; 4 ]
 
-let ablate_structures scale =
+let ablate_structures ~backend scale =
   (* all six structures under ThreadScan: the library-breadth overview *)
   let threads_list = match scale with Quick -> [ 4; 16; 32 ] | _ -> [ 8; 32; 80 ] in
   let series =
@@ -310,7 +332,7 @@ let ablate_structures scale =
         Workload.Skip_ds;
       ]
   in
-  run_sweep ~threads_list ~series
+  run_sweep ~backend ~threads_list ~series
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
@@ -375,9 +397,72 @@ let degradation_summary points =
     "(outstanding = retired - freed after flush; epoch cannot reclaim anything retired after \
      the crash, threadscan reaps the corpse and keeps the count bounded)@."
 
-let run_and_print ~title f scale =
-  let points = f scale in
+(* ------------------------------------------------------------------ *)
+(* JSON report                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Hand-rolled emission (the toolchain here has no JSON library): the
+   labels are all [a-z0-9-=()] so escaping only has to cover the
+   characters that could ever break the framing. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Fmt.str "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_of_points ~target ~backend ~scale points =
+  let buf = Buffer.create 4096 in
+  let scale_name = match scale with Quick -> "quick" | Full -> "full" | Paper -> "paper" in
+  Buffer.add_string buf
+    (Fmt.str "{\n  \"target\": \"%s\",\n  \"backend\": \"%s\",\n  \"scale\": \"%s\",\n  \"points\": [\n"
+       (json_escape target)
+       (json_escape (Workload.backend_to_string backend))
+       scale_name);
+  List.iteri
+    (fun pi { threads; cells } ->
+      Buffer.add_string buf (Fmt.str "    { \"threads\": %d, \"cells\": [\n" threads);
+      List.iteri
+        (fun ci (label, (r : Workload.result)) ->
+          Buffer.add_string buf
+            (Fmt.str
+               "      { \"series\": \"%s\", \"scheme\": \"%s\", \"ds\": \"%s\", \"ops\": %d, \
+                \"throughput\": %.3f, \"wall_ns\": %d, \"wall_throughput\": %.1f, \
+                \"retired\": %d, \"freed\": %d, \"outstanding\": %d, \"faults\": %d, \
+                \"signals\": %d }%s\n"
+               (json_escape label)
+               (json_escape (Workload.scheme_kind_to_string r.Workload.spec.Workload.scheme))
+               (json_escape (Workload.ds_kind_to_string r.Workload.spec.Workload.ds))
+               r.Workload.ops r.Workload.throughput r.Workload.wall_ns
+               r.Workload.wall_throughput r.Workload.retired r.Workload.freed
+               r.Workload.outstanding r.Workload.faults r.Workload.signals_delivered
+               (if ci = List.length cells - 1 then "" else ",")))
+        cells;
+      Buffer.add_string buf
+        (Fmt.str "    ] }%s\n" (if pi = List.length points - 1 then "" else ",")))
+    points;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+let write_json ~target ~backend ~scale points =
+  let file = Fmt.str "BENCH_%s.json" target in
+  let oc = open_out file in
+  output_string oc (json_of_points ~target ~backend ~scale points);
+  close_out oc;
+  file
+
+let run_and_print ~title ?(backend = Workload.Backend_sim) ?(json = false) f scale =
+  let points = f ~backend scale in
   if title = "ablate-crash" then degradation_summary points else print_points ~title points;
+  if json then begin
+    let file = write_json ~target:title ~backend ~scale points in
+    Fmt.pr "wrote %s@." file
+  end;
   ratio_summary points ~num:"threadscan" ~den:"hazard";
   ratio_summary points ~num:"threadscan" ~den:"leaky";
   if title = "ablate-help-free" then begin
@@ -420,12 +505,12 @@ let run_and_print ~title f scale =
 
 let names =
   [
-    ("fig3-list", fun s -> fig3 s Workload.List_ds);
-    ("fig3-hash", fun s -> fig3 s Workload.Hash_ds);
-    ("fig3-skip", fun s -> fig3 s Workload.Skip_ds);
-    ("fig4-list", fun s -> fig4 s Workload.List_ds);
-    ("fig4-hash", fun s -> fig4 s Workload.Hash_ds);
-    ("fig4-skip", fun s -> fig4 s Workload.Skip_ds);
+    ("fig3-list", fun ~backend s -> fig3 ~backend s Workload.List_ds);
+    ("fig3-hash", fun ~backend s -> fig3 ~backend s Workload.Hash_ds);
+    ("fig3-skip", fun ~backend s -> fig3 ~backend s Workload.Skip_ds);
+    ("fig4-list", fun ~backend s -> fig4 ~backend s Workload.List_ds);
+    ("fig4-hash", fun ~backend s -> fig4 ~backend s Workload.Hash_ds);
+    ("fig4-skip", fun ~backend s -> fig4 ~backend s Workload.Skip_ds);
     ("ablate-buffer", ablate_buffer);
     ("ablate-slow-epoch", ablate_slow_epoch);
     ("ablate-help-free", ablate_help_free);

@@ -16,35 +16,58 @@ val scale_of_string : string -> scale option
 
 type point = { threads : int; cells : (string * Workload.result) list }
 
-val fig3 : scale -> Workload.ds_kind -> point list
+val fig3 : backend:Workload.backend -> scale -> Workload.ds_kind -> point list
 (** Figure 3: throughput vs threads, one core per thread; series Leaky,
     Hazard Pointers, Epoch, Slow Epoch, ThreadScan (plus StackTrack on the
     list-based structures). *)
 
-val fig4 : scale -> Workload.ds_kind -> point list
+val fig4 : backend:Workload.backend -> scale -> Workload.ds_kind -> point list
 (** Figure 4: oversubscription — threads beyond the simulated cores;
     series Leaky, Epoch, ThreadScan (and the tuned large-buffer ThreadScan
     on the hash table, as in the paper). *)
 
-val ablate_buffer : scale -> point list
+val ablate_buffer : backend:Workload.backend -> scale -> point list
 (** §6 buffer tuning: oversubscribed hash table, ThreadScan delete-buffer
     size sweep. *)
 
-val ablate_slow_epoch : scale -> point list
+val ablate_slow_epoch : backend:Workload.backend -> scale -> point list
 (** §6 Slow Epoch sensitivity: errant-delay sweep on the list. *)
 
-val ablate_help_free : scale -> point list
+val ablate_help_free : backend:Workload.backend -> scale -> point list
 (** §7 future work: reclaimer-only frees vs scanner-helped frees. *)
 
-val ablate_padding : scale -> point list
+val ablate_padding : backend:Workload.backend -> scale -> point list
 (** Design note: effect of the paper's 172-byte node padding on the list. *)
 
-val ablate_structures : scale -> point list
+val ablate_structures : backend:Workload.backend -> scale -> point list
 (** Library breadth: every structure in [ts_ds] under ThreadScan. *)
 
 val print_points : title:string -> point list -> unit
+(** Virtual-cycle throughput table; when any cell carries wall-clock data
+    (native backend) a second, kops-per-real-second table follows. *)
 
-val run_and_print : title:string -> (scale -> point list) -> scale -> unit
+val json_of_points :
+  target:string -> backend:Workload.backend -> scale:scale -> point list -> string
+(** The whole sweep as a JSON document (hand-emitted; no JSON dependency):
+    target/backend/scale header plus one object per (threads, series) cell
+    with ops, virtual and wall-clock throughput, and the reclamation
+    counters. *)
 
-val names : (string * (scale -> point list)) list
+val write_json :
+  target:string -> backend:Workload.backend -> scale:scale -> point list -> string
+(** Writes {!json_of_points} to [BENCH_<target>.json] in the current
+    directory and returns the file name. *)
+
+val run_and_print :
+  title:string ->
+  ?backend:Workload.backend ->
+  ?json:bool ->
+  (backend:Workload.backend -> scale -> point list) ->
+  scale ->
+  unit
+(** Runs the experiment on [backend] (default sim), prints the tables and
+    the per-figure summaries, and with [~json:true] also writes
+    [BENCH_<title>.json]. *)
+
+val names : (string * (backend:Workload.backend -> scale -> point list)) list
 (** All experiments by bench-target name (fig3-list, …, ablate-…). *)

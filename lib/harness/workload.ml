@@ -1,8 +1,15 @@
-module Runtime = Ts_sim.Runtime
+module Runtime = Ts_rt
+module Sim = Ts_sim.Runtime
 module Alloc = Ts_umem.Alloc
 module Mem = Ts_umem.Mem
 module Smr = Ts_smr.Smr
 module Set_intf = Ts_ds.Set_intf
+
+type backend = Backend_sim | Backend_native of { pool : int }
+
+let backend_to_string = function
+  | Backend_sim -> "sim"
+  | Backend_native { pool } -> if pool = 0 then "native" else Fmt.str "native(pool=%d)" pool
 
 type ds_kind = List_ds | Hash_ds | Skip_ds | Lazy_ds | Split_ds
 
@@ -60,6 +67,7 @@ type spec = {
   stack_depth : int;
   fault : fault;
   seed : int;
+  backend : backend;
 }
 
 let default_spec =
@@ -80,6 +88,7 @@ let default_spec =
     stack_depth = 64;
     fault = Fault_none;
     seed = 0xBE5;
+    backend = Backend_sim;
   }
 
 type result = {
@@ -87,6 +96,8 @@ type result = {
   ops : int;
   throughput : float;
   elapsed : int;
+  wall_ns : int;
+  wall_throughput : float;
   retired : int;
   freed : int;
   outstanding : int;
@@ -177,7 +188,7 @@ let worker spec (smr : Smr.t) (ds : Set_intf.t) ~i ~start ~deadline ~count () =
   smr.Smr.thread_init ();
   (* Baseline call-chain frame: a real thread's used stack is far deeper
      than the data structure's own frame, and TS-Scan walks all of it. *)
-  if spec.stack_depth > 0 then ignore (Ts_sim.Frame.push spec.stack_depth);
+  if spec.stack_depth > 0 then ignore (Ts_rt.Frame.push spec.stack_depth);
   let insert_below = spec.update_ratio /. 2.0 in
   let ops = ref 0 in
   let armed = ref (spec.fault <> Fault_none) in
@@ -193,6 +204,107 @@ let worker spec (smr : Smr.t) (ds : Set_intf.t) ~i ~start ~deadline ~count () =
   count := !ops;
   smr.Smr.thread_exit ()
 
+(* The measured interval, identical on both backends: build the scheme and
+   structure, prefill, spawn the workers, join, flush.  Only {!Ts_rt}
+   primitives are used, so the same closure runs under the effect-based
+   scheduler and on real domains. *)
+let body spec counts retired freed extras () =
+  let smr = make_scheme spec in
+  smr.Smr.thread_init ();
+  let ds = make_ds spec smr in
+  prefill spec ds;
+  let start = Runtime.now () in
+  let deadline = start + spec.horizon in
+  let ws =
+    List.init spec.threads (fun i ->
+        Runtime.spawn (worker spec smr ds ~i ~start ~deadline ~count:counts.(i)))
+  in
+  List.iter Runtime.join ws;
+  smr.Smr.thread_exit ();
+  smr.Smr.flush ();
+  retired := smr.Smr.counters.retired;
+  freed := smr.Smr.counters.freed;
+  extras := smr.Smr.extras ()
+
+let finish spec counts ~retired ~freed ~extras ~elapsed ~wall_ns ~peak_live_blocks
+    ~peak_live_words ~signals_delivered ~ctx_switches ~faults =
+  let ops = Array.fold_left (fun acc c -> acc + !c) 0 counts in
+  if faults > 0 then failwith "workload produced memory faults";
+  {
+    spec;
+    ops;
+    throughput = float_of_int ops *. 1_000_000.0 /. float_of_int spec.horizon;
+    elapsed;
+    wall_ns;
+    wall_throughput =
+      (if wall_ns > 0 then float_of_int ops *. 1e9 /. float_of_int wall_ns else 0.0);
+    retired = !retired;
+    freed = !freed;
+    outstanding = !retired - !freed;
+    peak_live_blocks;
+    peak_live_words;
+    signals_delivered;
+    ctx_switches;
+    faults;
+    extras = !extras;
+  }
+
+let run_sim spec =
+  let config =
+    {
+      Sim.default_config with
+      cores = spec.cores;
+      quantum = spec.quantum;
+      seed = spec.seed;
+      propagate_failures = true;
+    }
+  in
+  let rt = Sim.create config in
+  let counts = Array.init spec.threads (fun _ -> ref 0) in
+  let retired = ref 0 and freed = ref 0 and extras = ref [] in
+  ignore (Sim.add_thread rt (body spec counts retired freed extras));
+  let res = Sim.start rt in
+  finish spec counts ~retired ~freed ~extras ~elapsed:res.Sim.elapsed ~wall_ns:0
+    ~peak_live_blocks:(Alloc.peak_live_blocks (Sim.alloc rt))
+    ~peak_live_words:(Alloc.peak_live_words (Sim.alloc rt))
+    ~signals_delivered:res.Sim.run_stats.signals_delivered
+    ~ctx_switches:res.Sim.run_stats.ctx_switches
+    ~faults:(Mem.total_faults (Sim.mem rt))
+
+let run_native spec ~pool =
+  (match spec.fault with
+  | Fault_stall _ ->
+      invalid_arg
+        "Workload.run: stall injection needs the deterministic scheduler; use the sim backend"
+  | Fault_none | Fault_crash _ -> ());
+  (* Size the heap for the live set plus the retired-but-unreclaimed backlog
+     (per-thread buffers, epoch batches); the native heap cannot grow. *)
+  let node_w = 8 + spec.padding + spec.max_height in
+  let mem_capacity =
+    max (1 lsl 21) (8 * (spec.key_range + ((spec.threads + 1) * 2048)) * node_w)
+  in
+  let config =
+    {
+      Ts_par.Runtime.default_config with
+      pool;
+      seed = spec.seed;
+      max_threads = spec.threads + 2;
+      mem_capacity;
+      strict_mem = true;
+      propagate_failures = true;
+    }
+  in
+  let counts = Array.init spec.threads (fun _ -> ref 0) in
+  let retired = ref 0 and freed = ref 0 and extras = ref [] in
+  let res = Ts_par.Runtime.run ~config (body spec counts retired freed extras) in
+  let heap = res.Ts_par.Runtime.heap in
+  finish spec counts ~retired ~freed ~extras ~elapsed:res.Ts_par.Runtime.elapsed
+    ~wall_ns:res.Ts_par.Runtime.wall_ns
+    ~peak_live_blocks:(Ts_par.Heap.peak_live_blocks heap)
+    ~peak_live_words:(Ts_par.Heap.peak_live_words heap)
+    ~signals_delivered:res.Ts_par.Runtime.run_stats.signals_delivered ~ctx_switches:0
+    ~faults:(Ts_par.Heap.total_faults heap)
+
 let run spec =
   (match (spec.fault, spec.scheme) with
   | Fault_crash _, (Epoch | Slow_epoch _) ->
@@ -200,52 +312,6 @@ let run spec =
         "Workload.run: plain epoch cannot survive a crash (its quiescence wait never returns); \
          use Patient_epoch"
   | _ -> ());
-  let config =
-    {
-      Runtime.default_config with
-      cores = spec.cores;
-      quantum = spec.quantum;
-      seed = spec.seed;
-      propagate_failures = true;
-    }
-  in
-  let rt = Runtime.create config in
-  let counts = Array.init spec.threads (fun _ -> ref 0) in
-  let retired = ref 0 and freed = ref 0 and extras = ref [] in
-  ignore
-    (Runtime.add_thread rt (fun () ->
-         let smr = make_scheme spec in
-         smr.Smr.thread_init ();
-         let ds = make_ds spec smr in
-         prefill spec ds;
-         let start = Runtime.now () in
-         let deadline = start + spec.horizon in
-         let ws =
-           List.init spec.threads (fun i ->
-               Runtime.spawn (worker spec smr ds ~i ~start ~deadline ~count:counts.(i)))
-         in
-         List.iter Runtime.join ws;
-         smr.Smr.thread_exit ();
-         smr.Smr.flush ();
-         retired := smr.Smr.counters.retired;
-         freed := smr.Smr.counters.freed;
-         extras := smr.Smr.extras ()));
-  let res = Runtime.start rt in
-  let ops = Array.fold_left (fun acc c -> acc + !c) 0 counts in
-  let faults = Mem.total_faults (Runtime.mem rt) in
-  if faults > 0 then failwith "workload produced memory faults";
-  {
-    spec;
-    ops;
-    throughput = float_of_int ops *. 1_000_000.0 /. float_of_int spec.horizon;
-    elapsed = res.Runtime.elapsed;
-    retired = !retired;
-    freed = !freed;
-    outstanding = !retired - !freed;
-    peak_live_blocks = Alloc.peak_live_blocks (Runtime.alloc rt);
-    peak_live_words = Alloc.peak_live_words (Runtime.alloc rt);
-    signals_delivered = res.Runtime.run_stats.signals_delivered;
-    ctx_switches = res.Runtime.run_stats.ctx_switches;
-    faults;
-    extras = !extras;
-  }
+  match spec.backend with
+  | Backend_sim -> run_sim spec
+  | Backend_native { pool } -> run_native spec ~pool

@@ -8,6 +8,15 @@
     million virtual cycles, the simulator's analogue of the paper's
     ops/second. *)
 
+(** Execution backend for a run.  [Backend_sim] is the deterministic
+    effect-based simulator (one OS thread, virtual clock).  [Backend_native]
+    runs the identical workload closure on real OCaml 5 domains through
+    {!Ts_par.Runtime}; [pool] bounds the domain count (0 = one domain per
+    logical thread, capped at the recommended domain count). *)
+type backend = Backend_sim | Backend_native of { pool : int }
+
+val backend_to_string : backend -> string
+
 type ds_kind = List_ds | Hash_ds | Skip_ds | Lazy_ds | Split_ds
 
 type scheme_kind =
@@ -60,6 +69,7 @@ type spec = {
       (** injected crash/stall plan; under a fault, ThreadScan runs with
           horizon-scaled degradation budgets so the ladder can fire *)
   seed : int;
+  backend : backend;
 }
 
 val default_spec : spec
@@ -69,6 +79,8 @@ type result = {
   ops : int;  (** completed operations, all workers *)
   throughput : float;  (** ops per million cycles *)
   elapsed : int;  (** virtual end time of the whole run *)
+  wall_ns : int;  (** real elapsed nanoseconds (0 on the sim backend) *)
+  wall_throughput : float;  (** ops per real second (0 on the sim backend) *)
   retired : int;
   freed : int;
   outstanding : int;  (** retired - freed after flush *)
@@ -81,8 +93,11 @@ type result = {
 }
 
 val run : spec -> result
-(** Executes the workload in a fresh simulator.  @raise Failure if the run
-    produced memory faults or a thread died (an injected {!fault} is not a
-    death in this sense — crashed victims are expected).
+(** Executes the workload on [spec.backend] — a fresh simulator, or a fresh
+    domain pool for [Backend_native].  @raise Failure if the run produced
+    memory faults or a thread died (an injected {!fault} is not a death in
+    this sense — crashed victims are expected).
     @raise Invalid_argument when combining {!Fault_crash} with plain
-    [Epoch]/[Slow_epoch], whose quiescence wait would never return. *)
+    [Epoch]/[Slow_epoch], whose quiescence wait would never return, or
+    {!Fault_stall} with the native backend (real threads cannot be stalled
+    for an exact cycle count). *)

@@ -1,0 +1,763 @@
+(* Native execution backend: real OCaml 5 domains.
+
+   Logical threads keep the simulator's numbering (spawn order, main =
+   tid 0) but execute as systhreads pinned round-robin onto a pool of
+   domains — [pool] counts execution cores, like the sim's [cores], so
+   requesting more threads than domains oversubscribes honestly instead
+   of dying on `Domain.spawn` limits.  Within a domain systhreads
+   time-share; across domains they run genuinely in parallel.
+
+   The paper's POSIX signal is a per-thread pending counter polled at
+   every op boundary (the safepoint-latched delivery DESIGN.md §2 argues
+   is the faithful OCaml substitution): delivery saves the register
+   file, runs the handler (nesting allowed), and sigreturn-restores the
+   interrupted context — observationally the same protocol as the sim,
+   at op-boundary granularity.
+
+   Every thread still owns a shadow stack and register file inside the
+   unmanaged heap, and every load mirrors its value into the register
+   ring, so conservative scans stay sound: a pointer "in flight" between
+   a load and its frame store is visible to TS-Scan here exactly as in
+   the sim.
+
+   Virtual clocks survive: each op charges the shared {!Ts_rt.Cost_model}
+   price to the calling thread's private clock, so horizon-bounded
+   workload loops ([now () < deadline]) run unchanged and figure runs
+   report both virtual-cycle and wall-clock throughput.
+
+   What does NOT carry over from the sim: determinism (the OS schedules),
+   schedule exploration (Uniform/PCT), stalling *other* threads, and
+   crash of another thread is delivered at its next safepoint rather
+   than between two arbitrary ops.  docs/BACKENDS.md tabulates this. *)
+
+module Cost_model = Ts_rt.Cost_model
+module Splitmix = Ts_util.Splitmix
+
+type tid = int
+
+exception Par_error of string
+exception Thread_failure of tid * exn
+
+(* Raised inside a logical thread killed by [crash]; caught by the
+   thread wrapper, never by user code. *)
+exception Killed
+
+type config = {
+  cost : Cost_model.t;
+  pool : int;  (** domains in the pool; [<= 0] = [Domain.recommended_domain_count ()] *)
+  seed : int;  (** per-thread rng streams derive from it *)
+  stack_words : int;
+  reg_words : int;
+  mem_capacity : int;  (** words; fixed at creation (the native heap cannot grow) *)
+  strict_mem : bool;
+  max_threads : int;
+  propagate_failures : bool;
+}
+
+let default_config =
+  {
+    cost = Cost_model.default;
+    pool = 0;
+    seed = 0x5EED;
+    stack_words = 256;
+    reg_words = 32;
+    mem_capacity = 1 lsl 21;
+    strict_mem = true;
+    max_threads = 128;
+    propagate_failures = true;
+  }
+
+type stats = {
+  reads : int;
+  writes : int;
+  cas_ops : int;
+  faas : int;
+  fences : int;
+  mallocs : int;
+  frees : int;
+  yields : int;
+  signals_sent : int;
+  signals_delivered : int;
+  spawns : int;
+  crashes : int;
+}
+
+type ctx = {
+  tid : tid;
+  mutable clock : int;
+  rng : Splitmix.t;
+  stack_base : int;
+  stack_words : int;
+  mutable sp : int; (* absolute address of the first free slot *)
+  reg_base : int;
+  reg_words : int;
+  mutable reg_cursor : int;
+  manual_save_base : int;
+  mutable sig_saves : int list; (* innermost first *)
+  mutable save_pool : int list;
+  mutable sig_depth : int;
+  mutable handler : (unit -> unit) option;
+  pending : int Atomic.t; (* undelivered signals *)
+  kill : bool Atomic.t;
+  finished : bool Atomic.t;
+  mutable crashed : bool;
+  mutable failure : exn option;
+  mutable private_ranges : (int * int) list;
+  mutable wait_note : string option;
+  (* op counters: thread-local, summed after the run *)
+  mutable n_ops : int;
+  mutable n_reads : int;
+  mutable n_writes : int;
+  mutable n_cas : int;
+  mutable n_faa : int;
+  mutable n_fences : int;
+  mutable n_mallocs : int;
+  mutable n_frees : int;
+  mutable n_yields : int;
+  mutable n_sent : int;
+  mutable n_delivered : int;
+  mutable n_spawns : int;
+}
+
+type request = Run of (unit -> unit) | Stop
+
+type dqueue = { dm : Mutex.t; dcv : Condition.t; dq : request Queue.t }
+
+type t = {
+  cfg : config;
+  heap : Heap.t;
+  ctxs : ctx option array; (* tid-indexed; written under [reg_lock] *)
+  next_tid : int Atomic.t;
+  reg_lock : Mutex.t; (* guards thread table growth + ctxs writes *)
+  crit : Mutex.t; (* backs Ts_rt.critical *)
+  steps : int Atomic.t; (* coarse global step counter, batched bumps *)
+  by_thread : ctx option array Atomic.t; (* Thread.id -> ctx *)
+  queues : dqueue array;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Thread registry                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Maps the host [Thread.id] to the logical ctx.  A thread only ever
+   reads its own slot, which it wrote at registration, so the unlocked
+   read is race-free; growth copies the array and swaps it in under
+   [reg_lock], and a stale array read by the owner still contains the
+   owner's slot. *)
+
+let register t ctx =
+  let id = Thread.id (Thread.self ()) in
+  Mutex.lock t.reg_lock;
+  let arr = Atomic.get t.by_thread in
+  let arr =
+    if id < Array.length arr then arr
+    else begin
+      let bigger = Array.make (max (2 * Array.length arr) (id + 1)) None in
+      Array.blit arr 0 bigger 0 (Array.length arr);
+      Atomic.set t.by_thread bigger;
+      bigger
+    end
+  in
+  arr.(id) <- Some ctx;
+  Mutex.unlock t.reg_lock
+
+let deregister t =
+  let id = Thread.id (Thread.self ()) in
+  Mutex.lock t.reg_lock;
+  (Atomic.get t.by_thread).(id) <- None;
+  Mutex.unlock t.reg_lock
+
+let[@inline] cur t =
+  let id = Thread.id (Thread.self ()) in
+  let arr = Atomic.get t.by_thread in
+  match if id < Array.length arr then arr.(id) else None with
+  | Some c -> c
+  | None -> raise (Par_error "operation outside a runtime thread")
+
+let ctx_of t tid =
+  if tid < 0 || tid >= t.cfg.max_threads then raise (Par_error "unknown thread id");
+  match t.ctxs.(tid) with
+  | Some c -> c
+  | None -> raise (Par_error "unknown thread id")
+
+(* ------------------------------------------------------------------ *)
+(* Per-op bookkeeping                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let[@inline] charge c n = c.clock <- c.clock + n
+
+let steps_batch = 64
+
+let[@inline] step t c =
+  c.n_ops <- c.n_ops + 1;
+  if c.n_ops land (steps_batch - 1) = 0 then begin
+    ignore (Atomic.fetch_and_add t.steps steps_batch);
+    (* Oversubscribed domains: make sure op-dense loops cannot hog a
+       domain for a whole preemption tick. *)
+    if c.n_ops land 1023 = 0 then Thread.yield ()
+  end
+
+let[@inline] is_private c addr =
+  (addr >= c.stack_base && addr < c.stack_base + c.stack_words)
+  || (addr >= c.reg_base && addr < c.reg_base + c.reg_words)
+
+let[@inline] mirror t c v =
+  c.reg_cursor <- (c.reg_cursor + 1) mod c.reg_words;
+  Heap.raw_write t.heap (c.reg_base + c.reg_cursor) v
+
+let copy_regs t ~src ~dst n =
+  for i = 0 to n - 1 do
+    Heap.raw_write t.heap (dst + i) (Heap.raw_read t.heap (src + i))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Signals: pending counter polled at op boundaries                   *)
+(* ------------------------------------------------------------------ *)
+
+let acquire_save t c =
+  match c.save_pool with
+  | s :: rest ->
+      c.save_pool <- rest;
+      s
+  | [] -> Heap.alloc_region t.heap c.reg_words
+
+let rec deliver t c =
+  charge c t.cfg.cost.signal_dispatch;
+  c.n_delivered <- c.n_delivered + 1;
+  let save = acquire_save t c in
+  copy_regs t ~src:c.reg_base ~dst:save c.reg_words;
+  c.sig_saves <- save :: c.sig_saves;
+  c.sig_depth <- c.sig_depth + 1;
+  Fun.protect
+    ~finally:(fun () ->
+      (* sigreturn: restore the interrupted register context, undoing the
+         handler's own register traffic. *)
+      (match c.sig_saves with
+      | save :: rest ->
+          copy_regs t ~src:save ~dst:c.reg_base c.reg_words;
+          c.sig_saves <- rest;
+          c.save_pool <- save :: c.save_pool
+      | [] -> ());
+      c.sig_depth <- c.sig_depth - 1;
+      charge c t.cfg.cost.signal_return)
+    (fun () -> match c.handler with Some h -> h () | None -> ())
+
+and poll t c =
+  if Atomic.get c.kill then begin
+    c.crashed <- true;
+    raise Killed
+  end;
+  while Atomic.get c.pending > 0 do
+    ignore (Atomic.fetch_and_add c.pending (-1));
+    deliver t c
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Contexts                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let new_ctx t tid =
+  let stack_base = Heap.alloc_region t.heap t.cfg.stack_words in
+  let reg_base = Heap.alloc_region t.heap t.cfg.reg_words in
+  let manual_save_base = Heap.alloc_region t.heap t.cfg.reg_words in
+  {
+    tid;
+    clock = 0;
+    rng = Splitmix.create (t.cfg.seed lxor ((tid + 1) * 0x9E3779B9));
+    stack_base;
+    stack_words = t.cfg.stack_words;
+    sp = stack_base;
+    reg_base;
+    reg_words = t.cfg.reg_words;
+    reg_cursor = 0;
+    manual_save_base;
+    sig_saves = [];
+    save_pool = [];
+    sig_depth = 0;
+    handler = None;
+    pending = Atomic.make 0;
+    kill = Atomic.make false;
+    finished = Atomic.make false;
+    crashed = false;
+    failure = None;
+    private_ranges = [];
+    wait_note = None;
+    n_ops = 0;
+    n_reads = 0;
+    n_writes = 0;
+    n_cas = 0;
+    n_faa = 0;
+    n_fences = 0;
+    n_mallocs = 0;
+    n_frees = 0;
+    n_yields = 0;
+    n_sent = 0;
+    n_delivered = 0;
+    n_spawns = 0;
+  }
+
+let thread_body t ctx body () =
+  register t ctx;
+  (try body () with
+  | Killed -> ctx.crashed <- true
+  | e -> ctx.failure <- Some e);
+  deregister t;
+  Atomic.set ctx.finished true
+
+(* ------------------------------------------------------------------ *)
+(* Domain pool                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let enqueue dq req =
+  Mutex.lock dq.dm;
+  Queue.push req dq.dq;
+  Condition.signal dq.dcv;
+  Mutex.unlock dq.dm
+
+let domain_main dq () =
+  let rec loop threads =
+    Mutex.lock dq.dm;
+    while Queue.is_empty dq.dq do
+      Condition.wait dq.dcv dq.dm
+    done;
+    let req = Queue.pop dq.dq in
+    Mutex.unlock dq.dm;
+    match req with
+    | Stop -> List.iter Thread.join threads
+    | Run f -> loop (Thread.create f () :: threads)
+  in
+  loop []
+
+(* ------------------------------------------------------------------ *)
+(* Ops                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let op_read t addr =
+  let c = cur t in
+  poll t c;
+  step t c;
+  c.n_reads <- c.n_reads + 1;
+  charge c (if is_private c addr then t.cfg.cost.local_op else t.cfg.cost.shared_read);
+  let v = Heap.read t.heap addr in
+  mirror t c v;
+  v
+
+let op_write t addr v =
+  let c = cur t in
+  poll t c;
+  step t c;
+  c.n_writes <- c.n_writes + 1;
+  charge c (if is_private c addr then t.cfg.cost.local_op else t.cfg.cost.shared_write);
+  Heap.write t.heap addr v
+
+let op_cas t addr expected desired =
+  let c = cur t in
+  poll t c;
+  step t c;
+  c.n_cas <- c.n_cas + 1;
+  charge c t.cfg.cost.cas;
+  let ok = Heap.cas t.heap addr expected desired in
+  if not ok then mirror t c (Heap.read t.heap addr);
+  ok
+
+let op_faa t addr delta =
+  let c = cur t in
+  poll t c;
+  step t c;
+  c.n_faa <- c.n_faa + 1;
+  charge c t.cfg.cost.faa;
+  let v = Heap.faa t.heap addr delta in
+  mirror t c v;
+  v
+
+let op_fence t () =
+  let c = cur t in
+  poll t c;
+  step t c;
+  c.n_fences <- c.n_fences + 1;
+  (* every heap word access is already sequentially consistent *)
+  charge c t.cfg.cost.fence
+
+let op_malloc t n =
+  let c = cur t in
+  poll t c;
+  step t c;
+  c.n_mallocs <- c.n_mallocs + 1;
+  charge c t.cfg.cost.malloc;
+  let addr = Heap.malloc t.heap ~tid:c.tid n in
+  mirror t c addr;
+  addr
+
+let op_free t addr =
+  let c = cur t in
+  poll t c;
+  step t c;
+  c.n_frees <- c.n_frees + 1;
+  charge c t.cfg.cost.free;
+  Heap.free t.heap ~tid:c.tid addr
+
+let op_alloc_region t n =
+  let c = cur t in
+  poll t c;
+  step t c;
+  charge c t.cfg.cost.malloc;
+  Heap.alloc_region t.heap n
+
+let op_yield t () =
+  let c = cur t in
+  poll t c;
+  step t c;
+  c.n_yields <- c.n_yields + 1;
+  charge c t.cfg.cost.yield;
+  Thread.yield ()
+
+let op_advance t n =
+  let c = cur t in
+  poll t c;
+  charge c (max 0 n)
+
+let op_now t () = (cur t).clock
+let op_self t () = (cur t).tid
+
+let op_rand t n =
+  let c = cur t in
+  charge c t.cfg.cost.local_op;
+  Splitmix.below c.rng n
+
+let op_steps_now t () = Atomic.get t.steps
+
+let op_spawn t f =
+  let c = cur t in
+  poll t c;
+  step t c;
+  c.n_spawns <- c.n_spawns + 1;
+  charge c t.cfg.cost.spawn;
+  let tid = Atomic.fetch_and_add t.next_tid 1 in
+  if tid >= t.cfg.max_threads then raise (Par_error "spawn: max_threads exceeded");
+  let ctx = new_ctx t tid in
+  Mutex.lock t.reg_lock;
+  t.ctxs.(tid) <- Some ctx;
+  Mutex.unlock t.reg_lock;
+  enqueue t.queues.((tid - 1) mod Array.length t.queues) (Run (thread_body t ctx f));
+  tid
+
+let op_join t target =
+  let c = cur t in
+  let tc = ctx_of t target in
+  while not (Atomic.get tc.finished) do
+    poll t c;
+    charge c t.cfg.cost.yield;
+    Thread.yield ()
+  done
+
+let op_is_done t target = Atomic.get (ctx_of t target).finished
+
+let op_poll t () =
+  let c = cur t in
+  poll t c
+
+let op_signal t target =
+  let c = cur t in
+  poll t c;
+  step t c;
+  c.n_sent <- c.n_sent + 1;
+  charge c t.cfg.cost.signal_send;
+  let tc = ctx_of t target in
+  if not (Atomic.get tc.finished) then Atomic.incr tc.pending
+
+let op_set_handler t h =
+  let c = cur t in
+  charge c t.cfg.cost.local_op;
+  c.handler <- Some h
+
+let op_sig_depth t () = (cur t).sig_depth
+
+let op_push_frame t n =
+  let c = cur t in
+  poll t c;
+  if n < 0 then raise (Par_error "push_frame: negative size");
+  if c.sp + n > c.stack_base + c.stack_words then raise (Par_error "shadow stack overflow");
+  charge c t.cfg.cost.local_op;
+  let base = c.sp in
+  c.sp <- c.sp + n;
+  for i = base to c.sp - 1 do
+    Heap.raw_write t.heap i 0
+  done;
+  base
+
+let op_pop_frame t base =
+  let c = cur t in
+  if base < c.stack_base || base > c.sp then raise (Par_error "pop_frame: bad frame base");
+  charge c t.cfg.cost.local_op;
+  c.sp <- base
+
+let op_stack_range t () =
+  let c = cur t in
+  (c.stack_base, c.sp)
+
+let op_reg_range t () =
+  let c = cur t in
+  (c.reg_base, c.reg_words)
+
+let op_save_regs t () =
+  let c = cur t in
+  charge c (c.reg_words * t.cfg.cost.local_op);
+  copy_regs t ~src:c.reg_base ~dst:c.manual_save_base c.reg_words
+
+let op_saved_reg_range t () =
+  let c = cur t in
+  let base = match c.sig_saves with save :: _ -> save | [] -> c.manual_save_base in
+  (base, c.reg_words)
+
+let op_clear_regs t () =
+  let c = cur t in
+  charge c (c.reg_words * t.cfg.cost.local_op);
+  for i = 0 to c.reg_words - 1 do
+    Heap.raw_write t.heap (c.reg_base + i) 0
+  done
+
+let op_add_range t base len =
+  let c = cur t in
+  c.private_ranges <- (base, len) :: c.private_ranges
+
+let op_remove_range t base len =
+  let c = cur t in
+  let rec drop = function
+    | [] -> []
+    | (b, l) :: rest when b = base && l = len -> rest
+    | r :: rest -> r :: drop rest
+  in
+  c.private_ranges <- drop c.private_ranges
+
+let op_private_ranges t () = (cur t).private_ranges
+
+(* Cross-thread range read: sound for crashed threads (their fields are
+   frozen) and for cooperating threads at op boundaries — the proxy-scan
+   uses it only on subjects it has evidence are not running. *)
+let op_scan_ranges t target =
+  let c = ctx_of t target in
+  (c.stack_base, c.sp - c.stack_base)
+  :: (c.reg_base, c.reg_words)
+  :: (c.manual_save_base, c.reg_words)
+  :: (List.map (fun s -> (s, c.reg_words)) c.sig_saves @ c.private_ranges)
+  |> List.filter (fun (_, len) -> len > 0)
+
+let op_crash t target =
+  let c = cur t in
+  if target = c.tid then begin
+    c.crashed <- true;
+    raise Killed
+  end
+  else begin
+    let tc = ctx_of t target in
+    if not (Atomic.get tc.finished) then Atomic.set tc.kill true
+  end
+
+let op_stall t cycles target =
+  let c = cur t in
+  if target <> c.tid then
+    invalid_arg "Ts_par: stalling another thread is not supported (no preemption authority)"
+  else
+    match cycles with
+    | Some n -> charge c (max 0 n)
+    | None -> invalid_arg "Ts_par: stalling forever is not supported on the native backend"
+
+let op_is_crashed t target = (ctx_of t target).crashed
+
+(* Native threads are never descheduled by us. *)
+let op_is_stalled _t _target = false
+
+let op_clock_of t target = (ctx_of t target).clock
+
+let op_set_wait_note t n =
+  let c = cur t in
+  c.wait_note <- n
+
+let op_note _t _s = ()
+
+let op_critical t f =
+  Mutex.lock t.crit;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.crit) f
+
+let make_ops t : Ts_rt.ops =
+  {
+    Ts_rt.read = op_read t;
+    write = op_write t;
+    cas = op_cas t;
+    faa = op_faa t;
+    fence = op_fence t;
+    malloc = op_malloc t;
+    free = op_free t;
+    alloc_region = op_alloc_region t;
+    yield = op_yield t;
+    advance = op_advance t;
+    now = op_now t;
+    self = op_self t;
+    rand_below = op_rand t;
+    steps_now = op_steps_now t;
+    spawn = op_spawn t;
+    join = op_join t;
+    is_done = op_is_done t;
+    poll = op_poll t;
+    signal = op_signal t;
+    set_signal_handler = op_set_handler t;
+    signal_depth = op_sig_depth t;
+    push_frame = op_push_frame t;
+    pop_frame = op_pop_frame t;
+    stack_range = op_stack_range t;
+    reg_range = op_reg_range t;
+    save_regs = op_save_regs t;
+    saved_reg_range = op_saved_reg_range t;
+    clear_regs = op_clear_regs t;
+    add_private_range = op_add_range t;
+    remove_private_range = op_remove_range t;
+    private_ranges = op_private_ranges t;
+    scan_ranges_of = op_scan_ranges t;
+    crash = op_crash t;
+    stall = op_stall t;
+    is_crashed = op_is_crashed t;
+    is_stalled = op_is_stalled t;
+    clock_of = op_clock_of t;
+    set_wait_note = op_set_wait_note t;
+    note = op_note t;
+    critical = (fun f -> op_critical t f);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Running                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type result = {
+  elapsed : int;  (** max per-thread virtual clock, cost-model cycles *)
+  wall_ns : int;  (** real elapsed time *)
+  run_stats : stats;
+  failures : (tid * exn) list;
+  crashed : tid list;
+  thread_count : int;
+  heap : Heap.t;  (** for post-run fault/leak assertions *)
+}
+
+let pool_size cfg =
+  let d = if cfg.pool > 0 then cfg.pool else Domain.recommended_domain_count () in
+  max 1 (min d 64)
+
+let create cfg =
+  let heap =
+    Heap.create ~strict:cfg.strict_mem ~capacity:cfg.mem_capacity ~max_threads:cfg.max_threads
+      ()
+  in
+  {
+    cfg;
+    heap;
+    ctxs = Array.make cfg.max_threads None;
+    next_tid = Atomic.make 1;
+    reg_lock = Mutex.create ();
+    crit = Mutex.create ();
+    steps = Atomic.make 0;
+    by_thread = Atomic.make (Array.make 256 None);
+    queues =
+      Array.init (pool_size cfg) (fun _ ->
+          { dm = Mutex.create (); dcv = Condition.create (); dq = Queue.create () });
+  }
+
+let collect_stats t =
+  let z =
+    {
+      reads = 0;
+      writes = 0;
+      cas_ops = 0;
+      faas = 0;
+      fences = 0;
+      mallocs = 0;
+      frees = 0;
+      yields = 0;
+      signals_sent = 0;
+      signals_delivered = 0;
+      spawns = 0;
+      crashes = 0;
+    }
+  in
+  Array.fold_left
+    (fun acc -> function
+      | None -> acc
+      | Some c ->
+          {
+            reads = acc.reads + c.n_reads;
+            writes = acc.writes + c.n_writes;
+            cas_ops = acc.cas_ops + c.n_cas;
+            faas = acc.faas + c.n_faa;
+            fences = acc.fences + c.n_fences;
+            mallocs = acc.mallocs + c.n_mallocs;
+            frees = acc.frees + c.n_frees;
+            yields = acc.yields + c.n_yields;
+            signals_sent = acc.signals_sent + c.n_sent;
+            signals_delivered = acc.signals_delivered + c.n_delivered;
+            spawns = acc.spawns + c.n_spawns;
+            crashes = (acc.crashes + if c.crashed then 1 else 0);
+          })
+    z t.ctxs
+
+let run ?(config = default_config) main =
+  let t = create config in
+  let previous = Atomic.get Ts_rt.current in
+  Ts_rt.install (make_ops t);
+  let finally () =
+    match previous with Some ops -> Ts_rt.install ops | None -> ()
+  in
+  Fun.protect ~finally (fun () ->
+      let domains = Array.map (fun dq -> Domain.spawn (domain_main dq)) t.queues in
+      let main_ctx = new_ctx t 0 in
+      Mutex.lock t.reg_lock;
+      t.ctxs.(0) <- Some main_ctx;
+      Mutex.unlock t.reg_lock;
+      let t0 = Unix.gettimeofday () in
+      thread_body t main_ctx main ();
+      (* The main body normally joins its workers; pick up any it left
+         running (or spawned on the way out) before stopping the pool. *)
+      let rec drain () =
+        let pending = ref false in
+        for tid = 0 to Atomic.get t.next_tid - 1 do
+          match t.ctxs.(tid) with
+          | Some c when not (Atomic.get c.finished) -> pending := true
+          | _ -> ()
+        done;
+        if !pending then begin
+          Thread.yield ();
+          drain ()
+        end
+      in
+      drain ();
+      Array.iter (fun dq -> enqueue dq Stop) t.queues;
+      Array.iter Domain.join domains;
+      let wall_ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+      let elapsed =
+        Array.fold_left
+          (fun acc -> function Some c -> max acc c.clock | None -> acc)
+          0 t.ctxs
+      in
+      let failures =
+        Array.fold_left
+          (fun acc -> function
+            | Some c -> ( match c.failure with Some e -> (c.tid, e) :: acc | None -> acc)
+            | None -> acc)
+          [] t.ctxs
+        |> List.rev
+      in
+      let crashed =
+        Array.fold_left
+          (fun acc -> function Some (c : ctx) when c.crashed -> c.tid :: acc | _ -> acc)
+          [] t.ctxs
+        |> List.rev
+      in
+      (match (config.propagate_failures, failures) with
+      | true, (tid, e) :: _ -> raise (Thread_failure (tid, e))
+      | _ -> ());
+      {
+        elapsed;
+        wall_ns;
+        run_stats = collect_stats t;
+        failures;
+        crashed;
+        thread_count = Atomic.get t.next_tid;
+        heap = t.heap;
+      })

@@ -1,11 +1,11 @@
 module Smr = Ts_smr.Smr
-module Runtime = Ts_sim.Runtime
+module Runtime = Ts_rt
 module Ptr = Ts_umem.Ptr
 
 let create () =
   Smr.make ~name:"direct-free"
     ~retire:(fun c p ->
-      c.retired <- c.retired + 1;
+      Smr.add_retired c 1;
       Runtime.free (Ptr.addr p);
-      c.freed <- c.freed + 1)
+      Smr.add_freed c 1)
     ()

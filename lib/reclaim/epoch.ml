@@ -1,5 +1,5 @@
 module Smr = Ts_smr.Smr
-module Runtime = Ts_sim.Runtime
+module Runtime = Ts_rt
 module Ptr = Ts_umem.Ptr
 module Vec = Ts_util.Vec
 module Backoff = Ts_sync.Backoff
@@ -54,14 +54,14 @@ let wait_for_quiescence st self =
 
 let cleanup st (c : Smr.counters) =
   let self = Runtime.self () in
-  c.cleanups <- c.cleanups + 1;
+  Smr.add_cleanups c 1;
   let to_free = st.pending.(self) in
   if not (Vec.is_empty to_free) then
     if wait_for_quiescence st self then begin
       Vec.iter
         (fun p ->
           Runtime.free (Ptr.addr p);
-          c.freed <- c.freed + 1)
+          Smr.add_freed c 1)
         to_free;
       Vec.clear to_free
     end
@@ -121,16 +121,19 @@ let create ?(batch = 256) ?errant ?patience ~max_threads () =
       cleanup st (Option.get !smr : Smr.t).Smr.counters
   in
   let retire (c : Smr.counters) p =
-    c.retired <- c.retired + 1;
+    Smr.add_retired c 1;
     Vec.push st.limbo.(Runtime.self ()) (Ptr.mask p)
   in
   let thread_exit () =
     let tid = Runtime.self () in
     if st.mirror.(tid) land 1 = 1 then bump ();
-    Vec.iter (Vec.push st.orphans) st.limbo.(tid);
-    Vec.clear st.limbo.(tid);
-    Vec.iter (Vec.push st.orphans) st.pending.(tid);
-    Vec.clear st.pending.(tid)
+    (* [orphans] is the one OCaml-heap structure shared across threads:
+       concurrent exits must not race their pushes. *)
+    Runtime.critical (fun () ->
+        Vec.iter (Vec.push st.orphans) st.limbo.(tid);
+        Vec.clear st.limbo.(tid);
+        Vec.iter (Vec.push st.orphans) st.pending.(tid);
+        Vec.clear st.pending.(tid))
   in
   let flush () =
     let c = (Option.get !smr : Smr.t).Smr.counters in
@@ -140,7 +143,7 @@ let create ?(batch = 256) ?errant ?patience ~max_threads () =
         Vec.iter
           (fun p ->
             Runtime.free (Ptr.addr p);
-            c.freed <- c.freed + 1)
+            Smr.add_freed c 1)
           lst;
         Vec.clear lst
       in

@@ -1,5 +1,5 @@
 module Smr = Ts_smr.Smr
-module Runtime = Ts_sim.Runtime
+module Runtime = Ts_rt
 module Ptr = Ts_umem.Ptr
 module Vec = Ts_util.Vec
 module Isort = Ts_util.Isort
@@ -34,7 +34,7 @@ let snapshot_hazards st =
   (hz, !count)
 
 let scan st (c : Smr.counters) =
-  c.cleanups <- c.cleanups + 1;
+  Smr.add_cleanups c 1;
   st.scans <- st.scans + 1;
   let hz, nhz = snapshot_hazards st in
   let sweep lst =
@@ -45,7 +45,7 @@ let scan st (c : Smr.counters) =
         if Isort.binary_search hz nhz p >= 0 then Vec.push keep p
         else begin
           Runtime.free (Ptr.addr p);
-          c.freed <- c.freed + 1
+          Smr.add_freed c 1
         end)
       lst;
     keep
@@ -79,7 +79,7 @@ let create ?(slots = 3) ?(threshold_extra = 64) ~max_threads () =
     done
   in
   let retire (c : Smr.counters) p =
-    c.retired <- c.retired + 1;
+    Smr.add_retired c 1;
     let tid = Runtime.self () in
     Vec.push st.rlists.(tid) (Ptr.mask p);
     if Vec.length st.rlists.(tid) >= st.threshold then scan st c
@@ -87,8 +87,10 @@ let create ?(slots = 3) ?(threshold_extra = 64) ~max_threads () =
   let thread_exit () =
     clear_all ();
     let tid = Runtime.self () in
-    Vec.iter (Vec.push st.orphans) st.rlists.(tid);
-    Vec.clear st.rlists.(tid)
+    (* [orphans] is shared OCaml-heap state: exits must not race pushes. *)
+    Runtime.critical (fun () ->
+        Vec.iter (Vec.push st.orphans) st.rlists.(tid);
+        Vec.clear st.rlists.(tid))
   in
   let smr = ref None in
   let flush () =
@@ -101,7 +103,7 @@ let create ?(slots = 3) ?(threshold_extra = 64) ~max_threads () =
           if Isort.binary_search hz nhz p >= 0 then Vec.push keep p
           else begin
             Runtime.free (Ptr.addr p);
-            c.freed <- c.freed + 1
+            Smr.add_freed c 1
           end)
         lst;
       keep

@@ -1,4 +1,4 @@
 module Smr = Ts_smr.Smr
 
 let create () =
-  Smr.make ~name:"leaky" ~retire:(fun c _p -> c.retired <- c.retired + 1) ()
+  Smr.make ~name:"leaky" ~retire:(fun c _p -> Smr.add_retired c 1) ()

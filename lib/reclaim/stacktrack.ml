@@ -1,5 +1,5 @@
 module Smr = Ts_smr.Smr
-module Runtime = Ts_sim.Runtime
+module Runtime = Ts_rt
 module Ptr = Ts_umem.Ptr
 module Vec = Ts_util.Vec
 module Isort = Ts_util.Isort
@@ -52,7 +52,7 @@ let snapshot_thread st tid out =
   attempt 3
 
 let scan st (c : Smr.counters) =
-  c.cleanups <- c.cleanups + 1;
+  Smr.add_cleanups c 1;
   st.scans <- st.scans + 1;
   let visible = Vec.create () in
   let stable = ref true in
@@ -72,7 +72,7 @@ let scan st (c : Smr.counters) =
         if Isort.binary_search vis (Array.length vis) p >= 0 then Vec.push keep p
         else begin
           Runtime.free (Ptr.addr p);
-          c.freed <- c.freed + 1
+          Smr.add_freed c 1
         end)
       st.rlists.(self);
     st.rlists.(self) <- keep
@@ -115,7 +115,7 @@ let create ?(ring = 256) ?(threshold = 128) ~max_threads () =
     p
   in
   let retire (c : Smr.counters) p =
-    c.retired <- c.retired + 1;
+    Smr.add_retired c 1;
     let tid = Runtime.self () in
     Vec.push st.rlists.(tid) (Ptr.mask p);
     if Vec.length st.rlists.(tid) >= st.threshold then scan st c
@@ -125,8 +125,10 @@ let create ?(ring = 256) ?(threshold = 128) ~max_threads () =
     st.count_mirror.(tid) <- 0;
     Runtime.write (count_addr st tid) 0;
     if st.seq_mirror.(tid) land 1 = 1 then op_end ();
-    Vec.iter (Vec.push st.orphans) st.rlists.(tid);
-    Vec.clear st.rlists.(tid)
+    (* [orphans] is shared OCaml-heap state: exits must not race pushes. *)
+    Runtime.critical (fun () ->
+        Vec.iter (Vec.push st.orphans) st.rlists.(tid);
+        Vec.clear st.rlists.(tid))
   in
   let smr = ref None in
   let flush () =
@@ -136,7 +138,7 @@ let create ?(ring = 256) ?(threshold = 128) ~max_threads () =
       Vec.iter
         (fun p ->
           Runtime.free (Ptr.addr p);
-          c.freed <- c.freed + 1)
+          Smr.add_freed c 1)
         lst;
       Vec.clear lst
     in
@@ -159,7 +161,7 @@ let create ?(ring = 256) ?(threshold = 128) ~max_threads () =
             if Isort.binary_search vis (Array.length vis) p >= 0 then Vec.push keep p
             else begin
               Runtime.free (Ptr.addr p);
-              c.freed <- c.freed + 1
+              Smr.add_freed c 1
             end)
           lst;
         keep

@@ -1,0 +1,30 @@
+type t = { base : int; size : int }
+
+let push n = { base = Backend.push_frame n; size = n }
+
+let pop fr = Backend.pop_frame fr.base
+
+let with_frame n f =
+  let fr = push n in
+  match f fr with
+  | v ->
+      pop fr;
+      v
+  | exception e ->
+      (* Best effort: the frame may already be unwound if the thread died. *)
+      (try pop fr with _ -> ());
+      raise e
+
+let check fr i = if i < 0 || i >= fr.size then invalid_arg "Frame: slot out of range"
+
+let get fr i =
+  check fr i;
+  Backend.read (fr.base + i)
+
+let set fr i v =
+  check fr i;
+  Backend.write (fr.base + i) v
+
+let size fr = fr.size
+
+let base fr = fr.base

@@ -1,0 +1,17 @@
+(** Backend-neutral execution layer.
+
+    [Ts_rt] is the only runtime the algorithm layers (umem allocator,
+    sync, SMR schemes, ThreadScan core, data structures, workload
+    bodies) name.  It dispatches every operation through the [ops]
+    record the active backend installed:
+
+    - [Ts_sim.Runtime] — the deterministic effect-based simulator;
+      installs its ops at [create]/[start].
+    - [Ts_par.Runtime] — real OCaml 5 domains; installs its ops at
+      [run].
+
+    See docs/BACKENDS.md for the contract each op must satisfy. *)
+
+include Backend
+module Cost_model = Rt_cost_model
+module Frame = Rt_frame

@@ -1,58 +1,6 @@
-type t = {
-  local_op : int;
-  shared_read : int;
-  shared_write : int;
-  cas : int;
-  faa : int;
-  fence : int;
-  malloc : int;
-  free : int;
-  yield : int;
-  signal_send : int;
-  signal_dispatch : int;
-  signal_return : int;
-  context_switch : int;
-  spawn : int;
-}
+(* Cycle prices for simulated operations.  The definition lives in
+   {!Ts_rt.Cost_model} so both backends share one price list (the native
+   backend uses it to advance per-thread virtual clocks); this alias
+   keeps the historical [Ts_sim.Cost_model] path working. *)
 
-let default =
-  {
-    local_op = 1;
-    shared_read = 10;
-    shared_write = 10;
-    cas = 40;
-    faa = 40;
-    fence = 40;
-    malloc = 60;
-    free = 40;
-    yield = 60;
-    signal_send = 400;
-    signal_dispatch = 900;
-    signal_return = 300;
-    context_switch = 3000;
-    spawn = 2000;
-  }
-
-let uniform =
-  {
-    local_op = 1;
-    shared_read = 1;
-    shared_write = 1;
-    cas = 1;
-    faa = 1;
-    fence = 1;
-    malloc = 1;
-    free = 1;
-    yield = 1;
-    signal_send = 1;
-    signal_dispatch = 1;
-    signal_return = 1;
-    context_switch = 1;
-    spawn = 1;
-  }
-
-let pp ppf c =
-  Fmt.pf ppf
-    "read=%d write=%d cas=%d fence=%d malloc=%d free=%d sig=%d/%d/%d switch=%d quantum-costs"
-    c.shared_read c.shared_write c.cas c.fence c.malloc c.free c.signal_send c.signal_dispatch
-    c.signal_return c.context_switch
+include Ts_rt.Cost_model

@@ -1,30 +1,6 @@
-type t = { base : int; size : int }
+(* Shadow-stack frames.  The implementation lives in {!Ts_rt.Frame}
+   (it is backend-neutral: every operation goes through the installed
+   backend); this alias keeps the historical [Ts_sim.Frame] path
+   working. *)
 
-let push n = { base = Runtime.push_frame n; size = n }
-
-let pop fr = Runtime.pop_frame fr.base
-
-let with_frame n f =
-  let fr = push n in
-  match f fr with
-  | v ->
-      pop fr;
-      v
-  | exception e ->
-      (* Best effort: the frame may already be unwound if the thread died. *)
-      (try pop fr with _ -> ());
-      raise e
-
-let check fr i = if i < 0 || i >= fr.size then invalid_arg "Frame: slot out of range"
-
-let get fr i =
-  check fr i;
-  Runtime.read (fr.base + i)
-
-let set fr i v =
-  check fr i;
-  Runtime.write (fr.base + i) v
-
-let size fr = fr.size
-
-let base fr = fr.base
+include Ts_rt.Frame

@@ -1113,3 +1113,66 @@ let clock_of tid = Effect.perform (E_clock_of tid)
 let set_wait_note n = Effect.perform (E_wait_note n)
 
 let note msg = Effect.perform (E_note msg)
+
+(* Backend registration: the whole algorithm stack calls [Ts_rt], which
+   dispatches to whichever backend registered last.  The sim op wrappers
+   above are plain [Effect.perform] closures, so the record is static;
+   entering the simulator (create/start/run) re-installs it, which lets
+   sim and native runs alternate freely within one process. *)
+
+let rt_ops : Ts_rt.ops =
+  {
+    Ts_rt.read;
+    write;
+    cas;
+    faa;
+    fence;
+    malloc;
+    free;
+    alloc_region;
+    yield;
+    advance;
+    now;
+    self;
+    rand_below;
+    steps_now;
+    spawn;
+    join;
+    is_done;
+    poll = (fun () -> ());
+    signal;
+    set_signal_handler;
+    signal_depth;
+    push_frame;
+    pop_frame;
+    stack_range;
+    reg_range;
+    save_regs;
+    saved_reg_range;
+    clear_regs;
+    add_private_range;
+    remove_private_range;
+    private_ranges;
+    scan_ranges_of;
+    crash;
+    stall = (fun cycles tid -> stall ?cycles tid);
+    is_crashed;
+    is_stalled;
+    clock_of;
+    set_wait_note;
+    note;
+    (* exactly one fiber runs at a time: mutual exclusion is free *)
+    critical = (fun f -> f ());
+  }
+
+let create cfg =
+  Ts_rt.install rt_ops;
+  create cfg
+
+let start rt =
+  Ts_rt.install rt_ops;
+  start rt
+
+let run ?config main =
+  Ts_rt.install rt_ops;
+  run ?config main

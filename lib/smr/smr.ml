@@ -16,6 +16,17 @@ type t = {
 
 let nop () = ()
 
+(* Counter bumps go through [Ts_rt.critical]: on the sim backend that is
+   a direct call (one fiber runs at a time), on the native backend it is
+   a mutex, so concurrent retire/free paths on real domains cannot lose
+   increments — the leak oracle (outstanding = retired - freed) depends
+   on these being exact.  Reads stay plain field accesses: every
+   consumer reads after the worker joins (a happens-before edge). *)
+
+let add_retired c n = Ts_rt.critical (fun () -> c.retired <- c.retired + n)
+let add_freed c n = Ts_rt.critical (fun () -> c.freed <- c.freed + n)
+let add_cleanups c n = Ts_rt.critical (fun () -> c.cleanups <- c.cleanups + n)
+
 let make ~name ?(thread_init = nop) ?(thread_exit = nop) ?(op_begin = nop) ?(op_end = nop)
     ?(protect = fun ~slot:_ p -> p) ?(release = fun ~slot:_ -> ()) ?(flush = nop)
     ?(extras = fun () -> []) ~retire () =

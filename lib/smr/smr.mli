@@ -14,7 +14,7 @@
       [op_begin]/[op_end].
 
     All hooks implicitly act on the calling simulated thread
-    ({!Ts_sim.Runtime.self}). *)
+    ({!Ts_rt.self}). *)
 
 type counters = {
   mutable retired : int;  (** nodes handed to [retire] *)
@@ -70,3 +70,16 @@ val make :
 
 val pp : Format.formatter -> t -> unit
 (** One-line summary: name plus counters and extras. *)
+
+(** {1 Counter updates}
+
+    Schemes must bump the shared counters through these helpers, never by
+    direct field assignment: the increments run inside {!Ts_rt.critical},
+    so on the native backend concurrent retire/free paths cannot lose
+    updates — the leak oracle ([outstanding = retired - freed]) depends on
+    the counts being exact.  Plain field {e reads} are fine wherever a
+    happens-before edge exists (after joining the workers). *)
+
+val add_retired : counters -> int -> unit
+val add_freed : counters -> int -> unit
+val add_cleanups : counters -> int -> unit

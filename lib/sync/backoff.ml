@@ -1,4 +1,4 @@
-module Runtime = Ts_sim.Runtime
+module Runtime = Ts_rt
 
 type t = { min_delay : int; max_delay : int; mutable delay : int }
 

@@ -1,4 +1,4 @@
-module Runtime = Ts_sim.Runtime
+module Runtime = Ts_rt
 
 type t = { addr : int }
 

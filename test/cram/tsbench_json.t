@@ -1,0 +1,33 @@
+`--json` writes a machine-readable BENCH_<experiment>.json next to the
+table.  On the sim backend the whole artifact is a pure function of the
+seed (wall-clock fields are zero there), so its bytes are exact:
+
+  $ ../../bin/tsbench.exe sweep ablate-slow-epoch --scale quick --json
+  
+  == ablate-slow-epoch ==
+  threads          epoch     delay=18k     delay=75k    delay=600k
+  8               4677.5        4645.0        4362.5        3522.5
+  16              9085.0        9000.0        8380.0        7212.5
+  (throughput: completed operations per million simulated cycles)
+  wrote BENCH_ablate-slow-epoch.json
+
+  $ cat BENCH_ablate-slow-epoch.json
+  {
+    "target": "ablate-slow-epoch",
+    "backend": "sim",
+    "scale": "quick",
+    "points": [
+      { "threads": 8, "cells": [
+        { "series": "epoch", "scheme": "epoch", "ds": "list", "ops": 1871, "throughput": 4677.500, "wall_ns": 0, "wall_throughput": 0.0, "retired": 93, "freed": 93, "outstanding": 0, "faults": 0, "signals": 0 },
+        { "series": "delay=18k", "scheme": "slow-epoch", "ds": "list", "ops": 1858, "throughput": 4645.000, "wall_ns": 0, "wall_throughput": 0.0, "retired": 92, "freed": 92, "outstanding": 0, "faults": 0, "signals": 0 },
+        { "series": "delay=75k", "scheme": "slow-epoch", "ds": "list", "ops": 1745, "throughput": 4362.500, "wall_ns": 0, "wall_throughput": 0.0, "retired": 87, "freed": 87, "outstanding": 0, "faults": 0, "signals": 0 },
+        { "series": "delay=600k", "scheme": "slow-epoch", "ds": "list", "ops": 1409, "throughput": 3522.500, "wall_ns": 0, "wall_throughput": 0.0, "retired": 72, "freed": 72, "outstanding": 0, "faults": 0, "signals": 0 }
+      ] },
+      { "threads": 16, "cells": [
+        { "series": "epoch", "scheme": "epoch", "ds": "list", "ops": 3634, "throughput": 9085.000, "wall_ns": 0, "wall_throughput": 0.0, "retired": 195, "freed": 195, "outstanding": 0, "faults": 0, "signals": 0 },
+        { "series": "delay=18k", "scheme": "slow-epoch", "ds": "list", "ops": 3600, "throughput": 9000.000, "wall_ns": 0, "wall_throughput": 0.0, "retired": 194, "freed": 194, "outstanding": 0, "faults": 0, "signals": 0 },
+        { "series": "delay=75k", "scheme": "slow-epoch", "ds": "list", "ops": 3352, "throughput": 8380.000, "wall_ns": 0, "wall_throughput": 0.0, "retired": 179, "freed": 179, "outstanding": 0, "faults": 0, "signals": 0 },
+        { "series": "delay=600k", "scheme": "slow-epoch", "ds": "list", "ops": 2885, "throughput": 7212.500, "wall_ns": 0, "wall_throughput": 0.0, "retired": 150, "freed": 150, "outstanding": 0, "faults": 0, "signals": 0 }
+      ] }
+    ]
+  }

@@ -1,0 +1,441 @@
+(* Backend conformance: the same algorithm code (sync primitives, SMR
+   schemes, data structures — all written against Ts_rt) must behave
+   identically on the deterministic simulator and on real OCaml 5
+   domains.  Every case here runs once per backend; the native runs use
+   a 4-domain pool so they exercise genuine parallelism even when the
+   logical thread count is higher.  A final native-only stress group
+   drives ThreadScan's retire/scan/free pipeline under real parallelism
+   with the strict shadow-heap oracle armed. *)
+
+module Rt = Ts_rt
+module Frame = Ts_rt.Frame
+module Smr = Ts_smr.Smr
+module Spinlock = Ts_sync.Spinlock
+module Ticket_lock = Ts_sync.Ticket_lock
+module Barrier = Ts_sync.Barrier
+module Backoff = Ts_sync.Backoff
+
+let check = Alcotest.(check int)
+
+type runner = {
+  rname : string;
+  (* runs [body] as logical thread 0, returns total memory faults *)
+  exec : ?strict:bool -> (unit -> unit) -> int;
+}
+
+let sim_runner =
+  {
+    rname = "sim";
+    exec =
+      (fun ?(strict = true) body ->
+        let module R = Ts_sim.Runtime in
+        let cfg = { R.default_config with strict_mem = strict; propagate_failures = true } in
+        let rt = R.create cfg in
+        ignore (R.add_thread rt body);
+        ignore (R.start rt);
+        Ts_umem.Mem.total_faults (R.mem rt));
+  }
+
+let native_runner =
+  {
+    rname = "native";
+    exec =
+      (fun ?(strict = true) body ->
+        let module R = Ts_par.Runtime in
+        let cfg = { R.default_config with strict_mem = strict; pool = 4 } in
+        let res = R.run ~config:cfg body in
+        Ts_par.Heap.total_faults res.R.heap);
+  }
+
+let runners = [ sim_runner; native_runner ]
+
+(* ------------------------------------------------------------------ *)
+(* Core runtime ops                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_memory_roundtrip r () =
+  let out = ref 0 and poisoned = ref 0 in
+  let faults =
+    r.exec ~strict:false (fun () ->
+        let a = Rt.malloc 4 in
+        Rt.write a 42;
+        Rt.write (a + 3) 7;
+        out := Rt.read a + Rt.read (a + 3);
+        Rt.free a;
+        (* UAF: non-strict mode counts the fault and returns poison *)
+        poisoned := if Rt.read a = Ts_umem.Mem.poison then 1 else 0)
+  in
+  check "read back" 49 !out;
+  check "freed read returns poison" 1 !poisoned;
+  Alcotest.(check bool) "uaf counted" true (faults >= 1)
+
+let test_atomics r () =
+  let out = ref [] in
+  let faults =
+    r.exec (fun () ->
+        let a = Rt.alloc_region 1 in
+        Rt.write a 10;
+        let ok1 = Rt.cas a 10 20 in
+        let ok2 = Rt.cas a 10 30 in
+        let prev = Rt.faa a 5 in
+        out := [ (if ok1 then 1 else 0); (if ok2 then 1 else 0); prev; Rt.read a ])
+  in
+  Alcotest.(check (list int)) "cas/faa semantics" [ 1; 0; 20; 25 ] !out;
+  check "no faults" 0 faults
+
+let test_double_free_detected r () =
+  let faults =
+    r.exec ~strict:false (fun () ->
+        let a = Rt.malloc 2 in
+        Rt.free a;
+        Rt.free a)
+  in
+  Alcotest.(check bool) "double free counted" true (faults >= 1)
+
+let test_frames r () =
+  let out = ref 0 in
+  let (_ : int) =
+    (r.exec (fun () ->
+         let base0 = snd (Rt.stack_range ()) in
+         Frame.with_frame 4 (fun fr ->
+             Frame.set fr 0 11;
+             Frame.set fr 3 31;
+             let grown = snd (Rt.stack_range ()) in
+             out := Frame.get fr 0 + Frame.get fr 3 + (grown - base0))))
+  in
+  check "frame slots + stack growth" (11 + 31 + 4) !out
+
+let test_clock_and_rand r () =
+  let ok = ref false in
+  let (_ : int) =
+    (r.exec (fun () ->
+         let t0 = Rt.now () in
+         Rt.advance 123;
+         let t1 = Rt.now () in
+         let v = Rt.rand_below 10 in
+         ok := t1 - t0 >= 123 && v >= 0 && v < 10 && Rt.self () = 0))
+  in
+  Alcotest.(check bool) "clock advances, rand in range" true !ok
+
+let test_spawn_join r () =
+  let out = ref 0 in
+  let (_ : int) =
+    (r.exec (fun () ->
+         let cell = Rt.alloc_region 1 in
+         let ts = List.init 4 (fun i -> Rt.spawn (fun () -> ignore (Rt.faa cell (i + 1)))) in
+         List.iter Rt.join ts;
+         List.iter (fun t -> assert (Rt.is_done t)) ts;
+         out := Rt.read cell))
+  in
+  check "all workers ran" 10 !out
+
+let test_signal_delivery r () =
+  let out = ref 0 in
+  let (_ : int) =
+    (r.exec (fun () ->
+         let flag = Rt.alloc_region 2 in
+         let w =
+           Rt.spawn (fun () ->
+               Rt.set_signal_handler (fun () -> Rt.write (flag + 1) (Rt.read (flag + 1) + 1));
+               Rt.write flag 1;
+               (* spin at op boundaries until the signal landed *)
+               let b = Backoff.create () in
+               while Rt.read (flag + 1) = 0 do
+                 Backoff.once b
+               done)
+         in
+         let b = Backoff.create () in
+         while Rt.read flag = 0 do
+           Backoff.once b
+         done;
+         Rt.signal w;
+         Rt.join w;
+         out := Rt.read (flag + 1)))
+  in
+  Alcotest.(check bool) "handler ran at least once" true (!out >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Sync primitives                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let hammer ~threads ~iters ~lock ~unlock counter =
+  let ts =
+    List.init threads (fun _ ->
+        Rt.spawn (fun () ->
+            for _ = 1 to iters do
+              lock ();
+              let v = Rt.read counter in
+              Rt.advance 3;
+              Rt.write counter (v + 1);
+              unlock ()
+            done))
+  in
+  List.iter Rt.join ts
+
+let test_spinlock r () =
+  let out = ref 0 in
+  let (_ : int) =
+    (r.exec (fun () ->
+         let counter = Rt.alloc_region 1 in
+         let l = Spinlock.create () in
+         hammer ~threads:6 ~iters:40
+           ~lock:(fun () -> Spinlock.acquire l)
+           ~unlock:(fun () -> Spinlock.release l)
+           counter;
+         out := Rt.read counter))
+  in
+  check "no lost updates under spinlock" 240 !out
+
+let test_ticket_lock r () =
+  let out = ref 0 in
+  let (_ : int) =
+    (r.exec (fun () ->
+         let counter = Rt.alloc_region 1 in
+         let l = Ticket_lock.create () in
+         hammer ~threads:6 ~iters:40
+           ~lock:(fun () -> Ticket_lock.acquire l)
+           ~unlock:(fun () -> Ticket_lock.release l)
+           counter;
+         out := Rt.read counter))
+  in
+  check "no lost updates under ticket lock" 240 !out
+
+let test_barrier r () =
+  let ok = ref false in
+  let (_ : int) =
+    (r.exec (fun () ->
+         let n = 4 in
+         let bar = Barrier.create n in
+         let before = Rt.alloc_region 1 and after = Rt.alloc_region 1 in
+         let ts =
+           List.init n (fun _ ->
+               Rt.spawn (fun () ->
+                   ignore (Rt.faa before 1);
+                   Barrier.wait bar;
+                   (* everyone reached the barrier before anyone passed *)
+                   if Rt.read before = n then ignore (Rt.faa after 1)))
+         in
+         List.iter Rt.join ts;
+         ok := Rt.read after = n))
+  in
+  Alcotest.(check bool) "barrier releases only when full" true !ok
+
+(* ------------------------------------------------------------------ *)
+(* SMR schemes and data structures                                    *)
+(* ------------------------------------------------------------------ *)
+
+type scheme = Sleaky | Sthreadscan | Shazard | Sepoch | Sstacktrack
+
+let scheme_name = function
+  | Sleaky -> "leaky"
+  | Sthreadscan -> "threadscan"
+  | Shazard -> "hazard"
+  | Sepoch -> "epoch"
+  | Sstacktrack -> "stacktrack"
+
+let make_scheme ?(max_threads = 8) = function
+  | Sleaky -> Ts_reclaim.Leaky.create ()
+  | Sthreadscan ->
+      let config = { Threadscan.Config.default with max_threads; buffer_size = 16 } in
+      Threadscan.smr (Threadscan.create ~config ())
+  | Shazard -> Ts_reclaim.Hazard.create ~slots:3 ~max_threads ()
+  | Sepoch -> Ts_reclaim.Epoch.create ~batch:32 ~max_threads ()
+  | Sstacktrack -> Ts_reclaim.Stacktrack.create ~max_threads ()
+
+let run_scheme_workload r scheme ~threads ~ops =
+  let retired = ref 0 and freed = ref 0 in
+  let faults =
+    r.exec (fun () ->
+        let smr = make_scheme scheme in
+        smr.Smr.thread_init ();
+        let ds = Ts_ds.Michael_list.create ~smr () in
+        for k = 0 to 15 do
+          ignore (ds.Ts_ds.Set_intf.insert k k)
+        done;
+        let ws =
+          List.init threads (fun _ ->
+              Rt.spawn (fun () ->
+                  smr.Smr.thread_init ();
+                  ignore (Frame.push 8);
+                  for _ = 1 to ops do
+                    let key = Rt.rand_below 32 in
+                    match Rt.rand_below 3 with
+                    | 0 -> ignore (ds.Ts_ds.Set_intf.insert key key)
+                    | 1 -> ignore (ds.Ts_ds.Set_intf.remove key)
+                    | _ -> ignore (ds.Ts_ds.Set_intf.contains key)
+                  done;
+                  smr.Smr.thread_exit ()))
+        in
+        List.iter Rt.join ws;
+        smr.Smr.thread_exit ();
+        smr.Smr.flush ();
+        retired := smr.Smr.counters.Smr.retired;
+        freed := smr.Smr.counters.Smr.freed)
+  in
+  (faults, !retired, !freed)
+
+let test_scheme r scheme () =
+  let faults, retired, freed = run_scheme_workload r scheme ~threads:4 ~ops:250 in
+  check "no memory faults" 0 faults;
+  Alcotest.(check bool) "some nodes were retired" true (retired > 0);
+  match scheme with
+  | Sleaky -> check "leaky frees nothing" 0 freed
+  | Sthreadscan | Shazard | Sepoch | Sstacktrack ->
+      check "flush reclaims every retired node" 0 (retired - freed)
+
+let make_ds smr = function
+  | "list" -> Ts_ds.Michael_list.create ~smr ()
+  | "hash" -> Ts_ds.Hash_table.create ~smr ~buckets:32 ()
+  | "skiplist" -> Ts_ds.Skiplist.create ~smr ~max_height:6 ()
+  | "lazy-list" -> Ts_ds.Lazy_list.create ~smr ()
+  | "split-hash" -> Ts_ds.Split_hash.set (Ts_ds.Split_hash.create ~smr ~max_buckets:32 ())
+  | s -> invalid_arg s
+
+let test_ds r kind () =
+  let size = ref (-1) and faults = ref (-1) in
+  faults :=
+    r.exec (fun () ->
+        let smr = make_scheme Sthreadscan in
+        smr.Smr.thread_init ();
+        let ds = make_ds smr kind in
+        let ws =
+          List.init 4 (fun i ->
+              Rt.spawn (fun () ->
+                  smr.Smr.thread_init ();
+                  ignore (Frame.push 8);
+                  for _ = 1 to 200 do
+                    let key = Rt.rand_below 48 in
+                    match Rt.rand_below 3 with
+                    | 0 -> ignore (ds.Ts_ds.Set_intf.insert key key)
+                    | 1 -> ignore (ds.Ts_ds.Set_intf.remove key)
+                    | _ -> ignore (ds.Ts_ds.Set_intf.contains key)
+                  done;
+                  (* leave a deterministic residue: thread i owns keys 100+i *)
+                  ignore (ds.Ts_ds.Set_intf.insert (100 + i) i);
+                  smr.Smr.thread_exit ()))
+        in
+        List.iter Rt.join ws;
+        ds.Ts_ds.Set_intf.check ();
+        for i = 0 to 3 do
+          assert (ds.Ts_ds.Set_intf.contains (100 + i))
+        done;
+        size := List.length (ds.Ts_ds.Set_intf.to_list ());
+        smr.Smr.thread_exit ();
+        smr.Smr.flush ());
+  check "no memory faults" 0 !faults;
+  Alcotest.(check bool) "structure non-empty and consistent" true (!size >= 4)
+
+(* ------------------------------------------------------------------ *)
+(* Native-only: ThreadScan stress under real parallelism              *)
+(* ------------------------------------------------------------------ *)
+
+let test_native_stress () =
+  let module R = Ts_par.Runtime in
+  let threads = 8 in
+  let cfg =
+    { R.default_config with pool = 4; strict_mem = true; max_threads = threads + 2 }
+  in
+  let retired = ref 0 and freed = ref 0 and phases = ref 0 in
+  let res =
+    R.run ~config:cfg (fun () ->
+        let config =
+          { Threadscan.Config.default with max_threads = threads + 2; buffer_size = 24 }
+        in
+        let ts = Threadscan.create ~config () in
+        let smr = Threadscan.smr ts in
+        smr.Smr.thread_init ();
+        let ds = Ts_ds.Michael_list.create ~smr () in
+        for k = 0 to 31 do
+          ignore (ds.Ts_ds.Set_intf.insert k k)
+        done;
+        let ws =
+          List.init threads (fun _ ->
+              Rt.spawn (fun () ->
+                  smr.Smr.thread_init ();
+                  ignore (Frame.push 16);
+                  for _ = 1 to 1_500 do
+                    let key = Rt.rand_below 64 in
+                    match Rt.rand_below 4 with
+                    | 0 -> ignore (ds.Ts_ds.Set_intf.insert key key)
+                    | 1 -> ignore (ds.Ts_ds.Set_intf.remove key)
+                    | _ -> ignore (ds.Ts_ds.Set_intf.contains key)
+                  done;
+                  smr.Smr.thread_exit ()))
+        in
+        List.iter Rt.join ws;
+        smr.Smr.thread_exit ();
+        smr.Smr.flush ();
+        retired := smr.Smr.counters.Smr.retired;
+        freed := smr.Smr.counters.Smr.freed;
+        phases := Threadscan.phases ts)
+  in
+  check "no UAF / double-free / wild access" 0 (Ts_par.Heap.total_faults res.R.heap);
+  Alcotest.(check bool) "retirements happened" true (!retired > 100);
+  check "no leaked nodes after flush" 0 (!retired - !freed);
+  Alcotest.(check bool) "scan phases ran" true (!phases >= 1);
+  Alcotest.(check bool) "signals were delivered" true (res.R.run_stats.R.signals_delivered > 0)
+
+let test_native_parallel_speedup_shape () =
+  (* Not a perf assertion (CI machines vary; this box may have 1 core):
+     just proves a multi-domain pool completes the same workload and
+     reports sane wall-clock numbers. *)
+  let module R = Ts_par.Runtime in
+  let run pool =
+    let cfg = { R.default_config with pool; max_threads = 8 } in
+    let res =
+      R.run ~config:cfg (fun () ->
+          let cell = Rt.alloc_region 1 in
+          let ws =
+            List.init 4 (fun _ ->
+                Rt.spawn (fun () ->
+                    for _ = 1 to 3_000 do
+                      ignore (Rt.faa cell 1)
+                    done))
+          in
+          List.iter Rt.join ws)
+    in
+    res
+  in
+  let r1 = run 1 and r4 = run 4 in
+  Alcotest.(check bool) "pool=1 did the work" true (r1.R.run_stats.R.faas = 12_000);
+  Alcotest.(check bool) "pool=4 did the work" true (r4.R.run_stats.R.faas = 12_000);
+  Alcotest.(check bool) "wall clocks measured" true (r1.R.wall_ns > 0 && r4.R.wall_ns > 0)
+
+(* ------------------------------------------------------------------ *)
+
+let per_backend name f =
+  List.map
+    (fun r -> Alcotest.test_case (Fmt.str "%s [%s]" name r.rname) `Quick (fun () -> f r ()))
+    runners
+
+let schemes = [ Sleaky; Sthreadscan; Shazard; Sepoch; Sstacktrack ]
+let ds_kinds = [ "list"; "hash"; "skiplist"; "lazy-list"; "split-hash" ]
+
+let () =
+  Alcotest.run "backends"
+    [
+      ( "rt-core",
+        per_backend "memory roundtrip + uaf" test_memory_roundtrip
+        @ per_backend "cas/faa" test_atomics
+        @ per_backend "double free detected" test_double_free_detected
+        @ per_backend "frames" test_frames
+        @ per_backend "clock + rand" test_clock_and_rand
+        @ per_backend "spawn/join" test_spawn_join
+        @ per_backend "signal delivery" test_signal_delivery );
+      ( "sync",
+        per_backend "spinlock" test_spinlock
+        @ per_backend "ticket lock" test_ticket_lock
+        @ per_backend "barrier" test_barrier );
+      ( "smr",
+        List.concat_map
+          (fun s -> per_backend (scheme_name s) (fun r -> test_scheme r s))
+          schemes );
+      ("ds", List.concat_map (fun k -> per_backend k (fun r -> test_ds r k)) ds_kinds);
+      ( "native-stress",
+        [
+          Alcotest.test_case "threadscan retire/scan/free under parallelism" `Quick
+            test_native_stress;
+          Alcotest.test_case "multi-domain pool completes work" `Quick
+            test_native_parallel_speedup_shape;
+        ] );
+    ]
