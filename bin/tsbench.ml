@@ -126,8 +126,16 @@ let run_cmd =
   in
   let padding = Arg.(value & opt int 0 & info [ "padding" ] ~doc:"Extra node words.") in
   let seed = Arg.(value & opt int 0xBE5 & info [ "seed" ] ~doc:"Deterministic seed.") in
+  let analyze =
+    Arg.(
+      value & flag
+      & info [ "analyze" ]
+          ~doc:
+            "Run the workload twice — plain, then under the happens-before + lifecycle \
+             checkers — and report the detector's findings and host-time overhead.")
+  in
   let action ds scheme_name threads cores horizon init range update buffer help_free delay
-      padding seed backend pool =
+      padding seed analyze backend pool =
     match scheme_conv ~buffer ~help_free ~delay scheme_name with
     | Error (`Msg m) -> `Error (false, m)
     | Ok scheme ->
@@ -147,15 +155,59 @@ let run_cmd =
             backend = make_backend backend pool;
           }
         in
-        print_result (Workload.run spec);
-        `Ok ()
+        if not analyze then begin
+          print_result (Workload.run spec);
+          `Ok ()
+        end
+        else begin
+          (* Paired runs: the plain result is the baseline the analyzed
+             run's host time is compared against.  (Virtual throughput is
+             not comparable: the analyzer adds ops to the schedule.) *)
+          let time f =
+            let t0 = Sys.time () in
+            let r = f () in
+            (r, Sys.time () -. t0)
+          in
+          let r_plain, t_plain = time (fun () -> Workload.run spec) in
+          let an = Ts_analyze.Analyze.attach ~notes:false () in
+          let r_an, t_an =
+            Fun.protect
+              ~finally:(fun () -> Ts_analyze.Analyze.detach an)
+              (fun () ->
+                time (fun () ->
+                    Workload.run
+                      { spec with Workload.smr_wrap = Some (Ts_analyze.Analyze.wrap_smr an) }))
+          in
+          print_result r_plain;
+          let host r t =
+            if r.Workload.wall_ns > 0 then float_of_int r.Workload.wall_ns /. 1e9 else t
+          in
+          let base = host r_plain t_plain and instr = host r_an t_an in
+          Fmt.pr "@.analysis:   %d ops observed, %d allocations tracked@."
+            (Ts_analyze.Analyze.ops_seen an)
+            (Ts_analyze.Analyze.allocs_seen an);
+          Fmt.pr "            %d races, %d lifecycle violations (+%d beyond cap)@."
+            (List.length (Ts_analyze.Analyze.races an))
+            (List.length (Ts_analyze.Analyze.lifecycle_violations an))
+            (Ts_analyze.Analyze.dropped an);
+          List.iter
+            (fun v -> Fmt.pr "            %a@." Ts_analyze.Analyze.pp_violation v)
+            (Ts_analyze.Analyze.violations an);
+          Fmt.pr "overhead:   %.3fs plain -> %.3fs analyzed (%.1fx)@." base instr
+            (if base > 0.0 then instr /. base else 0.0);
+          if Ts_analyze.Analyze.violations an = [] then `Ok ()
+          else begin
+            Fmt.pr "tsbench: analysis found violations@.";
+            exit 1
+          end
+        end
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one fully parameterised workload.")
     Term.(
       ret
         (const action $ ds $ scheme_name $ threads $ cores $ horizon $ init $ range $ update
-       $ buffer $ help_free $ delay $ padding $ seed $ backend_arg $ pool_arg))
+       $ buffer $ help_free $ delay $ padding $ seed $ analyze $ backend_arg $ pool_arg))
 
 (* ------------------------------- sweep ---------------------------------- *)
 

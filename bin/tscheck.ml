@@ -18,9 +18,18 @@ let ds_conv =
   let parse s =
     match Scenario.ds_of_string s with
     | Some ds -> Ok ds
-    | None -> Error (`Msg (Fmt.str "unknown structure %S (list|hash|skip|churn)" s))
+    | None -> Error (`Msg (Fmt.str "unknown structure %S (list|hash|skip|lazy|churn)" s))
   in
   Arg.conv (parse, fun ppf ds -> Fmt.string ppf (Scenario.ds_to_string ds))
+
+let bug_conv =
+  let parse s =
+    match Scenario.bug_of_string s with
+    | Some b -> Ok b
+    | None ->
+        Error (`Msg (Fmt.str "unknown seeded bug %S (elide-lock|retire-early|skip-fence)" s))
+  in
+  Arg.conv (parse, fun ppf b -> Fmt.string ppf (Scenario.bug_to_string b))
 
 let inject_conv =
   let parse s =
@@ -87,6 +96,24 @@ let fault_arg =
           "Environment fault the protocol must survive \
            (none|crash:<victims>@<after>|stall:<victims>@<after>:<cycles>).")
 
+let race_arg =
+  Arg.(
+    value & flag
+    & info [ "race" ]
+        ~doc:
+          "Run the happens-before race detector and SMR lifecycle sanitizer inside every \
+           schedule (implied by --bug).")
+
+let bug_arg =
+  Arg.(
+    value
+    & opt (some bug_conv) None
+    & info [ "bug" ]
+        ~doc:
+          "Seed a deliberate synchronization/lifecycle bug \
+           (elide-lock|retire-early|skip-fence) and check that the analyzer catches it.  \
+           Forces the structure the bug lives in and implies --race.")
+
 (* -------------------------------- sweep --------------------------------- *)
 
 let pp_summary name (s : Explore.summary) =
@@ -111,7 +138,11 @@ let sweep_cmd =
   in
   let seed0 = Arg.(value & opt int 0 & info [ "seed0" ] ~doc:"First seed of the family.") in
   let action ds_list schedules pct_depth seed0 threads ops key_range buffer_size help_free inject
-      fault =
+      fault race bug =
+    let analyze = race || bug <> None in
+    (* A seeded bug lives in one specific structure; sweeping any other
+       would "pass" without exercising it. *)
+    let ds_list = match bug with None -> ds_list | Some b -> [ Scenario.bug_ds b ] in
     let base =
       {
         Scenario.default with
@@ -122,6 +153,8 @@ let sweep_cmd =
         help_free;
         inject;
         fault;
+        analyze;
+        bug;
       }
     in
     Fmt.pr "sweep: %d structures x %d schedules (seeds %d..%d, uniform/pct:%d alternating)@."
@@ -132,6 +165,11 @@ let sweep_cmd =
       Fmt.pr "injected bug: %s@." (Scenario.inject_to_string inject);
     if fault <> Scenario.Fault_none then
       Fmt.pr "injected fault: %s@." (Scenario.fault_to_string fault);
+    if analyze then Fmt.pr "analysis: happens-before + lifecycle checkers on@.";
+    (match bug with
+    | Some b -> Fmt.pr "seeded bug: %s (ds forced to %s)@." (Scenario.bug_to_string b)
+                  (Scenario.ds_to_string (Scenario.bug_ds b))
+    | None -> ());
     let first_failure = ref None in
     let total_runs = ref 0 and total_violations = ref 0 in
     List.iter
@@ -166,7 +204,7 @@ let sweep_cmd =
     Term.(
       ret
         (const action $ ds_list $ schedules $ pct_depth $ seed0 $ threads_arg $ ops_arg
-       $ range_arg $ buffer_arg $ help_free_arg $ inject_arg $ fault_arg))
+       $ range_arg $ buffer_arg $ help_free_arg $ inject_arg $ fault_arg $ race_arg $ bug_arg))
 
 (* -------------------------------- replay -------------------------------- *)
 
@@ -179,7 +217,9 @@ let replay_cmd =
       & info [ "policy" ] ~doc:"Schedule policy (timed|uniform|pct:<d>).")
   in
   let seed = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Schedule seed.") in
-  let action ds policy seed threads ops key_range buffer_size help_free inject fault =
+  let action ds policy seed threads ops key_range buffer_size help_free inject fault race bug =
+    let analyze = race || bug <> None in
+    let ds = match bug with None -> ds | Some b -> Scenario.bug_ds b in
     let spec =
       {
         Scenario.ds;
@@ -192,17 +232,21 @@ let replay_cmd =
         fault;
         policy;
         seed;
+        analyze;
+        bug;
       }
     in
     Fmt.pr
       "replay: ds=%s threads=%d ops=%d key-range=%d buffer=%d%s inject=%s fault=%s policy=%s \
-       seed=%d@."
+       seed=%d%s%s@."
       (Scenario.ds_to_string ds) threads ops key_range buffer_size
       (if help_free then " help-free" else "")
       (Scenario.inject_to_string inject)
       (Scenario.fault_to_string fault)
       (Scenario.policy_to_string policy)
-      seed;
+      seed
+      (if analyze then " race" else "")
+      (match bug with None -> "" | Some b -> " bug=" ^ Scenario.bug_to_string b);
     let o = Scenario.run spec in
     Fmt.pr "outcome: %d violations (events=%d phases=%d steps=%d keys-checked=%d)@."
       (List.length o.Scenario.violations)
@@ -215,7 +259,7 @@ let replay_cmd =
     Term.(
       ret
         (const action $ ds $ policy $ seed $ threads_arg $ ops_arg $ range_arg $ buffer_arg
-       $ help_free_arg $ inject_arg $ fault_arg))
+       $ help_free_arg $ inject_arg $ fault_arg $ race_arg $ bug_arg))
 
 let () =
   let doc = "systematic concurrency checker for the ThreadScan reproduction" in

@@ -9,13 +9,19 @@
    degradation ladder: the crashed worker is reaped mid-phase, the stalled
    one goes suspect, is proxy-scanned while frozen, and recovers on wake.
 
+   With --analyze, the happens-before race detector and SMR lifecycle
+   sanitizer ride along: every violation is emitted as a note in the
+   timeline at the moment of detection (showing both racing accesses
+   inline), and the analyzer's report is printed after the trace.
+
    Usage: dune exec bin/tstrace.exe
             [-- --threads N] [--buffer N] [--cores N] [--seed N]
-            [--fault none|crash|stall] *)
+            [--fault none|crash|stall] [--analyze] *)
 
-module Runtime = Ts_sim.Runtime
+module Sim = Ts_sim.Runtime
+module Runtime = Ts_rt
 module Trace = Ts_sim.Trace
-module Frame = Ts_sim.Frame
+module Frame = Ts_rt.Frame
 module Ptr = Ts_umem.Ptr
 module Smr = Ts_smr.Smr
 
@@ -24,7 +30,8 @@ let parse_args () =
   and buffer = ref 8
   and cores = ref 0
   and fault = ref "none"
-  and seed = ref Runtime.default_config.Runtime.seed in
+  and analyze = ref false
+  and seed = ref Sim.default_config.Sim.seed in
   let rec go = function
     | [] -> ()
     | "--threads" :: n :: rest ->
@@ -44,27 +51,36 @@ let parse_args () =
     | "--seed" :: n :: rest ->
         seed := int_of_string n;
         go rest
+    | "--analyze" :: rest ->
+        analyze := true;
+        go rest
     | arg :: _ -> failwith ("unknown argument: " ^ arg)
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!threads, !buffer, !cores, !fault, !seed)
+  (!threads, !buffer, !cores, !fault, !seed, !analyze)
 
 let () =
-  let nthreads, buffer_size, cores, fault, seed = parse_args () in
+  let nthreads, buffer_size, cores, fault, seed, analyze = parse_args () in
   let record, entries = Trace.recorder () in
   let config =
     {
-      Runtime.default_config with
+      Sim.default_config with
       cores;
       seed;
       (* under multiplexing, a short quantum makes the scheduling visible *)
-      quantum = (if cores > 0 then 2_000 else Runtime.default_config.Runtime.quantum);
+      quantum = (if cores > 0 then 2_000 else Sim.default_config.Sim.quantum);
       trace = Some record;
     }
   in
   let phases = ref 0 and signals = ref 0 and carried = ref 0 in
+  (* Attach before the run so the decorator observes the backend install;
+     violations surface as trace notes the moment they are detected. *)
+  let an = if analyze then Some (Ts_analyze.Analyze.attach ()) else None in
+  let wrap_analyzed smr =
+    match an with Some a -> Ts_analyze.Analyze.wrap_smr a smr | None -> smr
+  in
   ignore
-    (Runtime.run ~config (fun () ->
+    (Sim.run ~config (fun () ->
          let ts_config =
            let base =
              { Threadscan.Config.default with max_threads = nthreads + 2; buffer_size }
@@ -76,7 +92,7 @@ let () =
              { base with ack_budget = 2_000; suspect_phases = 2 }
          in
          let ts = Threadscan.create ~config:ts_config () in
-         let smr = Threadscan.smr ts in
+         let smr = wrap_analyzed (Threadscan.smr ts) in
          smr.Smr.thread_init ();
          let cells = Runtime.alloc_region nthreads in
          let stop = Runtime.alloc_region 1 in
@@ -132,10 +148,16 @@ let () =
     fault seed;
   Fmt.pr
     "replay: dune exec bin/tstrace.exe -- --threads %d --buffer %d --cores %d --fault %s --seed \
-     %d@."
-    nthreads buffer_size cores fault seed;
+     %d%s@."
+    nthreads buffer_size cores fault seed
+    (if analyze then " --analyze" else "");
   Fmt.pr "(entries are in global schedule order; times are per-thread local clocks)@.";
   Fmt.pr "%10s  %s@." "cycles" "event";
   List.iter (fun e -> Fmt.pr "%a@." Trace.pp e) (entries ());
   Fmt.pr "@.phases completed: %d;  signals sent: %d;  nodes carried (still referenced): %d@."
-    !phases !signals !carried
+    !phases !signals !carried;
+  match an with
+  | None -> ()
+  | Some a ->
+      Ts_analyze.Analyze.detach a;
+      Fmt.pr "@.%s" (Ts_analyze.Analyze.report_to_string a)

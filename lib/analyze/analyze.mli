@@ -1,0 +1,90 @@
+(** Happens-before race detector + SMR lifecycle sanitizer over the
+    {!Ts_rt} op stream.
+
+    Attach before a run; every unmanaged read/write/cas/faa, fence,
+    spawn/join, signal and critical section of either backend is then
+    observed through an ops decorator (see {!Ts_rt.set_decorator}).
+    One analyzer instance covers one run; create a fresh one per run.
+
+    The happens-before model is TSO-faithful: writes release the
+    writer's full vector clock into a per-word sync clock, reads (and
+    failed CASes) acquire it, and spawn/join/signal-delivery/critical/
+    fence add the usual edges.  Reported conflicts are unordered
+    write-write pairs (different values) and free-vs-unordered-access;
+    racy reads of live words are stale-but-defined on a word-atomic
+    machine and are not reported.  docs/ANALYSIS.md documents the model
+    and its limits (fault injection, native best-effort ordering).
+
+    In the simulator the instrumented run is deterministic: the same
+    seed yields a byte-identical report (note: the analyzer performs
+    extra ops, so analyzed schedules differ from unanalyzed ones). *)
+
+type t
+
+(** {1 Reports} *)
+
+type access = { a_tid : int; a_clk : int; a_op : string }
+
+type race = {
+  rc_addr : int;  (** the word both accesses touched *)
+  rc_alloc : (int * int) option;  (** (allocation id, word offset) if inside a tracked block *)
+  rc_first : access;
+  rc_second : access;
+}
+
+type lifecycle_kind = Retire_before_unlink | Double_retire | Access_after_retire
+
+type lifecycle = {
+  lc_kind : lifecycle_kind;
+  lc_scheme : string;  (** scheme owning the violated transition *)
+  lc_tid : int;  (** thread that committed the violation *)
+  lc_base : int;  (** block base address *)
+  lc_alloc : int;  (** allocation id *)
+  lc_detail : string;
+}
+
+type violation = Race of race | Lifecycle of lifecycle
+
+val kind_to_string : lifecycle_kind -> string
+val pp_race : Format.formatter -> race -> unit
+val pp_lifecycle : Format.formatter -> lifecycle -> unit
+val pp_violation : Format.formatter -> violation -> unit
+val violation_to_string : violation -> string
+
+(** {1 Lifecycle of an analysis} *)
+
+val attach : ?max_reports:int -> ?notes:bool -> unit -> t
+(** Create an analyzer and install it as the ops decorator (replacing
+    any previous one).  [max_reports] (default 32) caps recorded
+    violations; later ones are counted in {!dropped}.  [notes] (default
+    true) emits each violation through the backend's [note] op as it is
+    detected, so TSCHECK_TRACE and tstrace timelines show the racing
+    access inline. *)
+
+val detach : t -> unit
+(** Remove the decorator.  The analyzer's report remains readable. *)
+
+val wrap_smr : t -> Ts_smr.Smr.t -> Ts_smr.Smr.t
+(** Instrument a reclamation scheme: retire feeds the lifecycle
+    automaton, protect/release maintain the hazard table,
+    op_begin/op_end the epoch section flag, and all hook bodies run
+    flagged as scheme-internal (their stores do not count as shared
+    references). *)
+
+(** {1 Results} *)
+
+val violations : t -> violation list
+(** In detection order (deterministic in the simulator). *)
+
+val races : t -> race list
+val lifecycle_violations : t -> lifecycle list
+val ops_seen : t -> int
+val allocs_seen : t -> int
+
+val dropped : t -> int
+(** Violations beyond [max_reports]. *)
+
+val pp_summary : Format.formatter -> t -> unit
+
+val report_to_string : t -> string
+(** Summary line followed by one line per violation. *)

@@ -6,6 +6,8 @@ type violation =
   | Oracle of { what : string; detail : string }
   | Non_linearizable of { ds : string; key : int; ops : Set_intf.event list }
   | Crash of { what : string }
+  | Race of Ts_analyze.Analyze.race
+  | Lifecycle of Ts_analyze.Analyze.lifecycle
 
 let op_kind_to_string = function
   | Set_intf.Op_insert -> "insert"
@@ -25,5 +27,7 @@ let pp ppf = function
         Fmt.(list ~sep:(any "; ") pp_event)
         ops
   | Crash { what } -> Fmt.pf ppf "crash: %s" what
+  | Race r -> Ts_analyze.Analyze.pp_race ppf r
+  | Lifecycle l -> Ts_analyze.Analyze.pp_lifecycle ppf l
 
 let to_string v = Fmt.str "%a" pp v

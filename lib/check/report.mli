@@ -17,6 +17,12 @@ type violation =
   | Crash of { what : string }
       (** The run aborted (thread failure, deadlock, step limit) before any
           finer-grained layer could attribute a cause. *)
+  | Race of Ts_analyze.Analyze.race
+      (** An unordered access pair the happens-before detector reported
+          (only present when the scenario ran with [analyze = true]). *)
+  | Lifecycle of Ts_analyze.Analyze.lifecycle
+      (** An SMR lifecycle violation (retire-before-unlink, double-retire,
+          access-after-retire), attributed to the owning scheme. *)
 
 val pp_event : Format.formatter -> Ts_ds.Set_intf.event -> unit
 (** ["[t0,t1] t<tid> op(key)=result"]. *)

@@ -5,9 +5,11 @@ module Ptr = Ts_umem.Ptr
 module Smr = Ts_smr.Smr
 module Set_intf = Ts_ds.Set_intf
 
-type ds_kind = List_ds | Hash_ds | Skip_ds | Churn
+type ds_kind = List_ds | Hash_ds | Skip_ds | Lazy_ds | Churn
 
 type policy = Timed | Uniform | Pct of int
+
+type bug = Bug_elide_lock | Bug_retire_early | Bug_skip_fence
 
 type fault =
   | Fault_none
@@ -25,6 +27,8 @@ type spec = {
   fault : fault;
   policy : policy;
   seed : int;
+  analyze : bool;
+  bug : bug option;
 }
 
 let default =
@@ -39,20 +43,42 @@ let default =
     fault = Fault_none;
     policy = Uniform;
     seed = 0;
+    analyze = false;
+    bug = None;
   }
 
 let ds_to_string = function
   | List_ds -> "list"
   | Hash_ds -> "hash"
   | Skip_ds -> "skip"
+  | Lazy_ds -> "lazy"
   | Churn -> "churn"
 
 let ds_of_string = function
   | "list" -> Some List_ds
   | "hash" -> Some Hash_ds
   | "skip" | "skiplist" -> Some Skip_ds
+  | "lazy" -> Some Lazy_ds
   | "churn" -> Some Churn
   | _ -> None
+
+let bug_to_string = function
+  | Bug_elide_lock -> "elide-lock"
+  | Bug_retire_early -> "retire-early"
+  | Bug_skip_fence -> "skip-fence"
+
+let bug_of_string = function
+  | "elide-lock" -> Some Bug_elide_lock
+  | "retire-early" -> Some Bug_retire_early
+  | "skip-fence" -> Some Bug_skip_fence
+  | _ -> None
+
+(* The structure a seeded bug lives in: the checker forces this so
+   [--bug retire-early] cannot be paired with a structure that never
+   exercises the bug. *)
+let bug_ds = function
+  | Bug_elide_lock -> Lazy_ds
+  | Bug_retire_early | Bug_skip_fence -> List_ds
 
 let policy_to_string = function
   | Timed -> "timed"
@@ -118,11 +144,13 @@ let fault_of_string s =
 let replay_command spec =
   Fmt.str
     "dune exec bin/tscheck.exe -- replay --ds %s --threads %d --ops %d --key-range %d \
-     --buffer %d%s --inject %s --fault %s --policy %s --seed %d"
+     --buffer %d%s --inject %s --fault %s --policy %s --seed %d%s%s"
     (ds_to_string spec.ds) spec.threads spec.ops spec.key_range spec.buffer_size
     (if spec.help_free then " --help-free" else "")
     (inject_to_string spec.inject) (fault_to_string spec.fault) (policy_to_string spec.policy)
     spec.seed
+    (if spec.analyze then " --race" else "")
+    (match spec.bug with None -> "" | Some b -> " --bug " ^ bug_to_string b)
 
 type outcome = {
   spec : spec;
@@ -160,7 +188,12 @@ let fault_hook spec i n =
 let run_sets rt spec (smr : Smr.t) ~record =
   let ds0 =
     match spec.ds with
-    | List_ds -> Ts_ds.Michael_list.create ~smr ()
+    | List_ds ->
+        Ts_ds.Michael_list.create ~smr
+          ~retire_early:(spec.bug = Some Bug_retire_early)
+          ()
+    | Lazy_ds ->
+        Ts_ds.Lazy_list.create ~smr ~elide_locks:(spec.bug = Some Bug_elide_lock) ()
     | Hash_ds -> Ts_ds.Hash_table.create ~smr ~buckets:(max 4 (spec.key_range / 4)) ()
     | Skip_ds | Churn -> Ts_ds.Skiplist.create ~smr ~max_height:6 ()
   in
@@ -286,6 +319,16 @@ let run spec =
         { config with Runtime.trace = Some (fun e -> Fmt.epr "%a@." Ts_sim.Trace.pp e) }
     | None -> config
   in
+  (* The analyzer is an ops decorator: attach it before the runtime
+     installs its backend so every op of the run is observed.  It must be
+     detached on every exit path — a leaked decorator would instrument the
+     next (unrelated) run of a sweep. *)
+  let analyzer = if spec.analyze then Some (Ts_analyze.Analyze.attach ()) else None in
+  Fun.protect ~finally:(fun () -> Option.iter Ts_analyze.Analyze.detach analyzer)
+  @@ fun () ->
+  let wrap_analyzed smr =
+    match analyzer with Some an -> Ts_analyze.Analyze.wrap_smr an smr | None -> smr
+  in
   let rt = Runtime.create config in
   let phase_of = ref (fun () -> -1) in
   let san = Sanitize.install rt ~phase_of:(fun () -> !phase_of ()) in
@@ -295,6 +338,26 @@ let run spec =
   let oracle_violations = ref [] in
   ignore
     (Runtime.add_thread rt (fun () ->
+         match spec.bug with
+         | Some Bug_skip_fence ->
+             (* The seeded bug lives in the reclamation scheme itself, so
+                this run swaps ThreadScan for the epoch-nofence variant —
+                no protocol injection, phase counter or quiescence oracle
+                applies.  A small batch makes a checker-sized run reclaim
+                mid-workload, which is what lets the stale-counter free
+                land under a concurrent traversal. *)
+             let smr =
+               wrap_analyzed
+                 (Ts_reclaim.Epoch.create ~skip_fence:true ~batch:4
+                    ~max_threads:(spec.threads + 2) ())
+             in
+             smr.Smr.thread_init ();
+             (match spec.ds with
+             | Churn -> ignore (run_churn rt spec smr)
+             | _ -> ignore (run_sets rt spec smr ~record));
+             smr.Smr.thread_exit ();
+             smr.Smr.flush ()
+         | _ ->
          let ts_config =
            let base =
              {
@@ -353,10 +416,13 @@ let run spec =
                  smr0.Smr.retire p);
            }
          in
+         (* Analyzer wrapping goes outermost so [note_retire] sees the
+            retire before the generation oracle consumes it. *)
+         let smr = wrap_analyzed smr in
          smr.Smr.thread_init ();
          let baseline, final_list =
            match spec.ds with
-           | List_ds | Hash_ds | Skip_ds -> run_sets rt spec smr ~record
+           | List_ds | Hash_ds | Skip_ds | Lazy_ds -> run_sets rt spec smr ~record
            | Churn -> run_churn rt spec smr
          in
          smr.Smr.thread_exit ();
@@ -398,9 +464,21 @@ let run spec =
         in
         (!oracle_violations @ lin_v, lin.Linearize.keys, lin.Linearize.skipped_segments)
   in
+  (* Analyzer reports come first: a race or lifecycle violation is the root
+     cause of whatever downstream fault (sanitizer UAF, crash) it produced. *)
+  let analysis =
+    match analyzer with
+    | None -> []
+    | Some an ->
+        List.map
+          (function
+            | Ts_analyze.Analyze.Race r -> Report.Race r
+            | Ts_analyze.Analyze.Lifecycle l -> Report.Lifecycle l)
+          (Ts_analyze.Analyze.violations an)
+  in
   {
     spec;
-    violations;
+    violations = analysis @ violations;
     events = List.length !events;
     phases = !phases;
     steps;

@@ -18,6 +18,10 @@ type ds_kind =
   | List_ds
   | Hash_ds
   | Skip_ds
+  | Lazy_ds
+      (** the lock-based lazy list — mainly interesting under [--race],
+          where its unsynchronized traversals stress the happens-before
+          model, and as the home of the [elide-lock] seeded bug *)
   | Churn
       (** not a set: each worker owns a published slot, grabs random slots'
           nodes and holds them in frames across dereferences while
@@ -30,6 +34,24 @@ type policy =
   | Timed  (** cost-model schedule, one interleaving per seed *)
   | Uniform  (** uniformly random walk over active threads *)
   | Pct of int  (** PCT priority scheduling with [d] change points *)
+
+(** A deliberately seeded synchronization/lifecycle bug, used to validate
+    the {!Ts_analyze} checkers (each must fire, with the right
+    attribution).  Each bug implies the structure it lives in — see
+    {!bug_ds}. *)
+type bug =
+  | Bug_elide_lock
+      (** lazy list mutates without its per-node locks: unordered
+          write-write pairs on [next]/[marked] words *)
+  | Bug_retire_early
+      (** Michael list retires a marked node before unlinking it:
+          retire-before-unlink, then double-retire when a traversal
+          unlinks and retires it again *)
+  | Bug_skip_fence
+      (** epoch scheme announces its odd epoch without the fence
+          (TSO-honestly: the store is deferred to the next operation
+          boundary), so a cleanup frees under a live traversal:
+          free-vs-read race + sanitizer use-after-free *)
 
 (** Environment fault plan: the [victims] lowest-indexed workers self-inject
     after [after] completed operations.  Unlike {!Threadscan.inject} (a
@@ -57,11 +79,17 @@ type spec = {
   fault : fault;  (** injected environment fault the protocol must survive *)
   policy : policy;
   seed : int;
+  analyze : bool;
+      (** run the {!Ts_analyze} happens-before + lifecycle checkers;
+          their reports land first in [violations].  Note: the analyzer
+          performs extra ops, so analyzed schedules differ from
+          unanalyzed ones (both remain deterministic per seed). *)
+  bug : bug option;  (** seed a deliberate bug (checker validation) *)
 }
 
 val default : spec
 (** list, 3 threads, 40 ops, keys 0..31, buffer 8, no help-free, no
-    injection, uniform policy, seed 0. *)
+    injection, uniform policy, seed 0, no analysis, no seeded bug. *)
 
 val ds_to_string : ds_kind -> string
 
@@ -71,6 +99,15 @@ val policy_to_string : policy -> string
 
 val policy_of_string : string -> policy option
 (** ["timed"], ["uniform"], or ["pct:<d>"]. *)
+
+val bug_to_string : bug -> string
+
+val bug_of_string : string -> bug option
+(** ["elide-lock"], ["retire-early"], or ["skip-fence"]. *)
+
+val bug_ds : bug -> ds_kind
+(** The structure a seeded bug lives in ([Bug_skip_fence] swaps the
+    scheme, not the structure, and runs over the Michael list). *)
 
 val inject_to_string : Threadscan.inject -> string
 

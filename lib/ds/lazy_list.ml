@@ -31,7 +31,16 @@ let fr_curr = 1
 
 let frame_slots = 2
 
-type t = { smr : Smr.t; padding : int; head : int (* ptr to left sentinel *) }
+type t = {
+  smr : Smr.t;
+  padding : int;
+  head : int; (* region cell holding the ptr to the left sentinel *)
+  elide_locks : bool; (* seeded bug: skip per-node locks entirely *)
+}
+
+let lock t l = if not t.elide_locks then Spinlock.acquire l
+
+let unlock t l = if not t.elide_locks then Spinlock.release l
 
 let new_node t ~key ~value ~next =
   let addr = Runtime.malloc (node_words ~padding:t.padding) in
@@ -85,8 +94,8 @@ let insert t key value =
   Frame.with_frame frame_slots (fun fr ->
       let rec loop () =
         let pred, curr = walk t key fr in
-        Spinlock.acquire (lock_of pred);
-        Spinlock.acquire (lock_of curr);
+        lock t (lock_of pred);
+        lock t (lock_of curr);
         let ok = validate pred curr in
         let result =
           if not ok then None
@@ -97,8 +106,8 @@ let insert t key value =
             Some true
           end
         in
-        Spinlock.release (lock_of curr);
-        Spinlock.release (lock_of pred);
+        unlock t (lock_of curr);
+        unlock t (lock_of pred);
         match result with Some r -> r | None -> loop ()
       in
       loop ())
@@ -107,8 +116,8 @@ let remove t key =
   Frame.with_frame frame_slots (fun fr ->
       let rec loop () =
         let pred, curr = walk t key fr in
-        Spinlock.acquire (lock_of pred);
-        Spinlock.acquire (lock_of curr);
+        lock t (lock_of pred);
+        lock t (lock_of curr);
         let ok = validate pred curr in
         let result =
           if not ok then None
@@ -120,8 +129,8 @@ let remove t key =
             Some true
           end
         in
-        Spinlock.release (lock_of curr);
-        Spinlock.release (lock_of pred);
+        unlock t (lock_of curr);
+        unlock t (lock_of pred);
         match result with
         | Some true ->
             t.smr.Smr.retire curr;
@@ -159,9 +168,9 @@ let check t () =
   in
   sorted keys
 
-let create ~smr ?(padding = 0) () =
+let create ~smr ?(padding = 0) ?(elide_locks = false) () =
   let head_cell = Runtime.alloc_region 1 in
-  let t = { smr; padding; head = head_cell } in
+  let t = { smr; padding; head = head_cell; elide_locks } in
   let tail = new_node t ~key:max_int ~value:0 ~next:Ptr.null in
   let head = new_node t ~key:min_int ~value:0 ~next:tail in
   Runtime.write head_cell head;

@@ -8,4 +8,9 @@
     node is marked under its lock, unlinked, and handed to the reclamation
     scheme. *)
 
-val create : smr:Ts_smr.Smr.t -> ?padding:int -> unit -> Set_intf.t
+val create : smr:Ts_smr.Smr.t -> ?padding:int -> ?elide_locks:bool -> unit -> Set_intf.t
+(** [elide_locks] (default false) seeds a deliberate bug for the
+    analyzer's test suite: insert/remove skip the per-node locks, so two
+    mutators can write the same [next]/[marked] words with no
+    happens-before edge — the unordered write-write pair the
+    {!Ts_analyze} race detector must report. *)

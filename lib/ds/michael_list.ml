@@ -124,7 +124,7 @@ let insert_node_at ~(smr : Smr.t) ~padding ~head key value =
       in
       loop ())
 
-let remove_at ~(smr : Smr.t) ~head key =
+let remove_at ~(smr : Smr.t) ?(retire_early = false) ~head key =
   Frame.with_frame frame_slots (fun fr ->
       let rec loop () =
         let found, prev_cell, cur = find ~smr ~head key fr in
@@ -133,10 +133,21 @@ let remove_at ~(smr : Smr.t) ~head key =
           let next_t = Runtime.read (next_cell cur) in
           if Ptr.is_marked next_t then loop ()
           else if Runtime.cas (next_cell cur) next_t (Ptr.mark next_t) then begin
-            (* logically deleted; now unlink (or let a traversal do it) *)
-            if Runtime.cas prev_cell cur (Ptr.unmark next_t) then smr.retire cur
-            else ignore (find ~smr ~head key fr);
-            true
+            if retire_early then begin
+              (* seeded bug: hand the node to the scheme while the
+                 predecessor still links to it — the retire-before-unlink
+                 transition the lifecycle automaton must flag (and, once a
+                 traversal unlinks the marked node and retires it again, a
+                 double-retire). *)
+              smr.retire cur;
+              true
+            end
+            else begin
+              (* logically deleted; now unlink (or let a traversal do it) *)
+              if Runtime.cas prev_cell cur (Ptr.unmark next_t) then smr.retire cur
+              else ignore (find ~smr ~head key fr);
+              true
+            end
           end
           else loop ()
         end
@@ -200,7 +211,7 @@ let check_at ~head =
   in
   sorted keys
 
-let create ~smr ?(padding = 0) () =
+let create ~smr ?(padding = 0) ?(retire_early = false) () =
   let head = Runtime.alloc_region 1 in
   Runtime.write head Ptr.null;
   let wrap f =
@@ -212,7 +223,7 @@ let create ~smr ?(padding = 0) () =
   {
     Set_intf.name = "michael-list";
     insert = (fun key value -> wrap (fun () -> insert_at ~smr ~padding ~head key value));
-    remove = (fun key -> wrap (fun () -> remove_at ~smr ~head key));
+    remove = (fun key -> wrap (fun () -> remove_at ~smr ~retire_early ~head key));
     contains = (fun key -> wrap (fun () -> contains_at ~smr ~head key));
     to_list = (fun () -> to_list_at ~head);
     check = (fun () -> check_at ~head);

@@ -17,8 +17,13 @@ val node_words : padding:int -> int
 (** Size of a node block given extra [padding] words (the paper pads list
     nodes to 172 bytes ≈ 19 extra words to fight false sharing). *)
 
-val create : smr:Ts_smr.Smr.t -> ?padding:int -> unit -> Set_intf.t
-(** A standalone list with its own head cell.  [padding] defaults to 0. *)
+val create : smr:Ts_smr.Smr.t -> ?padding:int -> ?retire_early:bool -> unit -> Set_intf.t
+(** A standalone list with its own head cell.  [padding] defaults to 0.
+    [retire_early] (default false) seeds a deliberate bug for the
+    analyzer's test suite: [remove] retires the node right after marking
+    it, while the predecessor still links to it — the
+    retire-before-unlink transition the {!Ts_analyze} lifecycle automaton
+    must flag. *)
 
 (** {1 Bucket interface} — operations on a list hanging off an arbitrary
     head cell (used by {!Hash_table}).  These do NOT bracket themselves
@@ -33,7 +38,7 @@ val insert_node_at :
     {!Split_hash} to install bucket dummy nodes, which are never retired —
     holding the returned pointer is only safe for such immortal nodes. *)
 
-val remove_at : smr:Ts_smr.Smr.t -> head:int -> int -> bool
+val remove_at : smr:Ts_smr.Smr.t -> ?retire_early:bool -> head:int -> int -> bool
 
 val contains_at : smr:Ts_smr.Smr.t -> head:int -> int -> bool
 

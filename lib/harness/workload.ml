@@ -68,6 +68,7 @@ type spec = {
   fault : fault;
   seed : int;
   backend : backend;
+  smr_wrap : (Smr.t -> Smr.t) option;
 }
 
 let default_spec =
@@ -89,6 +90,7 @@ let default_spec =
     fault = Fault_none;
     seed = 0xBE5;
     backend = Backend_sim;
+    smr_wrap = None;
   }
 
 type result = {
@@ -209,7 +211,10 @@ let worker spec (smr : Smr.t) (ds : Set_intf.t) ~i ~start ~deadline ~count () =
    primitives are used, so the same closure runs under the effect-based
    scheduler and on real domains. *)
 let body spec counts retired freed extras () =
-  let smr = make_scheme spec in
+  let smr =
+    let smr = make_scheme spec in
+    match spec.smr_wrap with Some wrap -> wrap smr | None -> smr
+  in
   smr.Smr.thread_init ();
   let ds = make_ds spec smr in
   prefill spec ds;

@@ -70,6 +70,9 @@ type spec = {
           horizon-scaled degradation budgets so the ladder can fire *)
   seed : int;
   backend : backend;
+  smr_wrap : (Ts_smr.Smr.t -> Ts_smr.Smr.t) option;
+      (** instrument the scheme before the workload uses it (e.g.
+          {!Ts_analyze.Analyze.wrap_smr}); [None] in {!default_spec} *)
 }
 
 val default_spec : spec

@@ -1,0 +1,64 @@
+(** Unmanaged shared heap for the native backend.
+
+    Every word is an [int Atomic.t] (all accesses sequentially
+    consistent), with a shadow byte per word tracking
+    unallocated/live/freed state so use-after-free, double-free and wild
+    accesses are detected with the same {!Ts_umem.Mem.fault_kind}
+    vocabulary as the simulator's heap. *)
+
+type t
+
+val create :
+  ?strict:bool ->
+  ?capacity:int ->
+  ?cache_cap:int ->
+  ?batch:int ->
+  max_threads:int ->
+  unit ->
+  t
+(** [strict] (default [true]) raises {!Ts_umem.Mem.Fault} on the first
+    fault; non-strict records the fault, returns poison on bad reads and
+    drops bad writes. [capacity] is in words and fixed at creation. *)
+
+(** {1 Faults} *)
+
+val set_fault_hook : t -> (Ts_umem.Mem.fault_kind -> int -> unit) -> unit
+val fault_count : t -> Ts_umem.Mem.fault_kind -> int
+val total_faults : t -> int
+val pp_faults : Format.formatter -> t -> unit
+
+(** {1 Data plane} *)
+
+val read : t -> int -> int
+val write : t -> int -> int -> unit
+val cas : t -> int -> int -> int -> bool
+val faa : t -> int -> int -> int
+
+val raw_read : t -> int -> int
+(** Unchecked read (no fault accounting); used for register mirrors. *)
+
+val raw_write : t -> int -> int -> unit
+
+val is_live : t -> int -> bool
+val is_freed : t -> int -> bool
+
+(** {1 Allocation} *)
+
+val alloc_region : t -> int -> int
+(** Permanent region (stacks, register files, data-structure anchors);
+    never freed, never poisoned. *)
+
+val malloc : t -> tid:int -> int -> int
+val free : t -> tid:int -> int -> unit
+
+(** {1 Accounting} *)
+
+val size : t -> int
+val capacity : t -> int
+val strict : t -> bool
+val mallocs : t -> int
+val frees : t -> int
+val live_blocks : t -> int
+val live_words : t -> int
+val peak_live_blocks : t -> int
+val peak_live_words : t -> int

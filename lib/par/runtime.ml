@@ -699,9 +699,14 @@ let collect_stats t =
 
 let run ?(config = default_config) main =
   let t = create config in
-  let previous = Atomic.get Ts_rt.current in
+  (* Save/restore the previous BASE record (not the decorated dispatch
+     record): re-installing a decorated record would stack a second copy
+     of any attached analyzer on top of it. *)
+  let previous = Ts_rt.base_ops () in
   Ts_rt.install (make_ops t);
+  Ts_rt.enter_run ();
   let finally () =
+    Ts_rt.exit_run ();
     match previous with Some ops -> Ts_rt.install ops | None -> ()
   in
   Fun.protect ~finally (fun () ->

@@ -66,7 +66,7 @@ let cleanup st (c : Smr.counters) =
       Vec.clear to_free
     end
 
-let create ?(batch = 256) ?errant ?patience ~max_threads () =
+let create ?(batch = 256) ?errant ?patience ?(skip_fence = false) ~max_threads () =
   let counters_base = Runtime.alloc_region max_threads in
   let st =
     {
@@ -91,7 +91,18 @@ let create ?(batch = 256) ?errant ?patience ~max_threads () =
     Runtime.write (counter_addr st tid) st.mirror.(tid)
   in
   let smr = ref None in
-  let op_begin () = bump () in
+  let op_begin () =
+    if skip_fence then
+      (* Seeded bug: the store announcing the odd epoch is issued without
+         the fence that must drain it before the section's first read.
+         Rendered TSO-honestly, the announce sits in the store buffer for
+         the whole read-side section and only reaches shared memory at
+         the next boundary — so a concurrent cleanup reads a stale even
+         counter and frees nodes under this thread's feet. *)
+      let tid = Runtime.self () in
+      st.mirror.(tid) <- st.mirror.(tid) + 1
+    else bump ()
+  in
   let op_end () =
     let tid = Runtime.self () in
     (* If the batch filled during this operation, the errant thread (Slow
@@ -103,6 +114,10 @@ let create ?(batch = 256) ?errant ?patience ~max_threads () =
       ->
         Runtime.advance delay
     | _ -> ());
+    if skip_fence then
+      (* the delayed announce finally drains, back to back with the
+         boundary store below *)
+      Runtime.write (counter_addr st tid) st.mirror.(tid);
     bump ();
     let backlog = Vec.length st.limbo.(tid) + Vec.length st.pending.(tid) in
     if backlog > st.unreclaimed_peak then st.unreclaimed_peak <- backlog;
@@ -156,7 +171,10 @@ let create ?(batch = 256) ?errant ?patience ~max_threads () =
        so everything stays unreclaimed — the wedge the ablate-crash
        experiment measures. *)
   in
-  let name = match errant with None -> "epoch" | Some _ -> "slow-epoch" in
+  let name =
+    if skip_fence then "epoch-nofence"
+    else match errant with None -> "epoch" | Some _ -> "slow-epoch"
+  in
   let t =
     Smr.make ~name ~op_begin ~op_end ~thread_exit ~flush
       ~extras:(fun () ->

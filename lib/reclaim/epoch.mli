@@ -15,11 +15,21 @@ val create :
   ?batch:int ->
   ?errant:int * int ->
   ?patience:int ->
+  ?skip_fence:bool ->
   max_threads:int ->
   unit ->
   Ts_smr.Smr.t
 (** [batch] (default 256) is the per-thread retire count that triggers a
     cleanup.  Must run inside the simulator (allocates the counter array).
+
+    [skip_fence] (default false) seeds the classic epoch bug for the
+    analyzer's test suite: the store announcing the odd epoch is issued
+    without its fence, rendered TSO-honestly by deferring the shared
+    counter write to the next operation boundary.  A concurrent cleanup
+    can then read a stale even counter and free a node the thread is
+    still traversing — a use-after-free the heap sanitizer and the
+    free-vs-read race report both catch.  The scheme is named
+    ["epoch-nofence"].
 
     [patience] bounds every quiescence wait to that many virtual cycles:
     on timeout the cleanup (or flush) is abandoned and nothing is freed —

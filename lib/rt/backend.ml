@@ -66,9 +66,61 @@ type ops = {
   critical : 'a. (unit -> 'a) -> 'a;
 }
 
+(* Registration is split in two layers:
+
+   - [base]: the ops record a backend installed (sim or native).
+   - [decorator]: an optional wrapper (the [Ts_analyze] race/lifecycle
+     detector) applied on top of whatever base is installed.
+
+   [current] always holds [decorator (base)] and is what the wrapper
+   functions below dispatch through.  Keeping [base] separate means a
+   backend re-installing its own record (the simulator does so on both
+   [create] and [start]) re-applies the decorator instead of silently
+   dropping it — and lets [install] reject a *different* backend while a
+   run is in flight, so a stray nested run can't swap the ops out from
+   under an attached analyzer. *)
+
 let current : ops option Atomic.t = Atomic.make None
 
-let install o = Atomic.set current (Some o)
+let base : ops option Atomic.t = Atomic.make None
+
+let decorator : (ops -> ops) option Atomic.t = Atomic.make None
+
+let run_depth : int Atomic.t = Atomic.make 0
+
+let refresh () =
+  match Atomic.get base with
+  | None -> Atomic.set current None
+  | Some b ->
+      let o = match Atomic.get decorator with None -> b | Some d -> d b in
+      Atomic.set current (Some o)
+
+let install o =
+  (match Atomic.get base with
+  | Some b when Atomic.get run_depth > 0 && b != o ->
+      failwith
+        "Ts_rt: backend install while a run is active (finish the current Ts_sim/Ts_par run \
+         before entering another backend)"
+  | _ -> ());
+  Atomic.set base (Some o);
+  refresh ()
+
+let base_ops () = Atomic.get base
+
+let set_decorator d =
+  Atomic.set decorator d;
+  refresh ()
+
+let enter_run () = Atomic.incr run_depth
+
+let exit_run () =
+  let rec dec () =
+    let d = Atomic.get run_depth in
+    if d > 0 && not (Atomic.compare_and_set run_depth d (d - 1)) then dec ()
+  in
+  dec ()
+
+let run_active () = Atomic.get run_depth > 0
 
 let installed () = Atomic.get current <> None
 

@@ -447,6 +447,28 @@ let do_signal rt sender target_tid =
     end
   end
 
+(* ---- non-preemptible critical sections ----
+
+   [Ts_rt.critical] must make its body scheduling-atomic: a decorator
+   (the happens-before analyzer) delegates a memory effect and then
+   updates its own bookkeeping inside one [critical] body, and no other
+   fiber may observe the memory mutation before the bookkeeping lands.
+   Mutual exclusion alone is free here (one fiber runs at a time), but
+   every effect is a scheduling point, so [critical] additionally pins
+   its owner: while a section is open the scheduler keeps resuming the
+   owning fiber.
+
+   The refs are module-level because the [Ts_rt.ops] record is static;
+   exactly one simulator instance runs at a time (enforced by
+   [Ts_rt.install]), and [create] resets them.  When no critical body
+   performs an effect — true of every in-tree caller except the
+   analyzer — the scheduler never observes a nonzero depth and
+   schedules are bit-for-bit what they were. *)
+
+let crit_depth = ref 0
+let crit_tid = ref (-1) (* owner while depth > 0 *)
+let cur_tid = ref (-1) (* tid of the fiber inside [step] *)
+
 (* ---- fault injection ---- *)
 
 let do_crash rt reporter target_tid =
@@ -466,6 +488,12 @@ let do_crash rt reporter target_tid =
     target.resume <- None;
     rt.live <- rt.live - 1;
     remove_active rt target;
+    (* the fiber is abandoned mid-flight: any critical section it held
+       would otherwise stay open forever *)
+    if !crit_tid = target_tid then begin
+      crit_depth := 0;
+      crit_tid := -1
+    end;
     emit rt reporter (Trace.Crashed { tid = target_tid })
   end
 
@@ -856,9 +884,23 @@ let demote rt th =
   rt.floor_prio <- rt.floor_prio - 1;
   th.prio <- rt.floor_prio
 
+(* While a critical section is open its owner runs next, if it can: the
+   section must be scheduling-atomic.  An owner that was crashed clears
+   the state in [do_crash]; an owner that was stalled mid-section cannot
+   run, so the pin is waived rather than deadlocking the schedule (fault
+   injection under the analyzer is best-effort by design). *)
+let pinned_owner rt =
+  if !crit_depth = 0 || !crit_tid < 0 || !crit_tid >= rt.nthreads then None
+  else
+    let th = rt.threads.(!crit_tid) in
+    if th.status <> Done && th.on_core && th.resume <> None then Some th else None
+
 let pick_next rt =
   if rt.nactive = 0 then None
   else
+    match pinned_owner rt with
+    | Some th -> Some th
+    | None -> (
     match rt.cfg.sched with
     | Timed -> Some rt.heap.(0)
     | Uniform ->
@@ -881,7 +923,7 @@ let pick_next rt =
             demote rt !best;
             emit rt !best (Trace.Priority_changed { tid = !best.tid; prio = !best.prio })
         | _ -> ());
-        Some !best
+        Some !best)
 
 let deschedule rt th =
   remove_active rt th;
@@ -889,7 +931,11 @@ let deschedule rt th =
   emit rt th (Trace.Descheduled { tid = th.tid })
 
 let post_step rt th =
-  if th.status <> Done && th.on_core && not (unlimited rt) then begin
+  if
+    th.status <> Done && th.on_core
+    && not (unlimited rt)
+    && not (!crit_depth > 0 && !crit_tid = th.tid)
+  then begin
     let others_waiting = ready_nonempty rt in
     if
       others_waiting
@@ -911,6 +957,7 @@ let post_step rt th =
 
 let step rt th =
   rt.current <- th.tid;
+  cur_tid := th.tid;
   deliver_signal rt th;
   if th.clock > rt.now then rt.now <- th.clock;
   rt.sim_stats.steps <- rt.sim_stats.steps + 1;
@@ -927,6 +974,11 @@ let step rt th =
 (* ------------------------------------------------------------------ *)
 
 let create cfg =
+  (* stale pin state can only survive a run that crashed a fiber inside
+     a critical section; never let it leak into the next run *)
+  crit_depth := 0;
+  crit_tid := -1;
+  cur_tid := -1;
   let mem = Mem.create ~strict:cfg.strict_mem ~capacity_limit:cfg.mem_capacity () in
   (* max_threads for allocator caches: grown lazily via modulo mapping is
      wrong; instead size generously and let Alloc index by tid directly. *)
@@ -1161,8 +1213,19 @@ let rt_ops : Ts_rt.ops =
     clock_of;
     set_wait_note;
     note;
-    (* exactly one fiber runs at a time: mutual exclusion is free *)
-    critical = (fun f -> f ());
+    (* Exactly one fiber runs at a time, so mutual exclusion is free —
+       but a decorator performing effects inside [critical] also needs
+       the section to be scheduling-atomic, so the owner is pinned until
+       the depth returns to zero (see [pinned_owner]). *)
+    critical =
+      (fun f ->
+        if !crit_depth = 0 then crit_tid := !cur_tid;
+        incr crit_depth;
+        Fun.protect
+          ~finally:(fun () ->
+            decr crit_depth;
+            if !crit_depth = 0 then crit_tid := -1)
+          f);
   }
 
 let create cfg =
@@ -1171,8 +1234,10 @@ let create cfg =
 
 let start rt =
   Ts_rt.install rt_ops;
-  start rt
+  Ts_rt.enter_run ();
+  Fun.protect ~finally:Ts_rt.exit_run (fun () -> start rt)
 
 let run ?config main =
   Ts_rt.install rt_ops;
-  run ?config main
+  Ts_rt.enter_run ();
+  Fun.protect ~finally:Ts_rt.exit_run (fun () -> run ?config main)

@@ -1,0 +1,59 @@
+The happens-before race detector and SMR lifecycle sanitizer, driven
+through the checker CLI.  Each seeded bug (--bug) forces the structure
+it lives in, implies --race, and must be caught with both access sites
+(races) or the owning scheme (lifecycle violations) attributed.
+
+A lock-elided lazy list: two mutators write the same node word with no
+happens-before edge.  The race report names both writes; everything
+after it (the broken history) is downstream damage from the same lost
+update:
+
+  $ ../../bin/tscheck.exe replay --threads 3 --ops 5 --key-range 4 --seed 1 --bug elide-lock
+  replay: ds=lazy threads=3 ops=5 key-range=4 buffer=8 inject=none fault=none policy=uniform seed=1 race bug=elide-lock
+  outcome: 3 violations (events=21 phases=1 steps=1602 keys-checked=4)
+    race on word 3696 (alloc #1+2): t1 write@41 vs t3 write@46
+    oracle: heap not back to baseline (live=4 baseline=2 (crash-leak budget 0))
+    non-linearizable: lazy key 1: [196,347] t2 remove(1)=false; [497,650] t1 insert(1)=true; [499,607] t2 remove(1)=false; [678,848] t3 remove(1)=false; [1176,1207] t0 remove(1)=false
+  [1]
+
+A Michael list that retires right after marking, while the predecessor
+still links to the node: the lifecycle automaton flags the
+retire-before-unlink at the retire itself, and the double-retire when a
+traversal later unlinks and retires the same node:
+
+  $ ../../bin/tscheck.exe replay --threads 1 --ops 2 --key-range 4 --seed 0 --bug retire-early
+  replay: ds=list threads=1 ops=2 key-range=4 buffer=8 inject=none fault=none policy=uniform seed=0 race bug=retire-early
+  outcome: 10 violations (events=8 phases=1 steps=727 keys-checked=4)
+    lifecycle [threadscan] retire-before-unlink: alloc #1 (base 3590) by t1: 1 live shared reference at retire
+    lifecycle [threadscan] double-retire: alloc #1 (base 3590) by t1: already retired to threadscan
+    lifecycle [threadscan] retire-before-unlink: alloc #0 (base 3585) by t0: 1 live shared reference at retire
+    lifecycle [threadscan] double-retire: alloc #0 (base 3585) by t0: already retired to threadscan
+    lifecycle [threadscan] retire-before-unlink: alloc #2 (base 3510) by t0: 1 live shared reference at retire
+    lifecycle [threadscan] double-retire: alloc #2 (base 3510) by t0: already retired to threadscan
+    oracle: double retire (addr 3510 retired twice in generation 1)
+    oracle: double retire (addr 3585 retired twice in generation 1)
+    oracle: double retire (addr 3590 retired twice in generation 1)
+    oracle: retired nodes never freed (outstanding=3 after flush (crash-leak budget 0))
+  [1]
+
+An epoch scheme that skips the fence announcing its odd epoch: a
+concurrent cleanup reads the stale even counter and frees a node mid-
+traversal — reported as a free racing an unordered read, with both
+sites:
+
+  $ ../../bin/tscheck.exe replay --threads 3 --ops 15 --key-range 8 --seed 9 --bug skip-fence
+  replay: ds=list threads=3 ops=15 key-range=8 buffer=8 inject=none fault=none policy=uniform seed=9 race bug=skip-fence
+  outcome: 1 violations (events=57 phases=0 steps=4419 keys-checked=8)
+    race on word 413 (alloc #2+0): t3 read@334 vs t1 free@315
+  [1]
+
+The same specs without the seeded bug stay silent under --race — the
+detectors fire on bugs, not on correct synchronization:
+
+  $ ../../bin/tscheck.exe replay --ds lazy --threads 3 --ops 5 --key-range 4 --seed 1 --race
+  replay: ds=lazy threads=3 ops=5 key-range=4 buffer=8 inject=none fault=none policy=uniform seed=1 race
+  outcome: 0 violations (events=21 phases=1 steps=1956 keys-checked=4)
+
+  $ ../../bin/tscheck.exe replay --ds list --threads 3 --ops 15 --key-range 8 --seed 9 --race
+  replay: ds=list threads=3 ops=15 key-range=8 buffer=8 inject=none fault=none policy=uniform seed=9 race
+  outcome: 0 violations (events=57 phases=1 steps=4635 keys-checked=8)

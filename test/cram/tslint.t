@@ -1,0 +1,38 @@
+The facade-discipline pass.  Everything outside lib/rt, lib/sim and
+lib/par must go through the Ts_rt facade; naming the simulator or a
+domain primitive directly fails the lint.
+
+A fake tree standing in for the repository's lib/, with a data-structure
+module that smuggles in an Atomic and spawns a Domain:
+
+  $ mkdir -p lib/ds lib/rt
+  $ cat > lib/ds/bad.ml <<'EOF'
+  > (* A comment may say Atomic.make freely; code may not. *)
+  > let counter = Atomic.make 0
+  > let spawn f = Domain.spawn f
+  > let label = "Mutex.lock inside a string is fine"
+  > EOF
+  $ cat > lib/ds/good.ml <<'EOF'
+  > let bump t = Ts_rt.faa t 1
+  > EOF
+
+lib/rt is a backend directory, so it may (must) name the primitives:
+
+  $ cat > lib/rt/backend.ml <<'EOF'
+  > let current = Atomic.make None
+  > EOF
+
+The planted references are reported with file, line and a reason, and
+the pass exits nonzero:
+
+  $ ../../bin/tslint.exe lib
+  lib/ds/bad.ml:2: forbidden reference "Atomic." — backend primitive; route shared state through Ts_rt ops
+  lib/ds/bad.ml:3: forbidden reference "Domain." — backend primitive; spawn through Ts_rt
+  tslint: 2 violations of the Ts_rt facade discipline
+  [1]
+
+Removing the offender leaves a clean tree:
+
+  $ rm lib/ds/bad.ml
+  $ ../../bin/tslint.exe lib
+  tslint: OK
