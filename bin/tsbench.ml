@@ -59,10 +59,12 @@ let pool_arg =
 let make_backend backend pool =
   match backend with `Sim -> Workload.Backend_sim | `Native -> Workload.Backend_native { pool }
 
-let scheme_conv ~buffer ~help_free ~delay =
+let scheme_conv ~buffer ~help_free ~pipeline ~delay =
   let parse = function
     | "leaky" -> Ok Workload.Leaky
-    | "threadscan" -> Ok (Workload.Threadscan { buffer_size = buffer; help_free })
+    | "threadscan" -> Ok (Workload.Threadscan { buffer_size = buffer; help_free; pipeline })
+    | "threadscan-pipe" ->
+        Ok (Workload.Threadscan { buffer_size = buffer; help_free; pipeline = true })
     | "hazard" -> Ok Workload.Hazard
     | "epoch" -> Ok Workload.Epoch
     | "slow-epoch" -> Ok (Workload.Slow_epoch { delay })
@@ -88,10 +90,15 @@ let print_result (r : Workload.result) =
   Fmt.pr "%-11s elapsed=%d signals=%d switches=%d faults=%d@."
     (match r.spec.backend with Workload.Backend_sim -> "simulator:" | _ -> "native:")
     r.elapsed r.signals_delivered r.ctx_switches r.faults;
-  if r.wall_ns > 0 then
+  if r.wall_ns > 0 then begin
     Fmt.pr "wall:       %.1f ms, %.1f kops/s@."
       (float_of_int r.wall_ns /. 1e6)
       (r.wall_throughput /. 1e3);
+    if r.trials > 1 then
+      Fmt.pr "trials:     median of %d (spread %.1f..%.1f ms)@." r.trials
+        (float_of_int r.wall_min_ns /. 1e6)
+        (float_of_int r.wall_max_ns /. 1e6)
+  end;
   if r.extras <> [] then begin
     Fmt.pr "scheme:    ";
     List.iter (fun (k, v) -> Fmt.pr " %s=%d" k v) r.extras;
@@ -121,6 +128,22 @@ let run_cmd =
   let help_free =
     Arg.(value & flag & info [ "help-free" ] ~doc:"Enable the help-free ThreadScan variant.")
   in
+  let pipeline =
+    Arg.(
+      value & flag
+      & info [ "pipeline" ]
+          ~doc:
+            "ThreadScan only: enable the parallel reclamation pipeline (sealed-run merge \
+             collect, Bloom-prefiltered scan, chunked parallel free; see docs/PERF.md).")
+  in
+  let trials =
+    Arg.(
+      value & opt int 0
+      & info [ "trials" ]
+          ~doc:
+            "Repeat the run and report the median by wall time (0 = auto: 3 on the native \
+             backend, 1 on the deterministic simulator).")
+  in
   let delay =
     Arg.(value & opt int 600_000 & info [ "delay" ] ~doc:"Slow-epoch errant delay (cycles).")
   in
@@ -134,9 +157,9 @@ let run_cmd =
             "Run the workload twice — plain, then under the happens-before + lifecycle \
              checkers — and report the detector's findings and host-time overhead.")
   in
-  let action ds scheme_name threads cores horizon init range update buffer help_free delay
-      padding seed analyze backend pool =
-    match scheme_conv ~buffer ~help_free ~delay scheme_name with
+  let action ds scheme_name threads cores horizon init range update buffer help_free pipeline
+      trials delay padding seed analyze backend pool =
+    match scheme_conv ~buffer ~help_free ~pipeline ~delay scheme_name with
     | Error (`Msg m) -> `Error (false, m)
     | Ok scheme ->
         let spec =
@@ -155,8 +178,12 @@ let run_cmd =
             backend = make_backend backend pool;
           }
         in
+        let trials =
+          if trials > 0 then trials
+          else match spec.Workload.backend with Workload.Backend_native _ -> 3 | _ -> 1
+        in
         if not analyze then begin
-          print_result (Workload.run spec);
+          print_result (Workload.run_trials ~trials spec);
           `Ok ()
         end
         else begin
@@ -207,7 +234,8 @@ let run_cmd =
     Term.(
       ret
         (const action $ ds $ scheme_name $ threads $ cores $ horizon $ init $ range $ update
-       $ buffer $ help_free $ delay $ padding $ seed $ analyze $ backend_arg $ pool_arg))
+       $ buffer $ help_free $ pipeline $ trials $ delay $ padding $ seed $ analyze
+       $ backend_arg $ pool_arg))
 
 (* ------------------------------- sweep ---------------------------------- *)
 
@@ -219,11 +247,19 @@ let json_arg =
     value & flag
     & info [ "json" ] ~doc:"Also write the sweep as $(b,BENCH_<experiment>.json).")
 
+let trials_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "trials" ]
+        ~doc:
+          "Trials per wall-clock measurement; the median run is reported with the min/max \
+           spread (0 = auto: 3 on the native backend, 1 on the simulator).")
+
 let sweep_cmd =
   let exp_name =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT" ~doc:"Experiment name.")
   in
-  let action name scale backend pool json =
+  let action name scale backend pool json trials =
     match List.assoc_opt name Experiment.names with
     | None ->
         `Error
@@ -231,23 +267,25 @@ let sweep_cmd =
             Fmt.str "unknown experiment %S; one of: %s" name
               (String.concat ", " (List.map fst Experiment.names)) )
     | Some f ->
-        Experiment.run_and_print ~title:name ~backend:(make_backend backend pool) ~json f scale;
+        Experiment.run_and_print ~title:name ~backend:(make_backend backend pool) ~json ~trials
+          f scale;
         `Ok ()
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Run one named experiment (a paper figure or an ablation).")
-    Term.(ret (const action $ exp_name $ scale_arg $ backend_arg $ pool_arg $ json_arg))
+    Term.(
+      ret (const action $ exp_name $ scale_arg $ backend_arg $ pool_arg $ json_arg $ trials_arg))
 
 let all_cmd =
-  let action scale backend pool json =
+  let action scale backend pool json trials =
     let backend = make_backend backend pool in
     List.iter
-      (fun (name, f) -> Experiment.run_and_print ~title:name ~backend ~json f scale)
+      (fun (name, f) -> Experiment.run_and_print ~title:name ~backend ~json ~trials f scale)
       Experiment.names
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Run every experiment at the given scale.")
-    Term.(const action $ scale_arg $ backend_arg $ pool_arg $ json_arg)
+    Term.(const action $ scale_arg $ backend_arg $ pool_arg $ json_arg $ trials_arg)
 
 let list_cmd =
   let action () = List.iter (fun (n, _) -> print_endline n) Experiment.names in

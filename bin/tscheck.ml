@@ -78,6 +78,31 @@ let buffer_arg =
 let help_free_arg =
   Arg.(value & flag & info [ "help-free" ] ~doc:"Check the help-free ThreadScan variant.")
 
+let collect_merge_arg =
+  Arg.(
+    value & flag
+    & info [ "collect-merge" ]
+        ~doc:"Check the sealed-run collect with k-way merge publish (docs/PERF.md).")
+
+let scan_filter_arg =
+  Arg.(
+    value & flag
+    & info [ "scan-filter" ] ~doc:"Check the Bloom-prefiltered TS-Scan (docs/PERF.md).")
+
+let free_chunk_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "free-chunk" ]
+        ~doc:"Chunked helper-parallel free phase with this chunk size (0 = legacy).")
+
+let pipeline_arg =
+  Arg.(
+    value & flag
+    & info [ "pipeline" ]
+        ~doc:
+          "Shorthand: check the whole parallel reclamation pipeline \
+           (--collect-merge --scan-filter --free-chunk 4 --help-free).")
+
 let inject_arg =
   Arg.(
     value
@@ -137,9 +162,13 @@ let sweep_cmd =
     Arg.(value & opt int 3 & info [ "pct-depth" ] ~doc:"PCT priority change points.")
   in
   let seed0 = Arg.(value & opt int 0 & info [ "seed0" ] ~doc:"First seed of the family.") in
-  let action ds_list schedules pct_depth seed0 threads ops key_range buffer_size help_free inject
-      fault race bug =
+  let action ds_list schedules pct_depth seed0 threads ops key_range buffer_size help_free
+      collect_merge scan_filter free_chunk pipeline inject fault race bug =
     let analyze = race || bug <> None in
+    let help_free = help_free || pipeline in
+    let collect_merge = collect_merge || pipeline in
+    let scan_filter = scan_filter || pipeline in
+    let free_chunk = if pipeline && free_chunk = 0 then 4 else free_chunk in
     (* A seeded bug lives in one specific structure; sweeping any other
        would "pass" without exercising it. *)
     let ds_list = match bug with None -> ds_list | Some b -> [ Scenario.bug_ds b ] in
@@ -151,6 +180,9 @@ let sweep_cmd =
         key_range;
         buffer_size;
         help_free;
+        collect_merge;
+        scan_filter;
+        free_chunk;
         inject;
         fault;
         analyze;
@@ -161,6 +193,11 @@ let sweep_cmd =
       (List.length ds_list) schedules seed0
       (seed0 + schedules - 1)
       pct_depth;
+    if collect_merge || scan_filter || free_chunk <> 0 then
+      Fmt.pr "pipeline:%s%s%s@."
+        (if collect_merge then " collect-merge" else "")
+        (if scan_filter then " scan-filter" else "")
+        (if free_chunk <> 0 then Fmt.str " free-chunk=%d" free_chunk else "");
     if inject <> Threadscan.No_fault then
       Fmt.pr "injected bug: %s@." (Scenario.inject_to_string inject);
     if fault <> Scenario.Fault_none then
@@ -204,7 +241,8 @@ let sweep_cmd =
     Term.(
       ret
         (const action $ ds_list $ schedules $ pct_depth $ seed0 $ threads_arg $ ops_arg
-       $ range_arg $ buffer_arg $ help_free_arg $ inject_arg $ fault_arg $ race_arg $ bug_arg))
+       $ range_arg $ buffer_arg $ help_free_arg $ collect_merge_arg $ scan_filter_arg
+       $ free_chunk_arg $ pipeline_arg $ inject_arg $ fault_arg $ race_arg $ bug_arg))
 
 (* -------------------------------- replay -------------------------------- *)
 
@@ -217,8 +255,13 @@ let replay_cmd =
       & info [ "policy" ] ~doc:"Schedule policy (timed|uniform|pct:<d>).")
   in
   let seed = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Schedule seed.") in
-  let action ds policy seed threads ops key_range buffer_size help_free inject fault race bug =
+  let action ds policy seed threads ops key_range buffer_size help_free collect_merge
+      scan_filter free_chunk pipeline inject fault race bug =
     let analyze = race || bug <> None in
+    let help_free = help_free || pipeline in
+    let collect_merge = collect_merge || pipeline in
+    let scan_filter = scan_filter || pipeline in
+    let free_chunk = if pipeline && free_chunk = 0 then 4 else free_chunk in
     let ds = match bug with None -> ds | Some b -> Scenario.bug_ds b in
     let spec =
       {
@@ -228,6 +271,9 @@ let replay_cmd =
         key_range;
         buffer_size;
         help_free;
+        collect_merge;
+        scan_filter;
+        free_chunk;
         inject;
         fault;
         policy;
@@ -237,10 +283,13 @@ let replay_cmd =
       }
     in
     Fmt.pr
-      "replay: ds=%s threads=%d ops=%d key-range=%d buffer=%d%s inject=%s fault=%s policy=%s \
+      "replay: ds=%s threads=%d ops=%d key-range=%d buffer=%d%s%s%s%s inject=%s fault=%s policy=%s \
        seed=%d%s%s@."
       (Scenario.ds_to_string ds) threads ops key_range buffer_size
       (if help_free then " help-free" else "")
+      (if collect_merge then " collect-merge" else "")
+      (if scan_filter then " scan-filter" else "")
+      (if free_chunk <> 0 then Fmt.str " free-chunk=%d" free_chunk else "")
       (Scenario.inject_to_string inject)
       (Scenario.fault_to_string fault)
       (Scenario.policy_to_string policy)
@@ -259,7 +308,8 @@ let replay_cmd =
     Term.(
       ret
         (const action $ ds $ policy $ seed $ threads_arg $ ops_arg $ range_arg $ buffer_arg
-       $ help_free_arg $ inject_arg $ fault_arg $ race_arg $ bug_arg))
+       $ help_free_arg $ collect_merge_arg $ scan_filter_arg $ free_chunk_arg $ pipeline_arg
+       $ inject_arg $ fault_arg $ race_arg $ bug_arg))
 
 let () =
   let doc = "systematic concurrency checker for the ThreadScan reproduction" in

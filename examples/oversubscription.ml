@@ -24,8 +24,8 @@ let spec scheme =
 
 let () =
   let leaky = Workload.run (spec Workload.Leaky) in
-  let ts = Workload.run (spec (Workload.Threadscan { buffer_size = 16; help_free = false })) in
-  let big = Workload.run (spec (Workload.Threadscan { buffer_size = 64; help_free = false })) in
+  let ts = Workload.run (spec (Workload.Threadscan { buffer_size = 16; help_free = false; pipeline = false })) in
+  let big = Workload.run (spec (Workload.Threadscan { buffer_size = 64; help_free = false; pipeline = false })) in
   let show name (r : Workload.result) =
     Fmt.pr "%-22s %10.1f ops/Mcycle   signals=%-5d switches=%-5d peak-live=%d blocks@." name
       r.Workload.throughput r.Workload.signals_delivered r.Workload.ctx_switches

@@ -23,6 +23,9 @@ type spec = {
   key_range : int;
   buffer_size : int;
   help_free : bool;
+  collect_merge : bool;
+  scan_filter : bool;
+  free_chunk : int;
   inject : Threadscan.inject;
   fault : fault;
   policy : policy;
@@ -39,6 +42,9 @@ let default =
     key_range = 32;
     buffer_size = 8;
     help_free = false;
+    collect_merge = false;
+    scan_filter = false;
+    free_chunk = 0;
     inject = Threadscan.No_fault;
     fault = Fault_none;
     policy = Uniform;
@@ -142,11 +148,16 @@ let fault_of_string s =
       | _ -> None)
 
 let replay_command spec =
+  (* Pipeline flags are emitted only when non-default, so commands for the
+     legacy configuration stay byte-identical to what they always were. *)
   Fmt.str
     "dune exec bin/tscheck.exe -- replay --ds %s --threads %d --ops %d --key-range %d \
-     --buffer %d%s --inject %s --fault %s --policy %s --seed %d%s%s"
+     --buffer %d%s%s%s%s --inject %s --fault %s --policy %s --seed %d%s%s"
     (ds_to_string spec.ds) spec.threads spec.ops spec.key_range spec.buffer_size
     (if spec.help_free then " --help-free" else "")
+    (if spec.collect_merge then " --collect-merge" else "")
+    (if spec.scan_filter then " --scan-filter" else "")
+    (if spec.free_chunk <> 0 then Fmt.str " --free-chunk %d" spec.free_chunk else "")
     (inject_to_string spec.inject) (fault_to_string spec.fault) (policy_to_string spec.policy)
     spec.seed
     (if spec.analyze then " --race" else "")
@@ -365,6 +376,9 @@ let run spec =
                max_threads = spec.threads + 2;
                buffer_size = spec.buffer_size;
                help_free = spec.help_free;
+               collect_merge = spec.collect_merge;
+               scan_filter = spec.scan_filter;
+               free_chunk = spec.free_chunk;
              }
            in
            match (spec.fault, spec.inject) with

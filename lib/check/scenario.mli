@@ -75,6 +75,14 @@ type spec = {
   key_range : int;
   buffer_size : int;  (** ThreadScan per-thread delete buffer *)
   help_free : bool;
+  collect_merge : bool;
+      (** sealed-run collect with k-way merge publish
+          ({!Threadscan.Config.collect_merge}) *)
+  scan_filter : bool;
+      (** Bloom-prefiltered TS-Scan ({!Threadscan.Config.scan_filter}) *)
+  free_chunk : int;
+      (** chunked helper-parallel free phase, 0 = legacy whole-queue claim
+          ({!Threadscan.Config.free_chunk}) *)
   inject : Threadscan.inject;  (** deliberate bug, for checker validation *)
   fault : fault;  (** injected environment fault the protocol must survive *)
   policy : policy;
@@ -88,8 +96,9 @@ type spec = {
 }
 
 val default : spec
-(** list, 3 threads, 40 ops, keys 0..31, buffer 8, no help-free, no
-    injection, uniform policy, seed 0, no analysis, no seeded bug. *)
+(** list, 3 threads, 40 ops, keys 0..31, buffer 8, no help-free, pipeline
+    toggles off (legacy single-stage phase), no injection, uniform policy,
+    seed 0, no analysis, no seeded bug. *)
 
 val ds_to_string : ds_kind -> string
 

@@ -6,6 +6,10 @@ type t = {
   suspect_phases : int;
   takeover_steps : int;
   overflow_after : int;
+  collect_merge : bool;
+  scan_filter : bool;
+  free_chunk : int;
+  adaptive_buffers : bool;
 }
 
 let default =
@@ -17,6 +21,10 @@ let default =
     suspect_phases = 3;
     takeover_steps = 1_000_000;
     overflow_after = 64;
+    collect_merge = false;
+    scan_filter = false;
+    free_chunk = 0;
+    adaptive_buffers = false;
   }
 
 let paper = { default with max_threads = 256; buffer_size = 1024 }
@@ -24,4 +32,5 @@ let paper = { default with max_threads = 256; buffer_size = 1024 }
 let validate t =
   if t.max_threads < 1 then invalid_arg "Threadscan config: max_threads < 1";
   if t.buffer_size < 2 then invalid_arg "Threadscan config: buffer_size < 2";
-  if t.suspect_phases < 1 then invalid_arg "Threadscan config: suspect_phases < 1"
+  if t.suspect_phases < 1 then invalid_arg "Threadscan config: suspect_phases < 1";
+  if t.free_chunk < 0 then invalid_arg "Threadscan config: free_chunk < 0"

@@ -32,13 +32,38 @@ type t = {
           thread endures before parking the pointer on the shared overflow
           list — the hard backpressure bound while reclamation is degraded.
           [<= 0] waits forever. *)
+  collect_merge : bool;
+      (** Collect phase as a k-way merge: threads seal their full delete
+          buffer into a locally sorted run (off the phase critical path),
+          and the reclaimer merges the sealed runs, the loose appends and
+          the carried-over survivors instead of re-sorting the whole
+          master buffer every phase. *)
+  scan_filter : bool;
+      (** Publish a blocked Bloom filter over the master buffer alongside
+          the sorted entries; scanners test each candidate word against
+          it (one shared read) and binary-search only on a hit.  False
+          positives fall through to the exact search; false negatives
+          cannot happen (see [Ts_util.Bloom]). *)
+  free_chunk : int;
+      (** With [help_free]: number of work-queue slots a helper claims per
+          fetch-and-add, looping until the queue is drained.  [0] keeps
+          the legacy behaviour (each helper claims exactly one
+          size-proportional chunk per scan and stops). *)
+  adaptive_buffers : bool;
+      (** Scale the per-thread delete-buffer capacity up to at least
+          [4 x max_threads] so phase frequency stays bounded as threads
+          are added (the paper's guidance that the buffer must outgrow
+          the thread count for the amortisation argument to hold). *)
 }
 
 val default : t
 (** [max_threads = 64], [buffer_size = 64], [help_free = false], and
     robustness defaults generous enough that healthy runs never trigger
     them: [ack_budget = 5_000_000] cycles, [suspect_phases = 3],
-    [takeover_steps = 1_000_000], [overflow_after = 64]. *)
+    [takeover_steps = 1_000_000], [overflow_after = 64].  All pipeline
+    toggles off: [collect_merge = false], [scan_filter = false],
+    [free_chunk = 0], [adaptive_buffers = false] — the defaults replay
+    the legacy single-stage reclamation byte for byte. *)
 
 val paper : t
 (** The paper's configuration: buffer of 1024 pointers, 256 threads. *)

@@ -36,6 +36,10 @@ type t = {
   mutable scan_hits : int;
   mutable helped : int;
   mutable full_waits : int;
+  mutable seals : int; (* pipeline: delete-buffer windows sealed as sorted runs *)
+  mutable merged_runs : int; (* pipeline: sealed runs consumed by a merge publish *)
+  mutable filter_hits : int; (* pipeline: in-range words the Bloom filter passed *)
+  mutable filter_rejects : int; (* pipeline: in-range words the filter screened out *)
   phase_latencies : Ts_util.Vec.t; (* cycles spent inside each do_phase *)
   mutable free_burden : int; (* nodes freed inside collect, by the reclaimer *)
   mutable ack_timeouts : int; (* phases whose ack wait exhausted the budget *)
@@ -123,34 +127,64 @@ let check_takeover t owner_seen beat_seen seen_at =
 let help_free t =
   let cnt = Runtime.read t.work_count in
   if cnt > 0 then begin
-    let chunk = max 1 (cnt / t.cfg.max_threads) in
-    let start = Runtime.faa t.work_idx chunk in
-    let stop = min (start + chunk) cnt in
     let c = counters t in
-    for i = start to stop - 1 do
-      let p = Runtime.read (t.work_base + i) in
-      if p <> 0 && Runtime.cas (t.work_base + i) p 0 then begin
-        Runtime.free (Ptr.addr p);
-        Smr.add_freed c 1;
-        t.helped <- t.helped + 1
-      end
-    done
+    let free_range start stop =
+      for i = start to stop - 1 do
+        let p = Runtime.read (t.work_base + i) in
+        if p <> 0 && Runtime.cas (t.work_base + i) p 0 then begin
+          Runtime.free (Ptr.addr p);
+          Smr.add_freed c 1;
+          t.helped <- t.helped + 1
+        end
+      done
+    in
+    if t.cfg.free_chunk > 0 then begin
+      (* Pipeline free phase: every helper loops, claiming a fixed-size
+         chunk per fetch-and-add, until the queue is exhausted — the whole
+         backlog is freed in parallel instead of one share per helper. *)
+      let chunk = t.cfg.free_chunk in
+      let continue_ = ref true in
+      while !continue_ do
+        let start = Runtime.faa t.work_idx chunk in
+        if start >= cnt then continue_ := false
+        else free_range start (min (start + chunk) cnt)
+      done
+    end
+    else begin
+      (* Legacy: one size-proportional chunk per scan, then stop. *)
+      let chunk = max 1 (cnt / t.cfg.max_threads) in
+      let start = Runtime.faa t.work_idx chunk in
+      free_range start (min (start + chunk) cnt)
+    end
   end
 
 let scan_range t (base, len) =
   let lo, hi = Master_buffer.bounds t.master in
+  (* Bloom prefilter (pipeline): one shared read per in-range candidate
+     against the published filter screens out almost every word before
+     the ~log n reads of the binary search.  False positives fall
+     through to [find]; false negatives are impossible (the filter is
+     republished with every count, see Master_buffer).  The mask is read
+     once per range — it only changes under a new count, and a scan that
+     raced a publish is not counted for the new phase anyway. *)
+  let fmask = if t.cfg.scan_filter then Master_buffer.filter_mask t.master else -1 in
   for a = base to base + len - 1 do
     let w = Runtime.read a in
     let m = Ptr.mask w in
     t.scan_words <- t.scan_words + 1;
     if m >= lo && m <= hi then begin
-      let idx = Master_buffer.find t.master m in
-      if idx >= 0 then begin
-        if debug_scan then
-          Printf.eprintf "[scan] tid=%d hit at addr=%d (range base=%d len=%d) value=%d\n%!"
-            (Runtime.self ()) a base len m;
-        Master_buffer.mark t.master idx;
-        t.scan_hits <- t.scan_hits + 1
+      if fmask >= 0 && not (Master_buffer.filter_test t.master ~mask:fmask m) then
+        t.filter_rejects <- t.filter_rejects + 1
+      else begin
+        if fmask >= 0 then t.filter_hits <- t.filter_hits + 1;
+        let idx = Master_buffer.find t.master m in
+        if idx >= 0 then begin
+          if debug_scan then
+            Printf.eprintf "[scan] tid=%d hit at addr=%d (range base=%d len=%d) value=%d\n%!"
+              (Runtime.self ()) a base len m;
+          Master_buffer.mark t.master idx;
+          t.scan_hits <- t.scan_hits + 1
+        end
       end
     end
   done
@@ -278,8 +312,34 @@ let do_phase t =
   (* Aggregate every thread's delete buffer into the master buffer (on top
      of the previous phase's carry-over).  If the master fills up, the rest
      simply stays buffered for the next phase. *)
-  Array.iter (fun b -> Delete_buffer.drain b (Master_buffer.append t.master)) t.buffers;
-  Master_buffer.publish_sorted t.master;
+  if t.cfg.collect_merge then begin
+    (* Pipeline collect: sealed windows arrive as sorted runs and are
+       staged whole (all-or-nothing, so an entry is never both staged and
+       still in a window at publish time); only loose entries get sorted.
+       The run positions feed the k-way merge publish. *)
+    let runs = ref [] in
+    Array.iter
+      (fun b ->
+        Delete_buffer.drain_phase b
+          ~sealed:(fun ~len ~read ->
+            Master_buffer.space t.master >= len
+            && begin
+                 let s = Master_buffer.staged_pos t.master in
+                 for i = 0 to len - 1 do
+                   ignore (Master_buffer.append t.master (read i))
+                 done;
+                 runs := (s, len) :: !runs;
+                 t.merged_runs <- t.merged_runs + 1;
+                 true
+               end)
+          ~loose:(Master_buffer.append t.master))
+      t.buffers;
+    Master_buffer.publish_merged t.master ~runs:(List.rev !runs)
+  end
+  else begin
+    Array.iter (fun b -> Delete_buffer.drain b (Master_buffer.append t.master)) t.buffers;
+    Master_buffer.publish_sorted t.master
+  end;
   let phase = Runtime.read t.phase_addr + 1 in
   Runtime.write t.phase_addr phase;
   heartbeat t;
@@ -459,6 +519,11 @@ let retire t (c : Smr.counters) p =
   let done_ = ref false in
   while not !done_ do
     if Delete_buffer.push t.buffers.(tid) masked then done_ := true
+    else if t.cfg.collect_merge && Delete_buffer.seal t.buffers.(tid) then
+      (* Full window sealed as a locally sorted run — the sort happens
+         here, on the retiring thread, off the phase critical path.  The
+         next loop round triggers (or joins) the phase that merges it. *)
+      t.seals <- t.seals + 1
     else if try_acquire t then begin
       (* Full buffer: become the reclaimer. *)
       run_phase_locked t;
@@ -537,13 +602,23 @@ let flush t () =
 
 let create ?(config = Config.default) () =
   Config.validate config;
+  (* Adaptive sizing: the amortisation argument needs the per-thread
+     buffer to outgrow the thread count, or phases fire so often that
+     signalling dominates.  Never shrink an explicit buffer_size. *)
+  let buffer_size =
+    if config.adaptive_buffers then max config.buffer_size (4 * config.max_threads)
+    else config.buffer_size
+  in
+  let config = { config with buffer_size } in
   let master_cap = (config.max_threads * config.buffer_size) + 1024 in
   let t =
     {
       cfg = config;
       buffers =
-        Array.init config.max_threads (fun _ -> Delete_buffer.create ~capacity:config.buffer_size);
-      master = Master_buffer.create ~capacity:master_cap;
+        Array.init config.max_threads (fun _ ->
+            Delete_buffer.create ~sealed_runs:config.collect_merge
+              ~capacity:config.buffer_size ());
+      master = Master_buffer.create ~filter:config.scan_filter ~capacity:master_cap ();
       owner_addr = Runtime.alloc_region 1;
       beat_addr = Runtime.alloc_region 1;
       gen_addr = Runtime.alloc_region 1;
@@ -567,6 +642,10 @@ let create ?(config = Config.default) () =
       scan_hits = 0;
       helped = 0;
       full_waits = 0;
+      seals = 0;
+      merged_runs = 0;
+      filter_hits = 0;
+      filter_rejects = 0;
       phase_latencies = Ts_util.Vec.create ();
       free_burden = 0;
       ack_timeouts = 0;
@@ -594,6 +673,10 @@ let create ?(config = Config.default) () =
           ("scan-hits", t.scan_hits);
           ("helped-frees", t.helped);
           ("full-waits", t.full_waits);
+          ("sealed-runs", t.seals);
+          ("merged-runs", t.merged_runs);
+          ("filter-hits", t.filter_hits);
+          ("filter-rejects", t.filter_rejects);
           ("reclaimer-frees", t.free_burden);
           ("max-phase-latency", max_phase_latency t);
           ("avg-phase-latency", avg_phase_latency t);
@@ -635,6 +718,14 @@ let scan_hits t = t.scan_hits
 let helped_frees t = t.helped
 
 let full_waits t = t.full_waits
+
+let sealed_runs t = t.seals
+
+let merged_runs t = t.merged_runs
+
+let filter_hits t = t.filter_hits
+
+let filter_rejects t = t.filter_rejects
 
 let outstanding t =
   let c = counters t in

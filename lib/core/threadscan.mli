@@ -75,6 +75,23 @@ val full_waits : t -> int
 (** Times a thread found its buffer full while another reclaimer was
     active and had to wait (usually to discover its buffer drained). *)
 
+(** {1 Reclamation-pipeline metrics (see [docs/PERF.md])} *)
+
+val sealed_runs : t -> int
+(** Full delete-buffer windows sealed as locally sorted runs by their
+    owners ([collect_merge]). *)
+
+val merged_runs : t -> int
+(** Sealed runs consumed whole by a k-way merge publish. *)
+
+val filter_hits : t -> int
+(** In-range scan words the Bloom prefilter passed through to the binary
+    search ([scan_filter]). *)
+
+val filter_rejects : t -> int
+(** In-range scan words the Bloom prefilter screened out — each saved a
+    binary search over the master buffer. *)
+
 val outstanding : t -> int
 (** Nodes retired but not yet freed. *)
 

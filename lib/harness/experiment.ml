@@ -108,12 +108,13 @@ let fig4_setup = function
 (* Sweep machinery                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let run_sweep ~backend ~threads_list ~series =
+let run_sweep ~backend ~trials ~threads_list ~series =
   List.map
     (fun threads ->
       let cells =
         List.map
-          (fun (label, spec) -> (label, Workload.run { spec with Workload.threads; backend }))
+          (fun (label, spec) ->
+            (label, Workload.run_trials ~trials { spec with Workload.threads; backend }))
           series
       in
       { threads; cells })
@@ -143,7 +144,16 @@ let print_points ~title points =
       if has_wall points then begin
         (* native backend: the virtual-cycle table above keeps runs
            comparable with the simulator; this one is the real machine *)
-        Fmt.pr "@.-- %s: wall clock (kops per real second) --@." title;
+        let trials =
+          List.fold_left
+            (fun acc { cells; _ } ->
+              List.fold_left (fun acc (_, r) -> max acc r.Workload.trials) acc cells)
+            1 points
+        in
+        if trials > 1 then
+          Fmt.pr "@.-- %s: wall clock (kops per real second, median of %d trials) --@." title
+            trials
+        else Fmt.pr "@.-- %s: wall clock (kops per real second) --@." title;
         Fmt.pr "%-8s" "threads";
         List.iter (fun l -> Fmt.pr "%14s" l) labels;
         Fmt.pr "@.";
@@ -154,7 +164,27 @@ let print_points ~title points =
               (fun (_, r) -> Fmt.pr "%14.1f" (r.Workload.wall_throughput /. 1e3))
               cells;
             Fmt.pr "@.")
-          points
+          points;
+        if trials > 1 then begin
+          (* the run-to-run noise behind each median, as min/med/max ms *)
+          Fmt.pr "@.-- %s: wall-clock spread (min/median/max ms per run) --@." title;
+          Fmt.pr "%-8s" "threads";
+          List.iter (fun l -> Fmt.pr "%14s" l) labels;
+          Fmt.pr "@.";
+          List.iter
+            (fun { threads; cells } ->
+              Fmt.pr "%-8d" threads;
+              List.iter
+                (fun (_, r) ->
+                  Fmt.pr "%14s"
+                    (Fmt.str "%.0f/%.0f/%.0f"
+                       (float_of_int r.Workload.wall_min_ns /. 1e6)
+                       (float_of_int r.Workload.wall_ns /. 1e6)
+                       (float_of_int r.Workload.wall_max_ns /. 1e6)))
+                cells;
+              Fmt.pr "@.")
+            points
+        end
       end
 
 let ratio_summary points ~num ~den =
@@ -178,7 +208,9 @@ let ratio_summary points ~num ~den =
 
 let fig3_series scale ds =
   let spec, ts_buffer = base_spec scale ds in
-  let ts = Workload.Threadscan { buffer_size = ts_buffer; help_free = false } in
+  (* the headline series runs the full reclamation pipeline (docs/PERF.md);
+     ablate-pipeline measures it against the legacy single-stage phase *)
+  let ts = Workload.Threadscan { buffer_size = ts_buffer; help_free = false; pipeline = true } in
   [
     ("leaky", { spec with scheme = Workload.Leaky });
     ("hazard", { spec with scheme = Workload.Hazard });
@@ -188,10 +220,34 @@ let fig3_series scale ds =
     ("threadscan", { spec with scheme = ts });
   ]
 
-let fig3 ~backend scale ds =
-  run_sweep ~backend ~threads_list:(fig3_threads scale) ~series:(fig3_series scale ds)
+let fig3 ~backend ~trials scale ds =
+  run_sweep ~backend ~trials ~threads_list:(fig3_threads scale) ~series:(fig3_series scale ds)
 
-let fig4 ~backend scale ds =
+(* Fig 5 regime: the hash table (large key range, cheap operations, heavy
+   retire traffic), with ThreadScan shown both ways — the legacy
+   single-stage phase and the parallel reclamation pipeline — against the
+   leaky and epoch baselines. *)
+let fig5_series scale =
+  let spec, ts_buffer = base_spec scale Workload.Hash_ds in
+  [
+    ("leaky", { spec with scheme = Workload.Leaky });
+    ("epoch", { spec with scheme = Workload.Epoch });
+    ( "threadscan",
+      {
+        spec with
+        scheme = Workload.Threadscan { buffer_size = ts_buffer; help_free = false; pipeline = false };
+      } );
+    ( "ts-pipeline",
+      {
+        spec with
+        scheme = Workload.Threadscan { buffer_size = ts_buffer; help_free = false; pipeline = true };
+      } );
+  ]
+
+let fig5 ~backend ~trials scale =
+  run_sweep ~backend ~trials ~threads_list:(fig3_threads scale) ~series:(fig5_series scale)
+
+let fig4 ~backend ~trials scale ds =
   let cores, threads_list = fig4_setup scale in
   let spec, ts_buffer = base_spec scale ds in
   (* Oversubscribed threads share the cores, so the wall-clock horizon must
@@ -206,7 +262,7 @@ let fig4 ~backend scale ds =
       ("leaky", { spec with scheme = Workload.Leaky });
       ("epoch", { spec with scheme = Workload.Epoch });
       ( "threadscan",
-        { spec with scheme = Workload.Threadscan { buffer_size = ts_buffer; help_free = false } }
+        { spec with scheme = Workload.Threadscan { buffer_size = ts_buffer; help_free = false; pipeline = false } }
       );
     ]
     @
@@ -218,18 +274,18 @@ let fig4 ~backend scale ds =
           ( "ts-bigbuf",
             {
               spec with
-              scheme = Workload.Threadscan { buffer_size = 4 * ts_buffer; help_free = false };
+              scheme = Workload.Threadscan { buffer_size = 4 * ts_buffer; help_free = false; pipeline = false };
             } );
         ]
     | _ -> []
   in
-  run_sweep ~backend ~threads_list ~series
+  run_sweep ~backend ~trials ~threads_list ~series
 
 (* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let ablate_buffer ~backend scale =
+let ablate_buffer ~backend ~trials scale =
   let cores, threads_list = fig4_setup scale in
   let spec, ts_buffer = base_spec scale Workload.Hash_ds in
   let spec =
@@ -239,12 +295,12 @@ let ablate_buffer ~backend scale =
     List.map
       (fun mult ->
         ( Fmt.str "buf=%d" (ts_buffer * mult),
-          { spec with Workload.scheme = Threadscan { buffer_size = ts_buffer * mult; help_free = false } } ))
+          { spec with Workload.scheme = Threadscan { buffer_size = ts_buffer * mult; help_free = false; pipeline = false } } ))
       [ 1; 4; 16 ]
   in
-  run_sweep ~backend ~threads_list ~series
+  run_sweep ~backend ~trials ~threads_list ~series
 
-let ablate_slow_epoch ~backend scale =
+let ablate_slow_epoch ~backend ~trials scale =
   let spec, _ = base_spec scale Workload.List_ds in
   let threads_list = match scale with Quick -> [ 8; 16 ] | _ -> [ 16; 40 ] in
   let series =
@@ -255,9 +311,9 @@ let ablate_slow_epoch ~backend scale =
              { spec with Workload.scheme = Workload.Slow_epoch { delay } } ))
          [ slow_delay scale / 32; slow_delay scale / 8; slow_delay scale ]
   in
-  run_sweep ~backend ~threads_list ~series
+  run_sweep ~backend ~trials ~threads_list ~series
 
-let ablate_help_free ~backend scale =
+let ablate_help_free ~backend ~trials scale =
   let spec, ts_buffer = base_spec scale Workload.Hash_ds in
   (* frequent phases, so the reclaimer-latency difference is observable *)
   let ts_buffer = max 4 (ts_buffer / 4) in
@@ -265,18 +321,18 @@ let ablate_help_free ~backend scale =
   let series =
     [
       ( "reclaimer-only",
-        { spec with Workload.scheme = Threadscan { buffer_size = ts_buffer; help_free = false } }
+        { spec with Workload.scheme = Threadscan { buffer_size = ts_buffer; help_free = false; pipeline = false } }
       );
       ( "help-free",
-        { spec with Workload.scheme = Threadscan { buffer_size = ts_buffer; help_free = true } }
+        { spec with Workload.scheme = Threadscan { buffer_size = ts_buffer; help_free = true; pipeline = false } }
       );
     ]
   in
-  run_sweep ~backend ~threads_list ~series
+  run_sweep ~backend ~trials ~threads_list ~series
 
-let ablate_padding ~backend scale =
+let ablate_padding ~backend ~trials scale =
   let spec, ts_buffer = base_spec scale Workload.List_ds in
-  let ts = Workload.Threadscan { buffer_size = ts_buffer; help_free = false } in
+  let ts = Workload.Threadscan { buffer_size = ts_buffer; help_free = false; pipeline = false } in
   let threads_list = match scale with Quick -> [ 4; 16; 32 ] | _ -> [ 8; 32; 80 ] in
   let series =
     [
@@ -284,7 +340,7 @@ let ablate_padding ~backend scale =
       ("pad=19", { spec with Workload.scheme = ts; padding = 19 });
     ]
   in
-  run_sweep ~backend ~threads_list ~series
+  run_sweep ~backend ~trials ~threads_list ~series
 
 (* Fault tolerance: kill one worker mid-operation at 25 % of the base
    horizon, then let the rest run 1x / 2x / 4x of it.  The x-axis is the
@@ -294,7 +350,7 @@ let ablate_padding ~backend scale =
    condition the dead thread's odd counter blocks forever — accumulates
    every node retired after the crash.  Plain epoch is not even runnable
    here: its unbounded quiescence wait would simply hang. *)
-let ablate_crash ~backend scale =
+let ablate_crash ~backend ~trials scale =
   let spec, ts_buffer = base_spec scale Workload.List_ds in
   let threads = match scale with Quick -> 8 | _ -> 16 in
   let base_horizon = spec.Workload.horizon in
@@ -304,17 +360,23 @@ let ablate_crash ~backend scale =
     let spec = { spec with Workload.threads; fault; horizon = mult * base_horizon } in
     [
       ( "threadscan",
-        { spec with Workload.scheme = Threadscan { buffer_size = ts_buffer; help_free = false } }
+        { spec with Workload.scheme = Threadscan { buffer_size = ts_buffer; help_free = false; pipeline = false } }
       );
       ("patient-epoch", { spec with Workload.scheme = Patient_epoch { patience } });
     ]
   in
   List.map
     (fun mult ->
-      { threads = mult; cells = List.map (fun (l, s) -> (l, Workload.run { s with Workload.backend })) (series mult) })
+      {
+        threads = mult;
+        cells =
+          List.map
+            (fun (l, s) -> (l, Workload.run_trials ~trials { s with Workload.backend }))
+            (series mult);
+      })
     [ 1; 2; 4 ]
 
-let ablate_structures ~backend scale =
+let ablate_structures ~backend ~trials scale =
   (* all six structures under ThreadScan: the library-breadth overview *)
   let threads_list = match scale with Quick -> [ 4; 16; 32 ] | _ -> [ 8; 32; 80 ] in
   let series =
@@ -322,7 +384,7 @@ let ablate_structures ~backend scale =
       (fun ds ->
         let spec, ts_buffer = base_spec scale ds in
         ( Workload.ds_kind_to_string ds,
-          { spec with Workload.scheme = Threadscan { buffer_size = ts_buffer; help_free = false } }
+          { spec with Workload.scheme = Threadscan { buffer_size = ts_buffer; help_free = false; pipeline = false } }
         ))
       [
         Workload.List_ds;
@@ -332,7 +394,30 @@ let ablate_structures ~backend scale =
         Workload.Skip_ds;
       ]
   in
-  run_sweep ~backend ~threads_list ~series
+  run_sweep ~backend ~trials ~threads_list ~series
+
+(* The pipeline, measured: the legacy single-stage reclamation phase
+   against the three-stage pipeline (sealed-run k-way merge collect,
+   Bloom-prefiltered TS-Scan, chunked helper-parallel free), same
+   workload, same pacing — the paired before/after for docs/PERF.md. *)
+let ablate_pipeline ~backend ~trials scale =
+  let spec, ts_buffer = base_spec scale Workload.List_ds in
+  let threads_list = fig3_threads scale in
+  let series =
+    [
+      ( "ts-legacy",
+        {
+          spec with
+          Workload.scheme = Threadscan { buffer_size = ts_buffer; help_free = false; pipeline = false };
+        } );
+      ( "ts-pipeline",
+        {
+          spec with
+          Workload.scheme = Threadscan { buffer_size = ts_buffer; help_free = false; pipeline = true };
+        } );
+    ]
+  in
+  run_sweep ~backend ~trials ~threads_list ~series
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
@@ -433,13 +518,15 @@ let json_of_points ~target ~backend ~scale points =
             (Fmt.str
                "      { \"series\": \"%s\", \"scheme\": \"%s\", \"ds\": \"%s\", \"ops\": %d, \
                 \"throughput\": %.3f, \"wall_ns\": %d, \"wall_throughput\": %.1f, \
+                \"trials\": %d, \"wall_min_ns\": %d, \"wall_max_ns\": %d, \
                 \"retired\": %d, \"freed\": %d, \"outstanding\": %d, \"faults\": %d, \
                 \"signals\": %d }%s\n"
                (json_escape label)
                (json_escape (Workload.scheme_kind_to_string r.Workload.spec.Workload.scheme))
                (json_escape (Workload.ds_kind_to_string r.Workload.spec.Workload.ds))
                r.Workload.ops r.Workload.throughput r.Workload.wall_ns
-               r.Workload.wall_throughput r.Workload.retired r.Workload.freed
+               r.Workload.wall_throughput r.Workload.trials r.Workload.wall_min_ns
+               r.Workload.wall_max_ns r.Workload.retired r.Workload.freed
                r.Workload.outstanding r.Workload.faults r.Workload.signals_delivered
                (if ci = List.length cells - 1 then "" else ",")))
         cells;
@@ -456,8 +543,15 @@ let write_json ~target ~backend ~scale points =
   close_out oc;
   file
 
-let run_and_print ~title ?(backend = Workload.Backend_sim) ?(json = false) f scale =
-  let points = f ~backend scale in
+let run_and_print ~title ?(backend = Workload.Backend_sim) ?(json = false) ?(trials = 0) f scale
+    =
+  (* trials = 0 means auto: median-of-3 where wall clocks are real and
+     noisy, a single run on the deterministic simulator. *)
+  let trials =
+    if trials > 0 then trials
+    else match backend with Workload.Backend_native _ -> 3 | Workload.Backend_sim -> 1
+  in
+  let points = f ~backend ~trials scale in
   if title = "ablate-crash" then degradation_summary points else print_points ~title points;
   if json then begin
     let file = write_json ~target:title ~backend ~scale points in
@@ -465,6 +559,15 @@ let run_and_print ~title ?(backend = Workload.Backend_sim) ?(json = false) f sca
   end;
   ratio_summary points ~num:"threadscan" ~den:"hazard";
   ratio_summary points ~num:"threadscan" ~den:"leaky";
+  ratio_summary points ~num:"ts-pipeline" ~den:"threadscan";
+  ratio_summary points ~num:"ts-pipeline" ~den:"ts-legacy";
+  if title = "ablate-pipeline" || title = "fig5-hash" then
+    (* how much scanning the Bloom prefilter actually saved *)
+    List.iter
+      (fun label ->
+        extras_summary points ~label ~key:"filter-rejects";
+        extras_summary points ~label ~key:"merged-runs")
+      [ "ts-pipeline" ];
   if title = "ablate-help-free" then begin
     (* throughput barely moves; the point of the variant (§7) is reclaimer
        responsiveness: the free burden moves off the reclaimer and phases
@@ -505,16 +608,18 @@ let run_and_print ~title ?(backend = Workload.Backend_sim) ?(json = false) f sca
 
 let names =
   [
-    ("fig3-list", fun ~backend s -> fig3 ~backend s Workload.List_ds);
-    ("fig3-hash", fun ~backend s -> fig3 ~backend s Workload.Hash_ds);
-    ("fig3-skip", fun ~backend s -> fig3 ~backend s Workload.Skip_ds);
-    ("fig4-list", fun ~backend s -> fig4 ~backend s Workload.List_ds);
-    ("fig4-hash", fun ~backend s -> fig4 ~backend s Workload.Hash_ds);
-    ("fig4-skip", fun ~backend s -> fig4 ~backend s Workload.Skip_ds);
+    ("fig3-list", fun ~backend ~trials s -> fig3 ~backend ~trials s Workload.List_ds);
+    ("fig3-hash", fun ~backend ~trials s -> fig3 ~backend ~trials s Workload.Hash_ds);
+    ("fig3-skip", fun ~backend ~trials s -> fig3 ~backend ~trials s Workload.Skip_ds);
+    ("fig4-list", fun ~backend ~trials s -> fig4 ~backend ~trials s Workload.List_ds);
+    ("fig4-hash", fun ~backend ~trials s -> fig4 ~backend ~trials s Workload.Hash_ds);
+    ("fig4-skip", fun ~backend ~trials s -> fig4 ~backend ~trials s Workload.Skip_ds);
+    ("fig5-hash", fig5);
     ("ablate-buffer", ablate_buffer);
     ("ablate-slow-epoch", ablate_slow_epoch);
     ("ablate-help-free", ablate_help_free);
     ("ablate-padding", ablate_padding);
     ("ablate-structures", ablate_structures);
+    ("ablate-pipeline", ablate_pipeline);
     ("ablate-crash", ablate_crash);
   ]

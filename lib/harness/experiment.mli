@@ -16,31 +16,47 @@ val scale_of_string : string -> scale option
 
 type point = { threads : int; cells : (string * Workload.result) list }
 
-val fig3 : backend:Workload.backend -> scale -> Workload.ds_kind -> point list
+val fig3 :
+  backend:Workload.backend -> trials:int -> scale -> Workload.ds_kind -> point list
 (** Figure 3: throughput vs threads, one core per thread; series Leaky,
     Hazard Pointers, Epoch, Slow Epoch, ThreadScan (plus StackTrack on the
-    list-based structures). *)
+    list-based structures).  The ThreadScan series runs the parallel
+    reclamation pipeline (docs/PERF.md); [ablate_pipeline] isolates its
+    effect.  [trials] is the per-cell repetition count fed to
+    {!Workload.run_trials} (median with min/max spread). *)
 
-val fig4 : backend:Workload.backend -> scale -> Workload.ds_kind -> point list
+val fig4 :
+  backend:Workload.backend -> trials:int -> scale -> Workload.ds_kind -> point list
 (** Figure 4: oversubscription — threads beyond the simulated cores;
     series Leaky, Epoch, ThreadScan (and the tuned large-buffer ThreadScan
     on the hash table, as in the paper). *)
 
-val ablate_buffer : backend:Workload.backend -> scale -> point list
+val fig5 : backend:Workload.backend -> trials:int -> scale -> point list
+(** Figure 5 regime: the hash table under heavy retire traffic; series
+    Leaky, Epoch, legacy ThreadScan, and the pipeline ThreadScan
+    ([ts-pipeline]) side by side. *)
+
+val ablate_buffer : backend:Workload.backend -> trials:int -> scale -> point list
 (** §6 buffer tuning: oversubscribed hash table, ThreadScan delete-buffer
     size sweep. *)
 
-val ablate_slow_epoch : backend:Workload.backend -> scale -> point list
+val ablate_slow_epoch : backend:Workload.backend -> trials:int -> scale -> point list
 (** §6 Slow Epoch sensitivity: errant-delay sweep on the list. *)
 
-val ablate_help_free : backend:Workload.backend -> scale -> point list
+val ablate_help_free : backend:Workload.backend -> trials:int -> scale -> point list
 (** §7 future work: reclaimer-only frees vs scanner-helped frees. *)
 
-val ablate_padding : backend:Workload.backend -> scale -> point list
+val ablate_padding : backend:Workload.backend -> trials:int -> scale -> point list
 (** Design note: effect of the paper's 172-byte node padding on the list. *)
 
-val ablate_structures : backend:Workload.backend -> scale -> point list
+val ablate_structures : backend:Workload.backend -> trials:int -> scale -> point list
 (** Library breadth: every structure in [ts_ds] under ThreadScan. *)
+
+val ablate_pipeline : backend:Workload.backend -> trials:int -> scale -> point list
+(** The parallel reclamation pipeline measured against the legacy
+    single-stage phase: identical list workload, [ts-legacy] vs
+    [ts-pipeline] series over the fig3 thread counts — the paired
+    before/after behind docs/PERF.md. *)
 
 val print_points : title:string -> point list -> unit
 (** Virtual-cycle throughput table; when any cell carries wall-clock data
@@ -50,8 +66,8 @@ val json_of_points :
   target:string -> backend:Workload.backend -> scale:scale -> point list -> string
 (** The whole sweep as a JSON document (hand-emitted; no JSON dependency):
     target/backend/scale header plus one object per (threads, series) cell
-    with ops, virtual and wall-clock throughput, and the reclamation
-    counters. *)
+    with ops, virtual and wall-clock throughput, the trial count and
+    min/max wall-clock spread, and the reclamation counters. *)
 
 val write_json :
   target:string -> backend:Workload.backend -> scale:scale -> point list -> string
@@ -62,12 +78,18 @@ val run_and_print :
   title:string ->
   ?backend:Workload.backend ->
   ?json:bool ->
-  (backend:Workload.backend -> scale -> point list) ->
+  ?trials:int ->
+  (backend:Workload.backend -> trials:int -> scale -> point list) ->
   scale ->
   unit
 (** Runs the experiment on [backend] (default sim), prints the tables and
     the per-figure summaries, and with [~json:true] also writes
-    [BENCH_<title>.json]. *)
+    [BENCH_<title>.json].  [trials] repeats every wall-clock measurement
+    and reports the median ({!Workload.run_trials}); 0 (the default) picks
+    automatically — 3 on the native backend, 1 on the deterministic
+    simulator. *)
 
-val names : (string * (backend:Workload.backend -> scale -> point list)) list
-(** All experiments by bench-target name (fig3-list, …, ablate-…). *)
+val names :
+  (string * (backend:Workload.backend -> trials:int -> scale -> point list)) list
+(** All experiments by bench-target name (fig3-list, …, fig5-hash,
+    ablate-…). *)

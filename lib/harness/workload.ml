@@ -15,7 +15,7 @@ type ds_kind = List_ds | Hash_ds | Skip_ds | Lazy_ds | Split_ds
 
 type scheme_kind =
   | Leaky
-  | Threadscan of { buffer_size : int; help_free : bool }
+  | Threadscan of { buffer_size : int; help_free : bool; pipeline : bool }
   | Hazard
   | Epoch
   | Slow_epoch of { delay : int }
@@ -36,8 +36,9 @@ let ds_kind_to_string = function
 
 let scheme_kind_to_string = function
   | Leaky -> "leaky"
-  | Threadscan { buffer_size; help_free } ->
-      if help_free then Fmt.str "threadscan-help(%d)" buffer_size
+  | Threadscan { buffer_size; help_free; pipeline } ->
+      if pipeline then Fmt.str "threadscan-pipe(%d)" buffer_size
+      else if help_free then Fmt.str "threadscan-help(%d)" buffer_size
       else Fmt.str "threadscan(%d)" buffer_size
   | Hazard -> "hazard"
   | Epoch -> "epoch"
@@ -74,7 +75,7 @@ type spec = {
 let default_spec =
   {
     ds = List_ds;
-    scheme = Threadscan { buffer_size = 64; help_free = false };
+    scheme = Threadscan { buffer_size = 64; help_free = false; pipeline = false };
     threads = 4;
     cores = 0;
     quantum = 50_000;
@@ -100,6 +101,9 @@ type result = {
   elapsed : int;
   wall_ns : int;
   wall_throughput : float;
+  trials : int; (* runs behind this result; fields below are the median's *)
+  wall_min_ns : int;
+  wall_max_ns : int;
   retired : int;
   freed : int;
   outstanding : int;
@@ -120,8 +124,19 @@ let make_scheme spec =
   in
   match spec.scheme with
   | Leaky -> Ts_reclaim.Leaky.create ()
-  | Threadscan { buffer_size; help_free } ->
+  | Threadscan { buffer_size; help_free; pipeline } ->
       let base = { Threadscan.Config.default with max_threads; buffer_size; help_free } in
+      let base =
+        (* The parallel-reclamation pipeline (docs/PERF.md): sealed-run
+           collect with k-way merge, Bloom-prefiltered TS-Scan, chunked
+           helper-parallel free phase.  [adaptive_buffers] is deliberately
+           left off here: growing buffers with the thread count suppresses
+           phases on benchmark-sized runs, and the figures must measure the
+           pipeline at the same phase cadence as the legacy scheme. *)
+        if pipeline then
+          { base with collect_merge = true; scan_filter = true; help_free = true; free_chunk = 8 }
+        else base
+      in
       let config =
         match spec.fault with
         | Fault_none -> base
@@ -243,6 +258,9 @@ let finish spec counts ~retired ~freed ~extras ~elapsed ~wall_ns ~peak_live_bloc
     wall_ns;
     wall_throughput =
       (if wall_ns > 0 then float_of_int ops *. 1e9 /. float_of_int wall_ns else 0.0);
+    trials = 1;
+    wall_min_ns = wall_ns;
+    wall_max_ns = wall_ns;
     retired = !retired;
     freed = !freed;
     outstanding = !retired - !freed;
@@ -320,3 +338,21 @@ let run spec =
   match spec.backend with
   | Backend_sim -> run_sim spec
   | Backend_native { pool } -> run_native spec ~pool
+
+(* Median-of-trials for wall-clock runs: the sim backend is deterministic
+   (one trial tells all), but native wall times on a shared machine are
+   noisy, so sweeps report the median run with the min/max spread. *)
+let run_trials ~trials spec =
+  let n = max 1 trials in
+  if n = 1 then run spec
+  else begin
+    let rs = List.init n (fun _ -> run spec) in
+    let sorted = List.sort (fun a b -> compare a.wall_ns b.wall_ns) rs in
+    let med = List.nth sorted (n / 2) in
+    {
+      med with
+      trials = n;
+      wall_min_ns = (List.hd sorted).wall_ns;
+      wall_max_ns = (List.nth sorted (n - 1)).wall_ns;
+    }
+  end

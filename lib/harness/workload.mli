@@ -21,7 +21,12 @@ type ds_kind = List_ds | Hash_ds | Skip_ds | Lazy_ds | Split_ds
 
 type scheme_kind =
   | Leaky
-  | Threadscan of { buffer_size : int; help_free : bool }
+  | Threadscan of { buffer_size : int; help_free : bool; pipeline : bool }
+      (** [pipeline] enables the parallel reclamation pipeline
+          (docs/PERF.md): sealed-run collect with k-way merge,
+          Bloom-prefiltered TS-Scan and chunked helper-parallel free
+          phase, at the same buffer size (phase cadence) as the legacy
+          scheme so the comparison is apples-to-apples. *)
   | Hazard
   | Epoch
   | Slow_epoch of { delay : int }
@@ -84,6 +89,9 @@ type result = {
   elapsed : int;  (** virtual end time of the whole run *)
   wall_ns : int;  (** real elapsed nanoseconds (0 on the sim backend) *)
   wall_throughput : float;  (** ops per real second (0 on the sim backend) *)
+  trials : int;  (** runs behind this result ({!run_trials}); 1 for {!run} *)
+  wall_min_ns : int;  (** fastest trial's wall time *)
+  wall_max_ns : int;  (** slowest trial's wall time *)
   retired : int;
   freed : int;
   outstanding : int;  (** retired - freed after flush *)
@@ -104,3 +112,9 @@ val run : spec -> result
     [Epoch]/[Slow_epoch], whose quiescence wait would never return, or
     {!Fault_stall} with the native backend (real threads cannot be stalled
     for an exact cycle count). *)
+
+val run_trials : trials:int -> spec -> result
+(** {!run} repeated [trials] times, reporting the median run (by
+    [wall_ns]) with the min/max spread in [wall_min_ns]/[wall_max_ns].
+    Meant for the noisy native backend; on the deterministic sim backend
+    every trial is identical, so use [trials = 1] there. *)

@@ -96,12 +96,15 @@ let create ?(strict = true) ?(capacity = 1 lsl 21) ?(cache_cap = 64) ?(batch = 3
     cache_cap;
     batch;
     faults = Array.init (Array.length fault_kinds) (fun _ -> Atomic.make 0);
-    mallocs = Atomic.make 0;
-    frees = Atomic.make 0;
-    live = Atomic.make 0;
-    live_w = Atomic.make 0;
-    peak_live = Atomic.make 0;
-    peak_w = Atomic.make 0;
+    (* allocator counters are bumped by every thread on every
+       malloc/free; keep each on its own cache line so traffic on one
+       does not invalidate the others *)
+    mallocs = Ts_util.Padded.copy (Atomic.make 0);
+    frees = Ts_util.Padded.copy (Atomic.make 0);
+    live = Ts_util.Padded.copy (Atomic.make 0);
+    live_w = Ts_util.Padded.copy (Atomic.make 0);
+    peak_live = Ts_util.Padded.copy (Atomic.make 0);
+    peak_w = Ts_util.Padded.copy (Atomic.make 0);
     on_fault = None;
   }
 
@@ -127,6 +130,12 @@ let[@inline] in_range t addr = addr > 0 && addr < t.capacity
 
 let[@inline] state t addr = Bytes.unsafe_get t.shadow addr
 
+(* Word access below an [in_range]/shadow check uses [Array.unsafe_get]:
+   the range check already established the bound, so the second
+   (compiler-inserted) bounds check is pure overhead on the hottest path
+   in the native backend. *)
+let[@inline] word t addr = Array.unsafe_get t.words addr
+
 (* Data plane: checked, atomic. *)
 
 let read t addr =
@@ -136,7 +145,7 @@ let read t addr =
   end
   else
     match state t addr with
-    | c when c = st_live -> Atomic.get t.words.(addr)
+    | c when c = st_live -> Atomic.get (word t addr)
     | c when c = st_freed ->
         record_fault t Uaf_read addr;
         poison
@@ -148,7 +157,7 @@ let write t addr v =
   if not (in_range t addr) then record_fault t Wild_write addr
   else
     match state t addr with
-    | c when c = st_live -> Atomic.set t.words.(addr) v
+    | c when c = st_live -> Atomic.set (word t addr) v
     | c when c = st_freed -> record_fault t Uaf_write addr
     | _ -> record_fault t Wild_write addr
 
@@ -159,7 +168,7 @@ let cas t addr expected desired =
   end
   else
     match state t addr with
-    | c when c = st_live -> Atomic.compare_and_set t.words.(addr) expected desired
+    | c when c = st_live -> Atomic.compare_and_set (word t addr) expected desired
     | c when c = st_freed ->
         record_fault t Uaf_write addr;
         false
@@ -174,7 +183,7 @@ let faa t addr delta =
   end
   else
     match state t addr with
-    | c when c = st_live -> Atomic.fetch_and_add t.words.(addr) delta
+    | c when c = st_live -> Atomic.fetch_and_add (word t addr) delta
     | c when c = st_freed ->
         record_fault t Uaf_write addr;
         poison
@@ -184,9 +193,9 @@ let faa t addr delta =
 
 (* Control plane: unchecked (allocator metadata, register mirroring). *)
 
-let raw_read t addr = if in_range t addr then Atomic.get t.words.(addr) else poison
+let raw_read t addr = if in_range t addr then Atomic.get (word t addr) else poison
 
-let raw_write t addr v = if in_range t addr then Atomic.set t.words.(addr) v
+let raw_write t addr v = if in_range t addr then Atomic.set (word t addr) v
 
 let is_live t addr = in_range t addr && state t addr = st_live
 

@@ -193,8 +193,10 @@ let[@inline] step t c =
   if c.n_ops land (steps_batch - 1) = 0 then begin
     ignore (Atomic.fetch_and_add t.steps steps_batch);
     (* Oversubscribed domains: make sure op-dense loops cannot hog a
-       domain for a whole preemption tick. *)
-    if c.n_ops land 1023 = 0 then Thread.yield ()
+       domain for a whole preemption tick.  Each forced yield is a
+       master-lock handoff (microseconds), so the interval is kept well
+       above the batch size; 4096 ops is still far below a tick. *)
+    if c.n_ops land 4095 = 0 then Thread.yield ()
   end
 
 let[@inline] is_private c addr =
@@ -202,8 +204,12 @@ let[@inline] is_private c addr =
   || (addr >= c.reg_base && addr < c.reg_base + c.reg_words)
 
 let[@inline] mirror t c v =
-  c.reg_cursor <- (c.reg_cursor + 1) mod c.reg_words;
-  Heap.raw_write t.heap (c.reg_base + c.reg_cursor) v
+  (* branch wrap, not [mod]: this runs on every load and an integer
+     division is the single most expensive instruction it would issue *)
+  let cursor = c.reg_cursor + 1 in
+  let cursor = if cursor >= c.reg_words then 0 else cursor in
+  c.reg_cursor <- cursor;
+  Heap.raw_write t.heap (c.reg_base + cursor) v
 
 let copy_regs t ~src ~dst n =
   for i = 0 to n - 1 do
@@ -242,7 +248,7 @@ let rec deliver t c =
       charge c t.cfg.cost.signal_return)
     (fun () -> match c.handler with Some h -> h () | None -> ())
 
-and poll t c =
+and poll_slow t c =
   if Atomic.get c.kill then begin
     c.crashed <- true;
     raise Killed
@@ -252,14 +258,26 @@ and poll t c =
     deliver t c
   done
 
+(* The fast path is what every op inlines: two relaxed-in-practice loads
+   of the thread's own flags, with the kill/deliver machinery kept out
+   of line so the common case stays branch-predictable. *)
+let[@inline] poll t c =
+  if Atomic.get c.kill || Atomic.get c.pending > 0 then poll_slow t c
+
 (* ------------------------------------------------------------------ *)
 (* Contexts                                                           *)
 (* ------------------------------------------------------------------ *)
 
+(* Contexts are the hottest per-thread records in the program: every op
+   bumps [clock]/[n_ops] and polls [pending]/[kill].  Pad the record and
+   its flag cells onto private cache lines — contexts for neighbouring
+   threads are allocated back to back and would otherwise ping-pong a
+   shared line on every single op. *)
 let new_ctx t tid =
   let stack_base = Heap.alloc_region t.heap t.cfg.stack_words in
   let reg_base = Heap.alloc_region t.heap t.cfg.reg_words in
   let manual_save_base = Heap.alloc_region t.heap t.cfg.reg_words in
+  Ts_util.Padded.copy
   {
     tid;
     clock = 0;
@@ -275,9 +293,9 @@ let new_ctx t tid =
     save_pool = [];
     sig_depth = 0;
     handler = None;
-    pending = Atomic.make 0;
-    kill = Atomic.make false;
-    finished = Atomic.make false;
+    pending = Ts_util.Padded.copy (Atomic.make 0);
+    kill = Ts_util.Padded.copy (Atomic.make false);
+    finished = Ts_util.Padded.copy (Atomic.make false);
     crashed = false;
     failure = None;
     private_ranges = [];
@@ -447,7 +465,11 @@ let op_join t target =
   while not (Atomic.get tc.finished) do
     poll t c;
     charge c t.cfg.cost.yield;
-    Thread.yield ()
+    (* Sleep, don't spin: the joiner usually lives on a different domain
+       than its target, and a [Thread.yield] spin there competes with the
+       target's domain for CPU — on an oversubscribed machine it can eat
+       half the run.  [Thread.delay] parks at the OS level. *)
+    Thread.delay 0.0002
   done
 
 let op_is_done t target = Atomic.get (ctx_of t target).finished
@@ -653,8 +675,9 @@ let create cfg =
     next_tid = Atomic.make 1;
     reg_lock = Mutex.create ();
     crit = Mutex.create ();
-    steps = Atomic.make 0;
-    by_thread = Atomic.make (Array.make 256 None);
+    (* every thread batch-bumps [steps]; isolate it from its neighbours *)
+    steps = Ts_util.Padded.copy (Atomic.make 0);
+    by_thread = Ts_util.Padded.copy (Atomic.make (Array.make 256 None));
     queues =
       Array.init (pool_size cfg) (fun _ ->
           { dm = Mutex.create (); dcv = Condition.create (); dq = Queue.create () });
@@ -727,7 +750,7 @@ let run ?(config = default_config) main =
           | _ -> ()
         done;
         if !pending then begin
-          Thread.yield ();
+          Thread.delay 0.0002;
           drain ()
         end
       in

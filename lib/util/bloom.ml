@@ -1,0 +1,72 @@
+(* Blocked Bloom filter math over power-of-two word tables.
+
+   The reclaimer publishes the filter in the unmanaged heap next to the
+   sorted master buffer, so this module cannot own the storage — it only
+   computes, for a key, which table word to touch ([slot]) and which bits
+   to set or test in it ([bits]).  Callers OR [bits] into the slot to add
+   a key and AND-compare to test one; all of a key's bits live in one
+   word, so both sides cost a single shared access.
+
+   Two bit positions are derived from independent halves of a splitmix64
+   finalizer, giving ~2 effective hash functions.  False positives just
+   fall through to the exact binary search; false negatives are
+   impossible by construction — [slot]/[bits] are pure functions of the
+   key, so the test recomputes exactly what the add wrote.  The property
+   test in test/test_util.ml pins this over random retire sets.
+
+   Only 62 low bits of each word are used: OCaml ints are 63-bit and
+   staying clear of the sign bit keeps stored words non-negative (the
+   unmanaged heap's poison value is negative, which makes a clobbered
+   filter word obvious in a dump). *)
+
+let bits_per_word = 62
+
+(* splitmix64 finalizer, with the multiplier constants truncated to
+   OCaml's 63-bit int range (arithmetic wraps mod 2^63 anyway, so the
+   top bit of the 64-bit constants is unrepresentable and irrelevant to
+   the avalanche quality we need here). *)
+let mix k =
+  let k = k * 0x1E3779B97F4A7C15 in
+  let k = (k lxor (k lsr 30)) * 0x3F58476D1CE4E5B9 in
+  let k = (k lxor (k lsr 27)) * 0x14D049BB133111EB in
+  k lxor (k lsr 31)
+
+let words_for n =
+  (* ~8 bits per expected key, i.e. a quarter as many words as keys,
+     rounded up to a power of two; never below 16 words so tiny phases
+     still spread keys across a few cache lines. *)
+  let target = max 16 ((n + 3) / 4) in
+  let w = ref 16 in
+  while !w < target do
+    w := !w * 2
+  done;
+  !w
+
+let[@inline] slot ~mask key = mix key land mask
+
+let[@inline] bits key =
+  let h = mix (key lxor 0x5DEECE66D) in
+  (* mask the sign bit before [mod]: OCaml's [mod] follows the dividend's
+     sign and a negative shift count is undefined *)
+  let b1 = (h land max_int) mod bits_per_word in
+  let b2 = (h lsr 32) mod bits_per_word in
+  (1 lsl b1) lor (1 lsl b2)
+
+(* Array-backed reference filter: used by property tests, and by any
+   caller whose table lives in OCaml rather than a runtime heap.  The
+   heap-resident filter in lib/core uses the same [slot]/[bits] math, so
+   proving zero false negatives here proves it there. *)
+
+type t = { table : int array; mask : int }
+
+let create ~expected =
+  let words = words_for expected in
+  { table = Array.make words 0; mask = words - 1 }
+
+let words t = Array.length t.table
+
+let add t key =
+  let i = slot ~mask:t.mask key in
+  t.table.(i) <- t.table.(i) lor bits key
+
+let test t key = t.table.(slot ~mask:t.mask key) land bits key = bits key

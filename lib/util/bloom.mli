@@ -1,0 +1,30 @@
+(** Blocked Bloom filter math over power-of-two word tables.
+
+    All of a key's bits live in a single table word, so adding or
+    testing a key is one shared-memory access.  The storage is the
+    caller's (the reclaimer keeps it in the unmanaged heap next to the
+    master buffer); this module only computes which word and which bits.
+    False positives are expected and safe — they fall through to the
+    exact search; false negatives cannot happen, since [slot]/[bits] are
+    pure functions of the key. *)
+
+val words_for : int -> int
+(** [words_for n] is the table size (a power of two, at least 16) for
+    [n] expected keys: about 8 bits per key. *)
+
+val slot : mask:int -> int -> int
+(** [slot ~mask key] is the table word index for [key]; [mask] is
+    [words - 1] of a power-of-two table. *)
+
+val bits : int -> int
+(** [bits key] is the key's signature: an int with (up to) two bits set,
+    all below bit 62.  Add with [lor], test with [land] against itself. *)
+
+(** Array-backed reference filter, for tests and OCaml-side tables. *)
+
+type t
+
+val create : expected:int -> t
+val words : t -> int
+val add : t -> int -> unit
+val test : t -> int -> bool

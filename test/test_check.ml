@@ -50,7 +50,7 @@ let test_db_exact_capacity_wrap () =
   ignore
     (Runtime.run ~config:cfg (fun () ->
          let cap = 4 in
-         let b = Delete_buffer.create ~capacity:cap in
+         let b = Delete_buffer.create ~capacity:cap () in
          for round = 0 to 2 do
            for i = 0 to cap - 1 do
              check_bool "push below capacity" true (Delete_buffer.push b ((10 * round) + i))
@@ -655,6 +655,87 @@ let test_crash_leak_budget_enforced () =
   check "no violations within the budget" 0 (List.length o.Scenario.violations);
   check_bool "phases still completed" true (o.Scenario.phases >= 1)
 
+(* --------------------- pipeline under the checker ------------------------ *)
+
+(* Every pipeline stage on at once: sealed-run merge collect, Bloom
+   prefilter, chunked helper-parallel free.  The pipeline must be
+   indistinguishable from legacy ThreadScan to every oracle. *)
+let pipeline_base =
+  {
+    Scenario.default with
+    Scenario.help_free = true;
+    collect_merge = true;
+    scan_filter = true;
+    free_chunk = 2;
+  }
+
+let test_pipeline_sweep_clean () =
+  List.iter
+    (fun ds ->
+      let s =
+        Explore.sweep
+          (Explore.sweep_specs ~base:{ pipeline_base with Scenario.ds } ~schedules:6 ~seed0:0
+             ~pct_depth:3)
+      in
+      check (Fmt.str "pipeline %s: no violations" (Scenario.ds_to_string ds)) 0
+        (List.length s.Explore.failures);
+      check (Fmt.str "pipeline %s: all schedules ran" (Scenario.ds_to_string ds)) 6
+        s.Explore.runs)
+    [ Scenario.List_ds; Scenario.Hash_ds; Scenario.Skip_ds; Scenario.Churn ]
+
+let test_pipeline_crash_sweep_clean () =
+  List.iter
+    (fun ds ->
+      let base =
+        {
+          pipeline_base with
+          Scenario.ds;
+          fault = Scenario.Fault_crash { victims = 1; after = 10 };
+        }
+      in
+      let s = Explore.sweep (Explore.sweep_specs ~base ~schedules:6 ~seed0:0 ~pct_depth:3) in
+      check (Fmt.str "pipeline %s under crash: no violations" (Scenario.ds_to_string ds)) 0
+        (List.length s.Explore.failures))
+    [ Scenario.List_ds; Scenario.Churn ]
+
+let test_pipeline_stall_sweep_clean () =
+  let base =
+    {
+      pipeline_base with
+      Scenario.ds = Scenario.Churn;
+      fault = Scenario.Fault_stall { victims = 1; after = 10; cycles = 60_000 };
+    }
+  in
+  let s = Explore.sweep (Explore.sweep_specs ~base ~schedules:6 ~seed0:0 ~pct_depth:3) in
+  check "pipeline churn under stall: no violations" 0 (List.length s.Explore.failures)
+
+let test_pipeline_reclaimer_crash_takeover () =
+  (* The reclaimer dies mid-phase — with [free_chunk] on, possibly in the
+     middle of the chunked free, with helpers still pulling chunks.  The
+     heartbeat takeover plus the all-or-nothing sealed staging must keep
+     the run sound within the one-node leak budget. *)
+  let base = { pipeline_base with Scenario.ds = Scenario.Churn; inject = Threadscan.Crash_mid_phase } in
+  let s = Explore.sweep (Explore.sweep_specs ~base ~schedules:6 ~seed0:0 ~pct_depth:3) in
+  check "pipeline survives reclaimer crash mid-phase" 0 (List.length s.Explore.failures)
+
+let test_pipeline_still_catches_seeded_bug () =
+  (* The checker stays sharp with the pipeline on: a skipped carry-over
+     must surface exactly as it does on the legacy path. *)
+  let base =
+    { pipeline_base with Scenario.ds = Scenario.Churn; inject = Threadscan.Skip_carryover }
+  in
+  let s = Explore.sweep (Explore.sweep_specs ~base ~schedules:4 ~seed0:0 ~pct_depth:3) in
+  check_bool "seeded bug caught under the pipeline" true (s.Explore.failures <> []);
+  let cmd = Scenario.replay_command (List.hd s.Explore.failures).Scenario.spec in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "replay command carries the pipeline flags" true
+    (contains cmd "--collect-merge" && contains cmd "--scan-filter"
+    && contains cmd "--free-chunk 2")
+
 let () =
   Alcotest.run "check"
     [
@@ -711,5 +792,15 @@ let () =
           Alcotest.test_case "crash-leak budget enforced" `Quick test_crash_leak_budget_enforced;
           Alcotest.test_case "stale recovery blinds the phase (regression)" `Quick
             test_stale_recovery_blinds_phase;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "clean sweeps stay clean" `Quick test_pipeline_sweep_clean;
+          Alcotest.test_case "crash plans stay clean" `Quick test_pipeline_crash_sweep_clean;
+          Alcotest.test_case "stall plans stay clean" `Quick test_pipeline_stall_sweep_clean;
+          Alcotest.test_case "reclaimer crash mid-phase survives" `Quick
+            test_pipeline_reclaimer_crash_takeover;
+          Alcotest.test_case "seeded bug still caught" `Quick
+            test_pipeline_still_catches_seeded_bug;
         ] );
     ]

@@ -10,7 +10,7 @@ let spec =
     horizon = 250_000;
     init_size = 64;
     key_range = 128;
-    scheme = Workload.Threadscan { buffer_size = 8; help_free = false };
+    scheme = Workload.Threadscan { buffer_size = 8; help_free = false; pipeline = false };
   }
 
 let test_basic_run () =
@@ -49,8 +49,8 @@ let test_all_schemes_clean () =
         check (Workload.scheme_kind_to_string scheme ^ " no leaks") 0 r.Workload.outstanding)
     [
       Workload.Leaky;
-      Workload.Threadscan { buffer_size = 16; help_free = false };
-      Workload.Threadscan { buffer_size = 16; help_free = true };
+      Workload.Threadscan { buffer_size = 16; help_free = false; pipeline = false };
+      Workload.Threadscan { buffer_size = 16; help_free = true; pipeline = false };
       Workload.Hazard;
       Workload.Epoch;
       Workload.Slow_epoch { delay = 30_000 };
@@ -89,13 +89,13 @@ let test_oversubscription_switches () =
   check "still no leaks" 0 r.Workload.outstanding
 
 let test_signals_only_with_threadscan () =
-  let ts = Workload.run { spec with Workload.scheme = Workload.Threadscan { buffer_size = 4; help_free = false } } in
+  let ts = Workload.run { spec with Workload.scheme = Workload.Threadscan { buffer_size = 4; help_free = false; pipeline = false } } in
   let ep = Workload.run { spec with Workload.scheme = Workload.Epoch } in
   Alcotest.(check bool) "threadscan signals" true (ts.Workload.signals_delivered > 0);
   check "epoch sends none" 0 ep.Workload.signals_delivered
 
 let test_stack_depth_scanned () =
-  let busy = { spec with Workload.scheme = Workload.Threadscan { buffer_size = 4; help_free = false } } in
+  let busy = { spec with Workload.scheme = Workload.Threadscan { buffer_size = 4; help_free = false; pipeline = false } } in
   let shallow = Workload.run { busy with Workload.stack_depth = 0 } in
   let deep = Workload.run { busy with Workload.stack_depth = 180 } in
   let words r = try List.assoc "scan-words" r.Workload.extras with Not_found -> 0 in
@@ -123,9 +123,9 @@ let test_scale_parsing () =
 let test_kind_strings () =
   Alcotest.(check string) "list" "list" (Workload.ds_kind_to_string Workload.List_ds);
   Alcotest.(check string) "ts" "threadscan(8)"
-    (Workload.scheme_kind_to_string (Workload.Threadscan { buffer_size = 8; help_free = false }));
+    (Workload.scheme_kind_to_string (Workload.Threadscan { buffer_size = 8; help_free = false; pipeline = false }));
   Alcotest.(check string) "ts-help" "threadscan-help(8)"
-    (Workload.scheme_kind_to_string (Workload.Threadscan { buffer_size = 8; help_free = true }));
+    (Workload.scheme_kind_to_string (Workload.Threadscan { buffer_size = 8; help_free = true; pipeline = false }));
   Alcotest.(check string) "slow" "slow-epoch"
     (Workload.scheme_kind_to_string (Workload.Slow_epoch { delay = 1 }))
 
