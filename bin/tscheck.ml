@@ -9,6 +9,7 @@
 
 module Scenario = Ts_check.Scenario
 module Explore = Ts_check.Explore
+module Fork = Ts_check.Fork
 module Report = Ts_check.Report
 open Cmdliner
 
@@ -139,6 +140,62 @@ let bug_arg =
            (elide-lock|retire-early|skip-fence) and check that the analyzer catches it.  \
            Forces the structure the bug lives in and implies --race.")
 
+(* ----------------------------- fork args -------------------------------- *)
+
+let fork_arg =
+  Arg.(
+    value & flag
+    & info [ "fork" ]
+        ~doc:
+          "Forked schedule-tree exploration: share schedule prefixes via process \
+           snapshots instead of replaying every schedule from its seed (docs/CHECKING.md).")
+
+let prune_arg =
+  Arg.(
+    value & flag
+    & info [ "prune" ]
+        ~doc:
+          "With --fork: sleep-set pruning — abandon forked alternatives whose first step \
+           commutes with every explored sibling's (footprint independence).")
+
+let fork_factor_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "fork-factor" ] ~doc:"With --fork: max alternatives forked per decision point.")
+
+let fork_stride_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "fork-stride" ]
+        ~doc:"With --fork: minimum step spacing between chosen fork points (0 = 1).")
+
+let fork_window_arg =
+  Arg.(
+    value & opt float 0.5
+    & info [ "fork-window" ]
+        ~doc:
+          "With --fork: fraction of the trunk run below which no fork point is placed.  \
+           Fork points are spent at the deepest decision points first, so this only \
+           binds when the schedule quota is very large.")
+
+let differential_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "differential" ]
+        ~doc:
+          "With --fork: replay this many forked leaves per trunk from their seed \
+           (preloaded choice log) and fail unless traces are byte-identical and outcomes \
+           equal — the replay-from-seed oracle.")
+
+let step_budget_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "step-budget" ]
+        ~doc:
+          "Stop exploring once this many simulator steps ran (0 = unlimited).  Applies \
+           to both replay and forked sweeps, making their schedule throughput directly \
+           comparable.")
+
 (* -------------------------------- sweep --------------------------------- *)
 
 let pp_summary name (s : Explore.summary) =
@@ -147,6 +204,20 @@ let pp_summary name (s : Explore.summary) =
     (List.length s.Explore.failures);
   if s.Explore.skipped_segments > 0 then
     Fmt.pr "        (%d linearizability segments skipped as too wide)@." s.Explore.skipped_segments
+
+let pp_fork_summary name (st : Fork.stats) =
+  Fmt.pr "  %-5s %4d schedules  %6d ops  %4d phases  %4d keys checked  %d violations@." name
+    st.Fork.explored st.Fork.events st.Fork.phases st.Fork.lin_keys st.Fork.failed;
+  if st.Fork.skipped_segments > 0 then
+    Fmt.pr "        (%d linearizability segments skipped as too wide)@." st.Fork.skipped_segments;
+  Fmt.pr "        fork: %d trunks  %d snapshots  %d schedules pruned@." st.Fork.trunks
+    st.Fork.forks st.Fork.pruned;
+  Fmt.pr "        fork: %d prefix steps shared  %d fresh  %d replay-equivalent  speedup %.1fx@."
+    st.Fork.shared_steps st.Fork.fresh_steps st.Fork.replay_steps (Fork.speedup st);
+  if st.Fork.diff_checked > 0 then
+    Fmt.pr "        differential: %d leaves replayed from seed  %d mismatches@."
+      st.Fork.diff_checked st.Fork.diff_mismatches;
+  if st.Fork.errors > 0 then Fmt.pr "        fork: %d children died without reporting@." st.Fork.errors
 
 let sweep_cmd =
   let ds_list =
@@ -163,7 +234,8 @@ let sweep_cmd =
   in
   let seed0 = Arg.(value & opt int 0 & info [ "seed0" ] ~doc:"First seed of the family.") in
   let action ds_list schedules pct_depth seed0 threads ops key_range buffer_size help_free
-      collect_merge scan_filter free_chunk pipeline inject fault race bug =
+      collect_merge scan_filter free_chunk pipeline inject fault race bug fork prune
+      fork_factor fork_stride fork_window differential step_budget =
     let analyze = race || bug <> None in
     let help_free = help_free || pipeline in
     let collect_merge = collect_merge || pipeline in
@@ -193,6 +265,13 @@ let sweep_cmd =
       (List.length ds_list) schedules seed0
       (seed0 + schedules - 1)
       pct_depth;
+    if fork then
+      Fmt.pr "fork: factor=%d stride=%s window=%.2f prune=%s differential=%d@." fork_factor
+        (if fork_stride = 0 then "auto" else string_of_int fork_stride)
+        fork_window
+        (if prune then "on" else "off")
+        differential;
+    if step_budget > 0 then Fmt.pr "step budget: %d per structure@." step_budget;
     if collect_merge || scan_filter || free_chunk <> 0 then
       Fmt.pr "pipeline:%s%s%s@."
         (if collect_merge then " collect-merge" else "")
@@ -208,24 +287,61 @@ let sweep_cmd =
                   (Scenario.ds_to_string (Scenario.bug_ds b))
     | None -> ());
     let first_failure = ref None in
-    let total_runs = ref 0 and total_violations = ref 0 in
+    let total_runs = ref 0 and total_violations = ref 0 and total_mismatches = ref 0 in
+    (* fork-mode failures carry the recorded choice log alongside the
+       outcome: a forked schedule is not reproducible from its spec alone *)
+    let first_forked_failure = ref None in
     List.iter
       (fun ds ->
-        let specs =
-          Explore.sweep_specs ~base:{ base with Scenario.ds } ~schedules ~seed0 ~pct_depth
-        in
-        let s = Explore.sweep specs in
-        total_runs := !total_runs + s.Explore.runs;
-        total_violations := !total_violations + List.length s.Explore.failures;
-        pp_summary (Scenario.ds_to_string ds) s;
-        match s.Explore.failures with
-        | o :: _ when !first_failure = None -> first_failure := Some o
-        | _ -> ())
+        let base = { base with Scenario.ds } in
+        if fork then begin
+          let opts =
+            {
+              Fork.fork_factor;
+              stride = fork_stride;
+              window = fork_window;
+              prune;
+              differential;
+              step_budget;
+            }
+          in
+          let st = Fork.sweep ~opts ~base ~schedules ~seed0 ~pct_depth () in
+          total_runs := !total_runs + st.Fork.explored;
+          total_violations := !total_violations + st.Fork.failed;
+          total_mismatches := !total_mismatches + st.Fork.diff_mismatches;
+          pp_fork_summary (Scenario.ds_to_string ds) st;
+          match st.Fork.failures with
+          | f :: _ when !first_forked_failure = None -> first_forked_failure := Some f
+          | _ -> ()
+        end
+        else begin
+          let specs = Explore.sweep_specs ~base ~schedules ~seed0 ~pct_depth in
+          let s = Explore.sweep ~step_budget specs in
+          total_runs := !total_runs + s.Explore.runs;
+          total_violations := !total_violations + List.length s.Explore.failures;
+          pp_summary (Scenario.ds_to_string ds) s;
+          match s.Explore.failures with
+          | o :: _ when !first_failure = None -> first_failure := Some o
+          | _ -> ()
+        end)
       ds_list;
     Fmt.pr "total: %d schedules, %d with violations@." !total_runs !total_violations;
-    match !first_failure with
-    | None -> `Ok ()
-    | Some o ->
+    if !total_mismatches > 0 then begin
+      Fmt.pr "differential FAILED: %d forked schedules diverged from replay-from-seed@."
+        !total_mismatches;
+      exit 2
+    end;
+    match (!first_failure, !first_forked_failure) with
+    | None, None -> `Ok ()
+    | None, Some (o, log) ->
+        Fmt.pr "@.first failing schedule (%s, forked from seed %d):@."
+          (Scenario.ds_to_string o.Scenario.spec.Scenario.ds)
+          o.Scenario.spec.Scenario.seed;
+        List.iter (fun v -> Fmt.pr "  %a@." Report.pp v) o.Scenario.violations;
+        Fmt.pr "recorded schedule: %d choices (replayable via the preloaded choice log)@."
+          (Array.length log);
+        exit 1
+    | Some o, _ ->
         Fmt.pr "@.first failing schedule (%s, seed %d):@."
           (Scenario.ds_to_string o.Scenario.spec.Scenario.ds)
           o.Scenario.spec.Scenario.seed;
@@ -242,7 +358,9 @@ let sweep_cmd =
       ret
         (const action $ ds_list $ schedules $ pct_depth $ seed0 $ threads_arg $ ops_arg
        $ range_arg $ buffer_arg $ help_free_arg $ collect_merge_arg $ scan_filter_arg
-       $ free_chunk_arg $ pipeline_arg $ inject_arg $ fault_arg $ race_arg $ bug_arg))
+       $ free_chunk_arg $ pipeline_arg $ inject_arg $ fault_arg $ race_arg $ bug_arg
+       $ fork_arg $ prune_arg $ fork_factor_arg $ fork_stride_arg $ fork_window_arg
+       $ differential_arg $ step_budget_arg))
 
 (* -------------------------------- replay -------------------------------- *)
 

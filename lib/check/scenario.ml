@@ -297,7 +297,7 @@ let run_churn rt spec (smr : Smr.t) =
   done;
   (baseline, [])
 
-let run spec =
+let run ?configure ?trace spec =
   let sched =
     match spec.policy with
     | Timed -> Runtime.Timed
@@ -323,12 +323,18 @@ let run spec =
   in
   (* TSCHECK_TRACE=1 streams the scheduler/protocol trace of every run to
      stderr — the fastest way from a failing replay command to a timeline
-     (the degradation-ladder notes land here too). *)
+     (the degradation-ladder notes land here too).  A [trace] callback
+     (the fork explorer's differential digest) composes with it. *)
   let config =
-    match Sys.getenv_opt "TSCHECK_TRACE" with
-    | Some _ ->
-        { config with Runtime.trace = Some (fun e -> Fmt.epr "%a@." Ts_sim.Trace.pp e) }
-    | None -> config
+    let sinks =
+      (match Sys.getenv_opt "TSCHECK_TRACE" with
+      | Some _ -> [ (fun e -> Fmt.epr "%a@." Ts_sim.Trace.pp e) ]
+      | None -> [])
+      @ (match trace with Some f -> [ f ] | None -> [])
+    in
+    match sinks with
+    | [] -> config
+    | fs -> { config with Runtime.trace = Some (fun e -> List.iter (fun f -> f e) fs) }
   in
   (* The analyzer is an ops decorator: attach it before the runtime
      installs its backend so every op of the run is observed.  It must be
@@ -341,6 +347,9 @@ let run spec =
     match analyzer with Some an -> Ts_analyze.Analyze.wrap_smr an smr | None -> smr
   in
   let rt = Runtime.create config in
+  (* the fork explorer's entry point: install a scheduler hook or preload a
+     recorded schedule before the run starts *)
+  Option.iter (fun f -> f rt) configure;
   let phase_of = ref (fun () -> -1) in
   let san = Sanitize.install rt ~phase_of:(fun () -> !phase_of ()) in
   let events = ref [] in

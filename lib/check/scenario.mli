@@ -143,5 +143,15 @@ type outcome = {
 
 val failed : outcome -> bool
 
-val run : spec -> outcome
-(** Deterministic: same spec, same outcome. *)
+val run :
+  ?configure:(Ts_sim.Runtime.t -> unit) ->
+  ?trace:(Ts_sim.Trace.entry -> unit) ->
+  spec ->
+  outcome
+(** Deterministic: same spec, same outcome.
+
+    [configure] runs right after the runtime is created and before any
+    thread executes — the place to install a {!Ts_sim.Runtime.set_scheduler_hook}
+    or {!Ts_sim.Runtime.preload_choices} for guided/forked exploration.
+    [trace] receives every trace entry (composes with [TSCHECK_TRACE]);
+    use it to digest the schedule for differential checking. *)

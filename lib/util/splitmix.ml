@@ -6,6 +6,10 @@ let create seed = { state = Int64.of_int seed }
 
 let copy t = { state = t.state }
 
+let raw_state t = t.state
+
+let set_raw_state t s = t.state <- s
+
 let mix64 z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in

@@ -14,6 +14,12 @@ val create : int -> t
 val copy : t -> t
 (** Independent copy that will produce the same future stream. *)
 
+val raw_state : t -> int64
+(** The exact internal state word, for snapshotting / state digests. *)
+
+val set_raw_state : t -> int64 -> unit
+(** Rewind the generator to a state previously read with {!raw_state}. *)
+
 val split : t -> t
 (** [split t] derives a statistically independent child generator and
     advances [t].  Used to give each simulated thread its own stream. *)

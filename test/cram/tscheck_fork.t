@@ -1,0 +1,80 @@
+Forked schedule-tree exploration (docs/CHECKING.md, "Forked
+exploration"): instead of replaying every schedule from its seed, the
+explorer snapshots the running simulator at scheduling decision points
+by forking the process, and each leaf inherits the trunk's prefix
+without re-executing it.  Exploration is sequential and deterministic,
+so the sweep statistics below are exact.
+
+A small forked sweep.  The first fork line counts trunk schedules,
+process snapshots taken, and schedules pruned; the second accounts
+steps: shared (inherited prefixes), fresh (actually executed, scout and
+fork passes included), and replay-equivalent (what replay-from-seed
+would have spent on the same schedules) — the ratio is the speedup:
+
+  $ ../../bin/tscheck.exe sweep --ds lazy --schedules 8 --ops 20 --key-range 16 --fork
+  sweep: 1 structures x 8 schedules (seeds 0..7, uniform/pct:3 alternating)
+  fork: factor=3 stride=auto window=0.50 prune=off differential=0
+    lazy     8 schedules     672 ops     8 phases   128 keys checked  0 violations
+          fork: 2 trunks  6 snapshots  0 schedules pruned
+          fork: 21519 prefix steps shared  20960 fresh  33984 replay-equivalent  speedup 1.6x
+  total: 8 schedules, 0 with violations
+
+Replay-from-seed stays the oracle: --differential replays sampled leaves
+from their seed through the preloaded choice log and fails loudly unless
+the traces are byte-identical and the outcomes equal.  --prune turns on
+sleep-set pruning of forked alternatives whose first step commutes with
+every explored sibling's:
+
+  $ ../../bin/tscheck.exe sweep --ds lazy --schedules 24 --ops 20 --key-range 16 --fork --prune --differential 2
+  sweep: 1 structures x 24 schedules (seeds 0..23, uniform/pct:3 alternating)
+  fork: factor=3 stride=auto window=0.50 prune=on differential=2
+    lazy    24 schedules    2016 ops    24 phases   384 keys checked  0 violations
+          fork: 2 trunks  22 snapshots  0 schedules pruned
+          fork: 78815 prefix steps shared  31626 fresh  101946 replay-equivalent  speedup 3.2x
+          differential: 4 leaves replayed from seed  0 mismatches
+  total: 24 schedules, 0 with violations
+
+At scale the prefix sharing dominates — and with enough leaves the fork
+points climb into regions where several siblings contend, so pruning
+starts retiring commuting alternatives (pruned schedules are dropped
+from the explored count, never silently kept):
+
+  $ ../../bin/tscheck.exe sweep --ds lazy --schedules 400 --fork --prune
+  sweep: 1 structures x 400 schedules (seeds 0..399, uniform/pct:3 alternating)
+  fork: factor=3 stride=auto window=0.50 prune=on differential=0
+    lazy   398 schedules   66864 ops  1394 phases  12736 keys checked  0 violations
+          fork: 2 trunks  398 snapshots  2 schedules pruned
+          fork: 4100290 prefix steps shared  565815 fresh  4642760 replay-equivalent  speedup 8.2x
+  total: 398 schedules, 0 with violations
+
+Forking composes with the happens-before and lifecycle analyzers — the
+forked children carry the analyzer state in their snapshot:
+
+  $ ../../bin/tscheck.exe sweep --ds lazy --schedules 8 --ops 20 --key-range 16 --fork --race --differential 2
+  sweep: 1 structures x 8 schedules (seeds 0..7, uniform/pct:3 alternating)
+  fork: factor=3 stride=auto window=0.50 prune=off differential=2
+  analysis: happens-before + lifecycle checkers on
+    lazy     8 schedules     672 ops    12 phases   128 keys checked  0 violations
+          fork: 2 trunks  6 snapshots  0 schedules pruned
+          fork: 42297 prefix steps shared  44124 fresh  69138 replay-equivalent  speedup 1.6x
+          differential: 4 leaves replayed from seed  0 mismatches
+  total: 8 schedules, 0 with violations
+
+A forked sweep finds the same seeded bugs a replay sweep finds, and
+prints the recorded choice log length so the failing schedule can be
+replayed exactly:
+
+  $ ../../bin/tscheck.exe sweep --ds churn --schedules 2 --inject skip-carryover --fork
+  sweep: 1 structures x 2 schedules (seeds 0..1, uniform/pct:3 alternating)
+  fork: factor=3 stride=auto window=0.50 prune=off differential=0
+  injected bug: skip-carryover
+    churn    2 schedules       0 ops    12 phases     0 keys checked  2 violations
+          fork: 2 trunks  0 snapshots  0 schedules pruned
+          fork: 0 prefix steps shared  9520 fresh  9520 replay-equivalent  speedup 1.0x
+  total: 2 schedules, 2 with violations
+  
+  first failing schedule (churn, forked from seed 0):
+    sanitizer: use-after-free read at addr 4885 (tid 1, phase 3)
+  recorded schedule: 5945 choices (replayable via the preloaded choice log)
+  [1]
+

@@ -26,6 +26,7 @@ module Delete_buffer = Threadscan.Delete_buffer
 module Set_intf = Ts_ds.Set_intf
 module Scenario = Ts_check.Scenario
 module Explore = Ts_check.Explore
+module Fork = Ts_check.Fork
 module Linearize = Ts_check.Linearize
 module Sanitize = Ts_check.Sanitize
 module Report = Ts_check.Report
@@ -736,6 +737,185 @@ let test_pipeline_still_catches_seeded_bug () =
     (contains cmd "--collect-merge" && contains cmd "--scan-filter"
     && contains cmd "--free-chunk 2")
 
+(* ------------------- forked exploration vs replay-from-seed --------------- *)
+
+(* The forked explorer shares schedule prefixes via process snapshots;
+   replay-from-seed is its oracle.  The differential mode inside
+   Fork.sweep replays sampled leaves from their seed through the
+   preloaded choice log and demands byte-identical traces and identical
+   outcome counters — these tests run that oracle over a 200-schedule
+   sweep spanning both list flavours and both fault plans. *)
+
+let fork_opts = { Fork.default_options with Fork.prune = false; differential = 4 }
+
+let diff_sweep ?(opts = fork_opts) base schedules =
+  Fork.sweep ~opts ~base ~schedules ~seed0:0 ~pct_depth:3 ()
+
+let test_fork_differential_200 () =
+  (* 200 schedules: lazy list and michael hash, clean and under
+     crash/stall fault plans.  Every sampled leaf must replay from its
+     seed to a byte-identical trace. *)
+  let configs =
+    [
+      ("lazy", { Scenario.default with Scenario.ds = Scenario.Lazy_ds }, 60);
+      ("hash", { Scenario.default with Scenario.ds = Scenario.Hash_ds }, 60);
+      ( "lazy under crash:1@10",
+        {
+          Scenario.default with
+          Scenario.ds = Scenario.Lazy_ds;
+          fault = Scenario.Fault_crash { victims = 1; after = 10 };
+        },
+        40 );
+      ( "hash under stall:1@10:60000",
+        {
+          Scenario.default with
+          Scenario.ds = Scenario.Hash_ds;
+          fault = Scenario.Fault_stall { victims = 1; after = 10; cycles = 60_000 };
+        },
+        40 );
+    ]
+  in
+  List.iter
+    (fun (name, base, schedules) ->
+      let st = diff_sweep base schedules in
+      check (Fmt.str "%s: all schedules explored" name) schedules st.Fork.explored;
+      check (Fmt.str "%s: no violations" name) 0 st.Fork.failed;
+      check (Fmt.str "%s: no leaf errors" name) 0 st.Fork.errors;
+      check_bool (Fmt.str "%s: oracle exercised" name) true (st.Fork.diff_checked > 0);
+      check (Fmt.str "%s: replays byte-identical" name) 0 st.Fork.diff_mismatches)
+    configs
+
+let test_fork_prune_sound () =
+  (* Sleep-set pruning only drops redundant samples: every schedule is
+     either explored or pruned, nothing is lost, and the sampled leaves
+     still replay byte-identically. *)
+  let base = { Scenario.default with Scenario.ds = Scenario.Lazy_ds } in
+  let st =
+    diff_sweep ~opts:{ fork_opts with Fork.prune = true; differential = 2 } base 60
+  in
+  check "explored + pruned covers the quota" 60 (st.Fork.explored + st.Fork.pruned);
+  check "no violations" 0 st.Fork.failed;
+  check "pruned runs still replay byte-identical" 0 st.Fork.diff_mismatches
+
+let test_fork_throughput () =
+  (* The point of forking: schedules per simulated step.  fresh_steps is
+     everything the forked sweep executed (scout and fork passes
+     included); replay_steps is what replay-from-seed would spend on the
+     same schedules.  Even this small sweep must clear a comfortable
+     multiple. *)
+  let base = { Scenario.default with Scenario.ds = Scenario.Lazy_ds } in
+  let st = diff_sweep ~opts:{ fork_opts with Fork.differential = 0 } base 100 in
+  check "all schedules explored" 100 st.Fork.explored;
+  check_bool
+    (Fmt.str "forked sweep at least 4x replay throughput (got %.1fx)" (Fork.speedup st))
+    true
+    (Fork.speedup st >= 4.0)
+
+let test_fork_catches_seeded_bug_replayably () =
+  (* A forked sweep must find the same seeded bug a replay sweep finds,
+     and the recorded choice log must reproduce the failure exactly. *)
+  let base =
+    { Scenario.default with Scenario.ds = Scenario.Churn; inject = Threadscan.Skip_carryover }
+  in
+  let st = diff_sweep ~opts:{ fork_opts with Fork.differential = 0 } base 8 in
+  check_bool "seeded bug caught by forked sweep" true (st.Fork.failed > 0);
+  match st.Fork.failures with
+  | [] -> Alcotest.fail "failed > 0 but no failure recorded"
+  | (o, log) :: _ ->
+      let replayed =
+        Scenario.run
+          ~configure:(fun rt -> Runtime.preload_choices rt log)
+          o.Scenario.spec
+      in
+      check_bool "recorded schedule reproduces the failure" true (Scenario.failed replayed);
+      check "replay takes the same number of steps" o.Scenario.steps replayed.Scenario.steps;
+      check "replay sees the same violations"
+        (List.length o.Scenario.violations)
+        (List.length replayed.Scenario.violations)
+
+(* ------------------------------ shrink, axis by axis ---------------------- *)
+
+(* Synthetic failure predicates isolate each reduction axis without
+   needing a real protocol bug: shrink_memo must drive every axis to the
+   smallest spec the predicate still accepts, never run the same spec
+   twice, and stop the seed scan at the first failing seed. *)
+
+let counting_fails pred =
+  let seen : (Scenario.spec, int) Hashtbl.t = Hashtbl.create 64 in
+  let f spec =
+    Hashtbl.replace seen spec (1 + Option.value ~default:0 (Hashtbl.find_opt seen spec));
+    pred spec
+  in
+  (f, seen)
+
+let test_shrink_reduces_each_axis () =
+  (* Fails while threads >= 2, ops >= 10 and key_range >= 8: the floor on
+     each axis is exactly one reduction short of breaking the predicate. *)
+  let pred s = s.Scenario.threads >= 2 && s.Scenario.ops >= 10 && s.Scenario.key_range >= 8 in
+  let fails, seen = counting_fails pred in
+  let shrunk, stats = Explore.shrink_memo ~fails Scenario.default in
+  check "threads reduced to the predicate floor" 2 shrunk.Scenario.threads;
+  check "ops halved down to the predicate floor" 10 shrunk.Scenario.ops;
+  check "key range halved down to the predicate floor" 8 shrunk.Scenario.key_range;
+  check "seed 0 untouched" 0 shrunk.Scenario.seed;
+  check "memo: accounting adds up" stats.Explore.candidates
+    (stats.Explore.runs_executed + stats.Explore.memo_hits);
+  Hashtbl.iter
+    (fun _ n -> check "memo: no spec ever run twice" 1 n)
+    seen
+
+let test_shrink_memo_hits_across_passes () =
+  (* Interacting axes: reducing threads below 2 only keeps failing once
+     ops has been halved first, so the fixpoint needs a second pass to
+     finish the job — and the pass after that re-proposes an
+     already-judged candidate, which must be answered from the memo
+     table, not re-run. *)
+  let allowed = [ (3, 40); (2, 40); (2, 20); (1, 20); (1, 10) ] in
+  let pred s = List.mem (s.Scenario.threads, s.Scenario.ops) allowed in
+  let fails, seen = counting_fails pred in
+  let shrunk, stats = Explore.shrink_memo ~fails Scenario.default in
+  check "second pass finished the threads reduction" 1 shrunk.Scenario.threads;
+  check "ops reduced across passes" 10 shrunk.Scenario.ops;
+  check_bool "fixpoint revisits are memo hits" true (stats.Explore.memo_hits >= 1);
+  Hashtbl.iter (fun _ n -> check "no spec ever run twice" 1 n) seen
+
+let test_shrink_seed_scan_stops_at_first_failure () =
+  (* Seeds are scanned from 0 and the scan must stop at the first failing
+     seed — not the smallest-failing over the whole range. *)
+  let pred s = s.Scenario.seed >= 10 in
+  let fails, seen = counting_fails pred in
+  let spec = { Scenario.default with Scenario.seed = 30 } in
+  let shrunk, _ = Explore.shrink_memo ~fails spec in
+  check "stopped at the first failing seed" 10 shrunk.Scenario.seed;
+  Hashtbl.iter
+    (fun s _ ->
+      check_bool "never scanned past the first failing seed" true
+        (s.Scenario.seed <= 10 || s.Scenario.seed = 30))
+    seen
+
+let test_shrink_seed_scan_bounded () =
+  (* Regression for the stopping conditions: the scan never looks at
+     seeds at or beyond the 64-seed horizon, and never at or beyond the
+     spec's own seed — a spec whose bug needs its exact large seed keeps
+     it. *)
+  let pred s = s.Scenario.seed = 100 in
+  let fails, seen = counting_fails pred in
+  let spec = { Scenario.default with Scenario.seed = 100 } in
+  let shrunk, _ = Explore.shrink_memo ~fails spec in
+  check "large seed kept when no smaller seed fails" 100 shrunk.Scenario.seed;
+  Hashtbl.iter
+    (fun s _ ->
+      check_bool "scan bounded by the 64-seed horizon" true
+        (s.Scenario.seed < 64 || s.Scenario.seed = 100))
+    seen
+
+let test_shrink_nonfailing_spec_unchanged () =
+  let fails, _ = counting_fails (fun _ -> false) in
+  let shrunk, stats = Explore.shrink_memo ~fails Scenario.default in
+  check_bool "spec returned unchanged" true (shrunk = Scenario.default);
+  check "exactly one probe run" 1 stats.Explore.runs_executed;
+  check "no reduction candidates tried" 1 stats.Explore.candidates
+
 let () =
   Alcotest.run "check"
     [
@@ -802,5 +982,28 @@ let () =
             test_pipeline_reclaimer_crash_takeover;
           Alcotest.test_case "seeded bug still caught" `Quick
             test_pipeline_still_catches_seeded_bug;
+        ] );
+      ( "forked exploration",
+        [
+          Alcotest.test_case "200-schedule differential vs replay-from-seed" `Quick
+            test_fork_differential_200;
+          Alcotest.test_case "pruning loses nothing, stays byte-identical" `Quick
+            test_fork_prune_sound;
+          Alcotest.test_case "schedule throughput beats replay" `Quick test_fork_throughput;
+          Alcotest.test_case "seeded bug caught with a replayable log" `Quick
+            test_fork_catches_seeded_bug_replayably;
+        ] );
+      ( "shrink",
+        [
+          Alcotest.test_case "every axis reduced to its floor" `Quick
+            test_shrink_reduces_each_axis;
+          Alcotest.test_case "fixpoint revisits answered from the memo" `Quick
+            test_shrink_memo_hits_across_passes;
+          Alcotest.test_case "seed scan stops at the first failing seed" `Quick
+            test_shrink_seed_scan_stops_at_first_failure;
+          Alcotest.test_case "seed scan bounded by horizon and own seed" `Quick
+            test_shrink_seed_scan_bounded;
+          Alcotest.test_case "non-failing spec returned unchanged" `Quick
+            test_shrink_nonfailing_spec_unchanged;
         ] );
     ]
