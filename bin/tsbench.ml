@@ -103,7 +103,26 @@ let print_result (r : Workload.result) =
     Fmt.pr "scheme:    ";
     List.iter (fun (k, v) -> Fmt.pr " %s=%d" k v) r.extras;
     Fmt.pr "@."
-  end
+  end;
+  if r.wedged then
+    Fmt.pr "wedged:     liveness watchdog killed the run%a@."
+      Fmt.(option (any ":@.            " ++ string))
+      r.post_mortem;
+  match r.chaos with
+  | None -> ()
+  | Some c ->
+      (* ns on the native backend, virtual cycles on the sim *)
+      let unit = match s.backend with Workload.Backend_sim -> "cycles" | _ -> "ns" in
+      let t v = if v < 0 then "-" else Fmt.str "%d%s" v unit in
+      Fmt.pr "chaos:      plan=%s fired=%d fault@%s@."
+        (Ts_util.Fault_plan.to_string s.chaos)
+        c.Ts_harness.Chaos.clauses_fired
+        (t c.Ts_harness.Chaos.fault_at);
+      Fmt.pr "recovery:   baseline=%d peak=%d takeover=%s recover=%s storm=%d@."
+        c.Ts_harness.Chaos.baseline_outstanding c.Ts_harness.Chaos.peak_outstanding
+        (t c.Ts_harness.Chaos.takeover_after)
+        (t c.Ts_harness.Chaos.recover_after)
+        c.Ts_harness.Chaos.storm_signals
 
 let run_cmd =
   let ds =
@@ -157,11 +176,36 @@ let run_cmd =
             "Run the workload twice — plain, then under the happens-before + lifecycle \
              checkers — and report the detector's findings and host-time overhead.")
   in
+  let chaos =
+    Arg.(
+      value & opt string "none"
+      & info [ "chaos" ]
+          ~doc:
+            "Fault plan to inject, e.g. $(b,crash:1\\@100000) or \
+             $(b,stall:2\\@80000:forever,release:2\\@500ms): comma-separated clauses \
+             EVENT:VICTIMS\\@TRIGGER, where the trigger is virtual cycles or (native only) \
+             $(b,Nms) wall-clock; events are crash, stall (bounded, $(b,:forever)), release, \
+             drop-signals:N, delay-signals:CYCLES.  Recovery metrics are reported after the \
+             run.")
+  in
+  let watchdog =
+    Arg.(
+      value & opt int 0
+      & info [ "watchdog" ]
+          ~doc:
+            "Native backend only: liveness watchdog budget in milliseconds — a run still \
+             going after this long is killed and reported as wedged with a post-mortem \
+             (0 = off).  Required for chaos plans that starve plain epoch forever.")
+  in
   let action ds scheme_name threads cores horizon init range update buffer help_free pipeline
-      trials delay padding seed analyze backend pool =
-    match scheme_conv ~buffer ~help_free ~pipeline ~delay scheme_name with
-    | Error (`Msg m) -> `Error (false, m)
-    | Ok scheme ->
+      trials delay padding seed analyze chaos watchdog backend pool =
+    match
+      ( scheme_conv ~buffer ~help_free ~pipeline ~delay scheme_name,
+        Ts_util.Fault_plan.parse chaos )
+    with
+    | Error (`Msg m), _ -> `Error (false, m)
+    | _, Error m -> `Error (false, Fmt.str "bad --chaos plan: %s" m)
+    | Ok scheme, Ok chaos ->
         let spec =
           {
             Workload.default_spec with
@@ -175,6 +219,8 @@ let run_cmd =
             update_ratio = update;
             padding;
             seed;
+            chaos;
+            watchdog_ms = watchdog;
             backend = make_backend backend pool;
           }
         in
@@ -234,8 +280,8 @@ let run_cmd =
     Term.(
       ret
         (const action $ ds $ scheme_name $ threads $ cores $ horizon $ init $ range $ update
-       $ buffer $ help_free $ pipeline $ trials $ delay $ padding $ seed $ analyze
-       $ backend_arg $ pool_arg))
+       $ buffer $ help_free $ pipeline $ trials $ delay $ padding $ seed $ analyze $ chaos
+       $ watchdog $ backend_arg $ pool_arg))
 
 (* ------------------------------- sweep ---------------------------------- *)
 
@@ -280,7 +326,12 @@ let all_cmd =
   let action scale backend pool json trials =
     let backend = make_backend backend pool in
     List.iter
-      (fun (name, f) -> Experiment.run_and_print ~title:name ~backend ~json ~trials f scale)
+      (fun (name, f) ->
+        (* chaos-recovery injects faults into real domains: silently
+           meaningless on the simulator, so `all` only runs it natively *)
+        if name = "chaos-recovery" && backend = Workload.Backend_sim then
+          Fmt.pr "@.== chaos-recovery == skipped (native backend only)@."
+        else Experiment.run_and_print ~title:name ~backend ~json ~trials f scale)
       Experiment.names
   in
   Cmd.v

@@ -16,7 +16,13 @@
 
    Usage: dune exec bin/tstrace.exe
             [-- --threads N] [--buffer N] [--cores N] [--seed N]
-            [--fault none|crash|stall] [--analyze] *)
+            [--fault none|crash|stall|<plan>] [--analyze]
+
+   --fault also accepts a full Ts_util.Fault_plan expression
+   (e.g. "stall:2@800:forever,release:2@40000"): each clause fires on
+   worker tids 1..V after advancing the trigger's virtual cycles, so the
+   timeline shows exactly when the chaos landed.  The bare crash/stall
+   keywords keep their historical one-victim shapes. *)
 
 module Sim = Ts_sim.Runtime
 module Runtime = Ts_rt
@@ -44,8 +50,11 @@ let parse_args () =
         cores := int_of_string n;
         go rest
     | "--fault" :: f :: rest ->
-        if not (List.mem f [ "none"; "crash"; "stall" ]) then
-          failwith ("unknown fault: " ^ f ^ " (none|crash|stall)");
+        if not (List.mem f [ "none"; "crash"; "stall" ]) then begin
+          match Ts_util.Fault_plan.parse f with
+          | Ok _ -> ()
+          | Error e -> failwith ("unknown fault: " ^ f ^ " (none|crash|stall) or a plan: " ^ e)
+        end;
         fault := f;
         go rest
     | "--seed" :: n :: rest ->
@@ -121,7 +130,30 @@ let () =
          (match fault with
          | "crash" -> Runtime.crash 1
          | "stall" -> Runtime.stall ~cycles:30_000 1
-         | _ -> ());
+         | "none" -> ()
+         | plan ->
+             (* full plan: fire each clause on worker tids 1..V, advancing
+                to its (virtual-cycle) trigger first.  Wall-clock triggers
+                have no meaning in the sim. *)
+             let clauses =
+               match Ts_util.Fault_plan.parse plan with Ok cs -> cs | Error e -> failwith e
+             in
+             List.iter
+               (fun { Ts_util.Fault_plan.victims; at; event } ->
+                 (match at with
+                 | Ts_util.Fault_plan.At k -> Runtime.advance k
+                 | Ts_util.Fault_plan.At_ms _ ->
+                     failwith "wall-clock (ms) triggers need the native backend");
+                 for v = 1 to min victims nthreads do
+                   match event with
+                   | Ts_util.Fault_plan.Crash -> Runtime.crash v
+                   | Ts_util.Fault_plan.Stall (Bounded c) -> Runtime.stall ~cycles:c v
+                   | Ts_util.Fault_plan.Stall Forever -> Runtime.stall v
+                   | Ts_util.Fault_plan.Unstall -> Runtime.unstall v
+                   | Ts_util.Fault_plan.Drop_signals n -> Runtime.drop_signals v n
+                   | Ts_util.Fault_plan.Delay_signals c -> Runtime.delay_signals v c
+                 done)
+               clauses);
          (* the main thread retires nodes until its buffer overflows: it
             becomes the reclaimer of Figure 2 *)
          for i = 0 to nthreads - 1 do

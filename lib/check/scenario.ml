@@ -109,6 +109,7 @@ let inject_to_string = function
   | Threadscan.Skip_ack_wait -> "skip-ack-wait"
   | Threadscan.Skip_proxy_scan -> "skip-proxy-scan"
   | Threadscan.Crash_mid_phase -> "crash-mid-phase"
+  | Threadscan.Stall_mid_phase -> "stall-mid-phase"
 
 let inject_of_string = function
   | "none" -> Some Threadscan.No_fault
@@ -116,6 +117,7 @@ let inject_of_string = function
   | "skip-ack-wait" -> Some Threadscan.Skip_ack_wait
   | "skip-proxy-scan" -> Some Threadscan.Skip_proxy_scan
   | "crash-mid-phase" -> Some Threadscan.Crash_mid_phase
+  | "stall-mid-phase" -> Some Threadscan.Stall_mid_phase
   | _ -> None
 
 let fault_to_string = function
@@ -123,29 +125,19 @@ let fault_to_string = function
   | Fault_crash { victims; after } -> Fmt.str "crash:%d@%d" victims after
   | Fault_stall { victims; after; cycles } -> Fmt.str "stall:%d@%d:%d" victims after cycles
 
+(* The checker's fault surface is the single-clause, op-count-triggered
+   subset of the shared {!Ts_util.Fault_plan} grammar: exactly one
+   [crash:V@K] or bounded [stall:V@K:C].  Wall-clock triggers, forever
+   stalls, releases, and signal faults only make sense under a real
+   scheduler and stay rejected here — the harness's chaos plans own
+   them. *)
 let fault_of_string s =
-  let split_on c s = String.split_on_char c s in
-  match s with
-  | "none" -> Some Fault_none
-  | _ -> (
-      match split_on ':' s with
-      | [ "crash"; rest ] -> (
-          match split_on '@' rest with
-          | [ v; a ] -> (
-              match (int_of_string_opt v, int_of_string_opt a) with
-              | Some victims, Some after when victims > 0 && after >= 0 ->
-                  Some (Fault_crash { victims; after })
-              | _ -> None)
-          | _ -> None)
-      | [ "stall"; rest; c ] -> (
-          match (split_on '@' rest, int_of_string_opt c) with
-          | [ v; a ], Some cycles -> (
-              match (int_of_string_opt v, int_of_string_opt a) with
-              | Some victims, Some after when victims > 0 && after >= 0 && cycles > 0 ->
-                  Some (Fault_stall { victims; after; cycles })
-              | _ -> None)
-          | _ -> None)
-      | _ -> None)
+  match Ts_util.Fault_plan.parse s with
+  | Ok [] -> Some Fault_none
+  | Ok [ { victims; at = At after; event = Crash } ] -> Some (Fault_crash { victims; after })
+  | Ok [ { victims; at = At after; event = Stall (Bounded cycles) } ] ->
+      Some (Fault_stall { victims; after; cycles })
+  | Ok _ | Error _ -> None
 
 let replay_command spec =
   (* Pipeline flags are emitted only when non-default, so commands for the

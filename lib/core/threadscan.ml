@@ -6,7 +6,17 @@ module Ptr = Ts_umem.Ptr
 module Smr = Ts_smr.Smr
 module Backoff = Ts_sync.Backoff
 
-type inject = No_fault | Skip_carryover | Skip_ack_wait | Skip_proxy_scan | Crash_mid_phase
+type inject =
+  | No_fault
+  | Skip_carryover
+  | Skip_ack_wait
+  | Skip_proxy_scan
+  | Crash_mid_phase
+  | Stall_mid_phase
+      (* stall-forever at the same point Crash_mid_phase kills: the
+         reclaimer freezes holding the phase lock, so workers must
+         heartbeat-takeover; an eventual [Ts_rt.unstall] resumes it into
+         a generation-fence abort *)
 
 type t = {
   cfg : Config.t;
@@ -361,6 +371,11 @@ let do_phase t =
     t.inject <- No_fault;
     Runtime.note "injected reclaimer crash mid-phase";
     Runtime.crash self
+  end;
+  if t.inject = Stall_mid_phase then begin
+    t.inject <- No_fault;
+    Runtime.note "injected reclaimer stall mid-phase";
+    Runtime.stall self
   end;
   let timed_out, departed =
     if t.inject = Skip_ack_wait then ([], []) else wait_for_acks t phase !signaled

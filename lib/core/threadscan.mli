@@ -171,6 +171,11 @@ type inject =
       (** The next reclaimer kills itself right after signaling (once):
         the phase lock is orphaned mid-phase, exercising heartbeat
         takeover and the generation fence. *)
+  | Stall_mid_phase
+      (** Like {!Crash_mid_phase} but the reclaimer stalls forever
+        instead of dying: the phase lock is held by a frozen thread, so
+        workers must heartbeat-takeover, and a later [Ts_rt.unstall]
+        resumes the victim into a generation-fence abort. *)
 
 val set_inject : t -> inject -> unit
 

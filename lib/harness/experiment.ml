@@ -419,6 +419,78 @@ let ablate_pipeline ~backend ~trials scale =
   in
   run_sweep ~backend ~trials ~threads_list ~series
 
+(* Chaos recovery: the crash/stall degradation ablation rerun on the
+   native backend with real-domain fault injection.  One worker is taken
+   out a quarter of the way into the run — killed, stalled for half a
+   horizon, or stalled forever — and the chaos monitor accounts for the
+   recovery in wall-clock time: when the degradation ladder first acted
+   (takeover), when outstanding memory was back at the pre-fault
+   baseline (MTTR), and how many signals the recovery cost.  Epoch's
+   unbounded quiescence wait wedges under the crash and the unreleased
+   stall; the liveness watchdog turns that hang into a reported, bounded
+   datum instead of a hung benchmark. *)
+let chaos_recovery ~backend ~trials scale =
+  (match backend with
+  | Workload.Backend_native _ -> ()
+  | Workload.Backend_sim ->
+      invalid_arg "chaos-recovery injects faults into real domains: run it with --backend native");
+  let spec, ts_buffer = base_spec scale Workload.List_ds in
+  let threads = match scale with Quick -> 6 | _ -> 16 in
+  let watchdog_ms = match scale with Quick -> 2_500 | _ -> 10_000 in
+  let hz = spec.Workload.horizon in
+  let spec = { spec with Workload.threads; backend; watchdog_ms } in
+  let plans =
+    [
+      Fmt.str "crash:1@%d" (hz / 4);
+      Fmt.str "stall:1@%d:%d" (hz / 4) (hz / 2);
+      Fmt.str "stall:1@%d:forever" (hz / 4);
+    ]
+  in
+  let series =
+    [
+      ("leaky", { spec with Workload.scheme = Workload.Leaky });
+      ("epoch", { spec with Workload.scheme = Workload.Epoch });
+      ("hazard", { spec with Workload.scheme = Workload.Hazard });
+      ( "threadscan",
+        { spec with Workload.scheme = Threadscan { buffer_size = ts_buffer; help_free = false; pipeline = false } }
+      );
+      ( "ts-pipeline",
+        { spec with Workload.scheme = Threadscan { buffer_size = ts_buffer; help_free = false; pipeline = true } }
+      );
+    ]
+  in
+  List.mapi
+    (fun idx plan_str ->
+      let plan =
+        match Ts_util.Fault_plan.parse plan_str with
+        | Ok p -> p
+        | Error e -> invalid_arg ("chaos-recovery: " ^ e)
+      in
+      let forever =
+        Ts_util.Fault_plan.has_forever plan && not (Ts_util.Fault_plan.has_release plan)
+      in
+      let crash =
+        List.exists (fun c -> c.Ts_util.Fault_plan.event = Ts_util.Fault_plan.Crash) plan
+      in
+      let cells =
+        List.map
+          (fun (label, s) ->
+            (* An unreleased stall-forever parks its victim until the
+               watchdog fires, so every scheme's *run* wedges on that row
+               by design; under a crash only epoch's quiescence wait
+               does.  A wedge takes the full watchdog budget and is
+               deterministic, so one trial suffices there — and retrying
+               it would just double the wait for the same answer. *)
+            let wedge_expected = forever || (crash && label = "epoch") in
+            let trials = if wedge_expected then 1 else max 1 trials in
+            ( label,
+              Workload.run_trials ~retry_wedged:(not wedge_expected) ~trials
+                { s with Workload.chaos = plan } ))
+          series
+      in
+      { threads = idx + 1; cells })
+    plans
+
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -482,6 +554,102 @@ let degradation_summary points =
     "(outstanding = retired - freed after flush; epoch cannot reclaim anything retired after \
      the crash, threadscan reaps the corpse and keeps the count bounded)@."
 
+let chaos_plan_features plan =
+  let forever =
+    Ts_util.Fault_plan.has_forever plan && not (Ts_util.Fault_plan.has_release plan)
+  in
+  let crash =
+    List.exists (fun c -> c.Ts_util.Fault_plan.event = Ts_util.Fault_plan.Crash) plan
+  in
+  (forever, crash)
+
+let chaos_summary points =
+  Fmt.pr "@.== chaos-recovery == (native fault injection; times are wall-clock ms after the fault)@.";
+  Fmt.pr "%-24s %-12s %-6s %9s %9s %10s %10s %8s %12s@." "plan" "scheme" "wedged" "baseline"
+    "peak" "takeover" "recover" "storm" "outstanding";
+  let ms ns = if ns < 0 then "-" else Fmt.str "%.1f" (float_of_int ns /. 1e6) in
+  List.iter
+    (fun { cells; _ } ->
+      List.iter
+        (fun (label, r) ->
+          match r.Workload.chaos with
+          | None -> ()
+          | Some c ->
+              Fmt.pr "%-24s %-12s %-6b %9d %9d %10s %10s %8d %12d@."
+                (Ts_util.Fault_plan.to_string r.Workload.spec.Workload.chaos)
+                label r.Workload.wedged c.Chaos.baseline_outstanding c.Chaos.peak_outstanding
+                (ms c.Chaos.takeover_after) (ms c.Chaos.recover_after) c.Chaos.storm_signals
+                r.Workload.outstanding)
+        cells)
+    points;
+  Fmt.pr
+    "(baseline/peak/outstanding = retired - freed; takeover = first degradation-ladder \
+     activity; recover = outstanding back at the pre-fault baseline, i.e. MTTR; storm = \
+     scheme signals spent recovering; wedged = the liveness watchdog had to kill the run)@."
+
+(* The quiesce oracle behind the chaos-recovery CI gate: every violation
+   is printed, then the run aborts so the job fails on the exit code. *)
+let chaos_oracle points =
+  let violations = ref [] in
+  let bad fmt = Fmt.kstr (fun s -> violations := s :: !violations) fmt in
+  List.iter
+    (fun { cells; _ } ->
+      List.iter
+        (fun (label, r) ->
+          let plan = r.Workload.spec.Workload.chaos in
+          let forever, crash = chaos_plan_features plan in
+          let cell = Fmt.str "%s/%s" (Ts_util.Fault_plan.to_string plan) label in
+          if r.Workload.faults > 0 then
+            bad "%s: %d memory faults (must be 0)" cell r.Workload.faults;
+          match r.Workload.chaos with
+          | None -> bad "%s: no chaos report was produced" cell
+          | Some c -> (
+              if c.Chaos.fault_at < 0 then bad "%s: the chaos plan never fired" cell;
+              match label with
+              | "threadscan" | "ts-pipeline" ->
+                  if forever then begin
+                    (* the frozen victim never finishes its horizon, so
+                       the watchdog ends the run — but reclamation must
+                       have kept pace around the corpse in the meantime *)
+                    if c.Chaos.takeover_after < 0 && c.Chaos.recover_after < 0 then
+                      bad
+                        "%s: neither ladder activity nor memory recovery under stall-forever"
+                        cell
+                  end
+                  else begin
+                    if r.Workload.wedged then
+                      bad "%s: watchdog killed a run that should recover" cell;
+                    if crash && c.Chaos.takeover_after < 0 then
+                      bad "%s: crashed victim was never reaped (no ladder activity)" cell;
+                    if c.Chaos.recover_after < 0
+                       && r.Workload.outstanding > c.Chaos.baseline_outstanding
+                    then
+                      bad "%s: outstanding %d never returned to the pre-fault baseline %d"
+                        cell r.Workload.outstanding c.Chaos.baseline_outstanding
+                  end
+              | "epoch" ->
+                  if (crash || forever) && not r.Workload.wedged then
+                    bad "%s: epoch was expected to wedge but the run finished" cell;
+                  (* not recover_after: a batch already quiescent at fault
+                     time may still free and dip outstanding for an
+                     instant — the durable leak is the datum *)
+                  if (crash || forever)
+                     && r.Workload.outstanding < c.Chaos.baseline_outstanding
+                  then
+                    bad "%s: epoch's leak %d ended below the pre-fault baseline %d under a \
+                         plan that starves quiescence"
+                      cell r.Workload.outstanding c.Chaos.baseline_outstanding;
+                  if (not (crash || forever)) && r.Workload.wedged then
+                    bad "%s: epoch wedged under a bounded stall it should survive" cell
+              | _ -> ()))
+        cells)
+    points;
+  match List.rev !violations with
+  | [] -> Fmt.pr "oracle: all recovery invariants held (0 faults, 0 unexpected wedges)@."
+  | vs ->
+      List.iter (fun v -> Fmt.pr "oracle violation: %s@." v) vs;
+      failwith (Fmt.str "chaos-recovery: %d oracle violation(s)" (List.length vs))
+
 (* ------------------------------------------------------------------ *)
 (* JSON report                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -500,6 +668,21 @@ let json_escape s =
       | c -> Buffer.add_char buf c)
     s;
   Buffer.contents buf
+
+(* Appended to a cell only when that run carried a chaos plan, so every
+   pre-existing consumer of the JSON sees unchanged bytes. *)
+let json_chaos_suffix (r : Workload.result) =
+  match r.Workload.chaos with
+  | None -> ""
+  | Some c ->
+      Fmt.str
+        ", \"wedged\": %b, \"chaos_plan\": \"%s\", \"fault_at_ns\": %d, \
+         \"baseline_outstanding\": %d, \"peak_outstanding\": %d, \"takeover_ns\": %d, \
+         \"recover_ns\": %d, \"storm_signals\": %d"
+        r.Workload.wedged
+        (json_escape (Ts_util.Fault_plan.to_string r.Workload.spec.Workload.chaos))
+        c.Chaos.fault_at c.Chaos.baseline_outstanding c.Chaos.peak_outstanding
+        c.Chaos.takeover_after c.Chaos.recover_after c.Chaos.storm_signals
 
 let json_of_points ~target ~backend ~scale points =
   let buf = Buffer.create 4096 in
@@ -520,7 +703,7 @@ let json_of_points ~target ~backend ~scale points =
                 \"throughput\": %.3f, \"wall_ns\": %d, \"wall_throughput\": %.1f, \
                 \"trials\": %d, \"wall_min_ns\": %d, \"wall_max_ns\": %d, \
                 \"retired\": %d, \"freed\": %d, \"outstanding\": %d, \"faults\": %d, \
-                \"signals\": %d }%s\n"
+                \"signals\": %d%s }%s\n"
                (json_escape label)
                (json_escape (Workload.scheme_kind_to_string r.Workload.spec.Workload.scheme))
                (json_escape (Workload.ds_kind_to_string r.Workload.spec.Workload.ds))
@@ -528,6 +711,7 @@ let json_of_points ~target ~backend ~scale points =
                r.Workload.wall_throughput r.Workload.trials r.Workload.wall_min_ns
                r.Workload.wall_max_ns r.Workload.retired r.Workload.freed
                r.Workload.outstanding r.Workload.faults r.Workload.signals_delivered
+               (json_chaos_suffix r)
                (if ci = List.length cells - 1 then "" else ",")))
         cells;
       Buffer.add_string buf
@@ -552,11 +736,15 @@ let run_and_print ~title ?(backend = Workload.Backend_sim) ?(json = false) ?(tri
     else match backend with Workload.Backend_native _ -> 3 | Workload.Backend_sim -> 1
   in
   let points = f ~backend ~trials scale in
-  if title = "ablate-crash" then degradation_summary points else print_points ~title points;
+  if title = "ablate-crash" then degradation_summary points
+  else if title = "chaos-recovery" then chaos_summary points
+  else print_points ~title points;
   if json then begin
     let file = write_json ~target:title ~backend ~scale points in
     Fmt.pr "wrote %s@." file
   end;
+  (* after the JSON is on disk, so a failing gate still leaves the data *)
+  if title = "chaos-recovery" then chaos_oracle points;
   ratio_summary points ~num:"threadscan" ~den:"hazard";
   ratio_summary points ~num:"threadscan" ~den:"leaky";
   ratio_summary points ~num:"ts-pipeline" ~den:"threadscan";
@@ -622,4 +810,5 @@ let names =
     ("ablate-structures", ablate_structures);
     ("ablate-pipeline", ablate_pipeline);
     ("ablate-crash", ablate_crash);
+    ("chaos-recovery", chaos_recovery);
   ]

@@ -58,6 +58,16 @@ val ablate_pipeline : backend:Workload.backend -> trials:int -> scale -> point l
     [ts-pipeline] series over the fig3 thread counts — the paired
     before/after behind docs/PERF.md. *)
 
+val chaos_recovery : backend:Workload.backend -> trials:int -> scale -> point list
+(** Native-only crash/stall degradation ablation with recovery-time
+    accounting: one victim is crashed, stalled for half a horizon, or
+    stalled forever at a quarter of the run, under leaky / epoch /
+    hazard / threadscan / ts-pipeline.  Each cell carries a
+    {!Chaos.report} (wall-clock takeover and MTTR, signal storm) and the
+    liveness watchdog bounds the rows where epoch — or, under
+    stall-forever, every run — wedges.  [point.threads] is reused as the
+    plan row index.  @raise Invalid_argument on [Backend_sim]. *)
+
 val print_points : title:string -> point list -> unit
 (** Virtual-cycle throughput table; when any cell carries wall-clock data
     (native backend) a second, kops-per-real-second table follows. *)

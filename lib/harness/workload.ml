@@ -67,6 +67,8 @@ type spec = {
   epoch_batch : int;
   stack_depth : int;
   fault : fault;
+  chaos : Ts_util.Fault_plan.t;
+  watchdog_ms : int;
   seed : int;
   backend : backend;
   smr_wrap : (Smr.t -> Smr.t) option;
@@ -89,6 +91,8 @@ let default_spec =
     epoch_batch = 64;
     stack_depth = 64;
     fault = Fault_none;
+    chaos = [];
+    watchdog_ms = 0;
     seed = 0xBE5;
     backend = Backend_sim;
     smr_wrap = None;
@@ -113,6 +117,9 @@ type result = {
   ctx_switches : int;
   faults : int;
   extras : (string * int) list;
+  wedged : bool;
+  post_mortem : string option;
+  chaos : Chaos.report option;
 }
 
 let make_scheme spec =
@@ -138,12 +145,13 @@ let make_scheme spec =
         else base
       in
       let config =
-        match spec.fault with
-        | Fault_none -> base
-        | Fault_crash _ | Fault_stall _ ->
-            (* Under injected faults the degradation ladder must fire within
-               the horizon, so the budgets scale with it instead of using
-               the (deliberately generous) defaults. *)
+        match (spec.fault, spec.chaos) with
+        | Fault_none, [] -> base
+        | _ ->
+            (* Under injected faults (classic or chaos-plan) the degradation
+               ladder must fire within the horizon, so the budgets scale
+               with it instead of using the (deliberately generous)
+               defaults. *)
             {
               base with
               ack_budget = max 10_000 (spec.horizon / 20);
@@ -201,7 +209,7 @@ let maybe_inject spec (smr : Smr.t) ~i ~start ~armed =
         smr.Smr.op_end ()
     | _ -> ()
 
-let worker spec (smr : Smr.t) (ds : Set_intf.t) ~i ~start ~deadline ~count () =
+let worker spec (smr : Smr.t) (ds : Set_intf.t) ~chaos ~i ~start ~deadline ~count () =
   smr.Smr.thread_init ();
   (* Baseline call-chain frame: a real thread's used stack is far deeper
      than the data structure's own frame, and TS-Scan walks all of it. *)
@@ -211,6 +219,7 @@ let worker spec (smr : Smr.t) (ds : Set_intf.t) ~i ~start ~deadline ~count () =
   let armed = ref (spec.fault <> Fault_none) in
   while Runtime.now () < deadline do
     maybe_inject spec smr ~i ~start ~armed;
+    (match chaos with Some c -> Chaos.worker_hook c smr ~i | None -> ());
     let key = Runtime.rand_below spec.key_range in
     let dice = float_of_int (Runtime.rand_below 1_000_000) /. 1_000_000.0 in
     if dice < insert_below then ignore (ds.Set_intf.insert key key)
@@ -225,29 +234,48 @@ let worker spec (smr : Smr.t) (ds : Set_intf.t) ~i ~start ~deadline ~count () =
    structure, prefill, spawn the workers, join, flush.  Only {!Ts_rt}
    primitives are used, so the same closure runs under the effect-based
    scheduler and on real domains. *)
-let body spec counts retired freed extras () =
+let body spec counts retired freed extras ~chaos ~smr_cell () =
   let smr =
     let smr = make_scheme spec in
     match spec.smr_wrap with Some wrap -> wrap smr | None -> smr
   in
+  (* published before the workers start so a wedged run (watchdog kill,
+     refs below never reached) can still read the final counters *)
+  smr_cell := Some smr;
   smr.Smr.thread_init ();
   let ds = make_ds spec smr in
   prefill spec ds;
   let start = Runtime.now () in
+  (match chaos with Some c -> Chaos.arm c ~start | None -> ());
   let deadline = start + spec.horizon in
   let ws =
     List.init spec.threads (fun i ->
-        Runtime.spawn (worker spec smr ds ~i ~start ~deadline ~count:counts.(i)))
+        Runtime.spawn (worker spec smr ds ~chaos ~i ~start ~deadline ~count:counts.(i)))
+  in
+  (* The chaos monitor is spawned after the workers so their tids stay
+     1..threads (the clause victim indexing the plan grammar promises). *)
+  let mon =
+    match chaos with
+    | None -> None
+    | Some c ->
+        let done_addr = Runtime.alloc_region 1 in
+        let tick = max 1_000 (spec.horizon / 100) in
+        Some (done_addr, Runtime.spawn (Chaos.monitor c smr ~done_addr ~tick))
   in
   List.iter Runtime.join ws;
   smr.Smr.thread_exit ();
   smr.Smr.flush ();
   retired := smr.Smr.counters.retired;
   freed := smr.Smr.counters.freed;
-  extras := smr.Smr.extras ()
+  extras := smr.Smr.extras ();
+  match mon with
+  | None -> ()
+  | Some (done_addr, m) ->
+      Runtime.write done_addr 1;
+      Runtime.join m
 
 let finish spec counts ~retired ~freed ~extras ~elapsed ~wall_ns ~peak_live_blocks
-    ~peak_live_words ~signals_delivered ~ctx_switches ~faults =
+    ~peak_live_words ~signals_delivered ~ctx_switches ~faults ~wedged ~post_mortem ~chaos =
   let ops = Array.fold_left (fun acc c -> acc + !c) 0 counts in
   if faults > 0 then failwith "workload produced memory faults";
   {
@@ -270,9 +298,25 @@ let finish spec counts ~retired ~freed ~extras ~elapsed ~wall_ns ~peak_live_bloc
     ctx_switches;
     faults;
     extras = !extras;
+    wedged;
+    post_mortem;
+    chaos;
   }
 
-let run_sim spec =
+let make_chaos (spec : spec) ~native =
+  if spec.chaos = [] then None
+  else Some (Chaos.create ~plan:spec.chaos ~native ~threads:spec.threads)
+
+let run_sim (spec : spec) =
+  if Ts_util.Fault_plan.has_wall_triggers spec.chaos then
+    invalid_arg
+      "Workload.run: wall-clock (ms) chaos triggers need the native backend (the sim has no \
+       wall clock)";
+  if Ts_util.Fault_plan.has_forever spec.chaos && not (Ts_util.Fault_plan.has_release spec.chaos)
+  then
+    invalid_arg
+      "Workload.run: an unreleased stall-forever plan never terminates on the sim backend; \
+       add a release clause or use the native backend with a watchdog";
   let config =
     {
       Sim.default_config with
@@ -285,7 +329,9 @@ let run_sim spec =
   let rt = Sim.create config in
   let counts = Array.init spec.threads (fun _ -> ref 0) in
   let retired = ref 0 and freed = ref 0 and extras = ref [] in
-  ignore (Sim.add_thread rt (body spec counts retired freed extras));
+  let chaos = make_chaos spec ~native:false in
+  let smr_cell = ref None in
+  ignore (Sim.add_thread rt (body spec counts retired freed extras ~chaos ~smr_cell));
   let res = Sim.start rt in
   finish spec counts ~retired ~freed ~extras ~elapsed:res.Sim.elapsed ~wall_ns:0
     ~peak_live_blocks:(Alloc.peak_live_blocks (Sim.alloc rt))
@@ -293,13 +339,10 @@ let run_sim spec =
     ~signals_delivered:res.Sim.run_stats.signals_delivered
     ~ctx_switches:res.Sim.run_stats.ctx_switches
     ~faults:(Mem.total_faults (Sim.mem rt))
+    ~wedged:false ~post_mortem:None
+    ~chaos:(Option.map Chaos.report chaos)
 
-let run_native spec ~pool =
-  (match spec.fault with
-  | Fault_stall _ ->
-      invalid_arg
-        "Workload.run: stall injection needs the deterministic scheduler; use the sim backend"
-  | Fault_none | Fault_crash _ -> ());
+let run_native (spec : spec) ~pool =
   (* Size the heap for the live set plus the retired-but-unreclaimed backlog
      (per-thread buffers, epoch batches); the native heap cannot grow. *)
   let node_w = 8 + spec.padding + spec.max_height in
@@ -315,11 +358,25 @@ let run_native spec ~pool =
       mem_capacity;
       strict_mem = true;
       propagate_failures = true;
+      watchdog_ns = spec.watchdog_ms * 1_000_000;
     }
   in
   let counts = Array.init spec.threads (fun _ -> ref 0) in
   let retired = ref 0 and freed = ref 0 and extras = ref [] in
-  let res = Ts_par.Runtime.run ~config (body spec counts retired freed extras) in
+  let chaos = make_chaos spec ~native:true in
+  let smr_cell = ref None in
+  let res = Ts_par.Runtime.run ~config (body spec counts retired freed extras ~chaos ~smr_cell) in
+  (* A wedged run was killed before the body could publish its totals:
+     read them off the scheme directly (its domains are gone, the record
+     is quiescent). *)
+  if res.Ts_par.Runtime.wedged then begin
+    match !smr_cell with
+    | Some smr ->
+        retired := smr.Smr.counters.retired;
+        freed := smr.Smr.counters.freed;
+        extras := smr.Smr.extras ()
+    | None -> ()
+  end;
   let heap = res.Ts_par.Runtime.heap in
   finish spec counts ~retired ~freed ~extras ~elapsed:res.Ts_par.Runtime.elapsed
     ~wall_ns:res.Ts_par.Runtime.wall_ns
@@ -327,13 +384,38 @@ let run_native spec ~pool =
     ~peak_live_words:(Ts_par.Heap.peak_live_words heap)
     ~signals_delivered:res.Ts_par.Runtime.run_stats.signals_delivered ~ctx_switches:0
     ~faults:(Ts_par.Heap.total_faults heap)
+    ~wedged:res.Ts_par.Runtime.wedged ~post_mortem:res.Ts_par.Runtime.post_mortem
+    ~chaos:(Option.map Chaos.report chaos)
 
-let run spec =
+(* A plan that parks a victim inside an open operation bracket with no way
+   back (crash, or stall-forever with no release) starves plain epoch's
+   quiescence wait forever. *)
+let chaos_wedges plan =
+  List.exists
+    (fun c ->
+      match c.Ts_util.Fault_plan.event with
+      | Ts_util.Fault_plan.Crash -> true
+      | Ts_util.Fault_plan.Stall Ts_util.Fault_plan.Forever ->
+          not (Ts_util.Fault_plan.has_release plan)
+      | _ -> false)
+    plan
+
+let run (spec : spec) =
   (match (spec.fault, spec.scheme) with
   | Fault_crash _, (Epoch | Slow_epoch _) ->
       invalid_arg
         "Workload.run: plain epoch cannot survive a crash (its quiescence wait never returns); \
          use Patient_epoch"
+  | _ -> ());
+  (match spec.scheme with
+  | (Epoch | Slow_epoch _) when chaos_wedges spec.chaos -> (
+      match spec.backend with
+      | Backend_native _ when spec.watchdog_ms > 0 ->
+          () (* the watchdog bounds the wedge; that IS the experiment *)
+      | _ ->
+          invalid_arg
+            "Workload.run: this chaos plan wedges plain epoch; run it on the native backend \
+             with watchdog_ms set so the wedge is bounded and reported")
   | _ -> ());
   match spec.backend with
   | Backend_sim -> run_sim spec
@@ -341,12 +423,19 @@ let run spec =
 
 (* Median-of-trials for wall-clock runs: the sim backend is deterministic
    (one trial tells all), but native wall times on a shared machine are
-   noisy, so sweeps report the median run with the min/max spread. *)
-let run_trials ~trials spec =
+   noisy, so sweeps report the median run with the min/max spread.
+   [retry_wedged] reruns a trial once if the watchdog killed it — a slow
+   shared machine can wedge spuriously — keeping the retried result
+   (wedged or not) if the rerun wedges too. *)
+let run_trials ?(retry_wedged = false) ~trials spec =
+  let run_one () =
+    let r = run spec in
+    if r.wedged && retry_wedged then run spec else r
+  in
   let n = max 1 trials in
-  if n = 1 then run spec
+  if n = 1 then run_one ()
   else begin
-    let rs = List.init n (fun _ -> run spec) in
+    let rs = List.init n (fun _ -> run_one ()) in
     let sorted = List.sort (fun a b -> compare a.wall_ns b.wall_ns) rs in
     let med = List.nth sorted (n / 2) in
     {

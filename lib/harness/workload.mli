@@ -73,6 +73,16 @@ type spec = {
   fault : fault;
       (** injected crash/stall plan; under a fault, ThreadScan runs with
           horizon-scaled degradation budgets so the ladder can fire *)
+  chaos : Ts_util.Fault_plan.t;
+      (** multi-clause chaos plan ({!Chaos}): cycle-triggered clauses are
+          self-inflicted by the victims, wall-clock triggers and releases
+          are fired by a dedicated monitor thread that also samples
+          recovery metrics into [result.chaos].  [[]] (the default) adds
+          no monitor and leaves sim schedules untouched. *)
+  watchdog_ms : int;
+      (** native backend only: arm {!Ts_par.Runtime}'s liveness watchdog
+          so a wedged run (e.g. epoch under stall-forever) is killed and
+          reported instead of hanging.  [0] disables. *)
   seed : int;
   backend : backend;
   smr_wrap : (Ts_smr.Smr.t -> Ts_smr.Smr.t) option;
@@ -101,6 +111,9 @@ type result = {
   ctx_switches : int;
   faults : int;  (** memory faults (must be 0) *)
   extras : (string * int) list;  (** scheme-specific statistics *)
+  wedged : bool;  (** the native liveness watchdog had to kill the run *)
+  post_mortem : string option;  (** thread states at watchdog fire time *)
+  chaos : Chaos.report option;  (** recovery metrics, when [spec.chaos] ran *)
 }
 
 val run : spec -> result
@@ -108,13 +121,18 @@ val run : spec -> result
     domain pool for [Backend_native].  @raise Failure if the run produced
     memory faults or a thread died (an injected {!fault} is not a death in
     this sense — crashed victims are expected).
-    @raise Invalid_argument when combining {!Fault_crash} with plain
-    [Epoch]/[Slow_epoch], whose quiescence wait would never return, or
-    {!Fault_stall} with the native backend (real threads cannot be stalled
-    for an exact cycle count). *)
+    @raise Invalid_argument when a plan starves plain [Epoch]/[Slow_epoch]
+    forever without a watchdog to bound it ({!Fault_crash}, or a chaos
+    plan with a crash or unreleased stall-forever clause), when a chaos
+    plan uses wall-clock triggers on the sim backend, or when an
+    unreleased stall-forever chaos plan runs on the sim at all (virtual
+    time would never end the run). *)
 
-val run_trials : trials:int -> spec -> result
+val run_trials : ?retry_wedged:bool -> trials:int -> spec -> result
 (** {!run} repeated [trials] times, reporting the median run (by
     [wall_ns]) with the min/max spread in [wall_min_ns]/[wall_max_ns].
     Meant for the noisy native backend; on the deterministic sim backend
-    every trial is identical, so use [trials = 1] there. *)
+    every trial is identical, so use [trials = 1] there.  [retry_wedged]
+    (default false) reruns a watchdog-killed trial once — for schemes
+    that are {e expected} to recover, a wedge on a loaded machine may be
+    noise; leave it off for rows where the wedge is the datum. *)

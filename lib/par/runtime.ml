@@ -25,10 +25,22 @@
    workload loops ([now () < deadline]) run unchanged and figure runs
    report both virtual-cycle and wall-clock throughput.
 
+   Fault injection mirrors the sim's surface at safepoint granularity:
+   [crash] and [stall] of another thread are latched into the target's
+   padded flag cells and delivered at its next poll — a stalled thread
+   parks (OS-level sleep loop) with an SC [stalled_flag] raised, so
+   [is_stalled]/[clock_of] give the reclaimer's proxy-scan ladder the
+   same frozen-victim guarantee the sim provides: while the flag reads
+   [true] the victim performs no ops, and the flag's release/acquire
+   pair publishes the wake-time clock bump before any post-wake op can
+   be observed.  Stall durations are scaled to wall time by
+   [config.stall_ns_per_cycle]; stall-forever parks until [unstall],
+   [crash], or the liveness watchdog ([config.watchdog_ns]) fires.
+
    What does NOT carry over from the sim: determinism (the OS schedules),
-   schedule exploration (Uniform/PCT), stalling *other* threads, and
-   crash of another thread is delivered at its next safepoint rather
-   than between two arbitrary ops.  docs/BACKENDS.md tabulates this. *)
+   schedule exploration (Uniform/PCT), and faults are delivered at the
+   victim's next safepoint rather than between two arbitrary ops.
+   docs/BACKENDS.md tabulates this. *)
 
 module Cost_model = Ts_rt.Cost_model
 module Splitmix = Ts_util.Splitmix
@@ -52,6 +64,12 @@ type config = {
   strict_mem : bool;
   max_threads : int;
   propagate_failures : bool;
+  stall_ns_per_cycle : float;
+      (** wall-time value of one virtual cycle for [stall]/[sleep]/signal
+          delays *)
+  watchdog_ns : int;
+      (** kill every unfinished thread and mark the run wedged if it is
+          still going after this much wall time; [0] disables *)
 }
 
 let default_config =
@@ -65,6 +83,8 @@ let default_config =
     strict_mem = true;
     max_threads = 128;
     propagate_failures = true;
+    stall_ns_per_cycle = 100.0;
+    watchdog_ns = 0;
   }
 
 type stats = {
@@ -80,6 +100,8 @@ type stats = {
   signals_delivered : int;
   spawns : int;
   crashes : int;
+  stalls : int;
+  signals_dropped : int;
 }
 
 type ctx = {
@@ -100,6 +122,18 @@ type ctx = {
   pending : int Atomic.t; (* undelivered signals *)
   kill : bool Atomic.t;
   finished : bool Atomic.t;
+  (* chaos: stall requests latch here exactly like [kill]; the victim
+     parks at its next safepoint.  0 = none, -1 = forever, n > 0 =
+     bounded cycles.  [stalled_flag] is the SC publication point the
+     proxy-scan ladder reads (see [park]); [stall_release] is a one-shot
+     latch consumed by a parked victim (or, stale, by the next stall
+     request site). *)
+  stall_req : int Atomic.t;
+  stalled_flag : bool Atomic.t;
+  stall_release : bool Atomic.t;
+  drop_sigs : int Atomic.t; (* next n incoming signals are lost *)
+  sig_delay : int Atomic.t; (* cycles every incoming signal is delayed *)
+  sig_arrival_ns : int Atomic.t; (* stamp of the latest delayed send *)
   mutable crashed : bool;
   mutable failure : exn option;
   mutable private_ranges : (int * int) list;
@@ -117,6 +151,8 @@ type ctx = {
   mutable n_sent : int;
   mutable n_delivered : int;
   mutable n_spawns : int;
+  mutable n_stalls : int; (* parks taken (victim-owned) *)
+  mutable n_dropped : int; (* signals this thread sent into a drop window *)
 }
 
 type request = Run of (unit -> unit) | Stop
@@ -248,21 +284,70 @@ let rec deliver t c =
       charge c t.cfg.cost.signal_return)
     (fun () -> match c.handler with Some h -> h () | None -> ())
 
+and now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+(* Cooperative stall: the victim parks here, at a safepoint, until the
+   bounded deadline passes, a [stall_release] arrives, or it is killed.
+   Soundness of the proxy-scan ladder rests on the flag protocol:
+
+   - [stalled_flag := true] (SC) before the wait loop; while the flag
+     reads [true] the victim performs no ops, so its stack/registers are
+     frozen for a cross-thread scan.
+   - on wake: bump the plain [clock] FIRST, then [stalled_flag := false]
+     (SC, a release publishing the bump), then resume ops.  A reclaimer
+     doing [clock_of u; scan; clock_of u] (each [clock_of] acquires via
+     an SC load of the flag — see [op_clock_of]) therefore either sees
+     the victim still parked, or sees a changed clock and discards the
+     scan — exactly the sim's frozen-victim contract. *)
+and park t c req =
+  c.n_stalls <- c.n_stalls + 1;
+  Atomic.set c.stalled_flag true;
+  let deadline =
+    if req < 0 then max_float
+    else Unix.gettimeofday () +. (float_of_int req *. t.cfg.stall_ns_per_cycle /. 1e9)
+  in
+  let rec wait () =
+    if Atomic.get c.kill then begin
+      Atomic.set c.stalled_flag false;
+      c.crashed <- true;
+      raise Killed
+    end;
+    if Atomic.compare_and_set c.stall_release true false then ()
+    else if deadline < max_float && Unix.gettimeofday () >= deadline then ()
+    else begin
+      Thread.delay 0.0001;
+      wait ()
+    end
+  in
+  wait ();
+  c.clock <- c.clock + max 1 req;
+  Atomic.set c.stalled_flag false
+
+and[@inline] delay_passed t c =
+  let d = Atomic.get c.sig_delay in
+  d = 0
+  || now_ns ()
+     >= Atomic.get c.sig_arrival_ns
+        + int_of_float (float_of_int d *. t.cfg.stall_ns_per_cycle)
+
 and poll_slow t c =
   if Atomic.get c.kill then begin
     c.crashed <- true;
     raise Killed
   end;
-  while Atomic.get c.pending > 0 do
+  (match Atomic.exchange c.stall_req 0 with 0 -> () | req -> park t c req);
+  while Atomic.get c.pending > 0 && delay_passed t c do
     ignore (Atomic.fetch_and_add c.pending (-1));
     deliver t c
   done
 
-(* The fast path is what every op inlines: two relaxed-in-practice loads
-   of the thread's own flags, with the kill/deliver machinery kept out
-   of line so the common case stays branch-predictable. *)
+(* The fast path is what every op inlines: three relaxed-in-practice
+   loads of the thread's own (padded, rarely-written) flags, with the
+   kill/stall/deliver machinery kept out of line so the common case
+   stays branch-predictable. *)
 let[@inline] poll t c =
-  if Atomic.get c.kill || Atomic.get c.pending > 0 then poll_slow t c
+  if Atomic.get c.kill || Atomic.get c.stall_req <> 0 || Atomic.get c.pending > 0 then
+    poll_slow t c
 
 (* ------------------------------------------------------------------ *)
 (* Contexts                                                           *)
@@ -296,6 +381,12 @@ let new_ctx t tid =
     pending = Ts_util.Padded.copy (Atomic.make 0);
     kill = Ts_util.Padded.copy (Atomic.make false);
     finished = Ts_util.Padded.copy (Atomic.make false);
+    stall_req = Ts_util.Padded.copy (Atomic.make 0);
+    stalled_flag = Ts_util.Padded.copy (Atomic.make false);
+    stall_release = Ts_util.Padded.copy (Atomic.make false);
+    drop_sigs = Atomic.make 0;
+    sig_delay = Atomic.make 0;
+    sig_arrival_ns = Atomic.make 0;
     crashed = false;
     failure = None;
     private_ranges = [];
@@ -312,6 +403,8 @@ let new_ctx t tid =
     n_sent = 0;
     n_delivered = 0;
     n_spawns = 0;
+    n_stalls = 0;
+    n_dropped = 0;
   }
 
 let thread_body t ctx body () =
@@ -478,6 +571,13 @@ let op_poll t () =
   let c = cur t in
   poll t c
 
+(* Drop accounting happens on the sender side (each sender owns its
+   [n_dropped] counter), but the drop *budget* lives on the target and
+   is consumed with a CAS so concurrent senders never double-spend. *)
+let rec consume_drop tc =
+  let d = Atomic.get tc.drop_sigs in
+  d > 0 && (Atomic.compare_and_set tc.drop_sigs d (d - 1) || consume_drop tc)
+
 let op_signal t target =
   let c = cur t in
   poll t c;
@@ -485,7 +585,13 @@ let op_signal t target =
   c.n_sent <- c.n_sent + 1;
   charge c t.cfg.cost.signal_send;
   let tc = ctx_of t target in
-  if not (Atomic.get tc.finished) then Atomic.incr tc.pending
+  if not (Atomic.get tc.finished) then begin
+    if consume_drop tc then c.n_dropped <- c.n_dropped + 1
+    else begin
+      if Atomic.get tc.sig_delay > 0 then Atomic.set tc.sig_arrival_ns (now_ns ());
+      Atomic.incr tc.pending
+    end
+  end
 
 let op_set_handler t h =
   let c = cur t in
@@ -577,19 +683,65 @@ let op_crash t target =
 
 let op_stall t cycles target =
   let c = cur t in
-  if target <> c.tid then
-    invalid_arg "Ts_par: stalling another thread is not supported (no preemption authority)"
-  else
-    match cycles with
-    | Some n -> charge c (max 0 n)
-    | None -> invalid_arg "Ts_par: stalling forever is not supported on the native backend"
+  poll t c;
+  let req = match cycles with None -> -1 | Some n -> max 0 n in
+  if req <> 0 then
+    if target = c.tid then begin
+      (* a release latched before this stall began is stale: consume it
+         so the park honours its own deadline/release *)
+      ignore (Atomic.compare_and_set c.stall_release true false);
+      park t c req
+    end
+    else begin
+      let tc = ctx_of t target in
+      if not (Atomic.get tc.finished) then begin
+        ignore (Atomic.compare_and_set tc.stall_release true false);
+        Atomic.set tc.stall_req req
+      end
+    end
+
+let op_unstall t target =
+  let c = cur t in
+  poll t c;
+  charge c t.cfg.cost.local_op;
+  let tc = ctx_of t target in
+  (* wake a parked victim, and cancel a stall request it has not yet
+     reached a safepoint to take — either way the latch is consumed by
+     exactly one park (or the next stall request site) *)
+  Atomic.set tc.stall_release true;
+  Atomic.set tc.stall_req 0
+
+let op_drop_signals t target n =
+  let c = cur t in
+  poll t c;
+  charge c t.cfg.cost.local_op;
+  Atomic.set (ctx_of t target).drop_sigs (max 0 n)
+
+let op_delay_signals t target cycles =
+  let c = cur t in
+  poll t c;
+  charge c t.cfg.cost.local_op;
+  Atomic.set (ctx_of t target).sig_delay (max 0 cycles)
+
+let op_sleep t n =
+  let c = cur t in
+  poll t c;
+  let n = max 0 n in
+  charge c n;
+  if n > 0 then Thread.delay (float_of_int n *. t.cfg.stall_ns_per_cycle /. 1e9)
 
 let op_is_crashed t target = (ctx_of t target).crashed
 
-(* Native threads are never descheduled by us. *)
-let op_is_stalled _t _target = false
+let op_is_stalled t target = Atomic.get (ctx_of t target).stalled_flag
 
-let op_clock_of t target = (ctx_of t target).clock
+let op_clock_of t target =
+  let c = ctx_of t target in
+  (* The SC flag load is the acquire edge pairing with [park]'s wake-time
+     release store: a reader that observes [stalled_flag = false] is
+     guaranteed to see the wake-time clock bump, which is what makes the
+     ladder's clock-check proxy-scan sound on real domains. *)
+  ignore (Atomic.get c.stalled_flag : bool);
+  c.clock
 
 let op_set_wait_note t n =
   let c = cur t in
@@ -637,6 +789,10 @@ let make_ops t : Ts_rt.ops =
     scan_ranges_of = op_scan_ranges t;
     crash = op_crash t;
     stall = op_stall t;
+    unstall = op_unstall t;
+    drop_signals = op_drop_signals t;
+    delay_signals = op_delay_signals t;
+    sleep = op_sleep t;
     is_crashed = op_is_crashed t;
     is_stalled = op_is_stalled t;
     clock_of = op_clock_of t;
@@ -657,6 +813,8 @@ type result = {
   crashed : tid list;
   thread_count : int;
   heap : Heap.t;  (** for post-run fault/leak assertions *)
+  wedged : bool;  (** the watchdog had to kill the run *)
+  post_mortem : string option;  (** thread states at watchdog fire time *)
 }
 
 let pool_size cfg =
@@ -698,6 +856,8 @@ let collect_stats t =
       signals_delivered = 0;
       spawns = 0;
       crashes = 0;
+      stalls = 0;
+      signals_dropped = 0;
     }
   in
   Array.fold_left
@@ -717,8 +877,58 @@ let collect_stats t =
             signals_delivered = acc.signals_delivered + c.n_delivered;
             spawns = acc.spawns + c.n_spawns;
             crashes = (acc.crashes + if c.crashed then 1 else 0);
+            stalls = acc.stalls + c.n_stalls;
+            signals_dropped = acc.signals_dropped + c.n_dropped;
           })
     z t.ctxs
+
+(* ---- liveness watchdog ----
+
+   A host thread (never a logical thread: it must stay responsive while
+   every logical thread is wedged) with an absolute wall deadline.  On
+   fire it snapshots every thread's state into a post-mortem, then kills
+   all unfinished threads — parked victims check [kill] in their wait
+   loop, joiners poll, so the run drains and returns with [wedged]
+   instead of hanging CI. *)
+
+let describe_ctx c =
+  let state =
+    if Atomic.get c.finished then if c.crashed then "crashed" else "done"
+    else if Atomic.get c.stalled_flag then "stalled"
+    else "running"
+  in
+  let note = match c.wait_note with None -> "" | Some n -> Printf.sprintf " (%s)" n in
+  let pend = Atomic.get c.pending in
+  let sigs = if pend = 0 then "" else Printf.sprintf " [%d pending]" pend in
+  Printf.sprintf "t%d %s%s%s clock=%d ops=%d" c.tid state note sigs c.clock c.n_ops
+
+let post_mortem_of t =
+  let parts = ref [] in
+  for tid = Atomic.get t.next_tid - 1 downto 0 do
+    match t.ctxs.(tid) with Some c -> parts := describe_ctx c :: !parts | None -> ()
+  done;
+  Printf.sprintf "watchdog fired after %.0fms: %s"
+    (float_of_int t.cfg.watchdog_ns /. 1e6)
+    (String.concat "; " !parts)
+
+let watchdog_body t deadline stop fired pm () =
+  let rec loop () =
+    if Atomic.get stop then ()
+    else if Unix.gettimeofday () >= deadline then begin
+      pm := Some (post_mortem_of t);
+      Atomic.set fired true;
+      for tid = 0 to Atomic.get t.next_tid - 1 do
+        match t.ctxs.(tid) with
+        | Some c when not (Atomic.get c.finished) -> Atomic.set c.kill true
+        | _ -> ()
+      done
+    end
+    else begin
+      Thread.delay 0.002;
+      loop ()
+    end
+  in
+  loop ()
 
 let run ?(config = default_config) main =
   let t = create config in
@@ -739,6 +949,15 @@ let run ?(config = default_config) main =
       t.ctxs.(0) <- Some main_ctx;
       Mutex.unlock t.reg_lock;
       let t0 = Unix.gettimeofday () in
+      let wd_stop = Atomic.make false in
+      let wd_fired = Atomic.make false in
+      let wd_pm = ref None in
+      let wd =
+        if config.watchdog_ns <= 0 then None
+        else
+          let deadline = t0 +. (float_of_int config.watchdog_ns /. 1e9) in
+          Some (Thread.create (watchdog_body t deadline wd_stop wd_fired wd_pm) ())
+      in
       thread_body t main_ctx main ();
       (* The main body normally joins its workers; pick up any it left
          running (or spawned on the way out) before stopping the pool. *)
@@ -757,6 +976,11 @@ let run ?(config = default_config) main =
       drain ();
       Array.iter (fun dq -> enqueue dq Stop) t.queues;
       Array.iter Domain.join domains;
+      (match wd with
+      | None -> ()
+      | Some th ->
+          Atomic.set wd_stop true;
+          Thread.join th);
       let wall_ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
       let elapsed =
         Array.fold_left
@@ -788,4 +1012,6 @@ let run ?(config = default_config) main =
         crashed;
         thread_count = Atomic.get t.next_tid;
         heap = t.heap;
+        wedged = Atomic.get wd_fired;
+        post_mortem = !wd_pm;
       })

@@ -22,6 +22,16 @@ type config = {
   strict_mem : bool;
   max_threads : int;
   propagate_failures : bool;
+  stall_ns_per_cycle : float;
+      (** wall-time value of one virtual cycle: scales [Ts_rt.stall]
+          durations, [Ts_rt.sleep], and [Ts_rt.delay_signals] windows.
+          Default 100ns. *)
+  watchdog_ns : int;
+      (** liveness watchdog: if the run is still going after this much
+          wall time, snapshot a post-mortem of every thread's state, kill
+          all unfinished threads (parked stall victims included), and
+          return with [result.wedged] set instead of hanging.  [0]
+          (default) disables. *)
 }
 
 val default_config : config
@@ -39,6 +49,8 @@ type stats = {
   signals_delivered : int;
   spawns : int;
   crashes : int;
+  stalls : int;  (** parks taken via [Ts_rt.stall] *)
+  signals_dropped : int;  (** signals lost to [Ts_rt.drop_signals] windows *)
 }
 
 type result = {
@@ -49,6 +61,9 @@ type result = {
   crashed : tid list;
   thread_count : int;
   heap : Heap.t;  (** for post-run fault/leak assertions *)
+  wedged : bool;  (** the liveness watchdog had to kill the run *)
+  post_mortem : string option;
+      (** thread-by-thread state snapshot taken when the watchdog fired *)
 }
 
 val run : ?config:config -> (unit -> unit) -> result

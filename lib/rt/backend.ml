@@ -57,6 +57,10 @@ type ops = {
   (* fault status and diagnostics *)
   crash : tid -> unit;
   stall : int option -> tid -> unit;
+  unstall : tid -> unit;
+  drop_signals : tid -> int -> unit;
+  delay_signals : tid -> int -> unit;
+  sleep : int -> unit;
   is_crashed : tid -> bool;
   is_stalled : tid -> bool;
   clock_of : tid -> int;
@@ -166,6 +170,10 @@ let private_ranges () = (ops ()).private_ranges ()
 let scan_ranges_of t = (ops ()).scan_ranges_of t
 let crash t = (ops ()).crash t
 let stall ?cycles t = (ops ()).stall cycles t
+let unstall t = (ops ()).unstall t
+let drop_signals t n = (ops ()).drop_signals t n
+let delay_signals t c = (ops ()).delay_signals t c
+let sleep n = (ops ()).sleep n
 let is_crashed t = (ops ()).is_crashed t
 let is_stalled t = (ops ()).is_stalled t
 let clock_of t = (ops ()).clock_of t

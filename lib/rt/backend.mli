@@ -48,6 +48,10 @@ type ops = {
   (* fault status and diagnostics *)
   crash : tid -> unit;
   stall : int option -> tid -> unit;
+  unstall : tid -> unit;
+  drop_signals : tid -> int -> unit;
+  delay_signals : tid -> int -> unit;
+  sleep : int -> unit;
   is_crashed : tid -> bool;
   is_stalled : tid -> bool;
   clock_of : tid -> int;
@@ -139,6 +143,28 @@ val private_ranges : unit -> (int * int) list
 val scan_ranges_of : tid -> (int * int) list
 val crash : tid -> unit
 val stall : ?cycles:int -> tid -> unit
+
+val unstall : tid -> unit
+(** Release a [stall ~cycles:None] (stall-forever) victim.  The victim
+    wakes at its next scheduling opportunity; a no-op if the target is
+    not stalled.  Idempotent. *)
+
+val drop_signals : tid -> int -> unit
+(** Arrange for the target's next [n] incoming phase signals to be
+    dropped (never delivered).  Counts do not accumulate: the latest
+    call wins. *)
+
+val delay_signals : tid -> int -> unit
+(** Delay delivery of every signal to the target by [c] virtual cycles
+    (sim) or the backend's cycle-scaled wall time (native).  [0] clears
+    the delay. *)
+
+val sleep : int -> unit
+(** Advance the calling thread's clock by [n] cycles {e and} pace it in
+    real time on the native backend (sim: identical to [advance]).
+    Monitors and chaos drivers use this to poll without busy-spinning;
+    unlike [advance] it is also a safepoint. *)
+
 val is_crashed : tid -> bool
 val is_stalled : tid -> bool
 val clock_of : tid -> int

@@ -275,6 +275,7 @@ type _ Effect.t +=
   | E_steps : int Effect.t
   | E_crash : int -> unit Effect.t
   | E_stall : (int * int option) -> unit Effect.t
+  | E_unstall : int -> unit Effect.t
   | E_drop_signals : (int * int) -> unit Effect.t
   | E_delay_signals : (int * int) -> unit Effect.t
   | E_wait_note : string option -> unit Effect.t
@@ -837,6 +838,16 @@ let rec make_handler : t -> thread -> (unit, unit) Effect.Deep.handler =
                    here when its deadline passes *)
                 resume_with k ();
                 do_stall rt th target cycles)
+        | E_unstall target ->
+            Some
+              (fun k ->
+                guarded k (fun () ->
+                    let t = get_thread rt target in
+                    (* retime the deadline to "now"; [wake_stalled] does the
+                       actual wake (and emits Recovered) at the next
+                       scheduling point, so release shares one code path
+                       with bounded-stall expiry *)
+                    if is_stalled t then t.stalled_until <- rt.now))
         | E_drop_signals (target, n) ->
             Some
               (fun k ->
@@ -1722,6 +1733,8 @@ let crash tid = Effect.perform (E_crash tid)
 
 let stall ?cycles tid = Effect.perform (E_stall (tid, cycles))
 
+let unstall tid = Effect.perform (E_unstall tid)
+
 let drop_signals tid n = Effect.perform (E_drop_signals (tid, n))
 
 let delay_signals tid cycles = Effect.perform (E_delay_signals (tid, cycles))
@@ -1778,6 +1791,11 @@ let rt_ops : Ts_rt.ops =
     scan_ranges_of;
     crash;
     stall = (fun cycles tid -> stall ?cycles tid);
+    unstall;
+    drop_signals;
+    delay_signals;
+    (* virtual time only: sleeping in the sim is just advancing *)
+    sleep = advance;
     is_crashed;
     is_stalled;
     clock_of;

@@ -390,6 +390,13 @@ val stall : ?cycles:int -> tid -> unit
     Stalling yourself resumes after the deadline.  No-op on finished or
     already-stalled threads. *)
 
+val unstall : tid -> unit
+(** Release a stalled thread early: its wake deadline is retimed to the
+    current virtual time and it resumes (emitting
+    {!Trace.event.Recovered}) at the next scheduling point.  This is the
+    only way a [stall] with no [cycles] ends before the run does.  No-op
+    on threads that are not stalled. *)
+
 val drop_signals : tid -> int -> unit
 (** The next [n] signals sent to the thread are silently lost (emitting
     {!Trace.event.Signal_dropped}). *)

@@ -15,6 +15,7 @@ The CLI lists every experiment of the paper's evaluation:
   ablate-structures
   ablate-pipeline
   ablate-crash
+  chaos-recovery
 
 A single run is a pure function of its seed, so its output is exact:
 
@@ -28,4 +29,4 @@ A single run is a pure function of its seed, so its output is exact:
 Unknown experiment names are rejected with the list of valid ones:
 
   $ ../../bin/tsbench.exe sweep fig9-cache 2>&1 | head -1
-  tsbench: unknown experiment "fig9-cache"; one of: fig3-list, fig3-hash, fig3-skip, fig4-list, fig4-hash, fig4-skip, fig5-hash, ablate-buffer, ablate-slow-epoch, ablate-help-free, ablate-padding, ablate-structures, ablate-pipeline, ablate-crash
+  tsbench: unknown experiment "fig9-cache"; one of: fig3-list, fig3-hash, fig3-skip, fig4-list, fig4-hash, fig4-skip, fig5-hash, ablate-buffer, ablate-slow-epoch, ablate-help-free, ablate-padding, ablate-structures, ablate-pipeline, ablate-crash, chaos-recovery

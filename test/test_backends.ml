@@ -402,6 +402,216 @@ let test_native_parallel_speedup_shape () =
   Alcotest.(check bool) "wall clocks measured" true (r1.R.wall_ns > 0 && r4.R.wall_ns > 0)
 
 (* ------------------------------------------------------------------ *)
+(* Native-only: the degradation ladder under real-domain faults        *)
+(* ------------------------------------------------------------------ *)
+
+(* Mirrors the tstrace Figure-2 setup: workers publish one node each and
+   hold it in a frame until released, so the reclaimer must keep those
+   nodes alive across the fault. *)
+let ladder_fixture ~nthreads ~config ~fault ~after body_extra =
+  let module R = Ts_par.Runtime in
+  let cfg =
+    { R.default_config with pool = 4; strict_mem = true; max_threads = nthreads + 2 }
+  in
+  let out = ref None in
+  let res =
+    R.run ~config:cfg (fun () ->
+        let ts = Threadscan.create ~config () in
+        let smr = Threadscan.smr ts in
+        smr.Smr.thread_init ();
+        let cells = Rt.alloc_region nthreads in
+        let stop = Rt.alloc_region 1 in
+        let ws =
+          List.init nthreads (fun i ->
+              Rt.spawn (fun () ->
+                  smr.Smr.thread_init ();
+                  Frame.with_frame 1 (fun fr ->
+                      let p = Ts_umem.Ptr.of_addr (Rt.malloc 3) in
+                      Frame.set fr 0 p;
+                      Rt.write (cells + i) p;
+                      while Rt.read stop = 0 do
+                        Rt.advance 20
+                      done;
+                      Frame.set fr 0 0);
+                  smr.Smr.thread_exit ()))
+        in
+        (* wait until every worker has registered and published its node:
+           a fault landing before the victim's thread_init would freeze an
+           unregistered thread the ladder never signals or suspects *)
+        for i = 0 to nthreads - 1 do
+          while Rt.read (cells + i) = 0 do
+            Rt.sleep 1_000
+          done
+        done;
+        fault ();
+        (* retire the held nodes, then filler: phases must run against
+           the faulted worker *)
+        for i = 0 to nthreads - 1 do
+          let p = Rt.read (cells + i) in
+          if not (Ts_umem.Ptr.is_null p) then begin
+            Rt.write (cells + i) 0;
+            smr.Smr.retire p
+          end
+        done;
+        for _ = 1 to 4 * (Threadscan.config ts).Threadscan.Config.buffer_size do
+          smr.Smr.retire (Ts_umem.Ptr.of_addr (Rt.malloc 3))
+        done;
+        after ts smr;
+        Rt.write stop 1;
+        List.iter Rt.join ws;
+        smr.Smr.thread_exit ();
+        smr.Smr.flush ();
+        out :=
+          Some
+            ( smr.Smr.counters.Smr.retired - smr.Smr.counters.Smr.freed,
+              body_extra ts ))
+  in
+  let module R = Ts_par.Runtime in
+  Alcotest.(check bool) "run not wedged" false res.R.wedged;
+  check "no UAF / double-free / wild access" 0 (Ts_par.Heap.total_faults res.R.heap);
+  match !out with None -> Alcotest.fail "body never finished" | Some v -> v
+
+let ladder_config =
+  (* budgets small enough that the ladder fires inside a tiny run: the
+     ack wait gives up fast, suspects stay suspects (not reaped) while
+     the victim is merely frozen *)
+  {
+    Threadscan.Config.default with
+    max_threads = 5;
+    buffer_size = 8;
+    ack_budget = 2_000;
+    suspect_phases = 1_000;
+  }
+
+let test_native_ladder_proxy_scan () =
+  (* Stall worker 1 forever while it holds a published node: phases must
+     go blind, suspect it, proxy-scan its frozen stack (keeping the node
+     alive), then see it recover after the explicit release. *)
+  let outstanding, (suspects, proxy_scans, recoveries) =
+    ladder_fixture ~nthreads:3 ~config:ladder_config
+      ~fault:(fun () ->
+        Rt.stall 1;
+        (* the stall request is polled; wait until the victim is parked *)
+        while not (Rt.is_stalled 1) do
+          Rt.sleep 1_000
+        done)
+      ~after:(fun ts smr ->
+        Rt.unstall 1;
+        (* wake propagates in real time; then force post-wake phases so
+           the suspect's returning ack is observed *)
+        while Rt.is_stalled 1 do
+          Rt.sleep 1_000
+        done;
+        for _ = 1 to 2 * (Threadscan.config ts).Threadscan.Config.buffer_size do
+          smr.Smr.retire (Ts_umem.Ptr.of_addr (Rt.malloc 3))
+        done)
+      (fun ts ->
+        (Threadscan.suspected_total ts, Threadscan.proxy_scans ts, Threadscan.recoveries ts))
+  in
+  check "all retired nodes reclaimed after flush" 0 outstanding;
+  Alcotest.(check bool) "victim went suspect" true (suspects >= 1);
+  Alcotest.(check bool) "frozen victim was proxy-scanned" true (proxy_scans >= 1);
+  Alcotest.(check bool) "release was observed as a recovery" true (recoveries >= 1)
+
+let test_native_ladder_reap_readmit () =
+  (* Crash worker 1 mid-hold: the ladder must reap the corpse (dropping
+     its pin) and a later thread re-admits cleanly into the same scheme. *)
+  let readmitted = ref false in
+  let outstanding, reaps =
+    ladder_fixture ~nthreads:3
+      ~config:{ ladder_config with suspect_phases = 2 }
+      ~fault:(fun () ->
+        Rt.crash 1;
+        (* the kill is polled; wait until the victim is an observable corpse *)
+        while not (Rt.is_done 1) do
+          Rt.sleep 1_000
+        done)
+      ~after:(fun _ts smr ->
+        (* re-admit: a fresh thread joins the scheme after the reap and
+           works normally *)
+        let w =
+          Rt.spawn (fun () ->
+              smr.Smr.thread_init ();
+              ignore (Frame.push 4);
+              for _ = 1 to 8 do
+                smr.Smr.retire (Ts_umem.Ptr.of_addr (Rt.malloc 2))
+              done;
+              smr.Smr.thread_exit ())
+        in
+        Rt.join w;
+        readmitted := true)
+      (fun ts -> Threadscan.reaps ts)
+  in
+  check "all retired nodes reclaimed after flush" 0 outstanding;
+  Alcotest.(check bool) "corpse was reaped" true (reaps >= 1);
+  Alcotest.(check bool) "fresh thread re-admitted after the reap" true !readmitted
+
+let test_native_ladder_heartbeat_takeover () =
+  (* The reclaimer itself stalls forever mid-phase (injected): another
+     retiring worker must watch its heartbeat go stale, wrest the phase
+     lock, and finish reclamation; the eventual release resumes the old
+     reclaimer into the generation fence. *)
+  let module R = Ts_par.Runtime in
+  let cfg = { R.default_config with pool = 4; strict_mem = true; max_threads = 6 } in
+  let takeovers = ref 0 and outstanding = ref (-1) in
+  let res =
+    R.run ~config:cfg (fun () ->
+        let config =
+          {
+            ladder_config with
+            Threadscan.Config.takeover_steps = 50;
+            ack_budget = 1_000;
+          }
+        in
+        let ts = Threadscan.create ~config () in
+        let smr = Threadscan.smr ts in
+        smr.Smr.thread_init ();
+        Threadscan.set_inject ts Threadscan.Stall_mid_phase;
+        let bsz = config.Threadscan.Config.buffer_size in
+        (* tid 1 fills its buffer then flushes: it becomes the reclaimer
+           with nothing in flight (a node still in retire's hand when the
+           takeover kills its owner is leaked by design) and stalls
+           mid-phase; tid 2 keeps retiring and must take the orphaned
+           phase lock over.  The takeover declares t1 dead and kills it,
+           so its thread_exit never runs: the reap deregisters it. *)
+        let w1 =
+          Rt.spawn (fun () ->
+              smr.Smr.thread_init ();
+              ignore (Frame.push 4);
+              for _ = 1 to bsz do
+                smr.Smr.retire (Ts_umem.Ptr.of_addr (Rt.malloc 2))
+              done;
+              smr.Smr.flush ();
+              smr.Smr.thread_exit ())
+        in
+        while not (Rt.is_stalled 1) do
+          Rt.sleep 1_000
+        done;
+        let w2 =
+          Rt.spawn (fun () ->
+              smr.Smr.thread_init ();
+              ignore (Frame.push 4);
+              for _ = 1 to 4 * bsz do
+                smr.Smr.retire (Ts_umem.Ptr.of_addr (Rt.malloc 2))
+              done;
+              smr.Smr.thread_exit ())
+        in
+        Rt.join w2;
+        (* release the ex-reclaimer: the takeover already declared it
+           dead, so it wakes straight into the kill *)
+        Rt.unstall 1;
+        Rt.join w1;
+        smr.Smr.thread_exit ();
+        smr.Smr.flush ();
+        takeovers := Threadscan.takeovers ts;
+        outstanding := smr.Smr.counters.Smr.retired - smr.Smr.counters.Smr.freed)
+  in
+  Alcotest.(check bool) "run not wedged" false res.R.wedged;
+  check "no UAF / double-free / wild access" 0 (Ts_par.Heap.total_faults res.R.heap);
+  Alcotest.(check bool) "phase lock was taken over" true (!takeovers >= 1);
+  check "all retired nodes reclaimed after flush" 0 !outstanding
+
+(* ------------------------------------------------------------------ *)
 
 let per_backend name f =
   List.map
@@ -437,5 +647,14 @@ let () =
             test_native_stress;
           Alcotest.test_case "multi-domain pool completes work" `Quick
             test_native_parallel_speedup_shape;
+        ] );
+      ( "native-ladder",
+        [
+          Alcotest.test_case "proxy scan keeps a stalled holder's node alive" `Quick
+            test_native_ladder_proxy_scan;
+          Alcotest.test_case "crash is reaped and a fresh thread re-admits" `Quick
+            test_native_ladder_reap_readmit;
+          Alcotest.test_case "heartbeat takeover of a stalled reclaimer" `Quick
+            test_native_ladder_heartbeat_takeover;
         ] );
     ]

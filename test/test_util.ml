@@ -327,10 +327,100 @@ let prop_vec_model =
         ops;
       Vec.to_array v = Array.of_list (List.rev !model))
 
+(* ------------------------------ Fault_plan ----------------------------- *)
+
+module Fault_plan = Ts_util.Fault_plan
+
+let test_plan_empty () =
+  Alcotest.(check bool) "none is empty" true (Fault_plan.parse "none" = Ok []);
+  Alcotest.(check bool) "blank is empty" true (Fault_plan.parse "" = Ok []);
+  Alcotest.(check string) "empty prints none" "none" (Fault_plan.to_string [])
+
+let test_plan_single_clauses () =
+  let ok s expected =
+    match Fault_plan.parse s with
+    | Ok [ c ] -> Alcotest.(check bool) (s ^ " shape") true (c = expected)
+    | Ok _ -> Alcotest.failf "%s: expected one clause" s
+    | Error e -> Alcotest.failf "%s: %s" s e
+  in
+  ok "crash:2@100" { Fault_plan.victims = 2; at = At 100; event = Crash };
+  ok "stall:1@50:400" { Fault_plan.victims = 1; at = At 50; event = Stall (Bounded 400) };
+  ok "stall:1@50:forever" { Fault_plan.victims = 1; at = At 50; event = Stall Forever };
+  ok "release:1@900" { Fault_plan.victims = 1; at = At 900; event = Unstall };
+  ok "drop-signals:3@0:5" { Fault_plan.victims = 3; at = At 0; event = Drop_signals 5 };
+  ok "delay-signals:1@10:200"
+    { Fault_plan.victims = 1; at = At 10; event = Delay_signals 200 };
+  ok "crash:1@250ms" { Fault_plan.victims = 1; at = At_ms 250; event = Crash }
+
+let test_plan_multi_roundtrip () =
+  let s = "stall:2@800:forever,release:2@40000,drop-signals:1@100:3" in
+  match Fault_plan.parse s with
+  | Error e -> Alcotest.fail e
+  | Ok plan ->
+      Alcotest.(check int) "three clauses" 3 (List.length plan);
+      Alcotest.(check string) "round-trips" s (Fault_plan.to_string plan);
+      (match Fault_plan.parse (Fault_plan.to_string plan) with
+      | Ok plan' -> Alcotest.(check bool) "reparse equal" true (plan = plan')
+      | Error e -> Alcotest.fail e)
+
+let test_plan_legacy_printer () =
+  (* the shapes Ts_check always printed in replay commands *)
+  Alcotest.(check string) "crash" "crash:1@7"
+    (Fault_plan.clause_to_string { Fault_plan.victims = 1; at = At 7; event = Crash });
+  Alcotest.(check string) "stall" "stall:2@9:40"
+    (Fault_plan.clause_to_string
+       { Fault_plan.victims = 2; at = At 9; event = Stall (Bounded 40) })
+
+let test_plan_errors () =
+  let bad s =
+    match Fault_plan.parse s with
+    | Error e ->
+        (* every diagnosis names the offending clause *)
+        Alcotest.(check bool)
+          (Fmt.str "%S error mentions clause (got %S)" s e)
+          true
+          (String.length e > 0)
+    | Ok _ -> Alcotest.failf "%S should not parse" s
+  in
+  bad "crash@oops";
+  bad "crash:0@100" (* victims must be positive *);
+  bad "crash:1@-5" (* trigger must be non-negative *);
+  bad "stall:1@100:0" (* stall cycles must be positive *);
+  bad "stall:1@100" (* stall needs a duration *);
+  bad "drop-signals:1@100:0";
+  bad "explode:1@100";
+  bad "crash:1@100ns" (* only the ms suffix exists *);
+  bad "crash:1@100,,stall:1@2:3" (* empty clause in a list *)
+
+let test_plan_feature_flags () =
+  let plan s = match Fault_plan.parse s with Ok p -> p | Error e -> failwith e in
+  Alcotest.(check bool) "wall trigger" true
+    (Fault_plan.has_wall_triggers (plan "crash:1@5ms"));
+  Alcotest.(check bool) "no wall trigger" false
+    (Fault_plan.has_wall_triggers (plan "crash:1@5"));
+  Alcotest.(check bool) "forever" true (Fault_plan.has_forever (plan "stall:1@5:forever"));
+  Alcotest.(check bool) "bounded is not forever" false
+    (Fault_plan.has_forever (plan "stall:1@5:9"));
+  Alcotest.(check bool) "release flag" true
+    (Fault_plan.has_release (plan "stall:1@5:forever,release:1@50"));
+  Alcotest.(check bool) "release needs monitor" true
+    (Fault_plan.needs_monitor (plan "stall:1@5:forever,release:1@50"));
+  Alcotest.(check bool) "self-inflicted plan needs none" false
+    (Fault_plan.needs_monitor (plan "crash:1@5,stall:1@9:20"))
+
 let () =
   let qt t = QCheck_alcotest.to_alcotest t in
   Alcotest.run "ts_util"
     [
+      ( "fault-plan",
+        [
+          Alcotest.test_case "empty plans" `Quick test_plan_empty;
+          Alcotest.test_case "single clauses" `Quick test_plan_single_clauses;
+          Alcotest.test_case "multi-clause round-trip" `Quick test_plan_multi_roundtrip;
+          Alcotest.test_case "legacy printer shapes" `Quick test_plan_legacy_printer;
+          Alcotest.test_case "parse errors" `Quick test_plan_errors;
+          Alcotest.test_case "feature flags" `Quick test_plan_feature_flags;
+        ] );
       ( "splitmix",
         [
           Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
