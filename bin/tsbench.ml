@@ -7,6 +7,7 @@
 
 module Workload = Ts_harness.Workload
 module Experiment = Ts_harness.Experiment
+module Registry = Ts_scheme.Registry
 open Cmdliner
 
 (* ------------------------------ converters ------------------------------ *)
@@ -59,19 +60,19 @@ let pool_arg =
 let make_backend backend pool =
   match backend with `Sim -> Workload.Backend_sim | `Native -> Workload.Backend_native { pool }
 
-let scheme_conv ~buffer ~help_free ~pipeline ~delay =
-  let parse = function
-    | "leaky" -> Ok Workload.Leaky
-    | "threadscan" -> Ok (Workload.Threadscan { buffer_size = buffer; help_free; pipeline })
-    | "threadscan-pipe" ->
-        Ok (Workload.Threadscan { buffer_size = buffer; help_free; pipeline = true })
-    | "hazard" -> Ok Workload.Hazard
-    | "epoch" -> Ok Workload.Epoch
-    | "slow-epoch" -> Ok (Workload.Slow_epoch { delay })
-    | "stacktrack" -> Ok Workload.Stacktrack
-    | s -> Error (`Msg (Fmt.str "unknown scheme %S" s))
-  in
-  parse
+(* Scheme names resolve through the registry (ids and aliases alike);
+   the per-scheme tuning flags ride along as registry params and are
+   ignored by schemes they do not apply to.  [--pipeline] upgrades a
+   scheme to its pipelined registry variant when it has one. *)
+let scheme_conv ~buffer ~help_free ~pipeline ~delay name =
+  match Registry.canonical name with
+  | Error e -> Error (`Msg e)
+  | Ok id ->
+      let id =
+        if pipeline then Option.value (Registry.get id).Registry.pipelined ~default:id
+        else id
+      in
+      Ok (Registry.spec ~buffer ~help_free ~delay id)
 
 (* -------------------------------- run ----------------------------------- *)
 
@@ -79,7 +80,7 @@ let print_result (r : Workload.result) =
   let s = r.spec in
   Fmt.pr "workload:   %s + %s, %d threads on %s cores@."
     (Workload.ds_kind_to_string s.ds)
-    (Workload.scheme_kind_to_string s.scheme)
+    (Registry.describe s.scheme)
     s.threads
     (if s.cores <= 0 then "dedicated" else string_of_int s.cores);
   Fmt.pr "            init=%d range=%d updates=%.0f%% horizon=%d cycles seed=%d@." s.init_size
@@ -129,7 +130,10 @@ let run_cmd =
     Arg.(value & opt ds_conv Workload.List_ds & info [ "d"; "ds" ] ~doc:"Data structure (list|hash|skip).")
   in
   let scheme_name =
-    Arg.(value & opt string "threadscan" & info [ "s"; "scheme" ] ~doc:"Reclamation scheme.")
+    Arg.(
+      value & opt string "threadscan"
+      & info [ "s"; "scheme" ]
+          ~doc:(Fmt.str "Reclamation scheme: %s." (Registry.names_doc ())))
   in
   let threads = Arg.(value & opt int 8 & info [ "t"; "threads" ] ~doc:"Worker threads.") in
   let cores =

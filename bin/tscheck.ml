@@ -11,6 +11,7 @@ module Scenario = Ts_check.Scenario
 module Explore = Ts_check.Explore
 module Fork = Ts_check.Fork
 module Report = Ts_check.Report
+module Registry = Ts_scheme.Registry
 open Cmdliner
 
 (* ------------------------------ converters ------------------------------ *)
@@ -46,6 +47,12 @@ let inject_conv =
   in
   Arg.conv (parse, fun ppf i -> Fmt.string ppf (Scenario.inject_to_string i))
 
+let scheme_conv =
+  let parse s =
+    match Registry.canonical s with Ok id -> Ok id | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, Fmt.string)
+
 let fault_conv =
   let parse s =
     match Scenario.fault_of_string s with
@@ -68,6 +75,13 @@ let policy_conv =
 (* ------------------------------ shared args ----------------------------- *)
 
 let threads_arg = Arg.(value & opt int 3 & info [ "t"; "threads" ] ~doc:"Worker threads.")
+
+let scheme_arg =
+  Arg.(
+    value
+    & opt scheme_conv Scenario.default.Scenario.scheme
+    & info [ "scheme" ]
+        ~doc:(Fmt.str "Reclamation scheme to check: %s." (Registry.names_doc ())))
 
 let ops_arg = Arg.(value & opt int 40 & info [ "ops" ] ~doc:"Operations per worker.")
 
@@ -233,8 +247,8 @@ let sweep_cmd =
     Arg.(value & opt int 3 & info [ "pct-depth" ] ~doc:"PCT priority change points.")
   in
   let seed0 = Arg.(value & opt int 0 & info [ "seed0" ] ~doc:"First seed of the family.") in
-  let action ds_list schedules pct_depth seed0 threads ops key_range buffer_size help_free
-      collect_merge scan_filter free_chunk pipeline inject fault race bug fork prune
+  let action ds_list schedules pct_depth seed0 scheme threads ops key_range buffer_size
+      help_free collect_merge scan_filter free_chunk pipeline inject fault race bug fork prune
       fork_factor fork_stride fork_window differential step_budget =
     let analyze = race || bug <> None in
     let help_free = help_free || pipeline in
@@ -244,10 +258,26 @@ let sweep_cmd =
     (* A seeded bug lives in one specific structure; sweeping any other
        would "pass" without exercising it. *)
     let ds_list = match bug with None -> ds_list | Some b -> [ Scenario.bug_ds b ] in
+    (* A neutralizing scheme cannot run lock-based structures (the abort
+       is not restartable there): drop them from the sweep with a note
+       rather than failing the whole invocation. *)
+    let ds_list =
+      if (Registry.get scheme).Registry.caps.Registry.neutralizes then begin
+        let dropped, kept =
+          List.partition (fun ds -> ds = Scenario.Skip_ds || ds = Scenario.Lazy_ds) ds_list
+        in
+        if dropped <> [] then
+          Fmt.pr "note: %s neutralizes; skipping lock-based structures: %s@." scheme
+            (String.concat ", " (List.map Scenario.ds_to_string dropped));
+        kept
+      end
+      else ds_list
+    in
     let base =
       {
         Scenario.default with
-        Scenario.threads;
+        Scenario.scheme;
+        threads;
         ops;
         key_range;
         buffer_size;
@@ -265,6 +295,7 @@ let sweep_cmd =
       (List.length ds_list) schedules seed0
       (seed0 + schedules - 1)
       pct_depth;
+    if scheme <> Scenario.default.Scenario.scheme then Fmt.pr "scheme: %s@." scheme;
     if fork then
       Fmt.pr "fork: factor=%d stride=%s window=%.2f prune=%s differential=%d@." fork_factor
         (if fork_stride = 0 then "auto" else string_of_int fork_stride)
@@ -356,8 +387,8 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc:"Explore a family of checked schedules per data structure.")
     Term.(
       ret
-        (const action $ ds_list $ schedules $ pct_depth $ seed0 $ threads_arg $ ops_arg
-       $ range_arg $ buffer_arg $ help_free_arg $ collect_merge_arg $ scan_filter_arg
+        (const action $ ds_list $ schedules $ pct_depth $ seed0 $ scheme_arg $ threads_arg
+       $ ops_arg $ range_arg $ buffer_arg $ help_free_arg $ collect_merge_arg $ scan_filter_arg
        $ free_chunk_arg $ pipeline_arg $ inject_arg $ fault_arg $ race_arg $ bug_arg
        $ fork_arg $ prune_arg $ fork_factor_arg $ fork_stride_arg $ fork_window_arg
        $ differential_arg $ step_budget_arg))
@@ -373,7 +404,7 @@ let replay_cmd =
       & info [ "policy" ] ~doc:"Schedule policy (timed|uniform|pct:<d>).")
   in
   let seed = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Schedule seed.") in
-  let action ds policy seed threads ops key_range buffer_size help_free collect_merge
+  let action ds policy seed scheme threads ops key_range buffer_size help_free collect_merge
       scan_filter free_chunk pipeline inject fault race bug =
     let analyze = race || bug <> None in
     let help_free = help_free || pipeline in
@@ -384,6 +415,7 @@ let replay_cmd =
     let spec =
       {
         Scenario.ds;
+        scheme;
         threads;
         ops;
         key_range;
@@ -401,9 +433,11 @@ let replay_cmd =
       }
     in
     Fmt.pr
-      "replay: ds=%s threads=%d ops=%d key-range=%d buffer=%d%s%s%s%s inject=%s fault=%s policy=%s \
+      "replay: ds=%s%s threads=%d ops=%d key-range=%d buffer=%d%s%s%s%s inject=%s fault=%s policy=%s \
        seed=%d%s%s@."
-      (Scenario.ds_to_string ds) threads ops key_range buffer_size
+      (Scenario.ds_to_string ds)
+      (if scheme = Scenario.default.Scenario.scheme then "" else " scheme=" ^ scheme)
+      threads ops key_range buffer_size
       (if help_free then " help-free" else "")
       (if collect_merge then " collect-merge" else "")
       (if scan_filter then " scan-filter" else "")
@@ -425,7 +459,7 @@ let replay_cmd =
     (Cmd.info "replay" ~doc:"Re-run one fully specified scenario.")
     Term.(
       ret
-        (const action $ ds $ policy $ seed $ threads_arg $ ops_arg $ range_arg $ buffer_arg
+        (const action $ ds $ policy $ seed $ scheme_arg $ threads_arg $ ops_arg $ range_arg $ buffer_arg
        $ help_free_arg $ collect_merge_arg $ scan_filter_arg $ free_chunk_arg $ pipeline_arg
        $ inject_arg $ fault_arg $ race_arg $ bug_arg))
 

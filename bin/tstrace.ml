@@ -16,7 +16,13 @@
 
    Usage: dune exec bin/tstrace.exe
             [-- --threads N] [--buffer N] [--cores N] [--seed N]
-            [--fault none|crash|stall|<plan>] [--analyze]
+            [--scheme NAME] [--fault none|crash|stall|<plan>] [--analyze]
+
+   --scheme selects any registry scheme (default threadscan).  The
+   ThreadScan phase counters only appear for the ThreadScan family; for
+   every other scheme the workers hold their node inside an operation
+   bracket (restarting on neutralization), which is what protects it
+   there in place of the stack scan.
 
    --fault also accepts a full Ts_util.Fault_plan expression
    (e.g. "stall:2@800:forever,release:2@40000"): each clause fires on
@@ -30,11 +36,15 @@ module Trace = Ts_sim.Trace
 module Frame = Ts_rt.Frame
 module Ptr = Ts_umem.Ptr
 module Smr = Ts_smr.Smr
+module Registry = Ts_scheme.Registry
+
+let default_scheme = "threadscan"
 
 let parse_args () =
   let threads = ref 3
   and buffer = ref 8
   and cores = ref 0
+  and scheme = ref default_scheme
   and fault = ref "none"
   and analyze = ref false
   and seed = ref Sim.default_config.Sim.seed in
@@ -48,6 +58,11 @@ let parse_args () =
         go rest
     | "--cores" :: n :: rest ->
         cores := int_of_string n;
+        go rest
+    | "--scheme" :: n :: rest ->
+        (match Registry.canonical n with
+        | Ok id -> scheme := id
+        | Error e -> failwith e);
         go rest
     | "--fault" :: f :: rest ->
         if not (List.mem f [ "none"; "crash"; "stall" ]) then begin
@@ -66,10 +81,10 @@ let parse_args () =
     | arg :: _ -> failwith ("unknown argument: " ^ arg)
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!threads, !buffer, !cores, !fault, !seed, !analyze)
+  (!threads, !buffer, !cores, !scheme, !fault, !seed, !analyze)
 
 let () =
-  let nthreads, buffer_size, cores, fault, seed, analyze = parse_args () in
+  let nthreads, buffer_size, cores, scheme, fault, seed, analyze = parse_args () in
   let record, entries = Trace.recorder () in
   let config =
     {
@@ -82,6 +97,7 @@ let () =
     }
   in
   let phases = ref 0 and signals = ref 0 and carried = ref 0 in
+  let has_ts = ref false in
   (* Attach before the run so the decorator observes the backend install;
      violations surface as trace notes the moment they are detected. *)
   let an = if analyze then Some (Ts_analyze.Analyze.attach ()) else None in
@@ -90,18 +106,31 @@ let () =
   in
   ignore
     (Sim.run ~config (fun () ->
-         let ts_config =
-           let base =
-             { Threadscan.Config.default with max_threads = nthreads + 2; buffer_size }
-           in
-           if fault = "none" then base
-           else
-             (* budgets small enough that the ladder fires inside this tiny
-                run: the ack wait gives up quickly and suspects are visible *)
-             { base with ack_budget = 2_000; suspect_phases = 2 }
+         let env =
+           {
+             Registry.max_threads = nthreads + 2;
+             hazard_slots = 3;
+             epoch_batch = 32;
+             budgets =
+               (if fault = "none" then None
+                else
+                  (* budgets small enough that the ladder fires inside this
+                     tiny run: the ack wait gives up quickly and suspects
+                     are visible *)
+                  Some
+                    {
+                      Registry.ack_budget = 2_000;
+                      suspect_phases = 2;
+                      takeover_steps = Threadscan.Config.default.Threadscan.Config.takeover_steps;
+                      overflow_after = Threadscan.Config.default.Threadscan.Config.overflow_after;
+                    });
+           }
          in
-         let ts = Threadscan.create ~config:ts_config () in
-         let smr = wrap_analyzed (Threadscan.smr ts) in
+         let built = Registry.build env (Registry.spec ~buffer:buffer_size scheme) in
+         let smr = wrap_analyzed built.Registry.smr in
+         (* schemes without a stack scan protect the held node with an
+            operation bracket instead (restarted if neutralized) *)
+         let bracket = built.Registry.ts = None in
          smr.Smr.thread_init ();
          let cells = Runtime.alloc_region nthreads in
          let stop = Runtime.alloc_region 1 in
@@ -114,10 +143,19 @@ let () =
                    Frame.with_frame 1 (fun fr ->
                        let p = Ptr.of_addr (Runtime.malloc 3) in
                        Frame.set fr 0 p;
+                       let rec hold () =
+                         match
+                           if bracket then smr.Smr.op_begin ();
+                           while Runtime.read stop = 0 do
+                             Runtime.advance 20
+                           done;
+                           if bracket then smr.Smr.op_end ()
+                         with
+                         | () -> ()
+                         | exception Smr.Neutralized -> hold ()
+                       in
                        Runtime.write (cells + i) p;
-                       while Runtime.read stop = 0 do
-                         Runtime.advance 20
-                       done;
+                       hold ();
                        Frame.set fr 0 0);
                    smr.Smr.thread_exit ()))
          in
@@ -166,28 +204,42 @@ let () =
          for _ = 1 to buffer_size do
            smr.Smr.retire (Ptr.of_addr (Runtime.malloc 3))
          done;
-         phases := Threadscan.phases ts;
-         signals := Threadscan.signals_sent ts;
-         carried := Threadscan.carried_last ts;
+         (match built.Registry.ts with
+         | Some ts ->
+             has_ts := true;
+             phases := Threadscan.phases ts;
+             signals := Threadscan.signals_sent ts;
+             carried := Threadscan.carried_last ts
+         | None -> ());
          Runtime.write stop 1;
          List.iter Runtime.join ws;
          smr.Smr.thread_exit ();
          smr.Smr.flush ()));
+  (if !has_ts then
+     Fmt.pr
+       "One ThreadScan collect phase, traced (threads=%d, buffer=%d, cores=%s, fault=%s, seed=%d):@.@."
+       nthreads buffer_size
+       (if cores <= 0 then "dedicated" else string_of_int cores)
+       fault seed
+   else
+     Fmt.pr
+       "One %s reclamation pass, traced (threads=%d, buffer=%d, cores=%s, fault=%s, seed=%d):@.@."
+       scheme nthreads buffer_size
+       (if cores <= 0 then "dedicated" else string_of_int cores)
+       fault seed);
   Fmt.pr
-    "One ThreadScan collect phase, traced (threads=%d, buffer=%d, cores=%s, fault=%s, seed=%d):@.@."
-    nthreads buffer_size
-    (if cores <= 0 then "dedicated" else string_of_int cores)
-    fault seed;
-  Fmt.pr
-    "replay: dune exec bin/tstrace.exe -- --threads %d --buffer %d --cores %d --fault %s --seed \
+    "replay: dune exec bin/tstrace.exe -- --threads %d --buffer %d --cores %d%s --fault %s --seed \
      %d%s@."
-    nthreads buffer_size cores fault seed
+    nthreads buffer_size cores
+    (if scheme = default_scheme then "" else " --scheme " ^ scheme)
+    fault seed
     (if analyze then " --analyze" else "");
   Fmt.pr "(entries are in global schedule order; times are per-thread local clocks)@.";
   Fmt.pr "%10s  %s@." "cycles" "event";
   List.iter (fun e -> Fmt.pr "%a@." Trace.pp e) (entries ());
-  Fmt.pr "@.phases completed: %d;  signals sent: %d;  nodes carried (still referenced): %d@."
-    !phases !signals !carried;
+  if !has_ts then
+    Fmt.pr "@.phases completed: %d;  signals sent: %d;  nodes carried (still referenced): %d@."
+      !phases !signals !carried;
   match an with
   | None -> ()
   | Some a ->

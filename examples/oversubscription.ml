@@ -7,6 +7,7 @@
    ThreadScan against the leaky baseline and show where the cycles went. *)
 
 module Workload = Ts_harness.Workload
+module Registry = Ts_scheme.Registry
 
 let spec scheme =
   {
@@ -23,9 +24,9 @@ let spec scheme =
   }
 
 let () =
-  let leaky = Workload.run (spec Workload.Leaky) in
-  let ts = Workload.run (spec (Workload.Threadscan { buffer_size = 16; help_free = false; pipeline = false })) in
-  let big = Workload.run (spec (Workload.Threadscan { buffer_size = 64; help_free = false; pipeline = false })) in
+  let leaky = Workload.run (spec (Registry.spec "leaky")) in
+  let ts = Workload.run (spec (Registry.spec ~buffer:16 "threadscan")) in
+  let big = Workload.run (spec (Registry.spec ~buffer:64 "threadscan")) in
   let show name (r : Workload.result) =
     Fmt.pr "%-22s %10.1f ops/Mcycle   signals=%-5d switches=%-5d peak-live=%d blocks@." name
       r.Workload.throughput r.Workload.signals_delivered r.Workload.ctx_switches

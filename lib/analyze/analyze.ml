@@ -99,7 +99,7 @@ end
 
 type lifecycle_state =
   | Alive
-  | Retired of { r_scheme : string; r_tid : int }
+  | Retired of { r_scheme : string; r_tid : int; r_access : Smr.retired_access }
   | Freed
 
 type alloc = {
@@ -447,25 +447,23 @@ let maybe_publish_on_read an th w =
       publish an a
   | _ -> ()
 
-let contains_sub s sub =
-  let n = String.length s and m = String.length sub in
-  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
-  go 0
-
-(* May [th] legally touch a word of a block [scheme] has retired? *)
-let retired_access_allowed th ~scheme a =
+(* May [th] legally touch a word of a retired block?  Decided by the
+   [Smr.retired_access] policy the retiring scheme declared — the
+   analyzer carries no per-scheme knowledge of its own. *)
+let retired_access_allowed th ~access a =
   th.scheme_depth > 0
   ||
-  if contains_sub scheme "hazard" then
-    Hashtbl.fold (fun _ b acc -> acc || b = a.al_base) th.protects false
-  else if contains_sub scheme "epoch" then th.in_op
-  else true (* threadscan, leaky, stacktrack: readers are invisible by design *)
+  match (access : Smr.retired_access) with
+  | Smr.Protected_slots ->
+      Hashtbl.fold (fun _ b acc -> acc || b = a.al_base) th.protects false
+  | Smr.In_op -> th.in_op
+  | Smr.Invisible -> true (* readers are invisible by design *)
 
 let check_retired_access an th w addr op =
   match w.owner with
-  | Some ({ al_state = Retired { r_scheme; _ }; _ } as a)
+  | Some ({ al_state = Retired { r_scheme; r_access; _ }; _ } as a)
     when not (Hashtbl.mem an.flagged a.al_id) ->
-      if not (retired_access_allowed th ~scheme:r_scheme a) then begin
+      if not (retired_access_allowed th ~access:r_access a) then begin
         Hashtbl.replace an.flagged a.al_id ();
         add_violation an
           (Lifecycle
@@ -533,7 +531,7 @@ let lifecycle_violation an th kind ~scheme a detail =
          lc_detail = detail;
        })
 
-let note_retire an ~scheme p =
+let note_retire an ~scheme ~access p =
   match an.orig with
   | None -> ()
   | Some o ->
@@ -555,7 +553,7 @@ let note_retire an ~scheme p =
                     lifecycle_violation an th Retire_before_unlink ~scheme a
                       (Fmt.str "%d live shared reference%s at retire" a.al_refs
                          (if a.al_refs = 1 then "" else "s"));
-                  a.al_state <- Retired { r_scheme = scheme; r_tid = tid };
+                  a.al_state <- Retired { r_scheme = scheme; r_tid = tid; r_access = access };
                   drop_outgoing an a))
 
 (* ------------------------------------------------------------------ *)
@@ -874,7 +872,7 @@ let wrap_smr an (s : Smr.t) : Smr.t =
         with_scheme an (fun () -> s.release ~slot));
     retire =
       (fun p ->
-        note_retire an ~scheme:s.name p;
+        note_retire an ~scheme:s.name ~access:s.retired_access p;
         with_scheme an (fun () -> s.retire p));
     flush = (fun () -> with_scheme an s.flush);
   }

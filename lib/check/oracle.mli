@@ -19,14 +19,17 @@
 
 val check :
   ?max_leak:int ->
-  ts:Threadscan.t ->
+  ?ts:Threadscan.t ->
   counters:Ts_smr.Smr.counters ->
   alloc:Ts_umem.Alloc.t ->
   baseline_live:int ->
   final_list:(int * int) list ->
   unit ->
   Report.violation list
-(** Empty list = all invariants hold.  [max_leak] (default 0) relaxes the
+(** Empty list = all invariants hold.  [ts] enables the ThreadScan-only
+    invariants (help-free conservation, scheme-side outstanding count);
+    without it, outstanding is [retired - freed] from the shared
+    counters.  [max_leak] (default 0) relaxes the
     [outstanding] and live-heap checks by that many nodes: a thread crashed
     mid-[retire] takes its in-flight pointer with it, so runs that kill [k]
     threads budget a bounded leak of [k] — any excess (or any use-after-free,

@@ -4,6 +4,7 @@ module Alloc = Ts_umem.Alloc
 module Ptr = Ts_umem.Ptr
 module Smr = Ts_smr.Smr
 module Set_intf = Ts_ds.Set_intf
+module Registry = Ts_scheme.Registry
 
 type ds_kind = List_ds | Hash_ds | Skip_ds | Lazy_ds | Churn
 
@@ -18,6 +19,7 @@ type fault =
 
 type spec = {
   ds : ds_kind;
+  scheme : string;
   threads : int;
   ops : int;
   key_range : int;
@@ -37,6 +39,7 @@ type spec = {
 let default =
   {
     ds = List_ds;
+    scheme = "threadscan";
     threads = 3;
     ops = 40;
     key_range = 32;
@@ -143,9 +146,11 @@ let replay_command spec =
   (* Pipeline flags are emitted only when non-default, so commands for the
      legacy configuration stay byte-identical to what they always were. *)
   Fmt.str
-    "dune exec bin/tscheck.exe -- replay --ds %s --threads %d --ops %d --key-range %d \
+    "dune exec bin/tscheck.exe -- replay --ds %s%s --threads %d --ops %d --key-range %d \
      --buffer %d%s%s%s%s --inject %s --fault %s --policy %s --seed %d%s%s"
-    (ds_to_string spec.ds) spec.threads spec.ops spec.key_range spec.buffer_size
+    (ds_to_string spec.ds)
+    (if spec.scheme = default.scheme then "" else " --scheme " ^ spec.scheme)
+    spec.threads spec.ops spec.key_range spec.buffer_size
     (if spec.help_free then " --help-free" else "")
     (if spec.collect_merge then " --collect-merge" else "")
     (if spec.scan_filter then " --scan-filter" else "")
@@ -237,7 +242,7 @@ let run_sets rt spec (smr : Smr.t) ~record =
    make the scan's mark/carry-over machinery load-bearing, so the protocol
    injections ([Skip_carryover], [Skip_ack_wait]) surface as attributed
    use-after-free faults here. *)
-let run_churn rt spec (smr : Smr.t) =
+let run_churn rt spec (smr : Smr.t) ~pinned =
   let nslots = spec.threads in
   let slots = Runtime.alloc_region nslots in
   let noise = Runtime.alloc_region 1 in
@@ -246,7 +251,7 @@ let run_churn rt spec (smr : Smr.t) =
   for i = 0 to nslots - 1 do
     Runtime.write (slots + i) (alloc_node ())
   done;
-  let worker i () =
+  let worker_pinned i () =
     smr.Smr.thread_init ();
     Frame.with_frame 1 (fun fr ->
         (* [held] mirrors frame slot 0: a long-lived cross-thread reference
@@ -275,6 +280,57 @@ let run_churn rt spec (smr : Smr.t) =
         Frame.set fr 0 0);
     smr.Smr.thread_exit ()
   in
+  (* Schemes whose frames do not pin ([caps.pins_frames] false) need
+     visible readers: the hold and both dereferences run inside an op
+     bracket (restarted from scratch if the scheme neutralizes it), with
+     a validated protect slot for slot-protecting schemes.  The worker's
+     own replace-and-retire runs {e outside} the bracket: retire needs no
+     bracket under any scheme, and keeping it out means a neutralization
+     can never abort between the unlink and the retire (which would leak
+     the node for good). *)
+  let worker_visible i () =
+    smr.Smr.thread_init ();
+    Frame.with_frame 1 (fun fr ->
+        for n = 1 to spec.ops do
+          fault_hook spec i n;
+          let rec attempt () =
+            match
+              smr.Smr.op_begin ();
+              let s = slots + Runtime.rand_below nslots in
+              let rec acquire tries =
+                if tries = 0 then 0
+                else
+                  let p = Runtime.read s in
+                  if Ptr.is_null p then 0
+                  else begin
+                    ignore (smr.Smr.protect ~slot:0 p);
+                    (* re-validate: still published, so not yet retired —
+                       the slot was announced before this read *)
+                    if Runtime.read s = p then p else acquire (tries - 1)
+                  end
+              in
+              let held = acquire 4 in
+              Frame.set fr 0 held;
+              if not (Ptr.is_null held) then ignore (Runtime.read (Ptr.addr held));
+              Runtime.advance 15;
+              Frame.set fr 0 0;
+              smr.Smr.release ~slot:0;
+              smr.Smr.op_end ()
+            with
+            | () -> ()
+            | exception Smr.Neutralized ->
+                Frame.set fr 0 0;
+                attempt ()
+          in
+          attempt ();
+          let p = alloc_node () in
+          let old = Runtime.read (slots + i) in
+          Runtime.write (slots + i) p;
+          if not (Ptr.is_null old) then smr.Smr.retire old
+        done);
+    smr.Smr.thread_exit ()
+  in
+  let worker = if pinned then worker_pinned else worker_visible in
   let ws = List.init spec.threads (fun i -> Runtime.spawn (worker i)) in
   List.iter Runtime.join ws;
   (* Unpublish every node; all retired nodes are now unreachable. *)
@@ -290,6 +346,23 @@ let run_churn rt spec (smr : Smr.t) =
   (baseline, [])
 
 let run ?configure ?trace spec =
+  let d = Registry.get spec.scheme in
+  (* Capability guards, before any runtime exists.  The protocol
+     injection points live inside the ThreadScan collect protocol; the
+     pipeline-knob capability marks exactly that family. *)
+  if spec.inject <> Threadscan.No_fault && not d.Registry.caps.Registry.has_pipeline_knobs then
+    invalid_arg
+      (Fmt.str "scheme %s has no ThreadScan collect protocol to inject %s into" spec.scheme
+         (inject_to_string spec.inject));
+  (if d.Registry.caps.Registry.neutralizes then
+     match spec.ds with
+     | Lazy_ds | Skip_ds ->
+         invalid_arg
+           (Fmt.str
+              "scheme %s aborts and restarts victims' operations, which the lock-based %s \
+               structure cannot survive"
+              spec.scheme (ds_to_string spec.ds))
+     | List_ds | Hash_ds | Churn -> ());
   let sched =
     match spec.policy with
     | Timed -> Runtime.Timed
@@ -365,45 +438,54 @@ let run ?configure ?trace spec =
              in
              smr.Smr.thread_init ();
              (match spec.ds with
-             | Churn -> ignore (run_churn rt spec smr)
+             | Churn -> ignore (run_churn rt spec smr ~pinned:false)
              | _ -> ignore (run_sets rt spec smr ~record));
              smr.Smr.thread_exit ();
              smr.Smr.flush ()
          | _ ->
-         let ts_config =
-           let base =
-             {
-               Threadscan.Config.default with
-               max_threads = spec.threads + 2;
-               buffer_size = spec.buffer_size;
-               help_free = spec.help_free;
-               collect_merge = spec.collect_merge;
-               scan_filter = spec.scan_filter;
-               free_chunk = spec.free_chunk;
-             }
-           in
-           match (spec.fault, spec.inject) with
-           | Fault_none, (Threadscan.No_fault | Skip_carryover | Skip_ack_wait | Skip_proxy_scan)
-             ->
-               base
-           | _, _ ->
-               (* Budgets small enough that a checker-sized run actually
-                  climbs the degradation ladder: the ack wait times out well
-                  inside a stall, two silent phases reap, a dead reclaimer's
-                  lock is taken over, and full buffers overflow instead of
-                  spinning out the step limit. *)
-               {
-                 base with
-                 ack_budget = 20_000;
-                 suspect_phases = 2;
-                 takeover_steps = 30_000;
-                 overflow_after = 16;
-               }
+         let env =
+           {
+             Registry.max_threads = spec.threads + 2;
+             hazard_slots =
+               (match spec.ds with
+               | Skip_ds -> Ts_ds.Skiplist.hazard_slots ~max_height:6
+               | List_ds | Hash_ds | Lazy_ds | Churn -> 3);
+             (* checker-sized: a small default batch so batching schemes
+                reclaim mid-workload, where the bugs are *)
+             epoch_batch = 8;
+             budgets =
+               (match (spec.fault, spec.inject) with
+               | ( Fault_none,
+                   (Threadscan.No_fault | Skip_carryover | Skip_ack_wait | Skip_proxy_scan) ) ->
+                   None
+               | _, _ ->
+                   (* Budgets small enough that a checker-sized run actually
+                      climbs the degradation ladder: the ack wait times out well
+                      inside a stall, two silent phases reap, a dead reclaimer's
+                      lock is taken over, and full buffers overflow instead of
+                      spinning out the step limit. *)
+                   Some
+                     {
+                       Registry.ack_budget = 20_000;
+                       suspect_phases = 2;
+                       takeover_steps = 30_000;
+                       overflow_after = 16;
+                     });
+           }
          in
-         let ts = Threadscan.create ~config:ts_config () in
-         Threadscan.set_inject ts spec.inject;
-         phase_of := (fun () -> Threadscan.phases ts);
-         let smr0 = Threadscan.smr ts in
+         let rspec =
+           Registry.spec ~buffer:spec.buffer_size ~help_free:spec.help_free
+             ~collect_merge:spec.collect_merge ~scan_filter:spec.scan_filter
+             ?free_chunk:(if spec.free_chunk = 0 then None else Some spec.free_chunk)
+             spec.scheme
+         in
+         let built = Registry.build env rspec in
+         (match built.Registry.ts with
+         | Some ts ->
+             Threadscan.set_inject ts spec.inject;
+             phase_of := (fun () -> Threadscan.phases ts)
+         | None -> ());
+         let smr0 = built.Registry.smr in
          (* ABA / double-retire oracle: in sanitizer mode every allocation
             at a given base bumps a generation counter, so retiring the
             same (addr, generation) twice means the structure unlinked one
@@ -438,20 +520,27 @@ let run ?configure ?trace spec =
          let baseline, final_list =
            match spec.ds with
            | List_ds | Hash_ds | Skip_ds | Lazy_ds -> run_sets rt spec smr ~record
-           | Churn -> run_churn rt spec smr
+           | Churn -> run_churn rt spec smr ~pinned:d.Registry.caps.Registry.pins_frames
          in
          smr.Smr.thread_exit ();
          smr.Smr.flush ();
-         phases := Threadscan.phases ts;
+         phases :=
+           (match built.Registry.ts with
+           | Some ts -> Threadscan.phases ts
+           | None -> smr.Smr.counters.Smr.cleanups);
          let max_leak =
-           (* one in-flight pointer per thread that can die mid-retire *)
-           (match spec.fault with Fault_crash { victims; _ } -> victims | _ -> 0)
+           (* the scheme's per-corpse budget (in-flight retires, stranded
+              protection slots, a lost batch ...) per crashed thread *)
+           (match spec.fault with
+           | Fault_crash { victims; _ } ->
+               victims * d.Registry.crash_leak_per_victim rspec.Registry.params
+           | _ -> 0)
            + (match spec.inject with Threadscan.Crash_mid_phase -> 1 | _ -> 0)
          in
          oracle_violations :=
            !oracle_violations
-           @ Oracle.check ~max_leak ~ts ~counters:smr.Smr.counters ~alloc:(Runtime.alloc rt)
-               ~baseline_live:baseline ~final_list ()));
+           @ Oracle.check ~max_leak ?ts:built.Registry.ts ~counters:smr.Smr.counters
+               ~alloc:(Runtime.alloc rt) ~baseline_live:baseline ~final_list ()));
   let crash =
     try
       ignore (Runtime.start rt);

@@ -70,6 +70,12 @@ type fault =
 
 type spec = {
   ds : ds_kind;
+  scheme : string;
+      (** reclamation scheme under check, by canonical
+          {!Ts_scheme.Registry} id.  Any registered scheme runs the full
+          detection stack; the ThreadScan-only layers (protocol
+          injections, phase attribution, help-free conservation) engage
+          exactly when the built scheme exposes a ThreadScan instance. *)
   threads : int;  (** worker threads (main is extra) *)
   ops : int;  (** operations per worker *)
   key_range : int;
@@ -96,7 +102,7 @@ type spec = {
 }
 
 val default : spec
-(** list, 3 threads, 40 ops, keys 0..31, buffer 8, no help-free, pipeline
+(** list over threadscan, 3 threads, 40 ops, keys 0..31, buffer 8, no help-free, pipeline
     toggles off (legacy single-stage phase), no injection, uniform policy,
     seed 0, no analysis, no seeded bug. *)
 
@@ -149,6 +155,11 @@ val run :
   spec ->
   outcome
 (** Deterministic: same spec, same outcome.
+
+    @raise Invalid_argument when the scheme's registry capabilities rule
+    the spec out: a protocol injection on a scheme without the ThreadScan
+    collect protocol, or a neutralizing scheme paired with a lock-based
+    structure ([Lazy_ds], [Skip_ds]).
 
     [configure] runs right after the runtime is created and before any
     thread executes — the place to install a {!Ts_sim.Runtime.set_scheduler_hook}

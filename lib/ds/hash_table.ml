@@ -16,12 +16,7 @@ let create ~smr ?(padding = 0) ~buckets () =
     Runtime.write (base + i) Ptr.null
   done;
   let head key = base + bucket_of ~mask key in
-  let wrap f =
-    smr.Smr.op_begin ();
-    let r = f () in
-    smr.Smr.op_end ();
-    r
-  in
+  let wrap f = Set_intf.wrap smr f in
   {
     Set_intf.name = "hash-table";
     insert = (fun key value -> wrap (fun () -> Michael_list.insert_at ~smr ~padding ~head:(head key) key value));

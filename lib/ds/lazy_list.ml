@@ -174,12 +174,7 @@ let create ~smr ?(padding = 0) ?(elide_locks = false) () =
   let tail = new_node t ~key:max_int ~value:0 ~next:Ptr.null in
   let head = new_node t ~key:min_int ~value:0 ~next:tail in
   Runtime.write head_cell head;
-  let wrap f =
-    smr.Smr.op_begin ();
-    let r = f () in
-    smr.Smr.op_end ();
-    r
-  in
+  let wrap f = Set_intf.wrap smr f in
   {
     Set_intf.name = "lazy-list";
     insert = (fun key value -> wrap (fun () -> insert t key value));

@@ -88,17 +88,26 @@ let insert_at ~(smr : Smr.t) ~padding ~head key value =
         if found then false
         else begin
           let addr = Runtime.malloc (node_words ~padding) in
-          Runtime.write (addr + off_key) key;
-          Runtime.write (addr + off_value) value;
-          Runtime.write (addr + off_next) cur;
-          let node = Ptr.of_addr addr in
-          Frame.set fr fr_new node;
-          if Runtime.cas prev_cell cur node then true
-          else begin
-            (* never published: plain free, no reclamation protocol needed *)
-            Runtime.free addr;
-            loop ()
-          end
+          (* the fresh node stays private until the publishing CAS: if a
+             neutralization aborts this window the node must be freed, or
+             it leaks — [Runtime.free] is a non-abortable op, so the
+             cleanup itself always completes *)
+          match
+            Runtime.write (addr + off_key) key;
+            Runtime.write (addr + off_value) value;
+            Runtime.write (addr + off_next) cur;
+            let node = Ptr.of_addr addr in
+            Frame.set fr fr_new node;
+            Runtime.cas prev_cell cur node
+          with
+          | true -> true
+          | false ->
+              (* never published: plain free, no reclamation protocol needed *)
+              Runtime.free addr;
+              loop ()
+          | exception e ->
+              Runtime.free addr;
+              raise e
         end
       in
       loop ())
@@ -110,16 +119,21 @@ let insert_node_at ~(smr : Smr.t) ~padding ~head key value =
         if found then (cur, false)
         else begin
           let addr = Runtime.malloc (node_words ~padding) in
-          Runtime.write (addr + off_key) key;
-          Runtime.write (addr + off_value) value;
-          Runtime.write (addr + off_next) cur;
-          let node = Ptr.of_addr addr in
-          Frame.set fr fr_new node;
-          if Runtime.cas prev_cell cur node then (node, true)
-          else begin
-            Runtime.free addr;
-            loop ()
-          end
+          match
+            Runtime.write (addr + off_key) key;
+            Runtime.write (addr + off_value) value;
+            Runtime.write (addr + off_next) cur;
+            let node = Ptr.of_addr addr in
+            Frame.set fr fr_new node;
+            Runtime.cas prev_cell cur node
+          with
+          | true -> (Ptr.of_addr addr, true)
+          | false ->
+              Runtime.free addr;
+              loop ()
+          | exception e ->
+              Runtime.free addr;
+              raise e
         end
       in
       loop ())
@@ -214,12 +228,7 @@ let check_at ~head =
 let create ~smr ?(padding = 0) ?(retire_early = false) () =
   let head = Runtime.alloc_region 1 in
   Runtime.write head Ptr.null;
-  let wrap f =
-    smr.Smr.op_begin ();
-    let r = f () in
-    smr.Smr.op_end ();
-    r
-  in
+  let wrap f = Set_intf.wrap smr f in
   {
     Set_intf.name = "michael-list";
     insert = (fun key value -> wrap (fun () -> insert_at ~smr ~padding ~head key value));

@@ -9,11 +9,7 @@ let create ~smr ?(padding = 0) () =
   Runtime.write head Ptr.null;
   { smr; padding; head }
 
-let wrap t f =
-  t.smr.Smr.op_begin ();
-  let r = f () in
-  t.smr.Smr.op_end ();
-  r
+let wrap t f = Set_intf.wrap t.smr f
 
 let insert t ~priority ~value =
   wrap t (fun () ->

@@ -9,6 +9,23 @@ type t = {
 
 let size t = List.length (t.to_list ())
 
+(* The one operation bracket every data structure uses.  On
+   [Smr.Neutralized] — a DEBRA+-style handler aborted the operation after
+   unpinning the thread — the op restarts from [op_begin]; [op_end] is
+   NOT called for the aborted attempt (the handler already announced
+   quiescence, and the scheme cancels any still-pending abort at the top
+   of the completed attempt's [op_end]). *)
+let wrap (smr : Ts_smr.Smr.t) f =
+  let rec go () =
+    smr.Ts_smr.Smr.op_begin ();
+    match f () with
+    | v ->
+        smr.Ts_smr.Smr.op_end ();
+        v
+    | exception Ts_smr.Smr.Neutralized -> go ()
+  in
+  go ()
+
 (* ------------------------------------------------------------------ *)
 (* Operation recording, for the linearizability oracle                  *)
 (* ------------------------------------------------------------------ *)

@@ -22,6 +22,13 @@ type t = {
 val size : t -> int
 (** Quiescent size via [to_list]. *)
 
+val wrap : Ts_smr.Smr.t -> (unit -> 'a) -> 'a
+(** [wrap smr f] brackets one data-structure operation with the scheme's
+    [op_begin]/[op_end].  If [f] is aborted by a neutralizing signal
+    handler ({!Ts_smr.Smr.Neutralized}), the operation restarts from
+    [op_begin] — without calling [op_end] for the aborted attempt, whose
+    thread the handler already unpinned. *)
+
 (** {1 Operation recording (linearizability oracle)} *)
 
 type op_kind = Op_insert | Op_remove | Op_contains

@@ -298,12 +298,7 @@ let create ~smr ?(max_height = max_height_default) ?(padding = 0) () =
   Runtime.write (Ptr.addr head + off_linked) 1;
   Runtime.write (Ptr.addr tail + off_linked) 1;
   let t = { t with head } in
-  let wrap f =
-    smr.Smr.op_begin ();
-    let r = f () in
-    smr.Smr.op_end ();
-    r
-  in
+  let wrap f = Set_intf.wrap smr f in
   {
     Set_intf.name = "skiplist";
     insert = (fun key value -> wrap (fun () -> add t key value));

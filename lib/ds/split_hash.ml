@@ -137,12 +137,7 @@ let bucket_count = current_size
 let size t = Runtime.read t.count_addr
 
 let set t =
-  let wrap f =
-    t.smr.Smr.op_begin ();
-    let r = f () in
-    t.smr.Smr.op_end ();
-    r
-  in
+  let wrap f = Set_intf.wrap t.smr f in
   {
     Set_intf.name = "split-hash";
     insert = (fun key value -> wrap (fun () -> insert t key value));

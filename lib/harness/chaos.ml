@@ -27,6 +27,7 @@ type t = {
   plan : Fault_plan.t;
   native : bool;
   threads : int;
+  recovery_extras : string list; (* extras whose sum is the recovery ladder *)
   worker_clauses : worker_clause list;
   monitor_clauses : monitor_clause list;
   mutable start_v : int; (* virtual start of the measured interval *)
@@ -50,11 +51,12 @@ let is_worker_clause (c : Fault_plan.clause) =
   | Fault_plan.At _, (Fault_plan.Crash | Stall _ | Drop_signals _ | Delay_signals _) -> true
   | _ -> false
 
-let create ~plan ~native ~threads =
+let create ~plan ~native ~threads ~recovery_extras =
   {
     plan;
     native;
     threads;
+    recovery_extras;
     worker_clauses =
       List.filter_map
         (fun c ->
@@ -93,11 +95,13 @@ let elapsed t =
 let extra (smr : Smr.t) key =
   match List.assoc_opt key (smr.Smr.extras ()) with Some v -> v | None -> 0
 
-(* Degradation-ladder activity: any of these moving after the fault means
-   the scheme noticed and acted. *)
-let ladder_count smr =
-  extra smr "reaps" + extra smr "takeovers" + extra smr "proxy-scans"
-  + extra smr "recoveries"
+(* Degradation-ladder activity: any of the scheme's registered recovery
+   counters moving after the fault means the scheme noticed and acted.
+   The counter names come from the scheme registry (ThreadScan's reap /
+   takeover / proxy-scan / recovery ladder, DEBRA's dead/stall skips,
+   Hyaline's corpse leaves). *)
+let ladder_count t smr =
+  List.fold_left (fun acc key -> acc + extra smr key) 0 t.recovery_extras
 
 let outstanding (smr : Smr.t) = smr.Smr.counters.retired - smr.Smr.counters.freed
 
@@ -111,7 +115,7 @@ let note_fired t smr (c : Fault_plan.clause) =
         t.fault_at <- elapsed t;
         t.baseline <- outstanding smr;
         t.peak <- t.baseline;
-        t.base_ladder <- ladder_count smr;
+        t.base_ladder <- ladder_count t smr;
         t.base_signals <- extra smr "signals";
         t.last_signals <- t.base_signals
       end)
@@ -180,7 +184,7 @@ let sample t smr =
         let out = outstanding smr in
         if out > t.peak then t.peak <- out;
         t.last_signals <- extra smr "signals";
-        if t.takeover_after < 0 && ladder_count smr > t.base_ladder then
+        if t.takeover_after < 0 && ladder_count t smr > t.base_ladder then
           t.takeover_after <- elapsed t - t.fault_at;
         if t.recover_after < 0 && out <= t.baseline then begin
           t.recover_after <- elapsed t - t.fault_at;

@@ -39,9 +39,17 @@ type report = {
 
 type t
 
-val create : plan:Ts_util.Fault_plan.t -> native:bool -> threads:int -> t
+val create :
+  plan:Ts_util.Fault_plan.t ->
+  native:bool ->
+  threads:int ->
+  recovery_extras:string list ->
+  t
 (** A fresh driver for one run.  [native] selects the wall clock;
-    [threads] bounds victim indices. *)
+    [threads] bounds victim indices.  [recovery_extras] names the
+    scheme's extras counters whose sum is its recovery ladder (from the
+    scheme registry): movement past the pre-fault baseline counts as the
+    takeover, an empty list means takeover is never observed. *)
 
 val arm : t -> start:int -> unit
 (** Called once by the workload body when the measured interval begins;

@@ -1,3 +1,5 @@
+module Registry = Ts_scheme.Registry
+
 type scale = Quick | Full | Paper
 
 let scale_of_string = function
@@ -210,13 +212,15 @@ let fig3_series scale ds =
   let spec, ts_buffer = base_spec scale ds in
   (* the headline series runs the full reclamation pipeline (docs/PERF.md);
      ablate-pipeline measures it against the legacy single-stage phase *)
-  let ts = Workload.Threadscan { buffer_size = ts_buffer; help_free = false; pipeline = true } in
+  let ts = Registry.spec ~buffer:ts_buffer "threadscan-pipe" in
   [
-    ("leaky", { spec with scheme = Workload.Leaky });
-    ("hazard", { spec with scheme = Workload.Hazard });
-    ("epoch", { spec with scheme = Workload.Epoch });
-    ("slow-epoch", { spec with scheme = Workload.Slow_epoch { delay = slow_delay scale } });
-    ("stacktrack", { spec with scheme = Workload.Stacktrack });
+    ("leaky", { spec with scheme = Registry.spec "leaky" });
+    ("hazard", { spec with scheme = Registry.spec "hazard" });
+    ("epoch", { spec with scheme = Registry.spec "epoch" });
+    ("slow-epoch", { spec with scheme = Registry.spec ~delay:(slow_delay scale) "slow-epoch" });
+    ("stacktrack", { spec with scheme = Registry.spec "stacktrack" });
+    ("debra", { spec with scheme = Registry.spec "debra" });
+    ("hyaline", { spec with scheme = Registry.spec "hyaline" });
     ("threadscan", { spec with scheme = ts });
   ]
 
@@ -230,17 +234,19 @@ let fig3 ~backend ~trials scale ds =
 let fig5_series scale =
   let spec, ts_buffer = base_spec scale Workload.Hash_ds in
   [
-    ("leaky", { spec with scheme = Workload.Leaky });
-    ("epoch", { spec with scheme = Workload.Epoch });
+    ("leaky", { spec with scheme = Registry.spec "leaky" });
+    ("epoch", { spec with scheme = Registry.spec "epoch" });
+    ("debra", { spec with scheme = Registry.spec "debra" });
+    ("hyaline", { spec with scheme = Registry.spec "hyaline" });
     ( "threadscan",
       {
         spec with
-        scheme = Workload.Threadscan { buffer_size = ts_buffer; help_free = false; pipeline = false };
+        scheme = Registry.spec ~buffer:ts_buffer "threadscan";
       } );
     ( "ts-pipeline",
       {
         spec with
-        scheme = Workload.Threadscan { buffer_size = ts_buffer; help_free = false; pipeline = true };
+        scheme = Registry.spec ~buffer:ts_buffer "threadscan-pipe";
       } );
   ]
 
@@ -259,10 +265,10 @@ let fig4 ~backend ~trials scale ds =
   let ts_buffer = max 8 (ts_buffer / 2) in
   let series =
     [
-      ("leaky", { spec with scheme = Workload.Leaky });
-      ("epoch", { spec with scheme = Workload.Epoch });
+      ("leaky", { spec with scheme = Registry.spec "leaky" });
+      ("epoch", { spec with scheme = Registry.spec "epoch" });
       ( "threadscan",
-        { spec with scheme = Workload.Threadscan { buffer_size = ts_buffer; help_free = false; pipeline = false } }
+        { spec with scheme = Registry.spec ~buffer:ts_buffer "threadscan" }
       );
     ]
     @
@@ -274,7 +280,7 @@ let fig4 ~backend ~trials scale ds =
           ( "ts-bigbuf",
             {
               spec with
-              scheme = Workload.Threadscan { buffer_size = 4 * ts_buffer; help_free = false; pipeline = false };
+              scheme = Registry.spec ~buffer:(4 * ts_buffer) "threadscan";
             } );
         ]
     | _ -> []
@@ -295,7 +301,7 @@ let ablate_buffer ~backend ~trials scale =
     List.map
       (fun mult ->
         ( Fmt.str "buf=%d" (ts_buffer * mult),
-          { spec with Workload.scheme = Threadscan { buffer_size = ts_buffer * mult; help_free = false; pipeline = false } } ))
+          { spec with Workload.scheme = Registry.spec ~buffer:(ts_buffer * mult) "threadscan" } ))
       [ 1; 4; 16 ]
   in
   run_sweep ~backend ~trials ~threads_list ~series
@@ -304,11 +310,11 @@ let ablate_slow_epoch ~backend ~trials scale =
   let spec, _ = base_spec scale Workload.List_ds in
   let threads_list = match scale with Quick -> [ 8; 16 ] | _ -> [ 16; 40 ] in
   let series =
-    ("epoch", { spec with Workload.scheme = Workload.Epoch })
+    ("epoch", { spec with Workload.scheme = Registry.spec "epoch" })
     :: List.map
          (fun delay ->
            ( Fmt.str "delay=%dk" (delay / 1000),
-             { spec with Workload.scheme = Workload.Slow_epoch { delay } } ))
+             { spec with Workload.scheme = Registry.spec ~delay "slow-epoch" } ))
          [ slow_delay scale / 32; slow_delay scale / 8; slow_delay scale ]
   in
   run_sweep ~backend ~trials ~threads_list ~series
@@ -321,10 +327,10 @@ let ablate_help_free ~backend ~trials scale =
   let series =
     [
       ( "reclaimer-only",
-        { spec with Workload.scheme = Threadscan { buffer_size = ts_buffer; help_free = false; pipeline = false } }
+        { spec with Workload.scheme = Registry.spec ~buffer:ts_buffer "threadscan" }
       );
       ( "help-free",
-        { spec with Workload.scheme = Threadscan { buffer_size = ts_buffer; help_free = true; pipeline = false } }
+        { spec with Workload.scheme = Registry.spec ~buffer:ts_buffer ~help_free:true "threadscan" }
       );
     ]
   in
@@ -332,7 +338,7 @@ let ablate_help_free ~backend ~trials scale =
 
 let ablate_padding ~backend ~trials scale =
   let spec, ts_buffer = base_spec scale Workload.List_ds in
-  let ts = Workload.Threadscan { buffer_size = ts_buffer; help_free = false; pipeline = false } in
+  let ts = Registry.spec ~buffer:ts_buffer "threadscan" in
   let threads_list = match scale with Quick -> [ 4; 16; 32 ] | _ -> [ 8; 32; 80 ] in
   let series =
     [
@@ -360,9 +366,9 @@ let ablate_crash ~backend ~trials scale =
     let spec = { spec with Workload.threads; fault; horizon = mult * base_horizon } in
     [
       ( "threadscan",
-        { spec with Workload.scheme = Threadscan { buffer_size = ts_buffer; help_free = false; pipeline = false } }
+        { spec with Workload.scheme = Registry.spec ~buffer:ts_buffer "threadscan" }
       );
-      ("patient-epoch", { spec with Workload.scheme = Patient_epoch { patience } });
+      ("patient-epoch", { spec with Workload.scheme = Registry.spec ~patience "patient-epoch" });
     ]
   in
   List.map
@@ -384,7 +390,7 @@ let ablate_structures ~backend ~trials scale =
       (fun ds ->
         let spec, ts_buffer = base_spec scale ds in
         ( Workload.ds_kind_to_string ds,
-          { spec with Workload.scheme = Threadscan { buffer_size = ts_buffer; help_free = false; pipeline = false } }
+          { spec with Workload.scheme = Registry.spec ~buffer:ts_buffer "threadscan" }
         ))
       [
         Workload.List_ds;
@@ -408,12 +414,12 @@ let ablate_pipeline ~backend ~trials scale =
       ( "ts-legacy",
         {
           spec with
-          Workload.scheme = Threadscan { buffer_size = ts_buffer; help_free = false; pipeline = false };
+          Workload.scheme = Registry.spec ~buffer:ts_buffer "threadscan";
         } );
       ( "ts-pipeline",
         {
           spec with
-          Workload.scheme = Threadscan { buffer_size = ts_buffer; help_free = false; pipeline = true };
+          Workload.scheme = Registry.spec ~buffer:ts_buffer "threadscan-pipe";
         } );
     ]
   in
@@ -448,14 +454,16 @@ let chaos_recovery ~backend ~trials scale =
   in
   let series =
     [
-      ("leaky", { spec with Workload.scheme = Workload.Leaky });
-      ("epoch", { spec with Workload.scheme = Workload.Epoch });
-      ("hazard", { spec with Workload.scheme = Workload.Hazard });
+      ("leaky", { spec with Workload.scheme = Registry.spec "leaky" });
+      ("epoch", { spec with Workload.scheme = Registry.spec "epoch" });
+      ("hazard", { spec with Workload.scheme = Registry.spec "hazard" });
+      ("debra", { spec with Workload.scheme = Registry.spec "debra" });
+      ("hyaline", { spec with Workload.scheme = Registry.spec "hyaline" });
       ( "threadscan",
-        { spec with Workload.scheme = Threadscan { buffer_size = ts_buffer; help_free = false; pipeline = false } }
+        { spec with Workload.scheme = Registry.spec ~buffer:ts_buffer "threadscan" }
       );
       ( "ts-pipeline",
-        { spec with Workload.scheme = Threadscan { buffer_size = ts_buffer; help_free = false; pipeline = true } }
+        { spec with Workload.scheme = Registry.spec ~buffer:ts_buffer "threadscan-pipe" }
       );
     ]
   in
@@ -477,11 +485,13 @@ let chaos_recovery ~backend ~trials scale =
           (fun (label, s) ->
             (* An unreleased stall-forever parks its victim until the
                watchdog fires, so every scheme's *run* wedges on that row
-               by design; under a crash only epoch's quiescence wait
-               does.  A wedge takes the full watchdog budget and is
-               deterministic, so one trial suffices there — and retrying
-               it would just double the wait for the same answer. *)
-            let wedge_expected = forever || (crash && label = "epoch") in
+               by design; under a crash only schemes whose registry entry
+               is not crash-tolerant (quiescence waiters) do.  A wedge
+               takes the full watchdog budget and is deterministic, so
+               one trial suffices there — and retrying it would just
+               double the wait for the same answer. *)
+            let caps = (Registry.descriptor s.Workload.scheme).Registry.caps in
+            let wedge_expected = forever || (crash && not caps.Registry.crash_tolerant) in
             let trials = if wedge_expected then 1 else max 1 trials in
             ( label,
               Workload.run_trials ~retry_wedged:(not wedge_expected) ~trials
@@ -526,7 +536,7 @@ let degradation_summary points =
         (fun (label, r) ->
           let get k = try List.assoc k r.Workload.extras with Not_found -> 0 in
           let detail =
-            if label = "threadscan" then
+            if List.mem_assoc "reaps" r.Workload.extras then
               Fmt.str "reaps=%d blind-phases=%d proxy-scans=%d adopted=%d" (get "reaps")
                 (get "ack-timeouts") (get "proxy-scans") (get "adopted")
             else
@@ -605,8 +615,8 @@ let chaos_oracle points =
           | None -> bad "%s: no chaos report was produced" cell
           | Some c -> (
               if c.Chaos.fault_at < 0 then bad "%s: the chaos plan never fired" cell;
-              match label with
-              | "threadscan" | "ts-pipeline" ->
+              match (Registry.descriptor r.Workload.spec.Workload.scheme).Registry.chaos with
+              | Registry.Self_healing ->
                   if forever then begin
                     (* the frozen victim never finishes its horizon, so
                        the watchdog ends the run — but reclamation must
@@ -627,21 +637,43 @@ let chaos_oracle points =
                       bad "%s: outstanding %d never returned to the pre-fault baseline %d"
                         cell r.Workload.outstanding c.Chaos.baseline_outstanding
                   end
-              | "epoch" ->
+              | Registry.Crash_healing ->
+                  (* the recovery machinery covers crashed threads only
+                     (proxy work on the corpse's behalf); a stalled
+                     reader legitimately pins memory until it resumes,
+                     so the stall rows assert nothing beyond no-wedge *)
+                  if crash then begin
+                    if r.Workload.wedged then
+                      bad "%s: watchdog killed a run that should recover" cell;
+                    if c.Chaos.takeover_after < 0 then
+                      bad "%s: crashed victim's references were never dropped (no proxy \
+                           activity)"
+                        cell;
+                    if c.Chaos.recover_after < 0
+                       && r.Workload.outstanding > c.Chaos.baseline_outstanding
+                    then
+                      bad "%s: outstanding %d never returned to the pre-fault baseline %d"
+                        cell r.Workload.outstanding c.Chaos.baseline_outstanding
+                  end
+                  else if (not forever) && r.Workload.wedged then
+                    bad "%s: wedged under a bounded stall it should survive" cell
+              | Registry.Quiescence_bound ->
                   if (crash || forever) && not r.Workload.wedged then
-                    bad "%s: epoch was expected to wedge but the run finished" cell;
+                    bad "%s: a quiescence-bound scheme was expected to wedge but the run \
+                         finished"
+                      cell;
                   (* not recover_after: a batch already quiescent at fault
                      time may still free and dip outstanding for an
                      instant — the durable leak is the datum *)
                   if (crash || forever)
                      && r.Workload.outstanding < c.Chaos.baseline_outstanding
                   then
-                    bad "%s: epoch's leak %d ended below the pre-fault baseline %d under a \
-                         plan that starves quiescence"
+                    bad "%s: the durable leak %d ended below the pre-fault baseline %d under \
+                         a plan that starves quiescence"
                       cell r.Workload.outstanding c.Chaos.baseline_outstanding;
                   if (not (crash || forever)) && r.Workload.wedged then
-                    bad "%s: epoch wedged under a bounded stall it should survive" cell
-              | _ -> ()))
+                    bad "%s: wedged under a bounded stall it should survive" cell
+              | Registry.Unchecked -> ()))
         cells)
     points;
   match List.rev !violations with
@@ -668,6 +700,17 @@ let json_escape s =
       | c -> Buffer.add_char buf c)
     s;
   Buffer.contents buf
+
+(* The scheme's tuning parameters, emitted separately so the scheme id
+   itself stays the stable registry name (no "threadscan-pipe(1024)"
+   drift between tables, CLI and JSON). *)
+let json_params_suffix (r : Workload.result) =
+  match Registry.params_assoc r.Workload.spec.Workload.scheme with
+  | [] -> ""
+  | kv ->
+      Fmt.str ", \"params\": { %s }"
+        (String.concat ", "
+           (List.map (fun (k, v) -> Fmt.str "\"%s\": %d" (json_escape k) v) kv))
 
 (* Appended to a cell only when that run carried a chaos plan, so every
    pre-existing consumer of the JSON sees unchanged bytes. *)
@@ -699,13 +742,14 @@ let json_of_points ~target ~backend ~scale points =
         (fun ci (label, (r : Workload.result)) ->
           Buffer.add_string buf
             (Fmt.str
-               "      { \"series\": \"%s\", \"scheme\": \"%s\", \"ds\": \"%s\", \"ops\": %d, \
+               "      { \"series\": \"%s\", \"scheme\": \"%s\"%s, \"ds\": \"%s\", \"ops\": %d, \
                 \"throughput\": %.3f, \"wall_ns\": %d, \"wall_throughput\": %.1f, \
                 \"trials\": %d, \"wall_min_ns\": %d, \"wall_max_ns\": %d, \
                 \"retired\": %d, \"freed\": %d, \"outstanding\": %d, \"faults\": %d, \
                 \"signals\": %d%s }%s\n"
                (json_escape label)
-               (json_escape (Workload.scheme_kind_to_string r.Workload.spec.Workload.scheme))
+               (json_escape (Registry.label r.Workload.spec.Workload.scheme))
+               (json_params_suffix r)
                (json_escape (Workload.ds_kind_to_string r.Workload.spec.Workload.ds))
                r.Workload.ops r.Workload.throughput r.Workload.wall_ns
                r.Workload.wall_throughput r.Workload.trials r.Workload.wall_min_ns

@@ -4,6 +4,7 @@ module Alloc = Ts_umem.Alloc
 module Mem = Ts_umem.Mem
 module Smr = Ts_smr.Smr
 module Set_intf = Ts_ds.Set_intf
+module Registry = Ts_scheme.Registry
 
 type backend = Backend_sim | Backend_native of { pool : int }
 
@@ -12,15 +13,6 @@ let backend_to_string = function
   | Backend_native { pool } -> if pool = 0 then "native" else Fmt.str "native(pool=%d)" pool
 
 type ds_kind = List_ds | Hash_ds | Skip_ds | Lazy_ds | Split_ds
-
-type scheme_kind =
-  | Leaky
-  | Threadscan of { buffer_size : int; help_free : bool; pipeline : bool }
-  | Hazard
-  | Epoch
-  | Slow_epoch of { delay : int }
-  | Patient_epoch of { patience : int }
-  | Stacktrack
 
 type fault =
   | Fault_none
@@ -34,18 +26,6 @@ let ds_kind_to_string = function
   | Lazy_ds -> "lazy-list"
   | Split_ds -> "split-hash"
 
-let scheme_kind_to_string = function
-  | Leaky -> "leaky"
-  | Threadscan { buffer_size; help_free; pipeline } ->
-      if pipeline then Fmt.str "threadscan-pipe(%d)" buffer_size
-      else if help_free then Fmt.str "threadscan-help(%d)" buffer_size
-      else Fmt.str "threadscan(%d)" buffer_size
-  | Hazard -> "hazard"
-  | Epoch -> "epoch"
-  | Slow_epoch _ -> "slow-epoch"
-  | Patient_epoch _ -> "patient-epoch"
-  | Stacktrack -> "stacktrack"
-
 let fault_to_string = function
   | Fault_none -> "none"
   | Fault_crash { victims; at } -> Fmt.str "crash:%d@%d" victims at
@@ -53,7 +33,7 @@ let fault_to_string = function
 
 type spec = {
   ds : ds_kind;
-  scheme : scheme_kind;
+  scheme : Registry.spec;
   threads : int;
   cores : int;
   quantum : int;
@@ -77,7 +57,7 @@ type spec = {
 let default_spec =
   {
     ds = List_ds;
-    scheme = Threadscan { buffer_size = 64; help_free = false; pipeline = false };
+    scheme = Registry.spec "threadscan";
     threads = 4;
     cores = 0;
     quantum = 50_000;
@@ -122,53 +102,29 @@ type result = {
   chaos : Chaos.report option;
 }
 
-let make_scheme spec =
-  let max_threads = spec.threads + 2 in
+let scheme_env spec =
   let hazard_slots =
     match spec.ds with
     | Skip_ds -> Ts_ds.Skiplist.hazard_slots ~max_height:spec.max_height
     | List_ds | Hash_ds | Lazy_ds | Split_ds -> 3
   in
-  match spec.scheme with
-  | Leaky -> Ts_reclaim.Leaky.create ()
-  | Threadscan { buffer_size; help_free; pipeline } ->
-      let base = { Threadscan.Config.default with max_threads; buffer_size; help_free } in
-      let base =
-        (* The parallel-reclamation pipeline (docs/PERF.md): sealed-run
-           collect with k-way merge, Bloom-prefiltered TS-Scan, chunked
-           helper-parallel free phase.  [adaptive_buffers] is deliberately
-           left off here: growing buffers with the thread count suppresses
-           phases on benchmark-sized runs, and the figures must measure the
-           pipeline at the same phase cadence as the legacy scheme. *)
-        if pipeline then
-          { base with collect_merge = true; scan_filter = true; help_free = true; free_chunk = 8 }
-        else base
-      in
-      let config =
-        match (spec.fault, spec.chaos) with
-        | Fault_none, [] -> base
-        | _ ->
-            (* Under injected faults (classic or chaos-plan) the degradation
-               ladder must fire within the horizon, so the budgets scale
-               with it instead of using the (deliberately generous)
-               defaults. *)
-            {
-              base with
-              ack_budget = max 10_000 (spec.horizon / 20);
-              suspect_phases = 2;
-              takeover_steps = max 20_000 (spec.horizon / 10);
-              overflow_after = 32;
-            }
-      in
-      Threadscan.smr (Threadscan.create ~config ())
-  | Hazard -> Ts_reclaim.Hazard.create ~slots:hazard_slots ~max_threads ()
-  | Epoch -> Ts_reclaim.Epoch.create ~batch:spec.epoch_batch ~max_threads ()
-  | Slow_epoch { delay } ->
-      (* thread id 1 is the first worker spawned *)
-      Ts_reclaim.Epoch.create ~batch:spec.epoch_batch ~errant:(1, delay) ~max_threads ()
-  | Patient_epoch { patience } ->
-      Ts_reclaim.Epoch.create ~batch:spec.epoch_batch ~patience ~max_threads ()
-  | Stacktrack -> Ts_reclaim.Stacktrack.create ~max_threads ()
+  let budgets =
+    (* Under injected faults (classic or chaos-plan) ThreadScan's
+       degradation ladder must fire within the horizon, so the budgets
+       scale with it instead of using the (deliberately generous)
+       defaults. *)
+    match (spec.fault, spec.chaos) with
+    | Fault_none, [] -> None
+    | _ -> Some (Registry.fault_budgets ~horizon:spec.horizon)
+  in
+  {
+    Registry.max_threads = spec.threads + 2;
+    hazard_slots;
+    epoch_batch = spec.epoch_batch;
+    budgets;
+  }
+
+let make_scheme spec = (Registry.build (scheme_env spec) spec.scheme).Registry.smr
 
 let make_ds spec smr =
   match spec.ds with
@@ -305,7 +261,10 @@ let finish spec counts ~retired ~freed ~extras ~elapsed ~wall_ns ~peak_live_bloc
 
 let make_chaos (spec : spec) ~native =
   if spec.chaos = [] then None
-  else Some (Chaos.create ~plan:spec.chaos ~native ~threads:spec.threads)
+  else
+    Some
+      (Chaos.create ~plan:spec.chaos ~native ~threads:spec.threads
+         ~recovery_extras:(Registry.descriptor spec.scheme).Registry.recovery_extras)
 
 let run_sim (spec : spec) =
   if Ts_util.Fault_plan.has_wall_triggers spec.chaos then
@@ -388,8 +347,9 @@ let run_native (spec : spec) ~pool =
     ~chaos:(Option.map Chaos.report chaos)
 
 (* A plan that parks a victim inside an open operation bracket with no way
-   back (crash, or stall-forever with no release) starves plain epoch's
-   quiescence wait forever. *)
+   back (crash, or stall-forever with no release) starves a quiescence
+   waiter forever — fatal for any scheme whose registry descriptor says
+   [wedges_under_stall]. *)
 let chaos_wedges plan =
   List.exists
     (fun c ->
@@ -401,22 +361,36 @@ let chaos_wedges plan =
     plan
 
 let run (spec : spec) =
-  (match (spec.fault, spec.scheme) with
-  | Fault_crash _, (Epoch | Slow_epoch _) ->
+  let d = Registry.descriptor spec.scheme in
+  let caps = d.Registry.caps in
+  (match spec.fault with
+  | Fault_crash _ when not caps.Registry.crash_tolerant ->
       invalid_arg
-        "Workload.run: plain epoch cannot survive a crash (its quiescence wait never returns); \
-         use Patient_epoch"
+        (Fmt.str
+           "Workload.run: %s cannot survive a crash (its quiescence wait never returns); use a \
+            crash-tolerant scheme"
+           d.Registry.id)
   | _ -> ());
-  (match spec.scheme with
-  | (Epoch | Slow_epoch _) when chaos_wedges spec.chaos -> (
-      match spec.backend with
-      | Backend_native _ when spec.watchdog_ms > 0 ->
-          () (* the watchdog bounds the wedge; that IS the experiment *)
-      | _ ->
-          invalid_arg
-            "Workload.run: this chaos plan wedges plain epoch; run it on the native backend \
-             with watchdog_ms set so the wedge is bounded and reported")
-  | _ -> ());
+  if caps.Registry.wedges_under_stall && chaos_wedges spec.chaos then (
+    match spec.backend with
+    | Backend_native _ when spec.watchdog_ms > 0 ->
+        () (* the watchdog bounds the wedge; that IS the experiment *)
+    | _ ->
+        invalid_arg
+          (Fmt.str
+             "Workload.run: this chaos plan wedges %s; run it on the native backend with \
+              watchdog_ms set so the wedge is bounded and reported"
+             d.Registry.id));
+  (if caps.Registry.neutralizes then
+     match spec.ds with
+     | Lazy_ds | Skip_ds ->
+         invalid_arg
+           (Fmt.str
+              "Workload.run: %s aborts and restarts victims' operations, which a lock-based \
+               structure cannot survive (an aborted lock holder deadlocks its peers); use a \
+               lock-free structure"
+              d.Registry.id)
+     | List_ds | Hash_ds | Split_ds -> ());
   match spec.backend with
   | Backend_sim -> run_sim spec
   | Backend_native { pool } -> run_native spec ~pool

@@ -19,23 +19,6 @@ val backend_to_string : backend -> string
 
 type ds_kind = List_ds | Hash_ds | Skip_ds | Lazy_ds | Split_ds
 
-type scheme_kind =
-  | Leaky
-  | Threadscan of { buffer_size : int; help_free : bool; pipeline : bool }
-      (** [pipeline] enables the parallel reclamation pipeline
-          (docs/PERF.md): sealed-run collect with k-way merge,
-          Bloom-prefiltered TS-Scan and chunked helper-parallel free
-          phase, at the same buffer size (phase cadence) as the legacy
-          scheme so the comparison is apples-to-apples. *)
-  | Hazard
-  | Epoch
-  | Slow_epoch of { delay : int }
-  | Patient_epoch of { patience : int }
-      (** epoch with a bounded quiescence wait: it never hangs behind a dead
-          thread, but everything retired after the death stays unreclaimed
-          (see {!Ts_reclaim.Epoch.create}). *)
-  | Stacktrack
-
 (** Environment fault: the [victims] lowest-indexed workers self-inject once
     their clock passes [at] cycles after the measured interval starts.  The
     injection lands {e inside} a bracketed operation (an [op_begin] that,
@@ -49,13 +32,14 @@ type fault =
 
 val ds_kind_to_string : ds_kind -> string
 
-val scheme_kind_to_string : scheme_kind -> string
-
 val fault_to_string : fault -> string
 
 type spec = {
   ds : ds_kind;
-  scheme : scheme_kind;
+  scheme : Ts_scheme.Registry.spec;
+      (** which reclamation scheme, by registry id — see
+          {!Ts_scheme.Registry.all} for the field and
+          {!Ts_scheme.Registry.spec} to construct one *)
   threads : int;
   cores : int;  (** 0 = one core per thread *)
   quantum : int;
@@ -121,12 +105,15 @@ val run : spec -> result
     domain pool for [Backend_native].  @raise Failure if the run produced
     memory faults or a thread died (an injected {!fault} is not a death in
     this sense — crashed victims are expected).
-    @raise Invalid_argument when a plan starves plain [Epoch]/[Slow_epoch]
-    forever without a watchdog to bound it ({!Fault_crash}, or a chaos
-    plan with a crash or unreleased stall-forever clause), when a chaos
-    plan uses wall-clock triggers on the sim backend, or when an
-    unreleased stall-forever chaos plan runs on the sim at all (virtual
-    time would never end the run). *)
+    @raise Invalid_argument when the scheme's registry capabilities rule
+    the spec out: {!Fault_crash} on a scheme that is not
+    [crash_tolerant], a wedging chaos plan (crash or unreleased
+    stall-forever clause) on a [wedges_under_stall] scheme without a
+    native watchdog to bound it, or a neutralizing scheme paired with a
+    lock-based structure.  Also when a chaos plan uses wall-clock
+    triggers on the sim backend, or when an unreleased stall-forever
+    chaos plan runs on the sim at all (virtual time would never end the
+    run). *)
 
 val run_trials : ?retry_wedged:bool -> trials:int -> spec -> result
 (** {!run} repeated [trials] times, reporting the median run (by

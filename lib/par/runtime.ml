@@ -138,6 +138,10 @@ type ctx = {
   mutable failure : exn option;
   mutable private_ranges : (int * int) list;
   mutable wait_note : string option;
+  (* neutralization: armed by a signal handler (which runs inline on this
+     very thread), consumed at the next abortable op.  Same-thread only,
+     so a plain mutable field suffices. *)
+  mutable abort_pending : exn option;
   (* op counters: thread-local, summed after the run *)
   mutable n_ops : int;
   mutable n_reads : int;
@@ -349,6 +353,19 @@ let[@inline] poll t c =
   if Atomic.get c.kill || Atomic.get c.stall_req <> 0 || Atomic.get c.pending > 0 then
     poll_slow t c
 
+(* A neutralization armed by a handler ([op_neutralize], which always
+   runs inline on this very thread) fires here, before the op's access,
+   once no handler frame is live.  Only the abortable ops consume it —
+   read/write/cas/faa/fence/malloc/yield, the same set the simulator
+   intercepts; frees and frame pops never abort, so cleanup paths
+   (freeing a CAS-loser node, unwinding shadow frames) always run. *)
+let[@inline] check_abort c =
+  match c.abort_pending with
+  | Some e when c.sig_depth = 0 ->
+      c.abort_pending <- None;
+      raise e
+  | _ -> ()
+
 (* ------------------------------------------------------------------ *)
 (* Contexts                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -391,6 +408,7 @@ let new_ctx t tid =
     failure = None;
     private_ranges = [];
     wait_note = None;
+    abort_pending = None;
     n_ops = 0;
     n_reads = 0;
     n_writes = 0;
@@ -446,6 +464,7 @@ let domain_main dq () =
 let op_read t addr =
   let c = cur t in
   poll t c;
+  check_abort c;
   step t c;
   c.n_reads <- c.n_reads + 1;
   charge c (if is_private c addr then t.cfg.cost.local_op else t.cfg.cost.shared_read);
@@ -456,6 +475,7 @@ let op_read t addr =
 let op_write t addr v =
   let c = cur t in
   poll t c;
+  check_abort c;
   step t c;
   c.n_writes <- c.n_writes + 1;
   charge c (if is_private c addr then t.cfg.cost.local_op else t.cfg.cost.shared_write);
@@ -464,6 +484,7 @@ let op_write t addr v =
 let op_cas t addr expected desired =
   let c = cur t in
   poll t c;
+  check_abort c;
   step t c;
   c.n_cas <- c.n_cas + 1;
   charge c t.cfg.cost.cas;
@@ -474,6 +495,7 @@ let op_cas t addr expected desired =
 let op_faa t addr delta =
   let c = cur t in
   poll t c;
+  check_abort c;
   step t c;
   c.n_faa <- c.n_faa + 1;
   charge c t.cfg.cost.faa;
@@ -484,6 +506,7 @@ let op_faa t addr delta =
 let op_fence t () =
   let c = cur t in
   poll t c;
+  check_abort c;
   step t c;
   c.n_fences <- c.n_fences + 1;
   (* every heap word access is already sequentially consistent *)
@@ -492,6 +515,7 @@ let op_fence t () =
 let op_malloc t n =
   let c = cur t in
   poll t c;
+  check_abort c;
   step t c;
   c.n_mallocs <- c.n_mallocs + 1;
   charge c t.cfg.cost.malloc;
@@ -517,6 +541,7 @@ let op_alloc_region t n =
 let op_yield t () =
   let c = cur t in
   poll t c;
+  check_abort c;
   step t c;
   c.n_yields <- c.n_yields + 1;
   charge c t.cfg.cost.yield;
@@ -599,6 +624,16 @@ let op_set_handler t h =
   c.handler <- Some h
 
 let op_sig_depth t () = (cur t).sig_depth
+
+let op_neutralize t e =
+  let c = cur t in
+  charge c t.cfg.cost.local_op;
+  c.abort_pending <- Some e
+
+let op_cancel_neutralize t () =
+  let c = cur t in
+  charge c t.cfg.cost.local_op;
+  c.abort_pending <- None
 
 let op_push_frame t n =
   let c = cur t in
@@ -776,6 +811,8 @@ let make_ops t : Ts_rt.ops =
     signal = op_signal t;
     set_signal_handler = op_set_handler t;
     signal_depth = op_sig_depth t;
+    neutralize = op_neutralize t;
+    cancel_neutralize = op_cancel_neutralize t;
     push_frame = op_push_frame t;
     pop_frame = op_pop_frame t;
     stack_range = op_stack_range t;

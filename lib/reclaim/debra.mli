@@ -1,0 +1,36 @@
+(** DEBRA+ — distributed epoch-based reclamation with neutralizing
+    signals (Brown, PODC'15).
+
+    Plain epoch with per-epoch limbo bags, except that reclamation never
+    waits behind an uncooperative reader: a thread trying to advance the
+    global epoch signals every peer still pinned at an older epoch.  The
+    peer's handler announces quiescence immediately and — via
+    {!Ts_rt.neutralize} — aborts the interrupted operation at its next
+    shared-memory access with {!Ts_smr.Smr.Neutralized}; the data
+    structure's {!Ts_ds.Set_intf.wrap} bracket restarts it from
+    [op_begin].  Crashed peers are skipped and their bags adopted;
+    stalled peers are skipped once a resent signal sits pending (delivery
+    precedes their next instruction on wake).  The scheme therefore
+    recovers from crashes and unbounded stalls where the epoch family
+    wedges — at the cost of requiring operations that are safe to restart
+    (lock-free data structures only; a neutralized lock holder would
+    deadlock its peers).
+
+    Extras: ["epoch-advances"], ["neutralize-signals"],
+    ["neutralizations"], ["dead-skips"], ["stall-skips"],
+    ["unreclaimed-peak"]. *)
+
+val create :
+  ?batch:int ->
+  ?resend_every:int ->
+  ?stall_skip_after:int ->
+  max_threads:int ->
+  unit ->
+  Ts_smr.Smr.t
+(** [batch] (default 64) is the per-thread retire count that triggers an
+    epoch-advance attempt at the next operation boundary.
+    [resend_every] (default 16) is the number of spin iterations between
+    signal resends while waiting out a pinned peer; [stall_skip_after]
+    (default 64) is the number of resends after which a parked peer is
+    left behind with its abort pending.  Must run inside the runtime
+    (allocates the epoch and announce words). *)

@@ -176,7 +176,7 @@ let create ?(batch = 256) ?errant ?patience ?(skip_fence = false) ~max_threads (
     else match errant with None -> "epoch" | Some _ -> "slow-epoch"
   in
   let t =
-    Smr.make ~name ~op_begin ~op_end ~thread_exit ~flush
+    Smr.make ~name ~op_begin ~op_end ~thread_exit ~flush ~retired_access:Smr.In_op
       ~extras:(fun () ->
         [
           ("spin-waits", st.waits);

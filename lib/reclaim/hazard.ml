@@ -115,6 +115,7 @@ let create ?(slots = 3) ?(threshold_extra = 64) ~max_threads () =
   in
   let t =
     Smr.make ~name:"hazard-pointers" ~op_end:clear_all ~thread_exit ~protect ~release ~flush
+      ~retired_access:Smr.Protected_slots
       ~extras:(fun () -> [ ("scans", st.scans) ])
       ~retire ()
   in

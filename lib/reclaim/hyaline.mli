@@ -1,0 +1,29 @@
+(** Hyaline — snapshot-free reclamation by reference-counted retirement
+    batches (Nikolaev & Ravindran, SPAA'19).
+
+    Retired nodes are grouped into batches on one global list whose head
+    is packed with a count of in-operation threads.  Entering an
+    operation is a single fetch-and-add that also records the list head
+    (the thread's handle); a batch is published with its reference count
+    set to the number of threads active at the insertion instant; leaving
+    walks the list from the current head down to the handle, dropping one
+    reference per batch and freeing any batch whose count reaches zero.
+    There are no epochs and no per-thread snapshots — reclamation is as
+    automatic as ThreadScan's but pays two fetch-and-adds per operation
+    instead of a signal storm per batch.
+
+    Crashed threads are handled by a proxy leave: the first insertion (or
+    the final [flush]) after the crash performs the corpse's pending
+    decrement walk using its recorded handle, so its reference cannot pin
+    batches forever.  A stalled thread, by contrast, legitimately pins
+    every batch published while it is inside an operation — memory grows
+    until it resumes (the bound the paper states), though no peer ever
+    blocks on it.
+
+    Extras: ["batches"], ["immediate-frees"], ["corpse-leaves"],
+    ["unreclaimed-peak"]. *)
+
+val create : ?batch:int -> max_threads:int -> unit -> Ts_smr.Smr.t
+(** [batch] (default 64) is the per-thread retire count that triggers
+    publishing a batch.  Must run inside the runtime (allocates the
+    packed head word). *)

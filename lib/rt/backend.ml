@@ -42,6 +42,8 @@ type ops = {
   signal : tid -> unit;
   set_signal_handler : (unit -> unit) -> unit;
   signal_depth : unit -> int;
+  neutralize : exn -> unit;
+  cancel_neutralize : unit -> unit;
   (* shadow stack, registers, scan ranges *)
   push_frame : int -> int;
   pop_frame : int -> unit;
@@ -157,6 +159,8 @@ let poll () = (ops ()).poll ()
 let signal t = (ops ()).signal t
 let set_signal_handler h = (ops ()).set_signal_handler h
 let signal_depth () = (ops ()).signal_depth ()
+let neutralize e = (ops ()).neutralize e
+let cancel_neutralize () = (ops ()).cancel_neutralize ()
 let push_frame n = (ops ()).push_frame n
 let pop_frame base = (ops ()).pop_frame base
 let stack_range () = (ops ()).stack_range ()

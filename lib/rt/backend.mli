@@ -33,6 +33,8 @@ type ops = {
   signal : tid -> unit;
   set_signal_handler : (unit -> unit) -> unit;
   signal_depth : unit -> int;
+  neutralize : exn -> unit;
+  cancel_neutralize : unit -> unit;
   (* shadow stack, registers, scan ranges *)
   push_frame : int -> int;
   pop_frame : int -> unit;
@@ -130,6 +132,24 @@ val poll : unit -> unit
 val signal : tid -> unit
 val set_signal_handler : (unit -> unit) -> unit
 val signal_depth : unit -> int
+
+val neutralize : exn -> unit
+(** Called from inside a signal handler: arrange for the interrupted
+    context to raise [exn] at its next abortable operation (shared-memory
+    access, malloc, fence or yield — {e not} free or frame pops, so
+    cleanup code still runs) once all pending handlers have returned.
+    This is the DEBRA+ neutralizing primitive: the handler unpins its
+    thread and the victim restarts its operation from the enclosing
+    {!Ts_ds.Set_intf.wrap} bracket.  A handler must use this rather than
+    raising directly — on the simulator a handler fiber that raises
+    kills its thread. *)
+
+val cancel_neutralize : unit -> unit
+(** Clear any pending neutralization of the calling thread.  Schemes call
+    this at the top of [op_end]: once the operation's work is complete, a
+    late abort must not escape and retry a completed (already
+    linearized) operation. *)
+
 val push_frame : int -> int
 val pop_frame : int -> unit
 val stack_range : unit -> int * int

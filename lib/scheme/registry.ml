@@ -1,0 +1,371 @@
+(* The single source of truth for reclamation schemes.  Each descriptor
+   carries the canonical name, CLI aliases, capability flags, chaos
+   profile and constructor; every consumer (workload harness, chaos
+   oracle, benchmark/checker/trace CLIs, conformance tests) dispatches
+   through this table instead of matching on scheme names. *)
+
+type caps = {
+  crash_tolerant : bool;
+  wedges_under_stall : bool;
+  protect_slots : bool;
+  has_pipeline_knobs : bool;
+  neutralizes : bool;
+  pins_frames : bool;
+  reclaims : bool;
+}
+
+type chaos_profile = Self_healing | Crash_healing | Quiescence_bound | Unchecked
+
+type params = {
+  buffer : int option;
+  help_free : bool;
+  collect_merge : bool;
+  scan_filter : bool;
+  free_chunk : int option;
+  delay : int option;
+  patience : int option;
+  batch : int option;
+}
+
+let default_params =
+  {
+    buffer = None;
+    help_free = false;
+    collect_merge = false;
+    scan_filter = false;
+    free_chunk = None;
+    delay = None;
+    patience = None;
+    batch = None;
+  }
+
+type spec = { id : string; params : params }
+
+type budgets = {
+  ack_budget : int;
+  suspect_phases : int;
+  takeover_steps : int;
+  overflow_after : int;
+}
+
+let fault_budgets ~horizon =
+  {
+    ack_budget = max 10_000 (horizon / 20);
+    suspect_phases = 2;
+    takeover_steps = max 20_000 (horizon / 10);
+    overflow_after = 32;
+  }
+
+type env = {
+  max_threads : int;
+  hazard_slots : int;
+  epoch_batch : int;
+  budgets : budgets option;
+}
+
+type built = { smr : Ts_smr.Smr.t; ts : Threadscan.t option }
+
+type descriptor = {
+  id : string;
+  aliases : string list;
+  summary : string;
+  caps : caps;
+  chaos : chaos_profile;
+  recovery_extras : string list;
+  tunables : string list;
+  crash_leak_per_victim : params -> int;
+  pipelined : string option;
+  build : env -> params -> built;
+}
+
+(* ----------------------------- constructors --------------------------- *)
+
+let plain smr = { smr; ts = None }
+
+let build_threadscan ~pipeline env p =
+  let buffer_size = Option.value p.buffer ~default:64 in
+  let base =
+    {
+      Threadscan.Config.default with
+      max_threads = env.max_threads;
+      buffer_size;
+      help_free = p.help_free;
+      (* individually toggled pipeline stages (the checker explores them
+         one at a time) *)
+      collect_merge = p.collect_merge;
+      scan_filter = p.scan_filter;
+      free_chunk = Option.value p.free_chunk ~default:Threadscan.Config.default.free_chunk;
+    }
+  in
+  let base =
+    (* The whole parallel-reclamation pipeline (docs/PERF.md): sealed-run
+       collect with k-way merge, Bloom-prefiltered TS-Scan, chunked
+       helper-parallel free phase.  [adaptive_buffers] is deliberately
+       left off: growing buffers with the thread count suppresses phases
+       on benchmark-sized runs, and the figures must measure the pipeline
+       at the same phase cadence as the legacy scheme. *)
+    if pipeline then
+      {
+        base with
+        collect_merge = true;
+        scan_filter = true;
+        help_free = true;
+        free_chunk = Option.value p.free_chunk ~default:8;
+      }
+    else base
+  in
+  let config =
+    match env.budgets with
+    | None -> base
+    | Some b ->
+        {
+          base with
+          ack_budget = b.ack_budget;
+          suspect_phases = b.suspect_phases;
+          takeover_steps = b.takeover_steps;
+          overflow_after = b.overflow_after;
+        }
+  in
+  let ts = Threadscan.create ~config () in
+  { smr = Threadscan.smr ts; ts = Some ts }
+
+let no_reclaim =
+  {
+    crash_tolerant = true;
+    wedges_under_stall = false;
+    protect_slots = false;
+    has_pipeline_knobs = false;
+    neutralizes = false;
+    (* nothing is ever freed, so a held reference never dangles *)
+    pins_frames = true;
+    reclaims = false;
+  }
+
+let reclaims = { no_reclaim with reclaims = true; pins_frames = false }
+let threadscan_caps = { reclaims with has_pipeline_knobs = true; pins_frames = true }
+let epoch_caps = { reclaims with crash_tolerant = false; wedges_under_stall = true }
+let ladder_extras = [ "reaps"; "takeovers"; "proxy-scans"; "recoveries" ]
+let ts_tunables = [ "buffer"; "help-free"; "collect-merge"; "scan-filter"; "free-chunk" ]
+
+let all =
+  [
+    {
+      id = "leaky";
+      aliases = [ "none" ];
+      summary = "never frees: the throughput ceiling and leak baseline";
+      caps = no_reclaim;
+      chaos = Unchecked;
+      recovery_extras = [];
+      tunables = [];
+      crash_leak_per_victim = (fun _ -> 0);
+      pipelined = None;
+      build = (fun _ _ -> plain (Ts_reclaim.Leaky.create ()));
+    };
+    {
+      id = "threadscan";
+      aliases = [ "ts" ];
+      summary = "signal-driven stack/buffer scan with a crash/stall degradation ladder";
+      caps = threadscan_caps;
+      chaos = Self_healing;
+      recovery_extras = ladder_extras;
+      tunables = ts_tunables;
+      crash_leak_per_victim = (fun _ -> 1);
+      pipelined = Some "threadscan-pipe";
+      build = build_threadscan ~pipeline:false;
+    };
+    {
+      id = "threadscan-pipe";
+      aliases = [ "ts-pipe"; "ts-pipeline"; "threadscan-pipeline" ];
+      summary = "ThreadScan with the parallel reclamation pipeline (merge/filter/chunked free)";
+      caps = threadscan_caps;
+      chaos = Self_healing;
+      recovery_extras = ladder_extras;
+      tunables = ts_tunables;
+      crash_leak_per_victim = (fun _ -> 1);
+      pipelined = None;
+      build = build_threadscan ~pipeline:true;
+    };
+    {
+      id = "hazard";
+      aliases = [ "hp" ];
+      summary = "hazard pointers: per-read protection slots, per-thread retired lists";
+      caps = { reclaims with protect_slots = true };
+      chaos = Unchecked;
+      recovery_extras = [];
+      tunables = [];
+      (* a corpse strands its protected slots plus one in-flight retire *)
+      crash_leak_per_victim = (fun _ -> 4);
+      pipelined = None;
+      build =
+        (fun env _ ->
+          plain
+            (Ts_reclaim.Hazard.create ~slots:env.hazard_slots ~max_threads:env.max_threads ()));
+    };
+    {
+      id = "epoch";
+      aliases = [ "ebr" ];
+      summary = "global-epoch quiescence with per-epoch limbo lists";
+      caps = epoch_caps;
+      chaos = Quiescence_bound;
+      recovery_extras = [];
+      tunables = [ "batch" ];
+      crash_leak_per_victim = (fun _ -> 0);
+      pipelined = None;
+      build =
+        (fun env p ->
+          let batch = Option.value p.batch ~default:env.epoch_batch in
+          plain (Ts_reclaim.Epoch.create ~batch ~max_threads:env.max_threads ()));
+    };
+    {
+      id = "slow-epoch";
+      aliases = [];
+      summary = "epoch with one artificially delayed straggler (the wedge demonstrator)";
+      caps = epoch_caps;
+      chaos = Quiescence_bound;
+      recovery_extras = [];
+      tunables = [ "batch"; "delay" ];
+      crash_leak_per_victim = (fun _ -> 0);
+      pipelined = None;
+      build =
+        (fun env p ->
+          let batch = Option.value p.batch ~default:env.epoch_batch in
+          let delay = Option.value p.delay ~default:600_000 in
+          (* thread id 1 is the first worker spawned *)
+          plain
+            (Ts_reclaim.Epoch.create ~batch ~errant:(1, delay) ~max_threads:env.max_threads ()));
+    };
+    {
+      id = "patient-epoch";
+      aliases = [];
+      summary = "epoch whose quiescence waits give up after a bounded patience";
+      caps = reclaims;
+      chaos = Unchecked;
+      recovery_extras = [];
+      tunables = [ "batch"; "patience" ];
+      crash_leak_per_victim = (fun _ -> 1);
+      pipelined = None;
+      build =
+        (fun env p ->
+          let batch = Option.value p.batch ~default:env.epoch_batch in
+          let patience = Option.value p.patience ~default:20_000 in
+          plain (Ts_reclaim.Epoch.create ~batch ~patience ~max_threads:env.max_threads ()));
+    };
+    {
+      id = "stacktrack";
+      aliases = [];
+      summary = "explicit operation frames scanned cooperatively (no signals)";
+      caps = { reclaims with pins_frames = true };
+      chaos = Unchecked;
+      recovery_extras = [];
+      tunables = [];
+      crash_leak_per_victim = (fun _ -> 2);
+      pipelined = None;
+      build = (fun env _ -> plain (Ts_reclaim.Stacktrack.create ~max_threads:env.max_threads ()));
+    };
+    {
+      id = "debra";
+      aliases = [ "debra+" ];
+      summary = "epoch bags with neutralizing signals: crashed/stalled readers are skipped";
+      caps = { reclaims with neutralizes = true };
+      chaos = Self_healing;
+      recovery_extras = [ "dead-skips"; "stall-skips" ];
+      tunables = [ "batch" ];
+      crash_leak_per_victim = (fun _ -> 1);
+      pipelined = None;
+      build =
+        (fun env p ->
+          let batch = Option.value p.batch ~default:env.epoch_batch in
+          plain (Ts_reclaim.Debra.create ~batch ~max_threads:env.max_threads ()));
+    };
+    {
+      id = "hyaline";
+      aliases = [];
+      summary = "reference-counted retirement batches, snapshot-free (2 FAAs per op)";
+      caps = reclaims;
+      chaos = Crash_healing;
+      recovery_extras = [ "corpse-leaves" ];
+      (* one lost (unpublished) batch plus one in-flight retire *)
+      tunables = [ "batch" ];
+      crash_leak_per_victim = (fun p -> Option.value p.batch ~default:64 + 1);
+      pipelined = None;
+      build =
+        (fun env p ->
+          let batch = Option.value p.batch ~default:env.epoch_batch in
+          plain (Ts_reclaim.Hyaline.create ~batch ~max_threads:env.max_threads ()));
+    };
+  ]
+
+(* ------------------------------- lookup ------------------------------- *)
+
+let find name =
+  List.find_opt (fun d -> d.id = name || List.mem name d.aliases) all
+
+let names () = List.map (fun d -> d.id) all
+
+let names_doc () =
+  String.concat ", "
+    (List.map
+       (fun d ->
+         match d.aliases with
+         | [] -> d.id
+         | a -> d.id ^ " (" ^ String.concat "|" a ^ ")")
+       all)
+
+let unknown name =
+  Printf.sprintf "unknown scheme %S (expected one of: %s)" name (names_doc ())
+
+let get name =
+  match find name with Some d -> d | None -> invalid_arg (unknown name)
+
+let descriptor (s : spec) = get s.id
+
+let canonical name =
+  match find name with Some d -> Ok d.id | None -> Error (unknown name)
+
+let spec ?buffer ?(help_free = false) ?(collect_merge = false) ?(scan_filter = false) ?free_chunk
+    ?delay ?patience ?batch name =
+  let d = get name in
+  (* Drop tuning the scheme does not use: CLIs pass their flag defaults
+     for every scheme, and an irrelevant parameter must not leak into
+     labels or JSON (nor suggest it had an effect). *)
+  let keep k v = if List.mem k d.tunables then v else None in
+  {
+    id = d.id;
+    params =
+      {
+        buffer = keep "buffer" buffer;
+        help_free = help_free && List.mem "help-free" d.tunables;
+        collect_merge = collect_merge && List.mem "collect-merge" d.tunables;
+        scan_filter = scan_filter && List.mem "scan-filter" d.tunables;
+        free_chunk = keep "free-chunk" free_chunk;
+        delay = keep "delay" delay;
+        patience = keep "patience" patience;
+        batch = keep "batch" batch;
+      };
+  }
+
+let label (s : spec) = s.id
+
+let params_assoc s =
+  let p = s.params in
+  List.filter_map
+    (fun x -> x)
+    [
+      Option.map (fun v -> ("buffer", v)) p.buffer;
+      (if p.help_free then Some ("help-free", 1) else None);
+      (if p.collect_merge then Some ("collect-merge", 1) else None);
+      (if p.scan_filter then Some ("scan-filter", 1) else None);
+      Option.map (fun v -> ("free-chunk", v)) p.free_chunk;
+      Option.map (fun v -> ("delay", v)) p.delay;
+      Option.map (fun v -> ("patience", v)) p.patience;
+      Option.map (fun v -> ("batch", v)) p.batch;
+    ]
+
+let describe s =
+  match params_assoc s with
+  | [] -> s.id
+  | kv ->
+      s.id ^ " "
+      ^ String.concat " " (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) kv)
+
+let build env s = (descriptor s).build env s.params

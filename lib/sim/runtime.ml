@@ -194,6 +194,7 @@ type thread = {
   mutable drop_sigs : int; (* fault injection: drop the next n signals *)
   mutable sig_delay : int; (* fault injection: delay delivery by n cycles *)
   mutable wait_note : string option; (* what the thread is blocked on *)
+  mutable abort_pending : exn option; (* neutralization armed by a handler *)
 }
 
 type t = {
@@ -261,6 +262,8 @@ type _ Effect.t +=
   | E_signal : int -> unit Effect.t
   | E_set_handler : (unit -> unit) -> unit Effect.t
   | E_sig_depth : int Effect.t
+  | E_neutralize : exn -> unit Effect.t
+  | E_cancel_neutralize : unit Effect.t
   | E_push_frame : int -> int Effect.t
   | E_pop_frame : int -> unit Effect.t
   | E_stack_range : (int * int) Effect.t
@@ -642,9 +645,9 @@ let fp_of_eff : type a. thread -> a Effect.t -> footprint =
   | E_cas (addr, _, _) -> mem_fp addr ~write:true
   | E_faa (addr, _) -> mem_fp addr ~write:true
   | E_fence | E_yield | E_advance _ | E_now | E_self | E_rand _ | E_set_handler _
-  | E_sig_depth | E_push_frame _ | E_pop_frame _ | E_stack_range | E_reg_range
-  | E_save_regs | E_saved_reg_range | E_clear_regs | E_add_range _ | E_remove_range _
-  | E_ranges | E_steps | E_wait_note _ | E_note _ ->
+  | E_sig_depth | E_neutralize _ | E_cancel_neutralize | E_push_frame _ | E_pop_frame _
+  | E_stack_range | E_reg_range | E_save_regs | E_saved_reg_range | E_clear_regs
+  | E_add_range _ | E_remove_range _ | E_ranges | E_steps | E_wait_note _ | E_note _ ->
       Pure
   | _ -> Global
 
@@ -665,6 +668,27 @@ let rec make_handler : t -> thread -> (unit, unit) Effect.Deep.handler =
           | v -> resume_with k v
           | exception e -> th.resume <- Some (fun () -> discontinue k e)
         in
+        (* A pending neutralization (armed by a signal handler via
+           [E_neutralize]) fires at the victim's next abortable effect —
+           shared-memory accesses, malloc, fence, yield.  Frees and frame
+           pops are deliberately non-abortable so cleanup paths (freeing a
+           node that lost its publishing CAS, unwinding shadow frames) can
+           never be skipped; the abort stays pending until the next
+           abortable op.  Nothing fires while a handler is still running. *)
+        let abortable : bool =
+          match eff with
+          | E_read _ | E_write _ | E_cas _ | E_faa _ | E_fence | E_malloc _ | E_yield ->
+              true
+          | _ -> false
+        in
+        match th.abort_pending with
+        | Some e when th.sig_depth = 0 && abortable ->
+            Some
+              (fun k ->
+                rt.step_fp <- Pure;
+                th.abort_pending <- None;
+                th.resume <- Some (fun () -> discontinue k e))
+        | _ -> (
         match eff with
         | E_read addr -> Some (fun k -> guarded k (fun () -> do_read rt th addr))
         | E_write (addr, v) -> Some (fun k -> guarded k (fun () -> do_write rt th addr v))
@@ -872,7 +896,19 @@ let rec make_handler : t -> thread -> (unit, unit) Effect.Deep.handler =
             Some (fun k -> guarded k (fun () -> is_stalled (get_thread rt target)))
         | E_clock_of target ->
             Some (fun k -> guarded k (fun () -> (get_thread rt target).clock))
-        | _ -> None);
+        | E_neutralize e ->
+            Some
+              (fun k ->
+                charge th rt.cfg.cost.local_op;
+                th.abort_pending <- Some e;
+                resume_with k ())
+        | E_cancel_neutralize ->
+            Some
+              (fun k ->
+                charge th rt.cfg.cost.local_op;
+                th.abort_pending <- None;
+                resume_with k ())
+        | _ -> None));
   }
 
 and new_thread : t -> (unit -> unit) -> thread =
@@ -914,6 +950,7 @@ and new_thread : t -> (unit -> unit) -> thread =
       drop_sigs = 0;
       sig_delay = 0;
       wait_note = None;
+      abort_pending = None;
       prio =
         (match rt.cfg.sched with
         | Pct _ -> 1 + Splitmix.below rt.rng 1_000_000_000
@@ -1385,6 +1422,7 @@ type thread_state = {
   ts_drop_sigs : int;
   ts_sig_delay : int;
   ts_wait_note : string option;
+  ts_abort_pending : bool;
 }
 
 type savepoint = {
@@ -1440,6 +1478,7 @@ let capture_thread th =
     ts_drop_sigs = th.drop_sigs;
     ts_sig_delay = th.sig_delay;
     ts_wait_note = th.wait_note;
+    ts_abort_pending = th.abort_pending <> None;
   }
 
 let savepoint rt =
@@ -1526,6 +1565,7 @@ let savepoint_digest sp =
       flag ts.ts_crashed;
       int ts.ts_drop_sigs;
       int ts.ts_sig_delay;
+      flag ts.ts_abort_pending;
       (match ts.ts_wait_note with
       | None -> int (-1)
       | Some s ->
@@ -1703,6 +1743,10 @@ let set_signal_handler f = Effect.perform (E_set_handler f)
 
 let signal_depth () = Effect.perform E_sig_depth
 
+let neutralize e = Effect.perform (E_neutralize e)
+
+let cancel_neutralize () = Effect.perform E_cancel_neutralize
+
 let push_frame n = Effect.perform (E_push_frame n)
 
 let pop_frame base = Effect.perform (E_pop_frame base)
@@ -1778,6 +1822,8 @@ let rt_ops : Ts_rt.ops =
     signal;
     set_signal_handler;
     signal_depth;
+    neutralize;
+    cancel_neutralize;
     push_frame;
     pop_frame;
     stack_range;

@@ -319,6 +319,17 @@ val set_signal_handler : (unit -> unit) -> unit
 val signal_depth : unit -> int
 (** How many nested signal handlers the calling thread is currently in. *)
 
+val neutralize : exn -> unit
+(** Called from inside a signal handler: arm a neutralization of the
+    interrupted context.  Once every pending handler has returned, the
+    thread raises [exn] at its next abortable effect (read / write / cas /
+    faa / fence / malloc / yield — {e not} free or pop_frame, so cleanup
+    code still runs).  A handler must use this instead of raising: a
+    handler fiber that raises kills its thread. *)
+
+val cancel_neutralize : unit -> unit
+(** Clear any neutralization pending on the calling thread. *)
+
 (** {1 Shadow stack, registers, private ranges} *)
 
 val push_frame : int -> int

@@ -1,5 +1,23 @@
 type counters = { mutable retired : int; mutable freed : int; mutable cleanups : int }
 
+(* Raised inside a data-structure operation whose thread was neutralized
+   by a scheme's signal handler (DEBRA+): the handler unpinned the
+   thread, so the op must restart from its [Set_intf.wrap] bracket
+   without calling [op_end]. *)
+exception Neutralized
+
+(* When may a thread legally touch a word of a retired-but-not-freed
+   block?  Declared by the scheme so analysis tools (the lifecycle
+   sanitizer) need no per-scheme knowledge. *)
+type retired_access =
+  | Invisible  (** readers are invisible by design: any access is fine
+                   until the free (ThreadScan, leaky, StackTrack,
+                   Hyaline) *)
+  | Protected_slots  (** only while a protect slot covers the block
+                         (hazard pointers) *)
+  | In_op  (** only between [op_begin] and [op_end] (epoch family,
+               DEBRA+) *)
+
 type t = {
   name : string;
   thread_init : unit -> unit;
@@ -12,6 +30,7 @@ type t = {
   flush : unit -> unit;
   counters : counters;
   extras : unit -> (string * int) list;
+  retired_access : retired_access;
 }
 
 let nop () = ()
@@ -29,7 +48,7 @@ let add_cleanups c n = Ts_rt.critical (fun () -> c.cleanups <- c.cleanups + n)
 
 let make ~name ?(thread_init = nop) ?(thread_exit = nop) ?(op_begin = nop) ?(op_end = nop)
     ?(protect = fun ~slot:_ p -> p) ?(release = fun ~slot:_ -> ()) ?(flush = nop)
-    ?(extras = fun () -> []) ~retire () =
+    ?(extras = fun () -> []) ?(retired_access = Invisible) ~retire () =
   let counters = { retired = 0; freed = 0; cleanups = 0 } in
   {
     name;
@@ -43,6 +62,7 @@ let make ~name ?(thread_init = nop) ?(thread_exit = nop) ?(op_begin = nop) ?(op_
     flush;
     counters;
     extras;
+    retired_access;
   }
 
 let pp ppf t =

@@ -22,6 +22,22 @@ type counters = {
   mutable cleanups : int;  (** reclamation phases / scans executed *)
 }
 
+exception Neutralized
+(** Raised inside a data-structure operation whose thread was neutralized
+    by a scheme's signal handler (DEBRA+): the handler already unpinned
+    the thread, so the operation must restart from its
+    {!Ts_ds.Set_intf.wrap} bracket {e without} calling [op_end]. *)
+
+(** When may a thread legally touch a word of a retired-but-not-freed
+    block?  Declared by the scheme so analysis tools (the lifecycle
+    sanitizer) need no per-scheme special cases. *)
+type retired_access =
+  | Invisible
+      (** readers are invisible by design: any access is legal until the
+          free (ThreadScan, leaky, StackTrack, Hyaline) *)
+  | Protected_slots  (** only while a protect slot covers the block *)
+  | In_op  (** only between [op_begin] and [op_end] (epoch family, DEBRA+) *)
+
 type t = {
   name : string;
   thread_init : unit -> unit;
@@ -49,6 +65,8 @@ type t = {
   counters : counters;
   extras : unit -> (string * int) list;
       (** Scheme-specific statistics (signals sent, phases, marked nodes…). *)
+  retired_access : retired_access;
+      (** The scheme's contract for touching retired-but-unfreed blocks. *)
 }
 
 val make :
@@ -61,12 +79,14 @@ val make :
   ?release:(slot:int -> unit) ->
   ?flush:(unit -> unit) ->
   ?extras:(unit -> (string * int) list) ->
+  ?retired_access:retired_access ->
   retire:(counters -> int -> unit) ->
   unit ->
   t
-(** Builds a scheme with no-op defaults for the omitted hooks.  [retire]
-    receives the shared counters record (and must bump [retired] itself,
-    which keeps accounting decisions inside the scheme). *)
+(** Builds a scheme with no-op defaults for the omitted hooks (and
+    [Invisible] retired-access semantics).  [retire] receives the shared
+    counters record (and must bump [retired] itself, which keeps
+    accounting decisions inside the scheme). *)
 
 val pp : Format.formatter -> t -> unit
 (** One-line summary: name plus counters and extras. *)

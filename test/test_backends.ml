@@ -224,23 +224,14 @@ let test_barrier r () =
 (* SMR schemes and data structures                                    *)
 (* ------------------------------------------------------------------ *)
 
-type scheme = Sleaky | Sthreadscan | Shazard | Sepoch | Sstacktrack
+module Registry = Ts_scheme.Registry
 
-let scheme_name = function
-  | Sleaky -> "leaky"
-  | Sthreadscan -> "threadscan"
-  | Shazard -> "hazard"
-  | Sepoch -> "epoch"
-  | Sstacktrack -> "stacktrack"
-
-let make_scheme ?(max_threads = 8) = function
-  | Sleaky -> Ts_reclaim.Leaky.create ()
-  | Sthreadscan ->
-      let config = { Threadscan.Config.default with max_threads; buffer_size = 16 } in
-      Threadscan.smr (Threadscan.create ~config ())
-  | Shazard -> Ts_reclaim.Hazard.create ~slots:3 ~max_threads ()
-  | Sepoch -> Ts_reclaim.Epoch.create ~batch:32 ~max_threads ()
-  | Sstacktrack -> Ts_reclaim.Stacktrack.create ~max_threads ()
+(* Conformance is driven off the scheme registry: the registry is the
+   roster, so a newly registered scheme is covered on both backends by
+   construction — no list here to keep in sync. *)
+let make_scheme ?(max_threads = 8) id =
+  let env = { Registry.max_threads; hazard_slots = 3; epoch_batch = 32; budgets = None } in
+  (Registry.build env (Registry.spec ~buffer:16 id)).Registry.smr
 
 let run_scheme_workload r scheme ~threads ~ops =
   let retired = ref 0 and freed = ref 0 in
@@ -274,14 +265,13 @@ let run_scheme_workload r scheme ~threads ~ops =
   in
   (faults, !retired, !freed)
 
-let test_scheme r scheme () =
-  let faults, retired, freed = run_scheme_workload r scheme ~threads:4 ~ops:250 in
+let test_scheme r (d : Registry.descriptor) () =
+  let faults, retired, freed = run_scheme_workload r d.Registry.id ~threads:4 ~ops:250 in
   check "no memory faults" 0 faults;
   Alcotest.(check bool) "some nodes were retired" true (retired > 0);
-  match scheme with
-  | Sleaky -> check "leaky frees nothing" 0 freed
-  | Sthreadscan | Shazard | Sepoch | Sstacktrack ->
-      check "flush reclaims every retired node" 0 (retired - freed)
+  if d.Registry.caps.Registry.reclaims then
+    check "flush reclaims every retired node" 0 (retired - freed)
+  else check "non-reclaiming scheme frees nothing" 0 freed
 
 let make_ds smr = function
   | "list" -> Ts_ds.Michael_list.create ~smr ()
@@ -295,7 +285,7 @@ let test_ds r kind () =
   let size = ref (-1) and faults = ref (-1) in
   faults :=
     r.exec (fun () ->
-        let smr = make_scheme Sthreadscan in
+        let smr = make_scheme "threadscan" in
         smr.Smr.thread_init ();
         let ds = make_ds smr kind in
         let ws =
@@ -618,7 +608,6 @@ let per_backend name f =
     (fun r -> Alcotest.test_case (Fmt.str "%s [%s]" name r.rname) `Quick (fun () -> f r ()))
     runners
 
-let schemes = [ Sleaky; Sthreadscan; Shazard; Sepoch; Sstacktrack ]
 let ds_kinds = [ "list"; "hash"; "skiplist"; "lazy-list"; "split-hash" ]
 
 let () =
@@ -638,8 +627,8 @@ let () =
         @ per_backend "barrier" test_barrier );
       ( "smr",
         List.concat_map
-          (fun s -> per_backend (scheme_name s) (fun r -> test_scheme r s))
-          schemes );
+          (fun d -> per_backend d.Registry.id (fun r -> test_scheme r d))
+          Registry.all );
       ("ds", List.concat_map (fun k -> per_backend k (fun r -> test_ds r k)) ds_kinds);
       ( "native-stress",
         [

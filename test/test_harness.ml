@@ -1,5 +1,6 @@
 module Workload = Ts_harness.Workload
 module Experiment = Ts_harness.Experiment
+module Registry = Ts_scheme.Registry
 
 let check = Alcotest.(check int)
 
@@ -10,7 +11,7 @@ let spec =
     horizon = 250_000;
     init_size = 64;
     key_range = 128;
-    scheme = Workload.Threadscan { buffer_size = 8; help_free = false; pipeline = false };
+    scheme = Registry.spec ~buffer:8 "threadscan";
   }
 
 let test_basic_run () =
@@ -40,21 +41,23 @@ let test_seed_matters () =
 let test_all_schemes_clean () =
   List.iter
     (fun scheme ->
+      let name = Registry.describe scheme in
       let r = Workload.run { spec with Workload.scheme } in
-      Alcotest.(check bool)
-        (Workload.scheme_kind_to_string scheme ^ " did work")
-        true (r.Workload.ops > 0);
-      check (Workload.scheme_kind_to_string scheme ^ " no faults") 0 r.Workload.faults;
-      if scheme <> Workload.Leaky then
-        check (Workload.scheme_kind_to_string scheme ^ " no leaks") 0 r.Workload.outstanding)
+      Alcotest.(check bool) (name ^ " did work") true (r.Workload.ops > 0);
+      check (name ^ " no faults") 0 r.Workload.faults;
+      if (Registry.descriptor scheme).Registry.caps.Registry.reclaims then
+        check (name ^ " no leaks") 0 r.Workload.outstanding)
     [
-      Workload.Leaky;
-      Workload.Threadscan { buffer_size = 16; help_free = false; pipeline = false };
-      Workload.Threadscan { buffer_size = 16; help_free = true; pipeline = false };
-      Workload.Hazard;
-      Workload.Epoch;
-      Workload.Slow_epoch { delay = 30_000 };
-      Workload.Stacktrack;
+      Registry.spec "leaky";
+      Registry.spec ~buffer:16 "threadscan";
+      Registry.spec ~buffer:16 ~help_free:true "threadscan";
+      Registry.spec ~buffer:16 "threadscan-pipe";
+      Registry.spec "hazard";
+      Registry.spec "epoch";
+      Registry.spec ~delay:30_000 "slow-epoch";
+      Registry.spec "stacktrack";
+      Registry.spec "debra";
+      Registry.spec "hyaline";
     ]
 
 let test_all_structures_clean () =
@@ -66,7 +69,7 @@ let test_all_structures_clean () =
     [ Workload.List_ds; Workload.Hash_ds; Workload.Skip_ds ]
 
 let test_leaky_leaks () =
-  let r = Workload.run { spec with Workload.scheme = Workload.Leaky } in
+  let r = Workload.run { spec with Workload.scheme = Registry.spec "leaky" } in
   Alcotest.(check bool) "retired nodes stay live" true
     (r.Workload.outstanding = r.Workload.retired && r.Workload.retired > 0)
 
@@ -77,7 +80,8 @@ let test_read_only_workload_retires_nothing () =
 
 let test_scaling_undersubscribed () =
   let tput threads =
-    (Workload.run { spec with Workload.threads; scheme = Workload.Leaky }).Workload.throughput
+    (Workload.run { spec with Workload.threads; scheme = Registry.spec "leaky" }).Workload
+      .throughput
   in
   let t1 = tput 1 and t4 = tput 4 in
   Alcotest.(check bool) (Fmt.str "4 threads > 2x 1 thread (%.0f vs %.0f)" t4 t1) true
@@ -89,13 +93,13 @@ let test_oversubscription_switches () =
   check "still no leaks" 0 r.Workload.outstanding
 
 let test_signals_only_with_threadscan () =
-  let ts = Workload.run { spec with Workload.scheme = Workload.Threadscan { buffer_size = 4; help_free = false; pipeline = false } } in
-  let ep = Workload.run { spec with Workload.scheme = Workload.Epoch } in
+  let ts = Workload.run { spec with Workload.scheme = Registry.spec ~buffer:4 "threadscan" } in
+  let ep = Workload.run { spec with Workload.scheme = Registry.spec "epoch" } in
   Alcotest.(check bool) "threadscan signals" true (ts.Workload.signals_delivered > 0);
   check "epoch sends none" 0 ep.Workload.signals_delivered
 
 let test_stack_depth_scanned () =
-  let busy = { spec with Workload.scheme = Workload.Threadscan { buffer_size = 4; help_free = false; pipeline = false } } in
+  let busy = { spec with Workload.scheme = Registry.spec ~buffer:4 "threadscan" } in
   let shallow = Workload.run { busy with Workload.stack_depth = 0 } in
   let deep = Workload.run { busy with Workload.stack_depth = 180 } in
   let words r = try List.assoc "scan-words" r.Workload.extras with Not_found -> 0 in
@@ -120,14 +124,20 @@ let test_scale_parsing () =
   Alcotest.(check bool) "paper" true (Experiment.scale_of_string "paper" = Some Experiment.Paper);
   Alcotest.(check bool) "junk" true (Experiment.scale_of_string "banana" = None)
 
-let test_kind_strings () =
+(* Canonical-name stability: the id a scheme prints is the same one the
+   CLIs parse — no parameter suffixes leak into labels; tuning rides in a
+   separate params assoc. *)
+let test_scheme_names () =
   Alcotest.(check string) "list" "list" (Workload.ds_kind_to_string Workload.List_ds);
-  Alcotest.(check string) "ts" "threadscan(8)"
-    (Workload.scheme_kind_to_string (Workload.Threadscan { buffer_size = 8; help_free = false; pipeline = false }));
-  Alcotest.(check string) "ts-help" "threadscan-help(8)"
-    (Workload.scheme_kind_to_string (Workload.Threadscan { buffer_size = 8; help_free = true; pipeline = false }));
-  Alcotest.(check string) "slow" "slow-epoch"
-    (Workload.scheme_kind_to_string (Workload.Slow_epoch { delay = 1 }))
+  Alcotest.(check string) "ts label" "threadscan"
+    (Registry.label (Registry.spec ~buffer:8 "threadscan"));
+  Alcotest.(check string) "alias resolves" "threadscan-pipe" (Registry.label (Registry.spec "ts-pipe"));
+  Alcotest.(check bool) "params ride separately" true
+    (Registry.params_assoc (Registry.spec ~buffer:8 "threadscan") = [ ("buffer", 8) ]);
+  Alcotest.(check string) "describe" "threadscan buffer=8 help-free=1"
+    (Registry.describe (Registry.spec ~buffer:8 ~help_free:true "threadscan"));
+  Alcotest.(check string) "slow" "slow-epoch" (Registry.label (Registry.spec ~delay:1 "slow-epoch"));
+  Alcotest.(check bool) "unknown rejected" true (Result.is_error (Registry.canonical "banana"))
 
 let () =
   Alcotest.run "ts_harness"
@@ -152,6 +162,6 @@ let () =
         [
           Alcotest.test_case "every figure has a target" `Quick test_names_cover_every_figure;
           Alcotest.test_case "scale parsing" `Quick test_scale_parsing;
-          Alcotest.test_case "kind strings" `Quick test_kind_strings;
+          Alcotest.test_case "scheme names" `Quick test_scheme_names;
         ] );
     ]

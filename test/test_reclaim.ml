@@ -9,6 +9,8 @@ module Direct_free = Ts_reclaim.Direct_free
 module Hazard = Ts_reclaim.Hazard
 module Epoch = Ts_reclaim.Epoch
 module Stacktrack = Ts_reclaim.Stacktrack
+module Debra = Ts_reclaim.Debra
+module Hyaline = Ts_reclaim.Hyaline
 
 let check = Alcotest.(check int)
 
@@ -448,6 +450,169 @@ let test_stacktrack_cheaper_than_hazard () =
   check "stacktrack protect uses no fences" 0 (fences_of (st ~max_threads:2));
   check "hazard protect fences every time" 10 (fences_of (hp ~max_threads:2))
 
+(* -------------------------------- debra --------------------------------- *)
+
+let test_debra_quiescent_frees () =
+  let r = Runtime.create cfg in
+  ignore
+    (Runtime.add_thread r (fun () ->
+         let smr = Debra.create ~batch:16 ~max_threads:2 () in
+         smr.Smr.thread_init ();
+         for _ = 1 to 100 do
+           smr.Smr.op_begin ();
+           smr.Smr.retire (alloc_node ());
+           smr.Smr.op_end ()
+         done;
+         smr.Smr.thread_exit ();
+         smr.Smr.flush ();
+         check "all freed" 100 smr.Smr.counters.freed;
+         Alcotest.(check bool) "several cleanups" true (smr.Smr.counters.cleanups >= 2)));
+  ignore (Runtime.start r);
+  check "allocator empty" 0 (Alloc.live_blocks (Runtime.alloc r))
+
+let test_debra_neutralizes_pinned_reader () =
+  (* The scheme's whole point: where plain epoch wedges behind a reader
+     that never leaves its operation, DEBRA+ signals it, the handler
+     announces quiescence and aborts the operation with [Neutralized],
+     and reclamation proceeds. *)
+  ignore
+    (Runtime.run ~config:cfg (fun () ->
+         let smr = Debra.create ~batch:8 ~max_threads:4 () in
+         let release = Runtime.alloc_region 1 in
+         let grabbed = Runtime.alloc_region 1 in
+         let neutralized = Runtime.alloc_region 1 in
+         smr.Smr.thread_init ();
+         let holder =
+           Runtime.spawn (fun () ->
+               smr.Smr.thread_init ();
+               (try
+                  smr.Smr.op_begin ();
+                  Runtime.write grabbed 1;
+                  while Runtime.read release = 0 do
+                    Runtime.yield ()
+                  done;
+                  smr.Smr.op_end ()
+                with Smr.Neutralized -> Runtime.write neutralized 1);
+               smr.Smr.thread_exit ())
+         in
+         while Runtime.read grabbed = 0 do
+           Runtime.yield ()
+         done;
+         let rounds = ref 0 in
+         while Runtime.read neutralized = 0 && !rounds < 100 do
+           incr rounds;
+           smr.Smr.op_begin ();
+           smr.Smr.retire (alloc_node ());
+           smr.Smr.op_end ()
+         done;
+         Runtime.write release 1;
+         Runtime.join holder;
+         check "reader was neutralized" 1 (Runtime.read neutralized);
+         Alcotest.(check bool) "neutralization counted" true
+           (List.assoc "neutralizations" (smr.Smr.extras ()) >= 1);
+         smr.Smr.thread_exit ();
+         smr.Smr.flush ();
+         check "nothing pinned afterwards" 0
+           (smr.Smr.counters.retired - smr.Smr.counters.freed)))
+
+let test_debra_no_mutual_stall () =
+  ignore
+    (Runtime.run ~config:cfg (fun () ->
+         let smr = Debra.create ~batch:16 ~max_threads:4 () in
+         let worker () =
+           smr.Smr.thread_init ();
+           for _ = 1 to 200 do
+             let rec op () =
+               try
+                 smr.Smr.op_begin ();
+                 smr.Smr.retire (alloc_node ());
+                 smr.Smr.op_end ()
+               with Smr.Neutralized -> op ()
+             in
+             op ()
+           done;
+           smr.Smr.thread_exit ()
+         in
+         let a = Runtime.spawn worker and b = Runtime.spawn worker in
+         Runtime.join a;
+         Runtime.join b;
+         smr.Smr.flush ();
+         Alcotest.(check bool) "at least the clean retires freed" true
+           (smr.Smr.counters.freed >= 400);
+         check "conservation" smr.Smr.counters.retired smr.Smr.counters.freed))
+
+(* ------------------------------- hyaline -------------------------------- *)
+
+let test_hyaline_idle_batches_free_immediately () =
+  (* publish with href = 0 short-circuits: retirement outside any
+     operation frees on the spot *)
+  let r = Runtime.create cfg in
+  ignore
+    (Runtime.add_thread r (fun () ->
+         let smr = Hyaline.create ~batch:8 ~max_threads:2 () in
+         smr.Smr.thread_init ();
+         for _ = 1 to 16 do
+           smr.Smr.retire (alloc_node ())
+         done;
+         check "all freed" 16 smr.Smr.counters.freed;
+         check "both batches freed on the spot" 2
+           (List.assoc "immediate-frees" (smr.Smr.extras ()))));
+  ignore (Runtime.start r);
+  check "allocator empty" 0 (Alloc.live_blocks (Runtime.alloc r))
+
+let test_hyaline_active_reader_pins_batches () =
+  ignore
+    (Runtime.run ~config:cfg (fun () ->
+         let smr = Hyaline.create ~batch:8 ~max_threads:4 () in
+         let release = Runtime.alloc_region 1 in
+         let grabbed = Runtime.alloc_region 1 in
+         smr.Smr.thread_init ();
+         let holder =
+           Runtime.spawn (fun () ->
+               smr.Smr.thread_init ();
+               smr.Smr.op_begin ();
+               Runtime.write grabbed 1;
+               while Runtime.read release = 0 do
+                 Runtime.yield ()
+               done;
+               smr.Smr.op_end ();
+               smr.Smr.thread_exit ())
+         in
+         while Runtime.read grabbed = 0 do
+           Runtime.yield ()
+         done;
+         for _ = 1 to 40 do
+           smr.Smr.op_begin ();
+           smr.Smr.retire (alloc_node ());
+           smr.Smr.op_end ()
+         done;
+         (* every batch was published while the holder was inside an
+            operation: its reference pins them all *)
+         check "nothing freed while reader active" 0 smr.Smr.counters.freed;
+         Runtime.write release 1;
+         Runtime.join holder;
+         (* the holder's leave walked the whole list and dropped the last
+            reference on each batch *)
+         check "all batches freed by the leave" 40 smr.Smr.counters.freed;
+         smr.Smr.thread_exit ();
+         smr.Smr.flush ()))
+
+let test_hyaline_op_path_fence_free () =
+  (* the advertised cost model: enter and leave are one fetch-and-add
+     each — no CAS loop, no fence, on the operation path *)
+  let r = Runtime.create cfg in
+  ignore
+    (Runtime.add_thread r (fun () ->
+         let smr = Hyaline.create ~batch:8 ~max_threads:2 () in
+         smr.Smr.thread_init ();
+         for _ = 1 to 7 do
+           smr.Smr.op_begin ();
+           smr.Smr.op_end ()
+         done));
+  let res = Runtime.start r in
+  check "no CAS on the op path" 0 res.Runtime.run_stats.cas_ops;
+  check "no fences on the op path" 0 res.Runtime.run_stats.fences
+
 let () =
   Alcotest.run "ts_reclaim"
     [
@@ -483,5 +648,20 @@ let () =
           Alcotest.test_case "visible ref survives" `Quick test_stacktrack_visible_ref_survives;
           Alcotest.test_case "ring reset per op" `Quick test_stacktrack_ring_reset_per_op;
           Alcotest.test_case "no fences (vs hazard)" `Quick test_stacktrack_cheaper_than_hazard;
+        ] );
+      ( "debra",
+        [
+          Alcotest.test_case "quiescent frees" `Quick test_debra_quiescent_frees;
+          Alcotest.test_case "neutralizes pinned reader" `Quick
+            test_debra_neutralizes_pinned_reader;
+          Alcotest.test_case "no mutual stall" `Quick test_debra_no_mutual_stall;
+        ] );
+      ( "hyaline",
+        [
+          Alcotest.test_case "idle batches free immediately" `Quick
+            test_hyaline_idle_batches_free_immediately;
+          Alcotest.test_case "active reader pins batches" `Quick
+            test_hyaline_active_reader_pins_batches;
+          Alcotest.test_case "op path fence-free" `Quick test_hyaline_op_path_fence_free;
         ] );
     ]
