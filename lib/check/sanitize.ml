@@ -1,4 +1,4 @@
-module Runtime = Ts_sim.Runtime
+module Runtime = Ts_sim.Runtime (* tslint: allow facade -- fault capture hooks into the simulator heap *)
 module Mem = Ts_umem.Mem
 
 type fault = { kind : Mem.fault_kind; addr : int; tid : int; phase : int }

@@ -12,7 +12,7 @@ type fault = { kind : Ts_umem.Mem.fault_kind; addr : int; tid : int; phase : int
 
 type t
 
-val install : Ts_sim.Runtime.t -> phase_of:(unit -> int) -> t
+val install : Ts_sim.Runtime.t -> phase_of:(unit -> int) -> t (* tslint: allow facade -- capture hook takes the simulator runtime *)
 (** Install the capture hook on [rt]'s heap.  [phase_of] reports the
     reclamation phase in progress (supply [-1] until the scheme exists). *)
 

@@ -1,5 +1,5 @@
-module Runtime = Ts_sim.Runtime
-module Frame = Ts_sim.Frame
+module Runtime = Ts_sim.Runtime (* tslint: allow facade -- the checker owns the simulator it explores *)
+module Frame = Ts_sim.Frame (* tslint: allow facade -- frame inspection for the root-coverage oracle *)
 module Alloc = Ts_umem.Alloc
 module Ptr = Ts_umem.Ptr
 module Smr = Ts_smr.Smr
@@ -393,7 +393,7 @@ let run ?configure ?trace spec =
   let config =
     let sinks =
       (match Sys.getenv_opt "TSCHECK_TRACE" with
-      | Some _ -> [ (fun e -> Fmt.epr "%a@." Ts_sim.Trace.pp e) ]
+      | Some _ -> [ (fun e -> Fmt.epr "%a@." Ts_sim.Trace.pp e) ] (* tslint: allow facade -- TSCHECK_TRACE debug sink pretty-prints trace entries *)
       | None -> [])
       @ (match trace with Some f -> [ f ] | None -> [])
     in

@@ -150,8 +150,8 @@ type outcome = {
 val failed : outcome -> bool
 
 val run :
-  ?configure:(Ts_sim.Runtime.t -> unit) ->
-  ?trace:(Ts_sim.Trace.entry -> unit) ->
+  ?configure:(Ts_sim.Runtime.t -> unit) -> (* tslint: allow facade -- callers tune the simulator under test *)
+  ?trace:(Ts_sim.Trace.entry -> unit) -> (* tslint: allow facade -- trace sink receives simulator entries *)
   spec ->
   outcome
 (** Deterministic: same spec, same outcome.

@@ -142,6 +142,7 @@ let help_free t =
       for i = start to stop - 1 do
         let p = Runtime.read (t.work_base + i) in
         if p <> 0 && Runtime.cas (t.work_base + i) p 0 then begin
+          (* tslint: allow sigsafe -- both backends deliver signals at safepoint polls, never preempting an allocator call; helping runs between polls, as the paper's helpers run outside the handler *)
           Runtime.free (Ptr.addr p);
           Smr.add_freed c 1;
           t.helped <- t.helped + 1

@@ -1,5 +1,5 @@
 module Runtime = Ts_rt
-module Sim = Ts_sim.Runtime
+module Sim = Ts_sim.Runtime (* tslint: allow facade -- workloads pin simulator-only chaos knobs *)
 module Alloc = Ts_umem.Alloc
 module Mem = Ts_umem.Mem
 module Smr = Ts_smr.Smr

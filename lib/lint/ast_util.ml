@@ -1,0 +1,141 @@
+(* Shared parsetree helpers for the passes. *)
+
+open Parsetree
+
+(* [Longident.flatten] raises on functor applications; a forbidden
+   module inside [F(Atomic)] still surfaces because the iterator visits
+   the argument as its own module expression. *)
+let flatten lid = try Longident.flatten lid with _ -> []
+
+let last lid = match List.rev (flatten lid) with x :: _ -> Some x | [] -> None
+
+(* The callee of an application, as a flattened name path:
+   [Runtime.cas a b c] -> ["Runtime"; "cas"], [smr.retire p] ->
+   ["retire"] (field access keeps only the field path — the record
+   expression is not a module path). *)
+let callee_path e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> flatten txt
+  | Pexp_field (_, { txt; _ }) -> flatten txt
+  | _ -> []
+
+let callee_last e = match List.rev (callee_path e) with x :: _ -> Some x | [] -> None
+
+(* Iterate every expression in a structure, top-down. *)
+let iter_exprs f str =
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          f e;
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.structure it str
+
+(* Does [e] mention the value identifier [name] (unqualified)? *)
+let mentions_ident name e =
+  let found = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self x ->
+          (match x.pexp_desc with
+          | Pexp_ident { txt = Longident.Lident n; _ } when n = name -> found := true
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self x);
+    }
+  in
+  it.expr it e;
+  !found
+
+(* All unqualified value identifiers mentioned in [e] — used to extract
+   the "core" variables of a retire argument like [!cur] or
+   [Ptr.addr p].  Operator names ([!], [+]) are not variables. *)
+let idents_of e =
+  let acc = ref [] in
+  let is_var n =
+    String.length n > 0 && (match n.[0] with 'a' .. 'z' | '_' -> true | _ -> false)
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self x ->
+          (match x.pexp_desc with
+          | Pexp_ident { txt = Longident.Lident n; _ } ->
+              if is_var n && not (List.mem n !acc) then acc := n :: !acc
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self x);
+    }
+  in
+  it.expr it e;
+  !acc
+
+(* Variable names bound by a pattern (function parameters). *)
+let pattern_vars p =
+  let acc = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      pat =
+        (fun self x ->
+          (match x.ppat_desc with
+          | Ppat_var { txt; _ } | Ppat_alias (_, { txt; _ }) ->
+              if not (List.mem txt !acc) then acc := txt :: !acc
+          | _ -> ());
+          Ast_iterator.default_iterator.pat self x);
+    }
+  in
+  it.pat it p;
+  !acc
+
+(* In-file aliases of a module path: [module Runtime = Ts_rt] makes
+   "Runtime" an alias of ["Ts_rt"].  Returns the alias names (the
+   original head is always included). *)
+let module_aliases str ~target =
+  let aliases = ref [ List.hd target ] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      module_binding =
+        (fun self mb ->
+          (match (mb.pmb_name.txt, mb.pmb_expr.pmod_desc) with
+          | Some name, Pmod_ident { txt; _ } when flatten txt = target ->
+              if not (List.mem name !aliases) then aliases := name :: !aliases
+          | _ -> ());
+          Ast_iterator.default_iterator.module_binding self mb);
+    }
+  in
+  it.structure it str;
+  !aliases
+
+(* First positional (unlabelled) argument of an argument list. *)
+let first_positional args =
+  List.find_map (function Asttypes.Nolabel, a -> Some a | _ -> None) args
+
+(* Name -> body for every [let]-bound function in the file, at any
+   nesting depth.  Later bindings shadow earlier ones — good enough for
+   reachability seeds; the repo does not shadow function names across
+   meanings. *)
+let function_bodies str =
+  let tbl = Hashtbl.create 64 in
+  let rec strip_funs e =
+    match e.pexp_desc with Pexp_fun (_, _, _, body) -> strip_funs body | _ -> e
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      value_binding =
+        (fun self vb ->
+          (match (vb.pvb_pat.ppat_desc, vb.pvb_expr.pexp_desc) with
+          | Ppat_var { txt; _ }, (Pexp_fun _ | Pexp_function _) ->
+              Hashtbl.replace tbl txt (strip_funs vb.pvb_expr)
+          | _ -> ());
+          Ast_iterator.default_iterator.value_binding self vb);
+    }
+  in
+  it.structure it str;
+  tbl

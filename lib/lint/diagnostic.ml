@@ -1,0 +1,62 @@
+(* A single finding: which pass, how severe, where, and why.
+
+   Severity is per-diagnostic (not per-pass) so a pass can mix hard
+   violations with advisory notes: only [Error] diagnostics fail the
+   driver; [Warning]s print but exit 0 — that is what keeps the
+   unused-waiver check from blocking a build while still making rot
+   visible. *)
+
+type severity = Error | Warning
+
+type t = {
+  pass : string;  (* pass id, e.g. "facade" — what a waiver names *)
+  severity : severity;
+  file : string;  (* path as walked, relative to the driver's cwd *)
+  line : int;  (* 1-based *)
+  col : int;  (* 0-based, compiler convention *)
+  message : string;
+}
+
+let make ~pass ~severity ~file ~line ~col message =
+  { pass; severity; file; line; col; message }
+
+let severity_string = function Error -> "error" | Warning -> "warning"
+
+(* file, then position, then pass: the order a reader fixes things in. *)
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.pass b.pass
+
+let to_string d =
+  Printf.sprintf "%s:%d:%d: [%s] %s: %s" d.file d.line d.col d.pass
+    (severity_string d.severity)
+    d.message
+
+(* Hand-rolled JSON, same policy as the bench writers: no dependency,
+   escaping covers everything a diagnostic message can contain. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json d =
+  Printf.sprintf
+    {|{"pass":"%s","severity":"%s","file":"%s","line":%d,"col":%d,"message":"%s"}|}
+    (json_escape d.pass)
+    (severity_string d.severity)
+    (json_escape d.file) d.line d.col (json_escape d.message)

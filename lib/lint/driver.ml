@@ -1,0 +1,189 @@
+(* The driver: walk roots, parse every .ml/.mli with compiler-libs,
+   run the selected passes, apply inline waivers, report.
+
+   Exit codes (what `dune build @lint` and CI key on):
+     0 — no error diagnostics (warnings — unused waivers, stale
+         whitelist entries — print but do not fail);
+     1 — at least one non-waived error;
+     2 — usage or I/O problem (missing root, unknown pass). *)
+
+type config = {
+  roots : string list;
+  passes : string list option;  (* None = all *)
+  json : bool;
+}
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let rec walk dir =
+  let entries = Sys.readdir dir in
+  Array.sort compare entries;
+  Array.fold_left
+    (fun acc e ->
+      let p = Filename.concat dir e in
+      if Sys.is_directory p then acc @ walk p
+      else if Filename.check_suffix e ".ml" || Filename.check_suffix e ".mli" then acc @ [ p ]
+      else acc)
+    [] entries
+
+(* Files under a root, as (root, rel, path).  A root may be a single
+   file — handy for fixtures and spot checks. *)
+let files_of_root root =
+  if Sys.is_directory root then
+    List.map
+      (fun path ->
+        let r = String.length root and p = String.length path in
+        let rel =
+          if p > r && String.sub path 0 r = root then String.sub path (r + 1) (p - r - 1)
+          else path
+        in
+        (root, rel, path))
+      (walk root)
+  else [ (Filename.dirname root, Filename.basename root, root) ]
+
+let parse_line_of exn =
+  match exn with
+  | Syntaxerr.Error e -> (Syntaxerr.location_of_error e).loc_start.pos_lnum
+  | _ -> 1
+
+(* Lint one already-loaded file; returns (diagnostics, waiver list). *)
+let lint_source ~passes ~root ~rel ~path source =
+  let ctx = { Pass.root; rel; path; source } in
+  let waivers, waiver_warns = Waiver.scan ~file:path source in
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf path;
+  let diags =
+    try
+      if Filename.check_suffix path ".mli" then
+        let sg = Parse.interface lexbuf in
+        List.concat_map
+          (fun (p : Pass.t) -> match p.intf with Some f -> f ctx sg | None -> [])
+          passes
+      else
+        let str = Parse.implementation lexbuf in
+        List.concat_map
+          (fun (p : Pass.t) -> match p.impl with Some f -> f ctx str | None -> [])
+          passes
+    with exn ->
+      [
+        Diagnostic.make ~pass:"parse" ~severity:Diagnostic.Error ~file:path
+          ~line:(parse_line_of exn) ~col:0
+          (Printf.sprintf "file does not parse: %s"
+             (match exn with Syntaxerr.Error _ -> "syntax error" | e -> Printexc.to_string e));
+      ]
+  in
+  let kept =
+    List.filter
+      (fun (d : Diagnostic.t) -> not (Waiver.covers waivers ~pass:d.pass ~line:d.line))
+      diags
+  in
+  let ran = List.map (fun (p : Pass.t) -> p.id) passes in
+  (kept @ waiver_warns @ Waiver.unused waivers ~file:path ~ran, waivers)
+
+let lint_file ?passes path =
+  let passes =
+    match passes with
+    | None -> Passes.all
+    | Some ids -> List.filter_map Passes.find ids
+  in
+  let root = Filename.dirname path and rel = Filename.basename path in
+  fst (lint_source ~passes ~root ~rel ~path (read_file path))
+
+let run cfg =
+  let passes =
+    match cfg.passes with
+    | None -> Passes.all
+    | Some ids ->
+        List.map
+          (fun id ->
+            match Passes.find id with
+            | Some p -> p
+            | None ->
+                Printf.eprintf "tslint: unknown pass %S (see --list-passes)\n" id;
+                exit 2)
+          ids
+  in
+  List.iter
+    (fun root ->
+      if not (Sys.file_exists root) then begin
+        Printf.eprintf "tslint: no such file or directory: %s\n" root;
+        exit 2
+      end)
+    cfg.roots;
+  let files = List.concat_map files_of_root cfg.roots in
+  let diags =
+    List.concat_map
+      (fun (root, rel, path) ->
+        fst (lint_source ~passes ~root ~rel ~path (read_file path)))
+      files
+  in
+  let diags = List.sort Diagnostic.compare diags in
+  (* A site reachable two ways (e.g. a handler-reachable function on two
+     call paths) yields identical diagnostics; keep one. *)
+  let diags =
+    let rec dedup = function
+      | (a : Diagnostic.t) :: b :: rest
+        when a.pass = b.pass && a.file = b.file && a.line = b.line && a.col = b.col ->
+          dedup (a :: rest)
+      | a :: rest -> a :: dedup rest
+      | [] -> []
+    in
+    dedup diags
+  in
+  let errors =
+    List.length (List.filter (fun (d : Diagnostic.t) -> d.severity = Diagnostic.Error) diags)
+  in
+  let warnings = List.length diags - errors in
+  if cfg.json then begin
+    let b = Buffer.create 1024 in
+    Buffer.add_string b "{\n";
+    Buffer.add_string b "  \"tool\": \"ts_lint\",\n";
+    Buffer.add_string b "  \"version\": 1,\n";
+    Buffer.add_string b
+      (Printf.sprintf "  \"roots\": [%s],\n"
+         (String.concat ", "
+            (List.map (fun r -> "\"" ^ Diagnostic.json_escape r ^ "\"") cfg.roots)));
+    Buffer.add_string b
+      (Printf.sprintf "  \"passes\": [%s],\n"
+         (String.concat ", " (List.map (fun (p : Pass.t) -> "\"" ^ p.id ^ "\"") passes)));
+    Buffer.add_string b (Printf.sprintf "  \"files\": %d,\n" (List.length files));
+    Buffer.add_string b (Printf.sprintf "  \"errors\": %d,\n" errors);
+    Buffer.add_string b (Printf.sprintf "  \"warnings\": %d,\n" warnings);
+    Buffer.add_string b "  \"diagnostics\": [";
+    List.iteri
+      (fun i d ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b "\n    ";
+        Buffer.add_string b (Diagnostic.to_json d))
+      diags;
+    if diags <> [] then Buffer.add_string b "\n  ";
+    Buffer.add_string b "]\n}\n";
+    print_string (Buffer.contents b)
+  end
+  else begin
+    List.iter (fun d -> print_endline (Diagnostic.to_string d)) diags;
+    if errors > 0 then
+      Printf.printf "tslint: %d error%s, %d warning%s (%d pass%s, %d files)\n" errors
+        (if errors = 1 then "" else "s")
+        warnings
+        (if warnings = 1 then "" else "s")
+        (List.length passes)
+        (if List.length passes = 1 then "" else "es")
+        (List.length files)
+    else
+      Printf.printf "tslint: OK%s (%d pass%s, %d files)\n"
+        (if warnings > 0 then Printf.sprintf ", %d warning%s" warnings (if warnings = 1 then "" else "s")
+         else "")
+        (List.length passes)
+        (if List.length passes = 1 then "" else "es")
+        (List.length files)
+  end;
+  if errors > 0 then 1 else 0
+
+let list_passes () =
+  List.iter (fun (p : Pass.t) -> Printf.printf "%-10s %s\n" p.id p.doc) Passes.all

@@ -1,0 +1,64 @@
+(* The pass interface and registry.
+
+   A pass sees one parsed file at a time: the raw parsetree (no typing,
+   no ppx — whatever `Parse.implementation` returns) plus a [ctx] with
+   the file's place in the scanned tree.  It returns diagnostics; the
+   driver owns waiver filtering, ordering and output.
+
+   Passes are pure per-file by design: every check here is either
+   syntactic or resolved through in-file binding tracking (module
+   aliases, local functions).  Cross-module reasoning belongs to the
+   dynamic analyzers (docs/ANALYSIS.md); the split is documented in
+   docs/LINT.md. *)
+
+type ctx = {
+  root : string;  (* the root argument this file was found under *)
+  rel : string;  (* path relative to [root], '/'-separated *)
+  path : string;  (* [root] joined with [rel] — what diagnostics cite *)
+  source : string;  (* raw file contents *)
+}
+
+(* Directories under a root whose modules ARE the execution backends:
+   they implement the primitives the rest of the tree must not name. *)
+let backend_dirs = [ "rt"; "sim"; "par" ]
+
+let in_dir ctx dirs =
+  List.exists
+    (fun d ->
+      let p = d ^ "/" in
+      String.length ctx.rel > String.length p && String.sub ctx.rel 0 (String.length p) = p)
+    dirs
+
+let is_backend ctx = in_dir ctx backend_dirs
+
+(* Seeded-violation fixtures (test/lint_fixtures) carry no directory
+   structure; passes whose scope is directory-based treat them as
+   in-scope so the regression suite can exercise every pass. *)
+let is_fixture ctx =
+  let base = Filename.basename ctx.rel in
+  String.length base >= 8 && String.sub base 0 8 = "fixture_"
+
+type t = {
+  id : string;  (* what --pass and waiver comments name *)
+  doc : string;  (* one line for --list-passes *)
+  impl : (ctx -> Parsetree.structure -> Diagnostic.t list) option;
+  intf : (ctx -> Parsetree.signature -> Diagnostic.t list) option;
+}
+
+let err ~pass ctx (loc : Location.t) fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Diagnostic.make ~pass ~severity:Diagnostic.Error ~file:ctx.path
+        ~line:loc.loc_start.pos_lnum
+        ~col:(loc.loc_start.pos_cnum - loc.loc_start.pos_bol)
+        msg)
+    fmt
+
+let warn ~pass ctx (loc : Location.t) fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Diagnostic.make ~pass ~severity:Diagnostic.Warning ~file:ctx.path
+        ~line:loc.loc_start.pos_lnum
+        ~col:(loc.loc_start.pos_cnum - loc.loc_start.pos_bol)
+        msg)
+    fmt

@@ -1,0 +1,149 @@
+(* Pass "critical": discipline inside [Ts_rt.critical] brackets.
+
+   On the simulator a critical section is scheduling-atomic; on the
+   native backend it is one global non-reentrant mutex.  Both make the
+   same demands of the body:
+
+   - no [spawn]/[join]: joining inside the section deadlocks against a
+     child that needs the section to finish its ops; spawning makes the
+     child observable mid-section, which the analyzer's single critical
+     chain cannot order;
+   - no [poll]/[sleep]/[op_sleep]: signal delivery happens at polls, and
+     a handler that re-enters the section self-deadlocks natively;
+   - no [while]/[for] polling loops: a loop waiting on another thread's
+     write can never be satisfied — the writer needs the section (or the
+     simulator never schedules it);
+   - no nested [critical]: the native mutex is non-reentrant, so the
+     second enter is a self-deadlock.  This includes calling an in-file
+     function whose body enters [critical] (one level of indirection —
+     deeper chains are the dynamic checker's job);
+   - the body must be a literal [fun () -> ...]: passing a pre-built
+     closure makes the bracket's extent non-syntactic — the static
+     analogue of unbalanced enter/exit, and this pass's other checks
+     cannot see into it. *)
+
+open Parsetree
+
+let pass_id = "critical"
+
+(* Heads under which [X.critical f] is the facade bracket: Ts_rt itself
+   plus any in-file alias (module Runtime = Ts_rt), plus a record field
+   access [o.critical] — the raw ops record in decorator code. *)
+let is_critical_callee aliases f =
+  match f.pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+      match Ast_util.flatten txt with
+      | [ m; "critical" ] -> List.mem m aliases
+      | _ -> false)
+  | Pexp_field (_, { txt; _ }) -> Ast_util.last txt = Some "critical"
+  | _ -> false
+
+let forbidden_calls = [ "spawn"; "join"; "poll"; "sleep"; "op_sleep" ]
+
+(* Is this application a facade call named [n]?  Qualified through an
+   alias head, or a field access on an ops record. *)
+let facade_call aliases n f =
+  match f.pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+      match Ast_util.flatten txt with [ m; x ] -> x = n && List.mem m aliases | _ -> false)
+  | Pexp_field (_, { txt; _ }) -> Ast_util.last txt = Some n
+  | _ -> false
+
+let scan ctx str =
+  let acc = ref [] in
+  let aliases = Ast_util.module_aliases str ~target:[ "Ts_rt" ] in
+  (* in-file functions whose body directly enters critical *)
+  let bodies = Ast_util.function_bodies str in
+  let enters_critical name =
+    match Hashtbl.find_opt bodies name with
+    | None -> false
+    | Some body ->
+        let found = ref false in
+        let it =
+          {
+            Ast_iterator.default_iterator with
+            expr =
+              (fun self e ->
+                (match e.pexp_desc with
+                | Pexp_apply (f, _) when is_critical_callee aliases f -> found := true
+                | _ -> ());
+                Ast_iterator.default_iterator.expr self e);
+          }
+        in
+        it.expr it body;
+        !found
+  in
+  (* Check one critical body. *)
+  let check_body body =
+    let it =
+      {
+        Ast_iterator.default_iterator with
+        expr =
+          (fun self e ->
+            (match e.pexp_desc with
+            | Pexp_apply (f, _) when is_critical_callee aliases f ->
+                acc :=
+                  Pass.err ~pass:pass_id ctx e.pexp_loc
+                    "nested Ts_rt.critical — self-deadlock on the native backend's \
+                     non-reentrant mutex"
+                  :: !acc
+            | Pexp_apply (f, _)
+              when List.exists (fun n -> facade_call aliases n f) forbidden_calls ->
+                let n = Option.value ~default:"?" (Ast_util.callee_last f) in
+                acc :=
+                  Pass.err ~pass:pass_id ctx e.pexp_loc
+                    "%s inside a critical section — the bracket must stay short, \
+                     non-blocking and signal-free"
+                    n
+                  :: !acc
+            | Pexp_apply ({ pexp_desc = Pexp_ident { txt = Longident.Lident n; _ }; _ }, _)
+              when enters_critical n ->
+                acc :=
+                  Pass.err ~pass:pass_id ctx e.pexp_loc
+                    "call to %s, which enters Ts_rt.critical — nested section \
+                     self-deadlocks on the native backend"
+                    n
+                  :: !acc
+            | Pexp_while (_, _) ->
+                acc :=
+                  Pass.err ~pass:pass_id ctx e.pexp_loc
+                    "polling loop inside a critical section — a wait on another \
+                     thread's write can never be satisfied here"
+                  :: !acc
+            | _ -> ());
+            Ast_iterator.default_iterator.expr self e);
+      }
+    in
+    it.expr it body
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+          | Pexp_apply (f, args) when is_critical_callee aliases f -> (
+              match Ast_util.first_positional args with
+              | Some { pexp_desc = Pexp_fun (_, _, _, body); _ } -> check_body body
+              | Some arg ->
+                  acc :=
+                    Pass.err ~pass:pass_id ctx arg.pexp_loc
+                      "critical section body is not a literal fun — its extent is \
+                       non-syntactic (the static analogue of unbalanced enter/exit) \
+                       and cannot be checked"
+                    :: !acc
+              | None -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.structure it str;
+  List.rev !acc
+
+let pass =
+  {
+    Pass.id = pass_id;
+    doc = "Ts_rt.critical bodies: no spawn/join/poll/sleep, no polling loops, no nesting";
+    impl = Some (fun ctx str -> if Pass.is_backend ctx then [] else scan ctx str);
+    intf = None;
+  }

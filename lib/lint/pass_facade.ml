@@ -1,0 +1,133 @@
+(* Pass "facade": everything outside the backend directories reaches
+   the execution layer exclusively through [Ts_rt].
+
+   Naming the simulator ([Ts_sim.*]) or a domain primitive ([Atomic],
+   [Mutex], [Thread], [Domain]) bypasses the installed ops table: the
+   code stops being backend-portable AND the operation becomes invisible
+   to the [Ts_analyze] decorator — an unobserved access can neither race
+   nor order anything.
+
+   This is the AST rewrite of the original textual grep, which looked
+   for the literal tokens "Atomic." etc. and was silently defeated by
+   any of:
+
+     module A = Atomic        (* alias: "A.make" has no token *)
+     open Atomic              (* open: bare "make" has no token *)
+     let module M = Mutex in  (* local binding *)
+
+   Here the forbidden name is found wherever a module path mentions it —
+   value identifiers, type constructors, module expressions, opens,
+   functor arguments — so the alias itself is flagged at its binding
+   and there is nothing left to smuggle.  Comments and strings never
+   reach the parsetree, so documentation stays free. *)
+
+open Parsetree
+
+let forbidden =
+  [
+    ("Ts_sim", "simulator internals; use the Ts_rt facade");
+    ("Atomic", "backend primitive; route shared state through Ts_rt ops");
+    ("Mutex", "backend primitive; use Ts_rt.critical or lib/sync locks");
+    ("Thread", "backend primitive; spawn through Ts_rt");
+    ("Domain", "backend primitive; spawn through Ts_rt");
+  ]
+
+(* Components of a path that sit in module position: all of them for a
+   module expression or open, all but the last for a value/type path
+   ([Foo.Atomic.x] names the module [Atomic]; [My_atomic.x] does not). *)
+let check ~pass ctx acc (loc : Location.t) ~module_pos lid =
+  let comps = Ast_util.flatten lid in
+  let module_comps =
+    if module_pos then comps
+    else match List.rev comps with [] -> [] | _ :: rev_init -> List.rev rev_init
+  in
+  List.iter
+    (fun c ->
+      match List.assoc_opt c forbidden with
+      | Some why -> acc := Pass.err ~pass ctx loc "forbidden reference %S — %s" c why :: !acc
+      | None -> ())
+    module_comps
+
+let pass_id = "facade"
+
+let scan_structure ctx str =
+  let acc = ref [] in
+  let chk = check ~pass:pass_id ctx acc in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt; loc } -> chk loc ~module_pos:false txt
+          | Pexp_new { txt; loc } -> chk loc ~module_pos:false txt
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+      typ =
+        (fun self t ->
+          (match t.ptyp_desc with
+          | Ptyp_constr ({ txt; loc }, _) | Ptyp_class ({ txt; loc }, _) ->
+              chk loc ~module_pos:false txt
+          | _ -> ());
+          Ast_iterator.default_iterator.typ self t);
+      pat =
+        (fun self p ->
+          (match p.ppat_desc with
+          | Ppat_construct ({ txt; loc }, _) -> chk loc ~module_pos:false txt
+          | _ -> ());
+          Ast_iterator.default_iterator.pat self p);
+      module_expr =
+        (fun self m ->
+          (match m.pmod_desc with
+          | Pmod_ident { txt; loc } -> chk loc ~module_pos:true txt
+          | _ -> ());
+          Ast_iterator.default_iterator.module_expr self m);
+      module_type =
+        (fun self mt ->
+          (match mt.pmty_desc with
+          | Pmty_ident { txt; loc } | Pmty_alias { txt; loc } -> chk loc ~module_pos:true txt
+          | _ -> ());
+          Ast_iterator.default_iterator.module_type self mt);
+    }
+  in
+  it.structure it str;
+  List.rev !acc
+
+let scan_signature ctx sg =
+  let acc = ref [] in
+  let chk = check ~pass:pass_id ctx acc in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      typ =
+        (fun self t ->
+          (match t.ptyp_desc with
+          | Ptyp_constr ({ txt; loc }, _) | Ptyp_class ({ txt; loc }, _) ->
+              chk loc ~module_pos:false txt
+          | _ -> ());
+          Ast_iterator.default_iterator.typ self t);
+      open_description =
+        (fun self od ->
+          chk od.popen_expr.loc ~module_pos:true od.popen_expr.txt;
+          Ast_iterator.default_iterator.open_description self od);
+      module_type =
+        (fun self mt ->
+          (match mt.pmty_desc with
+          | Pmty_ident { txt; loc } | Pmty_alias { txt; loc } -> chk loc ~module_pos:true txt
+          | _ -> ());
+          Ast_iterator.default_iterator.module_type self mt);
+      module_declaration =
+        (fun self md ->
+          Ast_iterator.default_iterator.module_declaration self md);
+    }
+  in
+  it.signature it sg;
+  List.rev !acc
+
+let pass =
+  {
+    Pass.id = pass_id;
+    doc = "shared state must flow through the Ts_rt facade (catches aliases and opens)";
+    impl = Some (fun ctx str -> if Pass.is_backend ctx then [] else scan_structure ctx str);
+    intf = Some (fun ctx sg -> if Pass.is_backend ctx then [] else scan_signature ctx sg);
+  }

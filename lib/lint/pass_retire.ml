@@ -1,0 +1,153 @@
+(* Pass "retire": the static sibling of the dynamic retire-before-unlink
+   sanitizer (docs/ANALYSIS.md).
+
+   [Smr.retire p] hands a node to the reclamation scheme; the contract
+   (lib/smr/smr.mli) is that [p] was already unlinked — no live path
+   from a structure root reaches it.  The dynamic sanitizer catches a
+   violation when a schedule happens to expose it; this pass catches the
+   *shape* at compile time: a retire call with no unlink evidence
+   anywhere on the straight-line path that reaches it.
+
+   Unlink evidence for [retire v] is a facade [write]/[cas] whose
+   TARGET does not mention [v]: unlinking stores the successor into the
+   predecessor's cell ([cas prev_cell v succ], [write (pred + off) n]),
+   so the target is some other node's field.  A [cas (next_cell v) ...]
+   is the logical-delete mark on [v] itself — precisely the state the
+   retire-before-unlink bug retires in — and therefore does not count.
+
+   "Path that reaches it" is syntactic evaluation order within the
+   enclosing function (the issue's "same function" scope): preceding
+   elements of a sequence, the bound expressions of enclosing [let]s,
+   the scrutinee of enclosing [match]es, and — success evidence — the
+   condition of an [if] when the retire sits in the THEN branch.  A
+   [fun] boundary resets the context.  The heuristic is deliberately
+   per-function: helper-retire protocols that separate unlink and
+   retire across functions get a waiver naming the protocol. *)
+
+open Parsetree
+
+let pass_id = "retire"
+
+let is_retire_callee f =
+  match f.pexp_desc with
+  | Pexp_field (_, { txt; _ }) -> Ast_util.last txt = Some "retire"
+  | _ -> false
+
+let is_unlink_op f =
+  match Ast_util.callee_last f with Some ("cas" | "write") -> true | _ -> false
+
+let scan ctx str =
+  let acc = ref [] in
+  (* evidence search inside one expression subtree *)
+  let subtree_evidence vars e =
+    let found = ref false in
+    let it =
+      {
+        Ast_iterator.default_iterator with
+        expr =
+          (fun self x ->
+            (match x.pexp_desc with
+            | Pexp_apply (f, args) when is_unlink_op f -> (
+                match Ast_util.first_positional args with
+                | Some target ->
+                    if not (List.exists (fun v -> Ast_util.mentions_ident v target) vars)
+                    then found := true
+                | None -> ())
+            | _ -> ());
+            Ast_iterator.default_iterator.expr self x);
+      }
+    in
+    it.expr it e;
+    !found
+  in
+  (* Walk with [params] — the enclosing function's own parameters — and
+     [env], the expressions already evaluated on the path to the current
+     point within that function. *)
+  let rec visit params env e =
+    let continue_children () =
+      (* default: children see the same environment *)
+      let it =
+        {
+          Ast_iterator.default_iterator with
+          expr = (fun _self child -> visit params env child);
+        }
+      in
+      (* iterate only the immediate structure of [e] *)
+      Ast_iterator.default_iterator.expr it e
+    in
+    match e.pexp_desc with
+    | Pexp_sequence (a, b) ->
+        visit params env a;
+        visit params (a :: env) b
+    | Pexp_let (_, vbs, body) ->
+        List.iter (fun vb -> visit params env vb.pvb_expr) vbs;
+        visit params (List.map (fun vb -> vb.pvb_expr) vbs @ env) body
+    | Pexp_ifthenelse (c, t, f) ->
+        visit params env c;
+        visit params (c :: env) t;
+        Option.iter (visit params env) f
+    | Pexp_match (scrut, cases) | Pexp_try (scrut, cases) ->
+        visit params env scrut;
+        List.iter
+          (fun case ->
+            Option.iter (visit params (scrut :: env)) case.pc_guard;
+            visit params (scrut :: env) case.pc_rhs)
+          cases
+    | Pexp_while (c, body) ->
+        visit params env c;
+        visit params (c :: env) body
+    | Pexp_fun (_, default, pat, body) ->
+        Option.iter (visit params env) default;
+        (* new function: the unlink must happen in THIS function, so the
+           evaluated-path environment resets.  Parameters ACCUMULATE
+           across enclosing functions: a retire of a bare parameter is a
+           forwarder (a decorator or scheme wrapper re-emitting its
+           caller's node) — the unlink obligation sits with the caller
+           that obtained the node, and the dynamic sanitizer checks it
+           there.  Let-bound traversal variables are never parameters,
+           so real retire-before-unlink shapes still surface. *)
+        visit (Ast_util.pattern_vars pat @ params) [] body
+    | Pexp_function cases ->
+        List.iter
+          (fun case ->
+            let params = Ast_util.pattern_vars case.pc_lhs @ params in
+            Option.iter (visit params []) case.pc_guard;
+            visit params [] case.pc_rhs)
+          cases
+    | Pexp_apply (f, args) when is_retire_callee f ->
+        (match Ast_util.first_positional args with
+        | Some arg -> (
+            match Ast_util.idents_of arg with
+            | [] -> ()  (* not reducible to variables; nothing to check *)
+            | vars ->
+                let forwarded = List.for_all (fun v -> List.mem v params) vars in
+                if (not forwarded) && not (List.exists (subtree_evidence vars) env) then
+                  acc :=
+                    Pass.err ~pass:pass_id ctx e.pexp_loc
+                      "retire of %s with no unlink evidence on the path: no preceding \
+                       write/cas targets another cell — the node may still be reachable \
+                       from the structure (retire-before-unlink)"
+                      (String.concat "/" vars)
+                    :: !acc)
+        | None -> ());
+        List.iter (fun (_, a) -> visit params env a) args;
+        visit params env f
+    | _ -> continue_children ()
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr = (fun _self e -> visit [] [] e);
+      (* value bindings at structure level start an empty path *)
+    }
+  in
+  it.structure it str;
+  List.rev !acc
+
+let pass =
+  {
+    Pass.id = pass_id;
+    doc = "Smr.retire must be dominated by an unlink write/cas in the same function";
+    impl = Some (fun ctx str -> if Pass.is_backend ctx then [] else scan ctx str);
+    intf = None;
+  }

@@ -1,0 +1,15 @@
+(* The pass catalogue, in the order --list-passes and reports use.
+   Adding a pass: write lib/lint/pass_<id>.ml exposing a [pass] value,
+   list it here, document it in docs/LINT.md, and seed a violation in
+   test/lint_fixtures/fixture_<id>.ml. *)
+
+let all : Pass.t list =
+  [
+    Pass_facade.pass;
+    Pass_critical.pass;
+    Pass_padding.pass;
+    Pass_sigsafe.pass;
+    Pass_retire.pass;
+  ]
+
+let find id = List.find_opt (fun (p : Pass.t) -> p.id = id) all

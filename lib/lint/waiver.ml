@@ -1,0 +1,178 @@
+(* Inline waivers.
+
+   A diagnostic is silenced by a comment at the violation site:
+
+     (* tslint: allow <pass>[,<pass>...] -- <reason> *)
+
+   The comment covers every line it spans plus the line immediately
+   after it, so it can sit at the end of the offending line or on its
+   own line directly above.  The reason is mandatory: a waiver is a
+   documented backdoor, and the documentation is the point.
+
+   Waivers replace the old hardcoded path list in bin/tslint.ml, which
+   silenced whole files forever: nobody noticed when a waived file
+   stopped needing its waiver.  Here every waiver is tracked — one that
+   silenced nothing during a run of its pass is itself reported (as a
+   warning, pass id "waiver"), so the set cannot rot. *)
+
+type t = {
+  start_line : int;
+  end_line : int;
+  passes : string list;
+  reason : string;
+  mutable used : bool;
+}
+
+let directive = "tslint:"
+
+(* A comment is a directive only when its body — right after the opener
+   — starts with "tslint:".  Prose that merely mentions the marker
+   mid-comment is not parsed. *)
+let is_directive body =
+  let n = String.length body in
+  let i = ref 2 (* skip the opener *) in
+  while !i < n && (body.[!i] = ' ' || body.[!i] = '\t' || body.[!i] = '\n') do
+    incr i
+  done;
+  !i + String.length directive <= n && String.sub body !i (String.length directive) = directive
+
+(* Comment spans, with nesting, tracking line numbers.  Strings are not
+   skipped: a string literal containing "(*" is vanishingly rare outside
+   this library itself, and this library spells the marker split so it
+   cannot self-match. *)
+let comment_spans src =
+  let n = String.length src in
+  let spans = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  while !i < n do
+    if src.[!i] = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if !i + 1 < n && src.[!i] = '(' && src.[!i + 1] = '*' then begin
+      let start_line = !line in
+      let start = !i in
+      let depth = ref 1 in
+      i := !i + 2;
+      while !i < n && !depth > 0 do
+        if src.[!i] = '\n' then incr line;
+        if !i + 1 < n && src.[!i] = '(' && src.[!i + 1] = '*' then begin
+          incr depth;
+          i := !i + 2
+        end
+        else if !i + 1 < n && src.[!i] = '*' && src.[!i + 1] = ')' then begin
+          decr depth;
+          i := !i + 2
+        end
+        else incr i
+      done;
+      spans := (start_line, !line, String.sub src start (!i - start)) :: !spans
+    end
+    else incr i
+  done;
+  List.rev !spans
+
+let is_id_char = function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' -> true | _ -> false
+
+(* Parse "allow p1, p2 -- reason" out of a directive comment.  Returns
+   [Error msg] for a malformed directive. *)
+let parse_directive body =
+  if not (is_directive body) then Ok None
+  else
+    match
+      let idx = ref (-1) in
+      String.iteri
+        (fun i _ ->
+          if
+            !idx < 0
+            && i + String.length directive <= String.length body
+            && String.sub body i (String.length directive) = directive
+          then idx := i)
+        body;
+      !idx
+    with
+    | -1 -> Ok None
+    | at -> (
+      let rest = String.sub body (at + String.length directive) (String.length body - at - String.length directive) in
+      (* strip the trailing comment closer *)
+      let rest =
+        match String.index_opt rest '*' with
+        | Some j when j + 1 < String.length rest && rest.[j + 1] = ')' -> String.sub rest 0 j
+        | _ -> rest
+      in
+      let rest = String.trim rest in
+      let allow = "allow" in
+      if not (String.length rest >= String.length allow && String.sub rest 0 (String.length allow) = allow)
+      then Error "expected `allow` after `tslint:`"
+      else
+        let rest = String.trim (String.sub rest (String.length allow) (String.length rest - String.length allow)) in
+        match
+          let sep = ref None in
+          String.iteri
+            (fun i c -> if !sep = None && c = '-' && i + 1 < String.length rest && rest.[i + 1] = '-' then sep := Some i)
+            rest;
+          !sep
+        with
+        | None -> Error "missing `-- <reason>` (a waiver must say why)"
+        | Some sep ->
+            let ids = String.sub rest 0 sep in
+            let reason = String.trim (String.sub rest (sep + 2) (String.length rest - sep - 2)) in
+            let passes =
+              String.split_on_char ',' ids |> List.map String.trim
+              |> List.filter (fun s -> s <> "")
+            in
+            if passes = [] then Error "no pass ids before `--`"
+            else if List.exists (fun p -> not (String.for_all is_id_char p)) passes then
+              Error "pass ids must be [a-z0-9_-]"
+            else if reason = "" then Error "empty reason after `--`"
+            else Ok (Some (passes, reason)))
+
+(* Scan a file's source.  Returns the waivers plus a malformed-directive
+   warning list (pass id "waiver"). *)
+let scan ~file src =
+  List.fold_left
+    (fun (ws, diags) (start_line, end_line, body) ->
+      match parse_directive body with
+      | Ok None -> (ws, diags)
+      | Ok (Some (passes, reason)) ->
+          ({ start_line; end_line; passes; reason; used = false } :: ws, diags)
+      | Error msg ->
+          ( ws,
+            Diagnostic.make ~pass:"waiver" ~severity:Diagnostic.Warning ~file ~line:start_line
+              ~col:0
+              (Printf.sprintf "malformed tslint comment: %s" msg)
+            :: diags ))
+    ([], []) (comment_spans src)
+  |> fun (ws, diags) -> (List.rev ws, List.rev diags)
+
+(* The waiver, if any, covering a diagnostic of [pass] at [line].  Marks
+   it used as a side effect.  A waiver ON the diagnostic's own line wins
+   over a previous line's spillover coverage — otherwise two trailing
+   waivers on adjacent lines leave the second one reported unused. *)
+let covers ws ~pass ~line =
+  let on_line w = List.mem pass w.passes && line >= w.start_line && line <= w.end_line in
+  let spill w = List.mem pass w.passes && line = w.end_line + 1 in
+  match
+    match List.find_opt on_line ws with
+    | Some _ as w -> w
+    | None -> List.find_opt spill ws
+  with
+  | Some w ->
+      w.used <- true;
+      true
+  | None -> false
+
+(* Unused-waiver warnings, restricted to waivers whose every pass was in
+   the run set — running a single pass must not flag the others' waivers. *)
+let unused ws ~file ~ran =
+  List.filter_map
+    (fun w ->
+      if w.used || not (List.for_all (fun p -> List.mem p ran) w.passes) then None
+      else
+        Some
+          (Diagnostic.make ~pass:"waiver" ~severity:Diagnostic.Warning ~file ~line:w.start_line
+             ~col:0
+             (Printf.sprintf "unused waiver for %s (%s) — remove it or the violation moved"
+                (String.concat ", " w.passes) w.reason)))
+    ws

@@ -867,7 +867,9 @@ let create cfg =
     cfg;
     heap;
     ctxs = Array.make cfg.max_threads None;
-    next_tid = Atomic.make 1;
+    (* bumped on every registration, read on every tid lookup — keep it
+       off the line shared with the ctxs array header *)
+    next_tid = Ts_util.Padded.copy (Atomic.make 1);
     reg_lock = Mutex.create ();
     crit = Mutex.create ();
     (* every thread batch-bumps [steps]; isolate it from its neighbours *)

@@ -49,7 +49,9 @@ let add_cleanups c n = Ts_rt.critical (fun () -> c.cleanups <- c.cleanups + n)
 let make ~name ?(thread_init = nop) ?(thread_exit = nop) ?(op_begin = nop) ?(op_end = nop)
     ?(protect = fun ~slot:_ p -> p) ?(release = fun ~slot:_ -> ()) ?(flush = nop)
     ?(extras = fun () -> []) ?(retired_access = Invisible) ~retire () =
-  let counters = { retired = 0; freed = 0; cleanups = 0 } in
+  (* retire/free paths on different threads bump these; give the record
+     its own cache lines so the bumps don't ping-pong *)
+  let counters = Ts_util.Padded.copy { retired = 0; freed = 0; cleanups = 0 } in
   {
     name;
     thread_init;

@@ -37,7 +37,7 @@ let[@inline never] copy x =
     Obj.obj dst
   end
 
-let atomic v = copy (Atomic.make v)
+let atomic v = copy (Atomic.make v) (* tslint: allow facade -- the padding shim constructs the cell it isolates *)
 
 (* Stride helpers for unmanaged-heap layouts: one hot word per thread,
    each on its own line. *)

@@ -16,7 +16,7 @@ val copy : 'a -> 'a
     plain scannable blocks (immediates, float records, custom blocks)
     are returned unchanged. *)
 
-val atomic : int -> int Atomic.t
+val atomic : int -> int Atomic.t (* tslint: allow facade -- the isolated cell's type is necessarily Atomic.t *)
 (** [atomic v] is [copy (Atomic.make v)]: a line-isolated atomic. *)
 
 val stride : int

@@ -1,38 +1,64 @@
 The facade-discipline pass.  Everything outside lib/rt, lib/sim and
 lib/par must go through the Ts_rt facade; naming the simulator or a
-domain primitive directly fails the lint.
+domain primitive directly fails the lint.  The checker is AST-based:
+aliasing or opening a forbidden module is caught at the binding, which
+the old textual grep could not see.
 
 A fake tree standing in for the repository's lib/, with a data-structure
-module that smuggles in an Atomic and spawns a Domain:
+module that smuggles in an Atomic three different ways:
 
-  $ mkdir -p lib/ds lib/rt
-  $ cat > lib/ds/bad.ml <<'EOF'
+  $ mkdir -p fake/ds fake/rt
+  $ cat > fake/ds/bad.ml <<'EOF'
   > (* A comment may say Atomic.make freely; code may not. *)
-  > let counter = Atomic.make 0
+  > module A = Atomic
+  > open Mutex
+  > let counter = A.make 0
   > let spawn f = Domain.spawn f
   > let label = "Mutex.lock inside a string is fine"
   > EOF
-  $ cat > lib/ds/good.ml <<'EOF'
+  $ cat > fake/ds/good.ml <<'EOF'
   > let bump t = Ts_rt.faa t 1
   > EOF
 
-lib/rt is a backend directory, so it may (must) name the primitives:
+fake/rt is a backend directory, so it may (must) name the primitives:
 
-  $ cat > lib/rt/backend.ml <<'EOF'
-  > let current = Atomic.make None
+  $ cat > fake/rt/backend.ml <<'EOF'
+  > let current = Atomic.make 0
   > EOF
 
-The planted references are reported with file, line and a reason, and
-the pass exits nonzero:
+The planted references are reported with file, line, column and a
+reason — note the alias is flagged at its binding (line 2), not at the
+use (line 4), and the open (line 3) is caught too:
 
-  $ ../../bin/tslint.exe lib
-  lib/ds/bad.ml:2: forbidden reference "Atomic." — backend primitive; route shared state through Ts_rt ops
-  lib/ds/bad.ml:3: forbidden reference "Domain." — backend primitive; spawn through Ts_rt
-  tslint: 2 violations of the Ts_rt facade discipline
+  $ ../../bin/tslint.exe --pass facade fake
+  fake/ds/bad.ml:2:11: [facade] error: forbidden reference "Atomic" — backend primitive; route shared state through Ts_rt ops
+  fake/ds/bad.ml:3:5: [facade] error: forbidden reference "Mutex" — backend primitive; use Ts_rt.critical or lib/sync locks
+  fake/ds/bad.ml:5:14: [facade] error: forbidden reference "Domain" — backend primitive; spawn through Ts_rt
+  tslint: 3 errors, 0 warnings (1 pass, 3 files)
   [1]
 
-Removing the offender leaves a clean tree:
+An inline waiver silences one diagnostic and must say why:
 
-  $ rm lib/ds/bad.ml
-  $ ../../bin/tslint.exe lib
-  tslint: OK
+  $ cat > fake/ds/waived.ml <<'EOF'
+  > module A = Atomic (* tslint: allow facade -- demo backdoor *)
+  > EOF
+  $ ../../bin/tslint.exe --pass facade fake/ds/waived.ml
+  tslint: OK (1 pass, 1 files)
+
+A waiver that silences nothing is itself reported, so the set cannot
+rot:
+
+  $ cat > fake/ds/stale.ml <<'EOF'
+  > (* tslint: allow facade -- nothing here anymore *)
+  > let x = 1
+  > EOF
+  $ ../../bin/tslint.exe --pass facade fake/ds/stale.ml
+  fake/ds/stale.ml:1:0: [waiver] warning: unused waiver for facade (nothing here anymore) — remove it or the violation moved
+  tslint: OK, 1 warning (1 pass, 1 files)
+
+Removing the offender leaves a clean tree (warnings do not fail it):
+
+  $ rm fake/ds/bad.ml
+  $ ../../bin/tslint.exe --pass facade fake | sed -E 's/[0-9]+ files/N files/'
+  fake/ds/stale.ml:1:0: [waiver] warning: unused waiver for facade (nothing here anymore) — remove it or the violation moved
+  tslint: OK, 1 warning (1 pass, N files)

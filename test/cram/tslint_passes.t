@@ -1,0 +1,52 @@
+The pass catalogue:
+
+  $ ../../bin/tslint.exe --list-passes
+  facade     shared state must flow through the Ts_rt facade (catches aliases and opens)
+  critical   Ts_rt.critical bodies: no spawn/join/poll/sleep, no polling loops, no nesting
+  padded     cross-thread-hot record fields in core/reclaim/par/smr must be Ts_util.Padded
+  sigsafe    code reachable from signal-handler registration must not malloc/free or lock
+  retire     Smr.retire must be dominated by an unlink write/cas in the same function
+
+The repository's own sources are clean under every pass — the inline
+waivers in the tree cover exactly the documented backdoors, so any new
+violation (or newly unused waiver) fails this run.  The file count is
+normalised: it grows with the tree.
+
+  $ ../../bin/tslint.exe ../../lib ../../bin | sed -E 's/[0-9]+ files/N files/'
+  tslint: OK (5 passes, N files)
+
+A seeded violation exits 1 and cites file, line and pass:
+
+  $ ../../bin/tslint.exe --pass retire ../lint_fixtures/fixture_retire.ml
+  ../lint_fixtures/fixture_retire.ml:8:40: [retire] error: retire of cur with no unlink evidence on the path: no preceding write/cas targets another cell — the node may still be reachable from the structure (retire-before-unlink)
+  tslint: 1 error, 0 warnings (1 pass, 1 files)
+  [1]
+
+Pass selection is real — the same fixture is clean under another pass:
+
+  $ ../../bin/tslint.exe --pass critical ../lint_fixtures/fixture_retire.ml
+  tslint: OK (1 pass, 1 files)
+
+The JSON report carries the same diagnostics machine-readably:
+
+  $ ../../bin/tslint.exe --json --pass padded ../lint_fixtures/fixture_padded.ml
+  {
+    "tool": "ts_lint",
+    "version": 1,
+    "roots": ["../lint_fixtures/fixture_padded.ml"],
+    "passes": ["padded"],
+    "files": 1,
+    "errors": 2,
+    "warnings": 0,
+    "diagnostics": [
+      {"pass":"padded","severity":"error","file":"../lint_fixtures/fixture_padded.ml","line":8,"col":31,"message":"hot field hot.sig_word is not line-isolated — wrap the cell in Ts_util.Padded.copy"},
+      {"pass":"padded","severity":"error","file":"../lint_fixtures/fixture_padded.ml","line":10,"col":29,"message":"record field value holds a bare Atomic.make cell — adjacent cells share a cache line; wrap it in Ts_util.Padded.copy (or whitelist the type as cold)"}
+    ]
+  }
+  [1]
+
+An unknown pass is a usage error, not a clean run:
+
+  $ ../../bin/tslint.exe --pass nosuch ../lint_fixtures/fixture_retire.ml
+  tslint: unknown pass "nosuch" (see --list-passes)
+  [2]

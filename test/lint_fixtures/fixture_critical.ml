@@ -1,0 +1,12 @@
+(* Seeded [critical] violations.  Parse-only — linted, never compiled. *)
+
+let bad_bracket () =
+  Ts_rt.critical (fun () ->
+      Ts_rt.join 0;
+      while Ts_rt.read 0 = 0 do
+        Ts_rt.poll ()
+      done)
+
+let nested () = Ts_rt.critical (fun () -> Ts_rt.critical (fun () -> ()))
+
+let prebuilt body = Ts_rt.critical body

@@ -1,0 +1,10 @@
+(* Seeded [facade] violations: the alias and open shapes the original
+   textual grep was blind to, plus a plain qualified use.  Parse-only —
+   this file is linted by the regression suite, never compiled. *)
+
+module A = Atomic
+
+open Mutex
+
+let counter = A.make 0
+let spawn_worker f = Domain.spawn f

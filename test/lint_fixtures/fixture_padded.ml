@@ -1,0 +1,10 @@
+(* Seeded [padded] violations against the fixture whitelist entry in
+   lib/lint/pass_padding.ml.  Parse-only — linted, never compiled. *)
+
+type hot = { sig_word : int Atomic.t; ack_word : int Atomic.t; owner : int }
+
+type cell = { value : int Atomic.t }
+
+let make_hot () = { sig_word = Atomic.make 0; ack_word = Ts_util.Padded.atomic 0; owner = 0 }
+
+let make_cell () = { value = Atomic.make 0 }

@@ -1,0 +1,13 @@
+(* Seeded [retire] violation: the node is retired while the predecessor
+   still links to it — the only preceding cas targets the node's OWN
+   cell (the logical-delete mark), which is not unlink evidence.
+   Parse-only — linted, never compiled. *)
+
+let remove_bad (smr : Ts_smr.Smr.t) head =
+  let cur = Ts_rt.read head in
+  if Ts_rt.cas (next_cell cur) 0 1 then smr.retire cur
+
+(* The legal shape: the cas targets the predecessor's cell. *)
+let remove_ok (smr : Ts_smr.Smr.t) prev_cell head =
+  let cur = Ts_rt.read head in
+  if Ts_rt.cas prev_cell cur 0 then smr.retire cur

@@ -1,0 +1,11 @@
+(* Seeded [sigsafe] violations: the handler reaches a function that
+   frees through the facade and takes a lock.  Parse-only — linted,
+   never compiled. *)
+
+module Runtime = Ts_rt
+
+let scan_and_free t =
+  Runtime.free t;
+  Mutex.lock t
+
+let install t = Runtime.set_signal_handler (fun () -> scan_and_free t)
