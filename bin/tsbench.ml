@@ -64,7 +64,7 @@ let make_backend backend pool =
    the per-scheme tuning flags ride along as registry params and are
    ignored by schemes they do not apply to.  [--pipeline] upgrades a
    scheme to its pipelined registry variant when it has one. *)
-let scheme_conv ~buffer ~help_free ~pipeline ~delay name =
+let scheme_conv ~buffer ~help_free ~pipeline ~shards ~delay name =
   match Registry.canonical name with
   | Error e -> Error (`Msg e)
   | Ok id ->
@@ -72,7 +72,7 @@ let scheme_conv ~buffer ~help_free ~pipeline ~delay name =
         if pipeline then Option.value (Registry.get id).Registry.pipelined ~default:id
         else id
       in
-      Ok (Registry.spec ~buffer ~help_free ~delay id)
+      Ok (Registry.spec ~buffer ~help_free ?shards ~delay id)
 
 (* -------------------------------- run ----------------------------------- *)
 
@@ -159,6 +159,23 @@ let run_cmd =
             "ThreadScan only: enable the parallel reclamation pipeline (sealed-run merge \
              collect, Bloom-prefiltered scan, chunked parallel free; see docs/PERF.md).")
   in
+  let shards =
+    Arg.(
+      value & opt (some int) None
+      & info [ "shards" ]
+          ~doc:
+            "ThreadScan reclamation shard count: 0 = auto (one shard per 8 threads), 1 = \
+             single master, >1 = that many shards with helper work-stealing.  Unset keeps \
+             the registry default (1 for legacy threadscan, auto for the pipeline).")
+  in
+  let no_magazine =
+    Arg.(
+      value & flag
+      & info [ "no-magazine" ]
+          ~doc:
+            "Disable the per-thread allocator magazines (both backends): every small \
+             malloc/free goes through the central free lists.")
+  in
   let trials =
     Arg.(
       value & opt int 0
@@ -202,9 +219,9 @@ let run_cmd =
              (0 = off).  Required for chaos plans that starve plain epoch forever.")
   in
   let action ds scheme_name threads cores horizon init range update buffer help_free pipeline
-      trials delay padding seed analyze chaos watchdog backend pool =
+      shards no_magazine trials delay padding seed analyze chaos watchdog backend pool =
     match
-      ( scheme_conv ~buffer ~help_free ~pipeline ~delay scheme_name,
+      ( scheme_conv ~buffer ~help_free ~pipeline ~shards ~delay scheme_name,
         Ts_util.Fault_plan.parse chaos )
     with
     | Error (`Msg m), _ -> `Error (false, m)
@@ -225,6 +242,7 @@ let run_cmd =
             seed;
             chaos;
             watchdog_ms = watchdog;
+            magazine = not no_magazine;
             backend = make_backend backend pool;
           }
         in
@@ -284,8 +302,8 @@ let run_cmd =
     Term.(
       ret
         (const action $ ds $ scheme_name $ threads $ cores $ horizon $ init $ range $ update
-       $ buffer $ help_free $ pipeline $ trials $ delay $ padding $ seed $ analyze $ chaos
-       $ watchdog $ backend_arg $ pool_arg))
+       $ buffer $ help_free $ pipeline $ shards $ no_magazine $ trials $ delay $ padding $ seed
+       $ analyze $ chaos $ watchdog $ backend_arg $ pool_arg))
 
 (* ------------------------------- sweep ---------------------------------- *)
 

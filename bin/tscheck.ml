@@ -118,6 +118,23 @@ let pipeline_arg =
           "Shorthand: check the whole parallel reclamation pipeline \
            (--collect-merge --scan-filter --free-chunk 4 --help-free).")
 
+let shards_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "shards" ]
+        ~doc:
+          "ThreadScan reclamation shard count (0 = registry default: one master for legacy \
+           threadscan, auto for the pipelined variant; >1 shards the collect with \
+           helper work-stealing).")
+
+let no_magazine_arg =
+  Arg.(
+    value & flag
+    & info [ "no-magazine" ]
+        ~doc:
+          "Disable the per-thread allocator magazines: every small malloc/free goes \
+           through the central free lists.")
+
 let inject_arg =
   Arg.(
     value
@@ -248,8 +265,8 @@ let sweep_cmd =
   in
   let seed0 = Arg.(value & opt int 0 & info [ "seed0" ] ~doc:"First seed of the family.") in
   let action ds_list schedules pct_depth seed0 scheme threads ops key_range buffer_size
-      help_free collect_merge scan_filter free_chunk pipeline inject fault race bug fork prune
-      fork_factor fork_stride fork_window differential step_budget =
+      help_free collect_merge scan_filter free_chunk shards no_magazine pipeline inject fault
+      race bug fork prune fork_factor fork_stride fork_window differential step_budget =
     let analyze = race || bug <> None in
     let help_free = help_free || pipeline in
     let collect_merge = collect_merge || pipeline in
@@ -285,6 +302,8 @@ let sweep_cmd =
         collect_merge;
         scan_filter;
         free_chunk;
+        shards;
+        magazine = not no_magazine;
         inject;
         fault;
         analyze;
@@ -303,11 +322,13 @@ let sweep_cmd =
         (if prune then "on" else "off")
         differential;
     if step_budget > 0 then Fmt.pr "step budget: %d per structure@." step_budget;
-    if collect_merge || scan_filter || free_chunk <> 0 then
-      Fmt.pr "pipeline:%s%s%s@."
+    if collect_merge || scan_filter || free_chunk <> 0 || shards <> 0 then
+      Fmt.pr "pipeline:%s%s%s%s@."
         (if collect_merge then " collect-merge" else "")
         (if scan_filter then " scan-filter" else "")
-        (if free_chunk <> 0 then Fmt.str " free-chunk=%d" free_chunk else "");
+        (if free_chunk <> 0 then Fmt.str " free-chunk=%d" free_chunk else "")
+        (if shards <> 0 then Fmt.str " shards=%d" shards else "");
+    if no_magazine then Fmt.pr "allocator: magazines off (central free lists only)@.";
     if inject <> Threadscan.No_fault then
       Fmt.pr "injected bug: %s@." (Scenario.inject_to_string inject);
     if fault <> Scenario.Fault_none then
@@ -389,9 +410,9 @@ let sweep_cmd =
       ret
         (const action $ ds_list $ schedules $ pct_depth $ seed0 $ scheme_arg $ threads_arg
        $ ops_arg $ range_arg $ buffer_arg $ help_free_arg $ collect_merge_arg $ scan_filter_arg
-       $ free_chunk_arg $ pipeline_arg $ inject_arg $ fault_arg $ race_arg $ bug_arg
-       $ fork_arg $ prune_arg $ fork_factor_arg $ fork_stride_arg $ fork_window_arg
-       $ differential_arg $ step_budget_arg))
+       $ free_chunk_arg $ shards_arg $ no_magazine_arg $ pipeline_arg $ inject_arg $ fault_arg
+       $ race_arg $ bug_arg $ fork_arg $ prune_arg $ fork_factor_arg $ fork_stride_arg
+       $ fork_window_arg $ differential_arg $ step_budget_arg))
 
 (* -------------------------------- replay -------------------------------- *)
 
@@ -405,7 +426,7 @@ let replay_cmd =
   in
   let seed = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Schedule seed.") in
   let action ds policy seed scheme threads ops key_range buffer_size help_free collect_merge
-      scan_filter free_chunk pipeline inject fault race bug =
+      scan_filter free_chunk shards no_magazine pipeline inject fault race bug =
     let analyze = race || bug <> None in
     let help_free = help_free || pipeline in
     let collect_merge = collect_merge || pipeline in
@@ -424,6 +445,8 @@ let replay_cmd =
         collect_merge;
         scan_filter;
         free_chunk;
+        shards;
+        magazine = not no_magazine;
         inject;
         fault;
         policy;
@@ -433,8 +456,8 @@ let replay_cmd =
       }
     in
     Fmt.pr
-      "replay: ds=%s%s threads=%d ops=%d key-range=%d buffer=%d%s%s%s%s inject=%s fault=%s policy=%s \
-       seed=%d%s%s@."
+      "replay: ds=%s%s threads=%d ops=%d key-range=%d buffer=%d%s%s%s%s%s%s inject=%s fault=%s \
+       policy=%s seed=%d%s%s@."
       (Scenario.ds_to_string ds)
       (if scheme = Scenario.default.Scenario.scheme then "" else " scheme=" ^ scheme)
       threads ops key_range buffer_size
@@ -442,6 +465,8 @@ let replay_cmd =
       (if collect_merge then " collect-merge" else "")
       (if scan_filter then " scan-filter" else "")
       (if free_chunk <> 0 then Fmt.str " free-chunk=%d" free_chunk else "")
+      (if shards <> 0 then Fmt.str " shards=%d" shards else "")
+      (if no_magazine then " no-magazine" else "")
       (Scenario.inject_to_string inject)
       (Scenario.fault_to_string fault)
       (Scenario.policy_to_string policy)
@@ -460,8 +485,8 @@ let replay_cmd =
     Term.(
       ret
         (const action $ ds $ policy $ seed $ scheme_arg $ threads_arg $ ops_arg $ range_arg $ buffer_arg
-       $ help_free_arg $ collect_merge_arg $ scan_filter_arg $ free_chunk_arg $ pipeline_arg
-       $ inject_arg $ fault_arg $ race_arg $ bug_arg))
+       $ help_free_arg $ collect_merge_arg $ scan_filter_arg $ free_chunk_arg $ shards_arg
+       $ no_magazine_arg $ pipeline_arg $ inject_arg $ fault_arg $ race_arg $ bug_arg))
 
 let () =
   let doc = "systematic concurrency checker for the ThreadScan reproduction" in

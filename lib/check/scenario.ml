@@ -28,6 +28,8 @@ type spec = {
   collect_merge : bool;
   scan_filter : bool;
   free_chunk : int;
+  shards : int;
+  magazine : bool;
   inject : Threadscan.inject;
   fault : fault;
   policy : policy;
@@ -48,6 +50,8 @@ let default =
     collect_merge = false;
     scan_filter = false;
     free_chunk = 0;
+    shards = 0;
+    magazine = true;
     inject = Threadscan.No_fault;
     fault = Fault_none;
     policy = Uniform;
@@ -147,7 +151,7 @@ let replay_command spec =
      legacy configuration stay byte-identical to what they always were. *)
   Fmt.str
     "dune exec bin/tscheck.exe -- replay --ds %s%s --threads %d --ops %d --key-range %d \
-     --buffer %d%s%s%s%s --inject %s --fault %s --policy %s --seed %d%s%s"
+     --buffer %d%s%s%s%s%s%s --inject %s --fault %s --policy %s --seed %d%s%s"
     (ds_to_string spec.ds)
     (if spec.scheme = default.scheme then "" else " --scheme " ^ spec.scheme)
     spec.threads spec.ops spec.key_range spec.buffer_size
@@ -155,6 +159,8 @@ let replay_command spec =
     (if spec.collect_merge then " --collect-merge" else "")
     (if spec.scan_filter then " --scan-filter" else "")
     (if spec.free_chunk <> 0 then Fmt.str " --free-chunk %d" spec.free_chunk else "")
+    (if spec.shards <> 0 then Fmt.str " --shards %d" spec.shards else "")
+    (if spec.magazine then "" else " --no-magazine")
     (inject_to_string spec.inject) (fault_to_string spec.fault) (policy_to_string spec.policy)
     spec.seed
     (if spec.analyze then " --race" else "")
@@ -377,6 +383,7 @@ let run ?configure ?trace spec =
       sched;
       sanitize = true;
       strict_mem = true;
+      magazine = spec.magazine;
       propagate_failures = true;
       (* ~30x the step count of a typical clean run: failing runs often end
          in a spin (a dead thread never acks) and should fail fast.  Fault
@@ -477,6 +484,7 @@ let run ?configure ?trace spec =
            Registry.spec ~buffer:spec.buffer_size ~help_free:spec.help_free
              ~collect_merge:spec.collect_merge ~scan_filter:spec.scan_filter
              ?free_chunk:(if spec.free_chunk = 0 then None else Some spec.free_chunk)
+             ?shards:(if spec.shards = 0 then None else Some spec.shards)
              spec.scheme
          in
          let built = Registry.build env rspec in

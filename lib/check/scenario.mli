@@ -89,6 +89,13 @@ type spec = {
   free_chunk : int;
       (** chunked helper-parallel free phase, 0 = legacy whole-queue claim
           ({!Threadscan.Config.free_chunk}) *)
+  shards : int;
+      (** reclamation shard count ({!Threadscan.Config.shards}); 0 here
+          means "leave it to the registry default" — 1 (single master)
+          for legacy threadscan, auto for the pipelined variant *)
+  magazine : bool;
+      (** per-thread allocator magazines in the simulated heap; [false]
+          routes every small malloc/free through the central lists *)
   inject : Threadscan.inject;  (** deliberate bug, for checker validation *)
   fault : fault;  (** injected environment fault the protocol must survive *)
   policy : policy;
@@ -103,8 +110,9 @@ type spec = {
 
 val default : spec
 (** list over threadscan, 3 threads, 40 ops, keys 0..31, buffer 8, no help-free, pipeline
-    toggles off (legacy single-stage phase), no injection, uniform policy,
-    seed 0, no analysis, no seeded bug. *)
+    toggles off (legacy single-stage phase), registry-default shards,
+    magazines on, no injection, uniform policy, seed 0, no analysis, no
+    seeded bug. *)
 
 val ds_to_string : ds_kind -> string
 

@@ -10,6 +10,7 @@ type t = {
   scan_filter : bool;
   free_chunk : int;
   adaptive_buffers : bool;
+  shards : int;
 }
 
 let default =
@@ -25,6 +26,7 @@ let default =
     scan_filter = false;
     free_chunk = 0;
     adaptive_buffers = false;
+    shards = 1;
   }
 
 let paper = { default with max_threads = 256; buffer_size = 1024 }
@@ -33,4 +35,11 @@ let validate t =
   if t.max_threads < 1 then invalid_arg "Threadscan config: max_threads < 1";
   if t.buffer_size < 2 then invalid_arg "Threadscan config: buffer_size < 2";
   if t.suspect_phases < 1 then invalid_arg "Threadscan config: suspect_phases < 1";
-  if t.free_chunk < 0 then invalid_arg "Threadscan config: free_chunk < 0"
+  if t.free_chunk < 0 then invalid_arg "Threadscan config: free_chunk < 0";
+  if t.shards < 0 then invalid_arg "Threadscan config: shards < 0"
+
+(* [shards = 0] means auto: one shard per 8 participating threads, capped
+   so tiny runs keep the single-master legacy layout. *)
+let resolved_shards t =
+  let n = if t.shards = 0 then t.max_threads / 8 else t.shards in
+  max 1 (min n t.max_threads)

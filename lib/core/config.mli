@@ -54,6 +54,14 @@ type t = {
           [4 x max_threads] so phase frequency stays bounded as threads
           are added (the paper's guidance that the buffer must outgrow
           the thread count for the amortisation argument to hold). *)
+  shards : int;
+      (** Reclamation shards: threads are grouped by tid into this many
+          shards, each with its own master buffer; the collect/merge/
+          publish of each shard is an independently claimable unit of
+          work, so idle helpers steal whole shards from the reclaimer
+          (see [docs/PERF.md], "Sharded reclamation").  [1] (default)
+          keeps the legacy single-master layout byte for byte; [0]
+          auto-derives from [max_threads] (one shard per 8 threads). *)
 }
 
 val default : t
@@ -62,11 +70,15 @@ val default : t
     them: [ack_budget = 5_000_000] cycles, [suspect_phases = 3],
     [takeover_steps = 1_000_000], [overflow_after = 64].  All pipeline
     toggles off: [collect_merge = false], [scan_filter = false],
-    [free_chunk = 0], [adaptive_buffers = false] — the defaults replay
-    the legacy single-stage reclamation byte for byte. *)
+    [free_chunk = 0], [adaptive_buffers = false], [shards = 1] — the
+    defaults replay the legacy single-stage reclamation byte for byte. *)
 
 val paper : t
 (** The paper's configuration: buffer of 1024 pointers, 256 threads. *)
 
 val validate : t -> unit
 (** @raise Invalid_argument on nonsensical values. *)
+
+val resolved_shards : t -> int
+(** The effective shard count: [shards] clamped to [1 .. max_threads],
+    with [0] auto-derived as one shard per 8 threads. *)

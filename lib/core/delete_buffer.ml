@@ -10,11 +10,17 @@ module Isort = Ts_util.Isort
      1  owner sealing: copying the full window into a locally sorted run
      2  sealed: a sorted run awaits the reclaimer
      3  reclaimer draining the (unsorted) window
+     4  shard helper draining (the work-steal transition: same drain,
+        entered by an idle thread that claimed the whole shard, so the
+        reclaimer can tell a live steal from its own orphaned drain)
    The owner enters 1 and leaves it only by CAS (0->1, 1->2), so a
    reclaimer that steals a frozen seal (1->3) makes the woken owner's
    1->2 fail and the seal is abandoned with the window intact.  Sealing
    copies the window without consuming it — a crash at any point during
-   a seal loses nothing, the window is still there to drain unsorted. *)
+   a seal loses nothing, the window is still there to drain unsorted.
+   A drainer (3 or 4) that dies between staging and consuming leaves the
+   window intact too; the re-drain stages duplicates, which the publish
+   dedup absorbs (the crash-safety argument of docs/PERF.md). *)
 type t = { base : int; cap : int; sealed_runs : bool }
 
 let head t = t.base
@@ -96,12 +102,13 @@ let seal t =
     Runtime.cas (claim t) 1 2
   end
 
-let rec drain_phase t ~sealed ~loose =
+let rec drain_phase ?(steal = false) t ~sealed ~loose =
   if not t.sealed_runs then drain t loose
   else begin
+    let draining = if steal then 4 else 3 in
     let c = Runtime.read (claim t) in
     if c = 2 then begin
-      if Runtime.cas (claim t) 2 3 then begin
+      if Runtime.cas (claim t) 2 draining then begin
         if sealed ~len:t.cap ~read:(fun i -> Runtime.read (sealed_slot t i)) then begin
           (* The run is staged; consume the whole window it copied. *)
           Runtime.write (tail t) (Runtime.read (tail t) + t.cap);
@@ -112,16 +119,17 @@ let rec drain_phase t ~sealed ~loose =
              next one (pushes stay blocked, which is the backpressure). *)
           Runtime.write (claim t) 2
       end
-      else drain_phase t ~sealed ~loose
+      else drain_phase ~steal t ~sealed ~loose
     end
-    else if c = 3 || Runtime.cas (claim t) c 3 then begin
+    else if c = 3 || c = 4 || Runtime.cas (claim t) c draining then begin
       (* c = 0: plain open window.  c = 1: the sealer crashed or froze
          mid-copy — stealing the claim makes its finishing CAS fail, and
          the window (which sealing never consumes) is drained here.
-         c = 3: a reclaimer died mid-drain (it was killed before our
-         takeover); the undrained suffix is still in the window. *)
+         c = 3 or 4: a reclaimer or shard helper died mid-drain (the
+         caller holds the phase lock / shard claim, so a live drainer is
+         impossible here); the undrained suffix is still in the window. *)
       drain t loose;
       Runtime.write (claim t) 0
     end
-    else drain_phase t ~sealed ~loose
+    else drain_phase ~steal t ~sealed ~loose
   end

@@ -47,11 +47,23 @@ val seal : t -> bool
     from under us. *)
 
 val drain_phase :
-  t -> sealed:(len:int -> read:(int -> int) -> bool) -> loose:(int -> bool) -> unit
+  ?steal:bool ->
+  t ->
+  sealed:(len:int -> read:(int -> int) -> bool) ->
+  loose:(int -> bool) ->
+  unit
 (** Reclaimer side, one collect per phase.  A pending sealed run is handed
     to [sealed] (which must stage {e all} [len] entries, reading them with
     [read], and return [true]; on [false] — no space — the run is kept for
     the next phase); otherwise the window is drained unsorted through
     [loose] exactly like {!drain}, including from buffers whose sealer
-    crashed or froze mid-seal.  Falls back to {!drain} on legacy
-    buffers. *)
+    crashed or froze mid-seal.  Falls back to {!drain} on legacy buffers.
+
+    [steal] (default [false]) is the shard work-steal transition: an idle
+    thread that claimed a whole reclamation shard drains its buffers
+    under claim state [4] instead of [3], so a reclaimer recovering a
+    shard can tell a helper's orphaned drain from its own.  The caller
+    must hold the exclusive right to collect this buffer's shard (the
+    phase lock, or the shard claim word); a drainer that died mid-drain
+    (state 3 {e or} 4) is taken over and its window re-drained — any
+    entries it had already staged are deduplicated at publish. *)

@@ -5,6 +5,7 @@ module Runtime = Ts_rt
 module Ptr = Ts_umem.Ptr
 module Smr = Ts_smr.Smr
 module Backoff = Ts_sync.Backoff
+module Padded = Ts_util.Padded
 
 type inject =
   | No_fault
@@ -20,8 +21,13 @@ type inject =
 
 type t = {
   cfg : Config.t;
+  nshards : int; (* resolved shard count; 1 = the legacy single-master layout *)
   buffers : Delete_buffer.t array;
-  master : Master_buffer.t;
+  masters : Master_buffer.t array; (* one master buffer per shard *)
+  collect_gen_addr : int; (* sharding: collect generation, bumped per phase *)
+  shard_claims : int; (* sharding: per-shard claim word, Padded stride *)
+  shard_dones : int; (* sharding: per-shard done stamp (= collect gen) *)
+  steal_stats : int; (* sharding: FAA'd by helpers [steals; merged runs] *)
   owner_addr : int; (* phase lock: 0 free, else holder tid + 1 *)
   beat_addr : int; (* heartbeat: step stamp of the holder's last progress *)
   gen_addr : int; (* phase generation: bumped on commit and on takeover *)
@@ -62,12 +68,33 @@ type t = {
   mutable takeovers : int; (* phase locks wrested from stale reclaimers *)
   mutable gen_aborts : int; (* sweeps aborted by the generation fence *)
   mutable overflow_pushes : int; (* retirements parked by backpressure *)
+  mutable shard_steals : int; (* shard collects stolen by idle helpers *)
+  mutable shard_recoveries : int; (* shards recovered from a dead helper *)
   mutable inject : inject; (* deliberate protocol bug, for checker validation *)
 }
 
 let counters t = Option.get t.smr_counters
 
 let debug_scan = Sys.getenv_opt "TS_DEBUG_SCAN" <> None
+
+(* ------------------------------------------------------------------ *)
+(* Sharding: tids are grouped by [tid mod nshards]; each shard owns a
+   master buffer, a claim word and a done stamp (stride-padded so the
+   claim CASes of concurrent collectors never share a cache line).      *)
+(* ------------------------------------------------------------------ *)
+
+let shard_of t tid = tid mod t.nshards
+
+let shard_claim t s = Padded.index t.shard_claims s
+
+let shard_done t s = Padded.index t.shard_dones s
+
+let total_count t =
+  let n = ref 0 in
+  for s = 0 to t.nshards - 1 do
+    n := !n + Master_buffer.count t.masters.(s)
+  done;
+  !n
 
 (* ------------------------------------------------------------------ *)
 (* Phase lock: a raw owner word so waiters can identify (and, past the
@@ -170,33 +197,56 @@ let help_free t =
   end
 
 let scan_range t (base, len) =
-  let lo, hi = Master_buffer.bounds t.master in
-  (* Bloom prefilter (pipeline): one shared read per in-range candidate
-     against the published filter screens out almost every word before
-     the ~log n reads of the binary search.  False positives fall
-     through to [find]; false negatives are impossible (the filter is
-     republished with every count, see Master_buffer).  The mask is read
-     once per range — it only changes under a new count, and a scan that
-     raced a publish is not counted for the new phase anyway. *)
-  let fmask = if t.cfg.scan_filter then Master_buffer.filter_mask t.master else -1 in
+  let n = t.nshards in
+  (* Per-shard bounds and Bloom masks are read once per range — they only
+     change under a new count, and a scan that raced a publish is not
+     counted for the new phase anyway.  The global [glo, ghi] envelope
+     keeps the common case — a word pointing at no master — at one
+     comparison per word, exactly as in the single-master layout; an
+     address lives in at most one shard (its retirer's), so the per-shard
+     probe stops at the first hit. *)
+  let los = Array.make n 0 and his = Array.make n 0 and fms = Array.make n (-1) in
+  let glo = ref max_int and ghi = ref min_int in
+  for s = 0 to n - 1 do
+    let lo, hi = Master_buffer.bounds t.masters.(s) in
+    los.(s) <- lo;
+    his.(s) <- hi;
+    if lo < !glo then glo := lo;
+    if hi > !ghi then ghi := hi;
+    (* Bloom prefilter (pipeline): one shared read per in-range candidate
+       against the published filter screens out almost every word before
+       the ~log n reads of the binary search.  False positives fall
+       through to [find]; false negatives are impossible (the filter is
+       republished with every count, see Master_buffer). *)
+    if t.cfg.scan_filter then fms.(s) <- Master_buffer.filter_mask t.masters.(s)
+  done;
   for a = base to base + len - 1 do
     let w = Runtime.read a in
     let m = Ptr.mask w in
     t.scan_words <- t.scan_words + 1;
-    if m >= lo && m <= hi then begin
-      if fmask >= 0 && not (Master_buffer.filter_test t.master ~mask:fmask m) then
-        t.filter_rejects <- t.filter_rejects + 1
-      else begin
-        if fmask >= 0 then t.filter_hits <- t.filter_hits + 1;
-        let idx = Master_buffer.find t.master m in
-        if idx >= 0 then begin
-          if debug_scan then
-            Printf.eprintf "[scan] tid=%d hit at addr=%d (range base=%d len=%d) value=%d\n%!"
-              (Runtime.self ()) a base len m;
-          Master_buffer.mark t.master idx;
-          t.scan_hits <- t.scan_hits + 1
-        end
-      end
+    if m >= !glo && m <= !ghi then begin
+      let s = ref 0 in
+      let hit = ref false in
+      while (not !hit) && !s < n do
+        let sm = t.masters.(!s) in
+        if m >= los.(!s) && m <= his.(!s) then begin
+          if fms.(!s) >= 0 && not (Master_buffer.filter_test sm ~mask:fms.(!s) m) then
+            t.filter_rejects <- t.filter_rejects + 1
+          else begin
+            if fms.(!s) >= 0 then t.filter_hits <- t.filter_hits + 1;
+            let idx = Master_buffer.find sm m in
+            if idx >= 0 then begin
+              if debug_scan then
+                Printf.eprintf "[scan] tid=%d hit at addr=%d (range base=%d len=%d) value=%d\n%!"
+                  (Runtime.self ()) a base len m;
+              Master_buffer.mark sm idx;
+              t.scan_hits <- t.scan_hits + 1;
+              hit := true
+            end
+          end
+        end;
+        incr s
+      done
     end
   done
 
@@ -206,7 +256,7 @@ let ts_scan t =
      published a new phase while we scan, we must not claim to have covered
      a master buffer we may never have seen. *)
   let phase = Runtime.read t.phase_addr in
-  if Master_buffer.count t.master > 0 then begin
+  if total_count t > 0 then begin
     let sbase, sp = Runtime.stack_range () in
     scan_range t (sbase, sp - sbase);
     scan_range t (Runtime.saved_reg_range ());
@@ -239,6 +289,86 @@ let drain_work_leftovers t =
     Runtime.write t.work_count 0;
     Runtime.write t.work_idx 0
   end
+
+(* Aggregate one shard's delete buffers into its master and publish.
+   Returns the number of sealed runs merged, for the caller to fold into
+   the stats ([t]'s unsynchronised OCaml counters must not be raced from
+   helpers).  The caller holds the exclusive right to collect this
+   shard: the phase lock (single-shard layout) or the shard claim
+   word. *)
+let collect_shard t ~steal s =
+  let sm = t.masters.(s) in
+  if t.cfg.collect_merge then begin
+    (* Pipeline collect: sealed windows arrive as sorted runs and are
+       staged whole (all-or-nothing, so an entry is never both staged and
+       still in a window at publish time); only loose entries get sorted.
+       The run positions feed the k-way merge publish. *)
+    let runs = ref [] in
+    let merged = ref 0 in
+    let u = ref s in
+    while !u < t.cfg.max_threads do
+      Delete_buffer.drain_phase ~steal t.buffers.(!u)
+        ~sealed:(fun ~len ~read ->
+          Master_buffer.space sm >= len
+          && begin
+               let pos = Master_buffer.staged_pos sm in
+               for i = 0 to len - 1 do
+                 ignore (Master_buffer.append sm (read i))
+               done;
+               runs := (pos, len) :: !runs;
+               incr merged;
+               true
+             end)
+        ~loose:(Master_buffer.append sm);
+      u := !u + t.nshards
+    done;
+    Master_buffer.publish_merged sm ~runs:(List.rev !runs);
+    !merged
+  end
+  else begin
+    let u = ref s in
+    while !u < t.cfg.max_threads do
+      Delete_buffer.drain t.buffers.(!u) (Master_buffer.append sm);
+      u := !u + t.nshards
+    done;
+    Master_buffer.publish_sorted sm;
+    0
+  end
+
+(* Work-steal hook, run by threads spinning in [retire] on a full
+   buffer: while a sharded collect is in flight (generation published,
+   some shard's done stamp behind it), claim an unclaimed shard and run
+   its collect — which usually drains our own full buffer along the way.
+   Claims CAS 0 -> tid + 1 so a recovering reclaimer can identify (and
+   crash) a helper that died holding a shard.  The generation is re-read
+   after a successful claim: it may have advanced between the first read
+   and the CAS, and the value read under the claim is stable until our
+   done-stamp write (no phase can complete while we hold an undone
+   shard). *)
+let try_steal t =
+  let g = Runtime.read t.collect_gen_addr in
+  g > 0
+  && begin
+       let self = Runtime.self () in
+       let stole = ref false in
+       let s = ref 0 in
+       while (not !stole) && !s < t.nshards do
+         if
+           Runtime.read (shard_done t !s) <> g
+           && Runtime.read (shard_claim t !s) = 0
+           && Runtime.cas (shard_claim t !s) 0 (self + 1)
+         then begin
+           stole := true;
+           ignore (Runtime.faa t.steal_stats 1);
+           let g = Runtime.read t.collect_gen_addr in
+           let merged = collect_shard t ~steal:true !s in
+           if merged > 0 then ignore (Runtime.faa (t.steal_stats + Padded.stride) merged);
+           Runtime.write (shard_done t !s) g
+         end;
+         incr s
+       done;
+       !stole
+     end
 
 (* Bounded ack wait.  Returns [(timed_out, departed)]: [timed_out] are
    still-registered threads that made no ack within the budget (the phase
@@ -316,40 +446,110 @@ let do_phase t =
         t.overflow <- [];
         parked)
   in
-  let rejected =
-    List.filter (fun p -> not (Master_buffer.append t.master p)) parked
+  let append_parked p =
+    (* Parked entries have no owning shard; stage into our own first and
+       spill to the others when it is full. *)
+    let s0 = shard_of t self in
+    let ok = ref false in
+    let k = ref 0 in
+    while (not !ok) && !k < t.nshards do
+      ok := Master_buffer.append t.masters.((s0 + !k) mod t.nshards) p;
+      incr k
+    done;
+    !ok
   in
+  let rejected = List.filter (fun p -> not (append_parked p)) parked in
   if rejected <> [] then Runtime.critical (fun () -> t.overflow <- rejected @ t.overflow);
-  (* Aggregate every thread's delete buffer into the master buffer (on top
-     of the previous phase's carry-over).  If the master fills up, the rest
-     simply stays buffered for the next phase. *)
-  if t.cfg.collect_merge then begin
-    (* Pipeline collect: sealed windows arrive as sorted runs and are
-       staged whole (all-or-nothing, so an entry is never both staged and
-       still in a window at publish time); only loose entries get sorted.
-       The run positions feed the k-way merge publish. *)
-    let runs = ref [] in
-    Array.iter
-      (fun b ->
-        Delete_buffer.drain_phase b
-          ~sealed:(fun ~len ~read ->
-            Master_buffer.space t.master >= len
-            && begin
-                 let s = Master_buffer.staged_pos t.master in
-                 for i = 0 to len - 1 do
-                   ignore (Master_buffer.append t.master (read i))
-                 done;
-                 runs := (s, len) :: !runs;
-                 t.merged_runs <- t.merged_runs + 1;
-                 true
-               end)
-          ~loose:(Master_buffer.append t.master))
-      t.buffers;
-    Master_buffer.publish_merged t.master ~runs:(List.rev !runs)
-  end
+  (* Aggregate every thread's delete buffer into its shard's master buffer
+     (on top of the previous phase's carry-over).  If a master fills up,
+     the rest simply stays buffered for the next phase. *)
+  if t.nshards = 1 then
+    (* Single shard: the legacy path, byte for byte — no claim protocol,
+       no generation word. *)
+    t.merged_runs <- t.merged_runs + collect_shard t ~steal:false 0
   else begin
-    Array.iter (fun b -> Delete_buffer.drain b (Master_buffer.append t.master)) t.buffers;
-    Master_buffer.publish_sorted t.master
+    (* Sharded collect: each shard's aggregate+publish is a claimable
+       unit.  Reset the claim and done words, publish the generation,
+       then claim shards starting from our own — idle helpers spinning
+       in [retire]'s wait loop steal whatever we have not claimed yet. *)
+    let g = Runtime.read t.collect_gen_addr + 1 in
+    for s = 0 to t.nshards - 1 do
+      Runtime.write (shard_claim t s) 0;
+      Runtime.write (shard_done t s) 0
+    done;
+    Runtime.write t.collect_gen_addr g;
+    let my = shard_of t self in
+    for k = 0 to t.nshards - 1 do
+      let s = (my + k) mod t.nshards in
+      if Runtime.cas (shard_claim t s) 0 (self + 1) then begin
+        t.merged_runs <- t.merged_runs + collect_shard t ~steal:false s;
+        Runtime.write (shard_done t s) g
+      end
+    done;
+    (* Wait for stolen shards, with per-budget recovery rounds.  Each
+       time the ack budget expires, recover the shards that can never
+       finish on their own: an unclaimed shard has no collector, and a
+       shard whose claim holder is observed dead will never stamp it
+       done — take the claim and re-collect.  [drain_phase] is
+       restartable and the re-drain's duplicates are absorbed by the
+       publish dedup, so the recovery publish is always sound
+       (sealed-run structure is lost — the re-publish falls back to the
+       master re-sort).  A *live* holder — running slowly, or stalled
+       and due to wake — still owns the shard's master buffer, and the
+       only safe preemption would be killing a thread that is not dead,
+       leaking whatever node it holds in flight.  So we keep waiting
+       under our own heartbeat instead: bounded stalls finish their
+       collect on wake-up, and retiring threads never block on the slow
+       phase — past [overflow_after] rounds they park on the overflow
+       list and move on. *)
+    let all_done () =
+      let ok = ref true in
+      for s = 0 to t.nshards - 1 do
+        if Runtime.read (shard_done t s) <> g then ok := false
+      done;
+      !ok
+    in
+    let t0 = ref (Runtime.now ()) in
+    let b = Backoff.create () in
+    let finished = ref (all_done ()) in
+    while not !finished do
+      heartbeat t;
+      if t.cfg.ack_budget > 0 && Runtime.now () - !t0 > t.cfg.ack_budget then begin
+        for s = 0 to t.nshards - 1 do
+          if Runtime.read (shard_done t s) <> g then begin
+            let cl = Runtime.read (shard_claim t s) in
+            if
+              (cl = 0 || cl = self + 1 || Runtime.is_done (cl - 1))
+              && Runtime.cas (shard_claim t s) cl (self + 1)
+            then begin
+              t.merged_runs <- t.merged_runs + collect_shard t ~steal:false s;
+              Runtime.write (shard_done t s) g;
+              t.shard_recoveries <- t.shard_recoveries + 1;
+              Runtime.note (Fmt.str "recovered shard %d from a dead collector" s)
+            end
+          end
+        done;
+        t0 := Runtime.now ();
+        finished := all_done ()
+      end
+      else begin
+        Backoff.once b;
+        finished := all_done ()
+      end
+    done;
+    (* Fold helper-side stats, FAA'd on shared words (helpers must not
+       race [t]'s unsynchronised counters): once every done stamp reads
+       [g], no helper can claim — or FAA — for this generation again. *)
+    let stolen = Runtime.read t.steal_stats in
+    if stolen > 0 then begin
+      Runtime.write t.steal_stats 0;
+      t.shard_steals <- t.shard_steals + stolen
+    end;
+    let helper_merged = Runtime.read (t.steal_stats + Padded.stride) in
+    if helper_merged > 0 then begin
+      Runtime.write (t.steal_stats + Padded.stride) 0;
+      t.merged_runs <- t.merged_runs + helper_merged
+    end
   end;
   let phase = Runtime.read t.phase_addr + 1 in
   Runtime.write t.phase_addr phase;
@@ -466,7 +666,7 @@ let do_phase t =
        provably unreferenced.  Free nothing; carry the entire master buffer
        over.  This single rule closes every late-scanner race a bounded wait
        opens. *)
-    t.carried <- Master_buffer.count t.master;
+    t.carried <- total_count t;
     t.carried_blind <- t.carried_blind + t.carried;
     Runtime.note (Fmt.str "phase %d: blind; carrying all %d entries" phase t.carried)
   end
@@ -475,7 +675,7 @@ let do_phase t =
        dead but are somehow still here).  Our view is stale — abort without
        freeing anything. *)
     t.gen_aborts <- t.gen_aborts + 1;
-    t.carried <- Master_buffer.count t.master;
+    t.carried <- total_count t;
     Runtime.note (Fmt.str "phase %d: generation fence failed; sweep aborted" phase)
   end
   else begin
@@ -483,19 +683,30 @@ let do_phase t =
     if t.cfg.help_free then begin
       drain_work_leftovers t;
       let queued = ref 0 in
-      t.carried <-
-        Master_buffer.sweep ~ignore_marks t.master (fun p ->
-            Runtime.write (t.work_base + !queued) p;
-            incr queued);
+      let carried = ref 0 in
+      for s = 0 to t.nshards - 1 do
+        carried :=
+          !carried
+          + Master_buffer.sweep ~ignore_marks t.masters.(s) (fun p ->
+                Runtime.write (t.work_base + !queued) p;
+                incr queued)
+      done;
+      t.carried <- !carried;
       Runtime.write t.work_idx 0;
       Runtime.write t.work_count !queued
     end
-    else
-      t.carried <-
-        Master_buffer.sweep ~ignore_marks t.master (fun p ->
-            Runtime.free (Ptr.addr p);
-            Smr.add_freed c 1;
-            t.free_burden <- t.free_burden + 1)
+    else begin
+      let carried = ref 0 in
+      for s = 0 to t.nshards - 1 do
+        carried :=
+          !carried
+          + Master_buffer.sweep ~ignore_marks t.masters.(s) (fun p ->
+                Runtime.free (Ptr.addr p);
+                Smr.add_freed c 1;
+                t.free_burden <- t.free_burden + 1)
+      done;
+      t.carried <- !carried
+    end
   end;
   heartbeat t;
   Ts_util.Vec.push t.phase_latencies (Runtime.now () - phase_start)
@@ -524,6 +735,11 @@ let avg_phase_latency t =
     Ts_util.Vec.iter (fun d -> sum := !sum + d) t.phase_latencies;
     !sum / n
   end
+
+let total_phase_cycles t =
+  let sum = ref 0 in
+  Ts_util.Vec.iter (fun d -> sum := !sum + d) t.phase_latencies;
+  !sum
 
 let retire t (c : Smr.counters) p =
   Smr.add_retired c 1;
@@ -562,9 +778,11 @@ let retire t (c : Smr.counters) p =
     end
     else begin
       (* Wait for the active reclaimer — by the time the lock is free our
-         buffer has usually been drained. *)
+         buffer has usually been drained.  With sharding, waiters first
+         try to steal an unclaimed shard's collect (usually including
+         their own full buffer) instead of just backing off. *)
       t.full_waits <- t.full_waits + 1;
-      Backoff.once b;
+      if not (t.nshards > 1 && try_steal t) then Backoff.once b;
       incr rounds
     end
   done
@@ -626,15 +844,33 @@ let create ?(config = Config.default) () =
     else config.buffer_size
   in
   let config = { config with buffer_size } in
-  let master_cap = (config.max_threads * config.buffer_size) + 1024 in
+  let nshards = Config.resolved_shards config in
+  (* Per-shard capacity: each shard only ever aggregates its own threads'
+     buffers (plus slack for carried and parked entries), so shard
+     masters shrink as shards are added.  At one shard this is exactly
+     the legacy capacity. *)
+  let shard_threads = (config.max_threads + nshards - 1) / nshards in
+  let master_cap = (shard_threads * config.buffer_size) + 1024 in
   let t =
     {
       cfg = config;
+      nshards;
       buffers =
         Array.init config.max_threads (fun _ ->
             Delete_buffer.create ~sealed_runs:config.collect_merge
               ~capacity:config.buffer_size ());
-      master = Master_buffer.create ~filter:config.scan_filter ~capacity:master_cap ();
+      masters =
+        Array.init nshards (fun _ ->
+            Master_buffer.create ~filter:config.scan_filter ~capacity:master_cap ());
+      (* The shard protocol words exist only in the sharded layout: at
+         one shard nothing is allocated, keeping the region layout (and
+         so the simulator traces) byte-identical to the legacy one. *)
+      collect_gen_addr = (if nshards = 1 then 0 else Runtime.alloc_region 1);
+      shard_claims =
+        (if nshards = 1 then 0 else Runtime.alloc_region (Padded.words_for nshards));
+      shard_dones =
+        (if nshards = 1 then 0 else Runtime.alloc_region (Padded.words_for nshards));
+      steal_stats = (if nshards = 1 then 0 else Runtime.alloc_region (Padded.words_for 2));
       owner_addr = Runtime.alloc_region 1;
       beat_addr = Runtime.alloc_region 1;
       gen_addr = Runtime.alloc_region 1;
@@ -643,7 +879,7 @@ let create ?(config = Config.default) () =
       registered_base = Runtime.alloc_region config.max_threads;
       work_idx = Runtime.alloc_region 1;
       work_count = Runtime.alloc_region 1;
-      work_base = Runtime.alloc_region master_cap;
+      work_base = Runtime.alloc_region (nshards * master_cap);
       suspect_since = Array.make config.max_threads (-1);
       suspect_ack = Array.make config.max_threads 0;
       suspect_silent = Array.make config.max_threads 0;
@@ -674,6 +910,8 @@ let create ?(config = Config.default) () =
       takeovers = 0;
       gen_aborts = 0;
       overflow_pushes = 0;
+      shard_steals = 0;
+      shard_recoveries = 0;
       inject = No_fault;
     }
   in
@@ -706,6 +944,10 @@ let create ?(config = Config.default) () =
           ("takeovers", t.takeovers);
           ("gen-aborts", t.gen_aborts);
           ("overflow-pushes", t.overflow_pushes);
+          ("shards", t.nshards);
+          ("shard-steals", t.shard_steals);
+          ("shard-recoveries", t.shard_recoveries);
+          ("phase-cycles", total_phase_cycles t);
         ])
       ~retire:(retire t) ()
   in
@@ -773,6 +1015,12 @@ let takeovers t = t.takeovers
 let gen_aborts t = t.gen_aborts
 
 let overflow_pushes t = t.overflow_pushes
+
+let shards t = t.nshards
+
+let shard_steals t = t.shard_steals
+
+let shard_recoveries t = t.shard_recoveries
 
 let suspects_now t =
   Array.fold_left (fun acc s -> if s >= 0 then acc + 1 else acc) 0 t.suspect_since

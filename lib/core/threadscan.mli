@@ -92,6 +92,21 @@ val filter_rejects : t -> int
 (** In-range scan words the Bloom prefilter screened out — each saved a
     binary search over the master buffer. *)
 
+val shards : t -> int
+(** Resolved reclamation shard count ({!Config.resolved_shards}): threads
+    are grouped by [tid mod shards], each shard owning a master buffer
+    whose collect/merge/publish is an independently claimable unit.  [1]
+    is the legacy single-master layout. *)
+
+val shard_steals : t -> int
+(** Shard collects claimed and run by idle helpers (threads spinning in
+    retire on a full buffer) instead of the reclaimer. *)
+
+val shard_recoveries : t -> int
+(** Shards the reclaimer recovered after the claiming helper died or
+    stalled past the budget: the holder is crashed, the claim taken, and
+    the shard re-collected (the re-drain dedups at publish). *)
+
 val outstanding : t -> int
 (** Nodes retired but not yet freed. *)
 
@@ -100,6 +115,11 @@ val phase_latencies : t -> int list
     order — the §7 responsiveness concern: the reclaimer is unavailable to
     its application for this long.  The [help_free] variant shortens these
     by moving the free() calls into the scanners' handlers. *)
+
+val total_phase_cycles : t -> int
+(** Sum of {!phase_latencies}: total cycles spent inside collect phases.
+    The harness scales this by the wall-clock-per-cycle ratio to report
+    [reclaim_phase_ns] per benchmark cell. *)
 
 val reclaimer_frees : t -> int
 (** Nodes freed by the reclaimer inside collect phases (as opposed to by

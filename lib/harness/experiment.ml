@@ -712,6 +712,39 @@ let json_params_suffix (r : Workload.result) =
         (String.concat ", "
            (List.map (fun (k, v) -> Fmt.str "\"%s\": %d" (json_escape k) v) kv))
 
+(* Derived per-cell fields.  [reclaim_phase_ns] converts the scheme's
+   virtual phase-cycles total into wall-clock nanoseconds with this run's
+   own ns-per-cycle ratio (0 on the sim backend, which has no wall
+   clock); the magazine counters ride the extras channel from the
+   allocator.  Each group is emitted only when the run carried its
+   counter, so cells of schemes without a phase clock keep their exact
+   prior shape. *)
+let json_derived_suffix (r : Workload.result) =
+  let get k = List.assoc_opt k r.Workload.extras in
+  let phase =
+    match get "phase-cycles" with
+    | None -> ""
+    | Some cycles ->
+        let ns =
+          if r.Workload.wall_ns <= 0 || r.Workload.elapsed <= 0 then 0
+          else
+            int_of_float
+              (float_of_int cycles *. float_of_int r.Workload.wall_ns
+              /. float_of_int r.Workload.elapsed)
+        in
+        Fmt.str ", \"reclaim_phase_ns\": %d" ns
+  in
+  let mag =
+    match (get "mag-hits", get "mag-misses") with
+    | Some hits, Some misses ->
+        let v k = Option.value (get k) ~default:0 in
+        Fmt.str
+          ", \"mag_hits\": %d, \"mag_misses\": %d, \"mag_refills\": %d, \"mag_flushes\": %d"
+          hits misses (v "mag-refills") (v "mag-flushes")
+    | _ -> ""
+  in
+  phase ^ mag
+
 (* Appended to a cell only when that run carried a chaos plan, so every
    pre-existing consumer of the JSON sees unchanged bytes. *)
 let json_chaos_suffix (r : Workload.result) =
@@ -746,7 +779,7 @@ let json_of_points ~target ~backend ~scale points =
                 \"throughput\": %.3f, \"wall_ns\": %d, \"wall_throughput\": %.1f, \
                 \"trials\": %d, \"wall_min_ns\": %d, \"wall_max_ns\": %d, \
                 \"retired\": %d, \"freed\": %d, \"outstanding\": %d, \"faults\": %d, \
-                \"signals\": %d%s }%s\n"
+                \"signals\": %d%s%s }%s\n"
                (json_escape label)
                (json_escape (Registry.label r.Workload.spec.Workload.scheme))
                (json_params_suffix r)
@@ -755,7 +788,7 @@ let json_of_points ~target ~backend ~scale points =
                r.Workload.wall_throughput r.Workload.trials r.Workload.wall_min_ns
                r.Workload.wall_max_ns r.Workload.retired r.Workload.freed
                r.Workload.outstanding r.Workload.faults r.Workload.signals_delivered
-               (json_chaos_suffix r)
+               (json_derived_suffix r) (json_chaos_suffix r)
                (if ci = List.length cells - 1 then "" else ",")))
         cells;
       Buffer.add_string buf

@@ -49,6 +49,7 @@ type spec = {
   fault : fault;
   chaos : Ts_util.Fault_plan.t;
   watchdog_ms : int;
+  magazine : bool;
   seed : int;
   backend : backend;
   smr_wrap : (Smr.t -> Smr.t) option;
@@ -73,6 +74,7 @@ let default_spec =
     fault = Fault_none;
     chaos = [];
     watchdog_ms = 0;
+    magazine = true;
     seed = 0xBE5;
     backend = Backend_sim;
     smr_wrap = None;
@@ -259,6 +261,17 @@ let finish spec counts ~retired ~freed ~extras ~elapsed ~wall_ns ~peak_live_bloc
     chaos;
   }
 
+(* Allocator magazine statistics, appended to the scheme extras so they
+   reach tables and JSON through the one existing channel.  Hit rate is
+   left to consumers: hits / (hits + misses). *)
+let alloc_extras ~hits ~misses ~refills ~flushes =
+  [
+    ("mag-hits", hits);
+    ("mag-misses", misses);
+    ("mag-refills", refills);
+    ("mag-flushes", flushes);
+  ]
+
 let make_chaos (spec : spec) ~native =
   if spec.chaos = [] then None
   else
@@ -282,6 +295,7 @@ let run_sim (spec : spec) =
       cores = spec.cores;
       quantum = spec.quantum;
       seed = spec.seed;
+      magazine = spec.magazine;
       propagate_failures = true;
     }
   in
@@ -292,6 +306,11 @@ let run_sim (spec : spec) =
   let smr_cell = ref None in
   ignore (Sim.add_thread rt (body spec counts retired freed extras ~chaos ~smr_cell));
   let res = Sim.start rt in
+  let a = Sim.alloc rt in
+  extras :=
+    !extras
+    @ alloc_extras ~hits:(Alloc.cache_hits a) ~misses:(Alloc.cache_misses a)
+        ~refills:(Alloc.central_refills a) ~flushes:(Alloc.cache_flushes a);
   finish spec counts ~retired ~freed ~extras ~elapsed:res.Sim.elapsed ~wall_ns:0
     ~peak_live_blocks:(Alloc.peak_live_blocks (Sim.alloc rt))
     ~peak_live_words:(Alloc.peak_live_words (Sim.alloc rt))
@@ -316,6 +335,7 @@ let run_native (spec : spec) ~pool =
       max_threads = spec.threads + 2;
       mem_capacity;
       strict_mem = true;
+      magazine = spec.magazine;
       propagate_failures = true;
       watchdog_ns = spec.watchdog_ms * 1_000_000;
     }
@@ -337,6 +357,13 @@ let run_native (spec : spec) ~pool =
     | None -> ()
   end;
   let heap = res.Ts_par.Runtime.heap in
+  extras :=
+    !extras
+    @ alloc_extras
+        ~hits:(Ts_par.Heap.cache_hits heap)
+        ~misses:(Ts_par.Heap.cache_misses heap)
+        ~refills:(Ts_par.Heap.central_refills heap)
+        ~flushes:(Ts_par.Heap.cache_flushes heap);
   finish spec counts ~retired ~freed ~extras ~elapsed:res.Ts_par.Runtime.elapsed
     ~wall_ns:res.Ts_par.Runtime.wall_ns
     ~peak_live_blocks:(Ts_par.Heap.peak_live_blocks heap)

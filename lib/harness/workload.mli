@@ -67,6 +67,11 @@ type spec = {
       (** native backend only: arm {!Ts_par.Runtime}'s liveness watchdog
           so a wedged run (e.g. epoch under stall-forever) is killed and
           reported instead of hanging.  [0] disables. *)
+  magazine : bool;
+      (** per-thread allocator magazines (both backends); [false] is the
+          no-magazine baseline where every small malloc/free goes through
+          the central free lists.  An allocator knob, not a scheme
+          parameter — it applies to every scheme alike. *)
   seed : int;
   backend : backend;
   smr_wrap : (Ts_smr.Smr.t -> Ts_smr.Smr.t) option;

@@ -44,7 +44,21 @@ let hot_types =
     ( "runtime.ml",
       "ctx",
       [ "pending"; "kill"; "finished"; "stall_req"; "stalled_flag"; "stall_release" ] );
-    ("heap.ml", "t", [ "mallocs"; "frees"; "live"; "live_w"; "peak_live"; "peak_w" ]);
+    ( "heap.ml",
+      "t",
+      (* the magazine stats ride the malloc/free hot path too *)
+      [
+        "mallocs";
+        "frees";
+        "live";
+        "live_w";
+        "peak_live";
+        "peak_w";
+        "hits";
+        "misses";
+        "refills";
+        "flushes";
+      ] );
     (* SMR counters: bumped under critical by every thread on every
        retire/free — the record itself must sit on its own line *)
     ("smr.ml", "counters", []);

@@ -22,6 +22,7 @@ type params = {
   collect_merge : bool;
   scan_filter : bool;
   free_chunk : int option;
+  shards : int option;
   delay : int option;
   patience : int option;
   batch : int option;
@@ -34,6 +35,7 @@ let default_params =
     collect_merge = false;
     scan_filter = false;
     free_chunk = None;
+    shards = None;
     delay = None;
     patience = None;
     batch = None;
@@ -95,6 +97,7 @@ let build_threadscan ~pipeline env p =
       collect_merge = p.collect_merge;
       scan_filter = p.scan_filter;
       free_chunk = Option.value p.free_chunk ~default:Threadscan.Config.default.free_chunk;
+      shards = Option.value p.shards ~default:Threadscan.Config.default.shards;
     }
   in
   let base =
@@ -111,6 +114,8 @@ let build_threadscan ~pipeline env p =
         scan_filter = true;
         help_free = true;
         free_chunk = Option.value p.free_chunk ~default:8;
+        (* auto shards (one per 8 threads) unless --shards pinned it *)
+        shards = Option.value p.shards ~default:0;
       }
     else base
   in
@@ -145,7 +150,8 @@ let reclaims = { no_reclaim with reclaims = true; pins_frames = false }
 let threadscan_caps = { reclaims with has_pipeline_knobs = true; pins_frames = true }
 let epoch_caps = { reclaims with crash_tolerant = false; wedges_under_stall = true }
 let ladder_extras = [ "reaps"; "takeovers"; "proxy-scans"; "recoveries" ]
-let ts_tunables = [ "buffer"; "help-free"; "collect-merge"; "scan-filter"; "free-chunk" ]
+let ts_tunables =
+  [ "buffer"; "help-free"; "collect-merge"; "scan-filter"; "free-chunk"; "shards" ]
 
 let all =
   [
@@ -323,7 +329,7 @@ let canonical name =
   match find name with Some d -> Ok d.id | None -> Error (unknown name)
 
 let spec ?buffer ?(help_free = false) ?(collect_merge = false) ?(scan_filter = false) ?free_chunk
-    ?delay ?patience ?batch name =
+    ?shards ?delay ?patience ?batch name =
   let d = get name in
   (* Drop tuning the scheme does not use: CLIs pass their flag defaults
      for every scheme, and an irrelevant parameter must not leak into
@@ -338,6 +344,7 @@ let spec ?buffer ?(help_free = false) ?(collect_merge = false) ?(scan_filter = f
         collect_merge = collect_merge && List.mem "collect-merge" d.tunables;
         scan_filter = scan_filter && List.mem "scan-filter" d.tunables;
         free_chunk = keep "free-chunk" free_chunk;
+        shards = keep "shards" shards;
         delay = keep "delay" delay;
         patience = keep "patience" patience;
         batch = keep "batch" batch;
@@ -356,6 +363,7 @@ let params_assoc s =
       (if p.collect_merge then Some ("collect-merge", 1) else None);
       (if p.scan_filter then Some ("scan-filter", 1) else None);
       Option.map (fun v -> ("free-chunk", v)) p.free_chunk;
+      Option.map (fun v -> ("shards", v)) p.shards;
       Option.map (fun v -> ("delay", v)) p.delay;
       Option.map (fun v -> ("patience", v)) p.patience;
       Option.map (fun v -> ("batch", v)) p.batch;

@@ -57,6 +57,9 @@ type params = {
   collect_merge : bool;  (** ThreadScan: sealed-run collect + k-way merge *)
   scan_filter : bool;  (** ThreadScan: Bloom-prefiltered TS-Scan *)
   free_chunk : int option;  (** ThreadScan: chunked helper-parallel free *)
+  shards : int option;
+      (** ThreadScan: reclamation shard count ([0] = auto, one per 8
+          threads; [1] = legacy single master) *)
   delay : int option;  (** slow-epoch: straggler delay in steps *)
   patience : int option;  (** patient-epoch: bounded quiescence wait *)
   batch : int option;  (** epoch family / debra / hyaline batch *)
@@ -147,6 +150,7 @@ val spec :
   ?collect_merge:bool ->
   ?scan_filter:bool ->
   ?free_chunk:int ->
+  ?shards:int ->
   ?delay:int ->
   ?patience:int ->
   ?batch:int ->

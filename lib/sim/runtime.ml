@@ -26,6 +26,7 @@ type config = {
   mem_capacity : int;
   strict_mem : bool;
   sanitize : bool;
+  magazine : bool;
   max_steps : int;
   propagate_failures : bool;
   trace : (Trace.entry -> unit) option;
@@ -43,6 +44,7 @@ let default_config =
     mem_capacity = 1 lsl 26;
     strict_mem = true;
     sanitize = false;
+    magazine = true;
     max_steps = 1 lsl 32;
     propagate_failures = true;
     trace = None;
@@ -1205,7 +1207,7 @@ let create cfg =
   let mem = Mem.create ~strict:cfg.strict_mem ~capacity_limit:cfg.mem_capacity () in
   (* max_threads for allocator caches: grown lazily via modulo mapping is
      wrong; instead size generously and let Alloc index by tid directly. *)
-  let alloc = Alloc.create ~sanitize:cfg.sanitize ~max_threads:4096 mem in
+  let alloc = Alloc.create ~sanitize:cfg.sanitize ~magazine:cfg.magazine ~max_threads:4096 mem in
   let rng = Splitmix.create cfg.seed in
   let pct_points =
     match cfg.sched with

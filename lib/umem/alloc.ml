@@ -19,6 +19,7 @@ type t = {
   large_free : (int, Vec.t) Hashtbl.t; (* exact size -> free list *)
   cache_cap : int;
   batch : int;
+  magazine : bool; (* per-thread caches on; off = every call hits central *)
   sanitize : bool;
   generations : (int, int) Hashtbl.t; (* user base -> allocation generation *)
   mutable mallocs : int;
@@ -29,9 +30,12 @@ type t = {
   mutable peak_w : int;
   mutable hits : int;
   mutable refills : int;
+  mutable flushes : int;
+  mutable misses : int;
 }
 
-let create ?(cache_cap = 64) ?(batch = 32) ?(sanitize = false) ~max_threads mem =
+let create ?(cache_cap = 64) ?(batch = 32) ?(magazine = true) ?(sanitize = false)
+    ~max_threads mem =
   {
     mem;
     central = Array.init Size_class.count (fun _ -> Vec.create ());
@@ -39,6 +43,7 @@ let create ?(cache_cap = 64) ?(batch = 32) ?(sanitize = false) ~max_threads mem 
     large_free = Hashtbl.create 16;
     cache_cap;
     batch;
+    magazine;
     sanitize;
     generations = Hashtbl.create 64;
     mallocs = 0;
@@ -49,6 +54,8 @@ let create ?(cache_cap = 64) ?(batch = 32) ?(sanitize = false) ~max_threads mem 
     peak_w = 0;
     hits = 0;
     refills = 0;
+    flushes = 0;
+    misses = 0;
   }
 
 let carve t block_w =
@@ -86,21 +93,31 @@ let cache_row t tid =
 
 let malloc_small t ~tid n =
   let cls = Size_class.of_size n in
-  let cache = (cache_row t tid).(cls) in
   let addr =
-    if not (Vec.is_empty cache) then begin
-      t.hits <- t.hits + 1;
-      Vec.pop cache
-    end
-    else begin
+    if not t.magazine then begin
+      (* Magazines off: every small allocation goes to the central list. *)
       let central = t.central.(cls) in
       if Vec.is_empty central then refill_central t cls;
-      (* Move up to half a batch into the cache, keep one for the caller. *)
-      let take = min (t.batch / 2) (Vec.length central - 1) in
-      for _ = 1 to take do
-        Vec.push cache (Vec.pop central)
-      done;
+      t.misses <- t.misses + 1;
       Vec.pop central
+    end
+    else begin
+      let cache = (cache_row t tid).(cls) in
+      if not (Vec.is_empty cache) then begin
+        t.hits <- t.hits + 1;
+        Vec.pop cache
+      end
+      else begin
+        let central = t.central.(cls) in
+        if Vec.is_empty central then refill_central t cls;
+        t.misses <- t.misses + 1;
+        (* Move up to half a batch into the cache, keep one for the caller. *)
+        let take = min (t.batch / 2) (Vec.length central - 1) in
+        for _ = 1 to take do
+          Vec.push cache (Vec.pop central)
+        done;
+        Vec.pop central
+      end
     end
   in
   activate t addr (Size_class.size cls);
@@ -151,13 +168,17 @@ let free t ~tid addr =
     if Size_class.is_small block_w && Size_class.size (Size_class.of_size block_w) = block_w
     then begin
       let cls = Size_class.of_size block_w in
-      let cache = (cache_row t tid).(cls) in
-      Vec.push cache addr;
-      if Vec.length cache > t.cache_cap then begin
-        let central = t.central.(cls) in
-        for _ = 1 to t.batch do
-          Vec.push central (Vec.pop cache)
-        done
+      if not t.magazine then Vec.push t.central.(cls) addr
+      else begin
+        let cache = (cache_row t tid).(cls) in
+        Vec.push cache addr;
+        if Vec.length cache > t.cache_cap then begin
+          let central = t.central.(cls) in
+          for _ = 1 to t.batch do
+            Vec.push central (Vec.pop cache)
+          done;
+          t.flushes <- t.flushes + 1
+        end
       end
     end
     else begin
@@ -210,7 +231,18 @@ let snapshot t =
       |> sorted;
     snap_generations = Hashtbl.fold (fun a g acc -> (a, g) :: acc) t.generations [] |> sorted;
     snap_counters =
-      [| t.mallocs; t.frees; t.live; t.peak_live; t.live_w; t.peak_w; t.hits; t.refills |];
+      [|
+        t.mallocs;
+        t.frees;
+        t.live;
+        t.peak_live;
+        t.live_w;
+        t.peak_w;
+        t.hits;
+        t.refills;
+        t.flushes;
+        t.misses;
+      |];
   }
 
 let refill_vec v a =
@@ -228,7 +260,7 @@ let restore_snapshot t s =
   Hashtbl.reset t.generations;
   List.iter (fun (a, g) -> Hashtbl.add t.generations a g) s.snap_generations;
   (match s.snap_counters with
-  | [| m; f; l; pl; lw; pw; h; r |] ->
+  | [| m; f; l; pl; lw; pw; h; r; fl; ms |] ->
       t.mallocs <- m;
       t.frees <- f;
       t.live <- l;
@@ -236,7 +268,9 @@ let restore_snapshot t s =
       t.live_w <- lw;
       t.peak_w <- pw;
       t.hits <- h;
-      t.refills <- r
+      t.refills <- r;
+      t.flushes <- fl;
+      t.misses <- ms
   | _ -> assert false)
 
 let reset t =
@@ -251,7 +285,9 @@ let reset t =
   t.live_w <- 0;
   t.peak_w <- 0;
   t.hits <- 0;
-  t.refills <- 0
+  t.refills <- 0;
+  t.flushes <- 0;
+  t.misses <- 0
 
 let snapshot_digest_into buf s =
   let int i = Buffer.add_int64_ne buf (Int64.of_int i) in
@@ -303,6 +339,14 @@ let cache_hits t = t.hits
 
 let central_refills t = t.refills
 
+let cache_flushes t = t.flushes
+
+let cache_misses t = t.misses
+
+let magazines_enabled t = t.magazine
+
 let pp_stats ppf t =
-  Fmt.pf ppf "mallocs=%d frees=%d live=%d peak=%d live_words=%d cache_hits=%d refills=%d"
-    t.mallocs t.frees t.live t.peak_live t.live_w t.hits t.refills
+  Fmt.pf ppf
+    "mallocs=%d frees=%d live=%d peak=%d live_words=%d cache_hits=%d misses=%d refills=%d \
+     flushes=%d"
+    t.mallocs t.frees t.live t.peak_live t.live_w t.hits t.misses t.refills t.flushes

@@ -13,10 +13,23 @@
 
 type t
 
-val create : ?cache_cap:int -> ?batch:int -> ?sanitize:bool -> max_threads:int -> Mem.t -> t
+val create :
+  ?cache_cap:int ->
+  ?batch:int ->
+  ?magazine:bool ->
+  ?sanitize:bool ->
+  max_threads:int ->
+  Mem.t ->
+  t
 (** [create ~max_threads mem] builds an allocator with one cache per thread
     id in [0, max_threads).  [cache_cap] (default 64) bounds a per-class
     cache; [batch] (default 32) is the cache<->central transfer size.
+
+    [magazine] (default [true]) enables the per-thread magazines (the
+    size-class caches with batched refill/flush against the central
+    lists).  [false] routes every small [malloc]/[free] straight to the
+    central free list — the configuration benchmarked as the
+    no-magazine baseline.
 
     [sanitize] (default [false]) enables heap-sanitizer mode: every block
     carries a trailing canary word (checked on [free], clobbering reports
@@ -87,7 +100,20 @@ val total_mallocs : t -> int
 val total_frees : t -> int
 
 val cache_hits : t -> int
+(** Small allocations served from the caller's magazine without touching
+    the central list. *)
 
 val central_refills : t -> int
+(** Batches of fresh blocks carved into a central list. *)
+
+val cache_flushes : t -> int
+(** Magazine overflows flushed to a central list, [batch] blocks each. *)
+
+val cache_misses : t -> int
+(** Small allocations that had to go to a central list (every small
+    allocation, when magazines are off).  Hit rate is
+    [hits / (hits + misses)]. *)
+
+val magazines_enabled : t -> bool
 
 val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Benchmark trend harness (ROADMAP, "Raw speed").
+
+For every committed BENCH_*.json, diff the working-tree copy against its
+committed predecessor: wall throughput per (series, thread count), as a
+table with the percentage delta.  The predecessor is the last commit
+that touched the file (HEAD if the working tree is clean for it, else
+the working tree is "now" and HEAD is the baseline).
+
+Exit non-zero when any series/thread cell regressed more than the CI
+perf-smoke rule allows (25% by default) — the same only-catch-cliffs
+threshold the native-smoke job applies to the top thread count, applied
+across the whole grid.  Cells present on only one side (a new series, a
+removed thread count) are reported but never gate.
+
+Usage:
+    scripts/bench_trend.py [--threshold 0.25] [--baseline REV] [FILES...]
+
+With no FILES, every tracked BENCH_*.json is checked.  --baseline
+overrides the git revision the working tree is compared against
+(default: the last commit touching each file, which is HEAD after a
+fresh `git commit`, making this a predecessor-vs-current diff).
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+
+def run(args):
+    return subprocess.run(args, capture_output=True, text=True, check=False)
+
+
+def tracked_bench_files():
+    p = run(["git", "ls-files", "BENCH_*.json"])
+    return [f for f in p.stdout.split() if f]
+
+
+def committed_predecessor(path, baseline):
+    """The committed JSON this working-tree file should be diffed against."""
+    if baseline is None:
+        # last commit touching the file; with a dirty working tree this is
+        # the natural "before", after a commit it is the predecessor
+        dirty = run(["git", "diff", "--quiet", "HEAD", "--", path]).returncode != 0
+        if dirty:
+            baseline = "HEAD"
+        else:
+            p = run(["git", "log", "-n", "2", "--format=%H", "--", path])
+            revs = p.stdout.split()
+            if len(revs) < 2:
+                return None  # first commit of this file: nothing to diff
+            baseline = revs[1]
+    p = run(["git", "show", f"{baseline}:{path}"])
+    if p.returncode != 0:
+        return None
+    return json.loads(p.stdout)
+
+
+def cells(doc):
+    """{(series, threads): wall_throughput} over the sweep grid."""
+    out = {}
+    for point in doc.get("points", []):
+        threads = point.get("threads")
+        for cell in point.get("cells", []):
+            wt = cell.get("wall_throughput")
+            if wt is not None:
+                out[(cell.get("series"), threads)] = wt
+    return out
+
+
+def diff_file(path, baseline_rev, threshold):
+    try:
+        now_doc = json.load(open(path))
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"{path}: unreadable ({e}); skipped")
+        return []
+    base_doc = committed_predecessor(path, baseline_rev)
+    if base_doc is None:
+        print(f"{path}: no committed predecessor; skipped")
+        return []
+    base, now = cells(base_doc), cells(now_doc)
+    keys = sorted(set(base) | set(now), key=lambda k: (str(k[0]), k[1] or 0))
+    if not keys:
+        print(f"{path}: no wall-throughput cells; skipped")
+        return []
+
+    print(f"\n{path} (vs {baseline_rev or 'predecessor commit'}):")
+    print(f"  {'series':<24} {'thr':>4} {'baseline':>12} {'now':>12} {'delta':>8}")
+    regressions = []
+    for series, threads in keys:
+        b = base.get((series, threads))
+        n = now.get((series, threads))
+        if b is None or n is None:
+            side = "new" if b is None else "removed"
+            val = n if b is None else b
+            print(f"  {series:<24} {threads:>4} {'-' if b is None else f'{b:>12.1f}'}"
+                  f" {'-' if n is None else f'{n:>12.1f}'}   ({side}: {val:.1f})")
+            continue
+        delta = (n - b) / b if b > 0 else 0.0
+        flag = ""
+        if b > 0 and n < (1.0 - threshold) * b:
+            flag = "  << REGRESSION"
+            regressions.append((path, series, threads, b, n, delta))
+        print(f"  {series:<24} {threads:>4} {b:>12.1f} {n:>12.1f} {delta:>+7.1%}{flag}")
+    return regressions
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("files", nargs="*", help="BENCH_*.json files (default: all tracked)")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="regression gate as a fraction (default 0.25 = 25%%)")
+    ap.add_argument("--baseline", default=None,
+                    help="git revision to diff against (default: each file's predecessor commit)")
+    args = ap.parse_args()
+
+    files = args.files or tracked_bench_files()
+    if not files:
+        print("no BENCH_*.json files found")
+        return 0
+
+    regressions = []
+    for path in files:
+        regressions += diff_file(path, args.baseline, args.threshold)
+
+    if regressions:
+        print(f"\n{len(regressions)} cell(s) regressed more than "
+              f"{args.threshold:.0%}:")
+        for path, series, threads, b, n, delta in regressions:
+            print(f"  {path}: {series} @ {threads} threads: "
+                  f"{b:.1f} -> {n:.1f} ({delta:+.1%})")
+        return 1
+    print("\ntrend: no cell regressed beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

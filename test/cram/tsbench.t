@@ -25,6 +25,7 @@ A single run is a pure function of its seed, so its output is exact:
   ops:        317 (6340.0 per Mcycle)
   reclaim:    retired=14 freed=0 outstanding=14 peak-live=32
   simulator:  elapsed=55394 signals=0 switches=0 faults=0
+  scheme:     mag-hits=29 mag-misses=3 mag-refills=2 mag-flushes=0
 
 Unknown experiment names are rejected with the list of valid ones:
 

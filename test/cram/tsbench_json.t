@@ -18,16 +18,16 @@ seed (wall-clock fields are zero there), so its bytes are exact:
     "scale": "quick",
     "points": [
       { "threads": 8, "cells": [
-        { "series": "epoch", "scheme": "epoch", "ds": "list", "ops": 1871, "throughput": 4677.500, "wall_ns": 0, "wall_throughput": 0.0, "trials": 1, "wall_min_ns": 0, "wall_max_ns": 0, "retired": 93, "freed": 93, "outstanding": 0, "faults": 0, "signals": 0 },
-        { "series": "delay=18k", "scheme": "slow-epoch", "params": { "delay": 18750 }, "ds": "list", "ops": 1858, "throughput": 4645.000, "wall_ns": 0, "wall_throughput": 0.0, "trials": 1, "wall_min_ns": 0, "wall_max_ns": 0, "retired": 92, "freed": 92, "outstanding": 0, "faults": 0, "signals": 0 },
-        { "series": "delay=75k", "scheme": "slow-epoch", "params": { "delay": 75000 }, "ds": "list", "ops": 1745, "throughput": 4362.500, "wall_ns": 0, "wall_throughput": 0.0, "trials": 1, "wall_min_ns": 0, "wall_max_ns": 0, "retired": 87, "freed": 87, "outstanding": 0, "faults": 0, "signals": 0 },
-        { "series": "delay=600k", "scheme": "slow-epoch", "params": { "delay": 600000 }, "ds": "list", "ops": 1409, "throughput": 3522.500, "wall_ns": 0, "wall_throughput": 0.0, "trials": 1, "wall_min_ns": 0, "wall_max_ns": 0, "retired": 72, "freed": 72, "outstanding": 0, "faults": 0, "signals": 0 }
+        { "series": "epoch", "scheme": "epoch", "ds": "list", "ops": 1871, "throughput": 4677.500, "wall_ns": 0, "wall_throughput": 0.0, "trials": 1, "wall_min_ns": 0, "wall_max_ns": 0, "retired": 93, "freed": 93, "outstanding": 0, "faults": 0, "signals": 0, "mag_hits": 188, "mag_misses": 14, "mag_refills": 7, "mag_flushes": 0 },
+        { "series": "delay=18k", "scheme": "slow-epoch", "params": { "delay": 18750 }, "ds": "list", "ops": 1858, "throughput": 4645.000, "wall_ns": 0, "wall_throughput": 0.0, "trials": 1, "wall_min_ns": 0, "wall_max_ns": 0, "retired": 92, "freed": 92, "outstanding": 0, "faults": 0, "signals": 0, "mag_hits": 186, "mag_misses": 14, "mag_refills": 7, "mag_flushes": 0 },
+        { "series": "delay=75k", "scheme": "slow-epoch", "params": { "delay": 75000 }, "ds": "list", "ops": 1745, "throughput": 4362.500, "wall_ns": 0, "wall_throughput": 0.0, "trials": 1, "wall_min_ns": 0, "wall_max_ns": 0, "retired": 87, "freed": 87, "outstanding": 0, "faults": 0, "signals": 0, "mag_hits": 180, "mag_misses": 14, "mag_refills": 7, "mag_flushes": 0 },
+        { "series": "delay=600k", "scheme": "slow-epoch", "params": { "delay": 600000 }, "ds": "list", "ops": 1409, "throughput": 3522.500, "wall_ns": 0, "wall_throughput": 0.0, "trials": 1, "wall_min_ns": 0, "wall_max_ns": 0, "retired": 72, "freed": 72, "outstanding": 0, "faults": 0, "signals": 0, "mag_hits": 151, "mag_misses": 14, "mag_refills": 7, "mag_flushes": 0 }
       ] },
       { "threads": 16, "cells": [
-        { "series": "epoch", "scheme": "epoch", "ds": "list", "ops": 3634, "throughput": 9085.000, "wall_ns": 0, "wall_throughput": 0.0, "trials": 1, "wall_min_ns": 0, "wall_max_ns": 0, "retired": 195, "freed": 195, "outstanding": 0, "faults": 0, "signals": 0 },
-        { "series": "delay=18k", "scheme": "slow-epoch", "params": { "delay": 18750 }, "ds": "list", "ops": 3600, "throughput": 9000.000, "wall_ns": 0, "wall_throughput": 0.0, "trials": 1, "wall_min_ns": 0, "wall_max_ns": 0, "retired": 194, "freed": 194, "outstanding": 0, "faults": 0, "signals": 0 },
-        { "series": "delay=75k", "scheme": "slow-epoch", "params": { "delay": 75000 }, "ds": "list", "ops": 3352, "throughput": 8380.000, "wall_ns": 0, "wall_throughput": 0.0, "trials": 1, "wall_min_ns": 0, "wall_max_ns": 0, "retired": 179, "freed": 179, "outstanding": 0, "faults": 0, "signals": 0 },
-        { "series": "delay=600k", "scheme": "slow-epoch", "params": { "delay": 600000 }, "ds": "list", "ops": 2885, "throughput": 7212.500, "wall_ns": 0, "wall_throughput": 0.0, "trials": 1, "wall_min_ns": 0, "wall_max_ns": 0, "retired": 150, "freed": 150, "outstanding": 0, "faults": 0, "signals": 0 }
+        { "series": "epoch", "scheme": "epoch", "ds": "list", "ops": 3634, "throughput": 9085.000, "wall_ns": 0, "wall_throughput": 0.0, "trials": 1, "wall_min_ns": 0, "wall_max_ns": 0, "retired": 195, "freed": 195, "outstanding": 0, "faults": 0, "signals": 0, "mag_hits": 266, "mag_misses": 22, "mag_refills": 11, "mag_flushes": 1 },
+        { "series": "delay=18k", "scheme": "slow-epoch", "params": { "delay": 18750 }, "ds": "list", "ops": 3600, "throughput": 9000.000, "wall_ns": 0, "wall_throughput": 0.0, "trials": 1, "wall_min_ns": 0, "wall_max_ns": 0, "retired": 194, "freed": 194, "outstanding": 0, "faults": 0, "signals": 0, "mag_hits": 265, "mag_misses": 22, "mag_refills": 11, "mag_flushes": 1 },
+        { "series": "delay=75k", "scheme": "slow-epoch", "params": { "delay": 75000 }, "ds": "list", "ops": 3352, "throughput": 8380.000, "wall_ns": 0, "wall_throughput": 0.0, "trials": 1, "wall_min_ns": 0, "wall_max_ns": 0, "retired": 179, "freed": 179, "outstanding": 0, "faults": 0, "signals": 0, "mag_hits": 250, "mag_misses": 22, "mag_refills": 11, "mag_flushes": 0 },
+        { "series": "delay=600k", "scheme": "slow-epoch", "params": { "delay": 600000 }, "ds": "list", "ops": 2885, "throughput": 7212.500, "wall_ns": 0, "wall_throughput": 0.0, "trials": 1, "wall_min_ns": 0, "wall_max_ns": 0, "retired": 150, "freed": 150, "outstanding": 0, "faults": 0, "signals": 0, "mag_hits": 224, "mag_misses": 22, "mag_refills": 11, "mag_flushes": 0 }
       ] }
     ]
   }

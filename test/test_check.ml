@@ -737,6 +737,90 @@ let test_pipeline_still_catches_seeded_bug () =
     (contains cmd "--collect-merge" && contains cmd "--scan-filter"
     && contains cmd "--free-chunk 2")
 
+(* ---------------------- sharding under the checker ------------------------ *)
+
+(* The full pipeline plus reclamation sharding: two shards over the
+   checker's default thread count, so phases run the per-shard
+   collect/merge/publish and idle helpers can steal sealed runs across
+   shards.  Like the pipeline, sharding must be invisible to every
+   oracle — and the fault plans now also cover dying mid-steal: a victim
+   crashed after its first few steps may hold a shard claim word. *)
+let shards_base = { pipeline_base with Scenario.shards = 2 }
+
+let test_shards_sweep_clean () =
+  List.iter
+    (fun ds ->
+      let s =
+        Explore.sweep
+          (Explore.sweep_specs ~base:{ shards_base with Scenario.ds } ~schedules:6 ~seed0:0
+             ~pct_depth:3)
+      in
+      check (Fmt.str "shards %s: no violations" (Scenario.ds_to_string ds)) 0
+        (List.length s.Explore.failures);
+      check (Fmt.str "shards %s: all schedules ran" (Scenario.ds_to_string ds)) 6
+        s.Explore.runs)
+    [ Scenario.List_ds; Scenario.Hash_ds; Scenario.Skip_ds; Scenario.Churn ]
+
+let test_shards_crash_sweep_clean () =
+  (* Crash-mid-steal coverage: the victim dies shortly after startup, so
+     across the seed/schedule sweep it is killed at every point of the
+     steal protocol — including between claiming a shard's sealed run
+     and stamping it done.  The reclaimer's bounded-ack recovery must
+     take the claim back and re-collect without a double free or leak
+     beyond the crash budget. *)
+  List.iter
+    (fun ds ->
+      let base =
+        {
+          shards_base with
+          Scenario.ds;
+          fault = Scenario.Fault_crash { victims = 1; after = 10 };
+        }
+      in
+      let s = Explore.sweep (Explore.sweep_specs ~base ~schedules:6 ~seed0:0 ~pct_depth:3) in
+      check (Fmt.str "shards %s under crash: no violations" (Scenario.ds_to_string ds)) 0
+        (List.length s.Explore.failures))
+    [ Scenario.List_ds; Scenario.Churn ]
+
+let test_shards_stall_sweep_clean () =
+  (* A stalled thread can freeze while holding a shard claim; the phase
+     must still complete via the claim-recovery path and stay sound once
+     the sleeper wakes and finds its shard already drained. *)
+  let base =
+    {
+      shards_base with
+      Scenario.ds = Scenario.Churn;
+      fault = Scenario.Fault_stall { victims = 1; after = 10; cycles = 60_000 };
+    }
+  in
+  let s = Explore.sweep (Explore.sweep_specs ~base ~schedules:6 ~seed0:0 ~pct_depth:3) in
+  check "shards churn under stall: no violations" 0 (List.length s.Explore.failures)
+
+let test_shards_reclaimer_crash_takeover () =
+  (* The reclaimer dies mid-phase with shards on: un-collected shards
+     still carry the generation stamp of the dead phase, and the
+     takeover must restart the claim protocol from scratch. *)
+  let base = { shards_base with Scenario.ds = Scenario.Churn; inject = Threadscan.Crash_mid_phase } in
+  let s = Explore.sweep (Explore.sweep_specs ~base ~schedules:6 ~seed0:0 ~pct_depth:3) in
+  check "shards survive reclaimer crash mid-phase" 0 (List.length s.Explore.failures)
+
+let test_shards_still_catches_seeded_bug () =
+  (* Sharding must not blunt the checker, and a failing sharded spec must
+     replay with its shard count (and the magazine toggle) intact. *)
+  let base =
+    { shards_base with Scenario.ds = Scenario.Churn; magazine = false; inject = Threadscan.Skip_carryover }
+  in
+  let s = Explore.sweep (Explore.sweep_specs ~base ~schedules:4 ~seed0:0 ~pct_depth:3) in
+  check_bool "seeded bug caught with shards on" true (s.Explore.failures <> []);
+  let cmd = Scenario.replay_command (List.hd s.Explore.failures).Scenario.spec in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "replay command carries the shard count" true (contains cmd "--shards 2");
+  check_bool "replay command carries the magazine toggle" true (contains cmd "--no-magazine")
+
 (* ------------------- forked exploration vs replay-from-seed --------------- *)
 
 (* The forked explorer shares schedule prefixes via process snapshots;
@@ -982,6 +1066,17 @@ let () =
             test_pipeline_reclaimer_crash_takeover;
           Alcotest.test_case "seeded bug still caught" `Quick
             test_pipeline_still_catches_seeded_bug;
+        ] );
+      ( "shards",
+        [
+          Alcotest.test_case "clean sweeps stay clean" `Quick test_shards_sweep_clean;
+          Alcotest.test_case "crash-mid-steal plans stay clean" `Quick
+            test_shards_crash_sweep_clean;
+          Alcotest.test_case "stall plans stay clean" `Quick test_shards_stall_sweep_clean;
+          Alcotest.test_case "reclaimer crash mid-phase survives" `Quick
+            test_shards_reclaimer_crash_takeover;
+          Alcotest.test_case "seeded bug still caught, replay keeps flags" `Quick
+            test_shards_still_catches_seeded_bug;
         ] );
       ( "forked exploration",
         [

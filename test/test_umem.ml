@@ -271,6 +271,77 @@ let prop_alloc_balance =
       List.iter (Alloc.free alloc ~tid:0) half;
       Alloc.total_mallocs alloc - Alloc.total_frees alloc = Alloc.live_blocks alloc)
 
+(* Magazine conservation: tiny per-thread magazines (cache_cap 4, batch 2)
+   forced through constant refill/flush churn must neither lose nor
+   duplicate a block against the central lists.  Duplication is caught
+   directly (a returned base already live, or the strict heap's
+   double-free fault); loss is caught by the capacity limit — the heap is
+   sized for a handful of working sets, so a block stranded per round
+   would grow the reserve until [Out_of_memory]. *)
+let prop_magazine_conservation =
+  QCheck.Test.make ~name:"magazines: refill/flush loses and duplicates nothing" ~count:60
+    QCheck.(pair int (list (int_range 1 16)))
+    (fun (seed, sizes) ->
+      let sizes = if sizes = [] then [ 3 ] else sizes in
+      let words = List.fold_left ( + ) 0 sizes in
+      (* ~6 working sets incl. headers: ample steady state, fatal leak *)
+      let mem = Mem.create ~capacity_limit:(1024 + (6 * (words + (3 * List.length sizes)))) () in
+      let alloc = Alloc.create ~cache_cap:4 ~batch:2 ~max_threads:2 mem in
+      let rng = Splitmix.create seed in
+      let live = Hashtbl.create 16 in
+      for _round = 1 to 40 do
+        let blocks =
+          List.map
+            (fun n ->
+              let a = Alloc.malloc alloc ~tid:(Splitmix.below rng 2) n in
+              if Hashtbl.mem live a then failwith "block handed out twice";
+              Hashtbl.replace live a ();
+              a)
+            sizes
+        in
+        (* cross-thread frees push the flush path on both magazine rows *)
+        List.iter
+          (fun a ->
+            Hashtbl.remove live a;
+            Alloc.free alloc ~tid:(Splitmix.below rng 2) a)
+          blocks
+      done;
+      Alloc.live_blocks alloc = 0
+      && Alloc.total_mallocs alloc = Alloc.total_frees alloc
+      && Alloc.cache_flushes alloc > 0 (* the churn actually exercised the path *))
+
+(* Savepoint safety: the magazine rows, central lists and the extended
+   counters all round-trip through snapshot/restore — the restored
+   allocator is digest-identical and replays the exact same addresses. *)
+let prop_magazine_snapshot_roundtrip =
+  QCheck.Test.make ~name:"magazines: snapshot/restore replays identically" ~count:60
+    QCheck.(pair int (list (int_range 1 16)))
+    (fun (seed, sizes) ->
+      let sizes = if sizes = [] then [ 2; 5 ] else sizes in
+      let mem = Mem.create () in
+      let alloc = Alloc.create ~cache_cap:4 ~batch:2 ~max_threads:2 mem in
+      let rng = Splitmix.create seed in
+      (* warm the magazines so the snapshot captures non-trivial rows *)
+      let warm = List.map (fun n -> Alloc.malloc alloc ~tid:(Splitmix.below rng 2) n) sizes in
+      List.iteri (fun i a -> if i mod 2 = 0 then Alloc.free alloc ~tid:0 a) warm;
+      let digest s =
+        let b = Buffer.create 256 in
+        Alloc.snapshot_digest_into b s;
+        Buffer.contents b
+      in
+      let msnap = Mem.snapshot mem in
+      let asnap = Alloc.snapshot alloc in
+      let d0 = digest asnap in
+      let replay () =
+        List.map (fun n -> Alloc.malloc alloc ~tid:(n mod 2) (1 + (n mod 16))) sizes
+      in
+      let first = replay () in
+      Mem.restore_snapshot mem msnap;
+      Alloc.restore_snapshot alloc asnap;
+      let d1 = digest (Alloc.snapshot alloc) in
+      let second = replay () in
+      d0 = d1 && first = second)
+
 let () =
   let qt t = QCheck_alcotest.to_alcotest t in
   Alcotest.run "ts_umem"
@@ -315,4 +386,6 @@ let () =
           qt prop_alloc_no_overlap;
           qt prop_alloc_balance;
         ] );
+      ( "magazines",
+        [ qt prop_magazine_conservation; qt prop_magazine_snapshot_roundtrip ] );
     ]
